@@ -1,0 +1,247 @@
+(** Benchmark and reproduction harness.
+
+    Two halves:
+    - Bechamel micro-benchmarks, one per paper table/figure, timing the
+      computational core that experiment exercises (transform passes,
+      golden runs, injection trials, classification);
+    - the reproduction harness proper, which re-runs the paper's
+      experiments and prints every table and figure (see DESIGN.md §4).
+
+    Usage:
+      bench/main.exe                 micro-benchmarks + all tables (default trials)
+      bench/main.exe all             all tables only
+      bench/main.exe fig2|fig10|fig11|fig12|fig13|table1|table2|crossval|falsepos
+      bench/main.exe micro           micro-benchmarks only
+      options: --trials N  --seed N  --benchmarks a,b,c  --quick *)
+
+let default_trials = ref 120
+let seed = ref 0xC0FFEE
+let selected_benchmarks : string list option ref = ref None
+
+let workloads () =
+  match !selected_benchmarks with
+  | None -> Workloads.Registry.all
+  | Some names -> List.map Workloads.Registry.find names
+
+(* ----- Bechamel micro-benchmarks ----- *)
+
+let stage = Bechamel.Staged.stage
+
+let micro_tests () =
+  let open Bechamel in
+  let w = Workloads.Registry.find "g721enc" in
+  let original = Softft.protect w Softft.Original in
+  let protected_ = Softft.protect w Softft.Dup_valchk in
+  let golden = Softft.golden protected_ ~role:Workloads.Workload.Test in
+  let disabled = Hashtbl.create 4 in
+  [ (* Figure 2 / 11 / 13 all stand on single-trial fault injections. *)
+    Test.make ~name:"fig2_injection_trial_original"
+      (stage (fun () ->
+         Faults.Campaign.run_trial
+           (Softft.subject original ~role:Workloads.Workload.Test)
+           ~golden ~disabled ~hw_window:1000 ~seed:42));
+    Test.make ~name:"fig11_injection_trial_protected"
+      (stage (fun () ->
+         Faults.Campaign.run_trial
+           (Softft.subject protected_ ~role:Workloads.Workload.Test)
+           ~golden ~disabled ~hw_window:1000 ~seed:42));
+    Test.make ~name:"fig13_outcome_classification"
+      (stage (fun () ->
+         Faults.Classify.classify ~hw_window:1000
+           ~result:
+             { Interp.Machine.stop = Interp.Machine.Finished None; steps = 100;
+               cycles = 100; valchk_failures = 0; failed_check_uids = [];
+               injection = None }
+           ~identical:(fun () -> false)
+           ~acceptable:(fun () -> true)));
+    (* Figure 10: the static transformation itself. *)
+    Test.make ~name:"fig10_protect_dup_valchk"
+      (stage (fun () -> Softft.protect w Softft.Dup_valchk));
+    (* Figure 12: simulated execution (the overhead measurement primitive). *)
+    Test.make ~name:"fig12_golden_run_protected"
+      (stage (fun () -> Softft.golden protected_ ~role:Workloads.Workload.Test));
+    (* Table I: building a workload program. *)
+    Test.make ~name:"table1_build_workload" (stage (fun () -> w.build ()));
+    (* Table II: the simulated machine itself, amortized over a full run. *)
+    Test.make ~name:"table2_interpreter_run"
+      (stage (fun () -> Softft.golden original ~role:Workloads.Workload.Test));
+    (* The offline profiling step feeding the Figure 6 check shapes. *)
+    Test.make ~name:"value_profiling_run"
+      (stage (fun () -> Workloads.Workload.profile w));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) ()
+  in
+  let tests = Test.make_grouped ~name:"softft" ~fmt:"%s/%s" (micro_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Bechamel.Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "\n== Micro-benchmarks (one per paper table/figure) ==\n";
+  Printf.printf "%-50s %15s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 66 '-');
+  let rows = ref [] in
+  Hashtbl.iter (fun name r -> rows := (name, r) :: !rows) results;
+  List.iter
+    (fun (name, ols_result) ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] ->
+        let pretty =
+          if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+          else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+          else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+          else Printf.sprintf "%.0f ns" est
+        in
+        Printf.printf "%-50s %15s\n" name pretty
+      | Some _ | None -> Printf.printf "%-50s %15s\n" name "n/a")
+    (List.sort compare !rows)
+
+(* ----- Reproduction harness ----- *)
+
+let evaluated = ref None
+
+let results () =
+  match !evaluated with
+  | Some r -> r
+  | None ->
+    let r =
+      Softft.Experiments.evaluate ~trials:!default_trials ~seed:!seed
+        ~log:(fun s -> Printf.eprintf "[eval] %s\n%!" s)
+        (workloads ())
+    in
+    evaluated := Some r;
+    r
+
+let print_all () =
+  Softft.Experiments.print_table1 ();
+  Softft.Experiments.print_table2 ();
+  let r = results () in
+  Softft.Experiments.print_fig2 r;
+  Softft.Experiments.print_fig10 r;
+  Softft.Experiments.print_fig11 r;
+  Softft.Experiments.print_fig12 r;
+  Softft.Experiments.print_fig13 r;
+  Softft.Experiments.print_falsepos r;
+  Softft.Experiments.print_headline r;
+  Printf.printf
+    "\n(95%% confidence margin of error at %d trials/config: +-%.1f points)\n"
+    !default_trials
+    (100.0
+     *. Softft.margin_of_error ~trials:!default_trials ~proportion:0.5)
+
+let run_crossval () =
+  let rows =
+    Softft.Experiments.crossval ~trials:!default_trials ~seed:!seed ()
+  in
+  Softft.Experiments.print_crossval rows
+
+let () =
+  let commands = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--trials" :: n :: rest ->
+      default_trials := int_of_string n;
+      parse rest
+    | "--seed" :: n :: rest ->
+      seed := int_of_string n;
+      parse rest
+    | "--benchmarks" :: names :: rest ->
+      selected_benchmarks := Some (String.split_on_char ',' names);
+      parse rest
+    | "--quick" :: rest ->
+      default_trials := 40;
+      selected_benchmarks := Some [ "jpegdec"; "g721enc"; "kmeans" ];
+      parse rest
+    | cmd :: rest ->
+      commands := cmd :: !commands;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let run_command = function
+    | "micro" -> run_micro ()
+    | "all" -> print_all ()
+    | "table1" -> Softft.Experiments.print_table1 ()
+    | "table2" -> Softft.Experiments.print_table2 ()
+    | "fig2" -> Softft.Experiments.print_fig2 (results ())
+    | "fig10" -> Softft.Experiments.print_fig10 (results ())
+    | "fig11" -> Softft.Experiments.print_fig11 (results ())
+    | "fig12" -> Softft.Experiments.print_fig12 (results ())
+    | "fig13" -> Softft.Experiments.print_fig13 (results ())
+    | "falsepos" -> Softft.Experiments.print_falsepos (results ())
+    | "headline" -> Softft.Experiments.print_headline (results ())
+    | "crossval" -> run_crossval ()
+    | "ablation" ->
+      List.iter
+        (fun name ->
+          let w = Workloads.Registry.find name in
+          let rows =
+            Softft.Experiments.ablation ~trials:!default_trials ~seed:!seed w
+          in
+          Softft.Experiments.print_ablation w rows)
+        (match !selected_benchmarks with
+         | Some names -> names
+         | None -> [ "jpegdec"; "g721enc" ])
+    | "sources" ->
+      let rows =
+        Softft.Experiments.detection_sources ~trials:!default_trials
+          ~seed:!seed (workloads ())
+      in
+      Softft.Experiments.print_detection_sources rows
+    | "csv" ->
+      print_string (Softft.Experiments.to_csv (results ()))
+    | "branchfault" ->
+      let rows =
+        Softft.Experiments.branch_faults ~trials:!default_trials ~seed:!seed
+          (match !selected_benchmarks with
+           | Some names -> List.map Workloads.Registry.find names
+           | None ->
+             List.map Workloads.Registry.find [ "jpegdec"; "g721enc"; "kmeans" ])
+      in
+      Softft.Experiments.print_branch_faults rows
+    | "latency" ->
+      let rows =
+        Softft.Experiments.latency ~trials:!default_trials ~seed:!seed
+          (workloads ())
+      in
+      Softft.Experiments.print_latency rows
+    | cmd ->
+      Printf.eprintf
+        "unknown command %S (try: micro all fig2 fig10 fig11 fig12 fig13 \
+         table1 table2 falsepos headline crossval ablation latency branchfault sources csv)\n"
+        cmd;
+      exit 1
+  in
+  let run_extras () =
+    (* The studies beyond the paper's own tables, at reduced scope so the
+       default invocation stays minutes-scale. *)
+    let subset names = List.map Workloads.Registry.find names in
+    List.iter
+      (fun name ->
+        let w = Workloads.Registry.find name in
+        Softft.Experiments.print_ablation w
+          (Softft.Experiments.ablation ~trials:!default_trials ~seed:!seed w))
+      [ "jpegdec"; "g721enc" ];
+    Softft.Experiments.print_detection_sources
+      (Softft.Experiments.detection_sources ~trials:!default_trials
+         ~seed:!seed
+         (subset [ "jpegdec"; "g721enc"; "kmeans" ]));
+    Softft.Experiments.print_latency
+      (Softft.Experiments.latency ~trials:!default_trials ~seed:!seed
+         (subset [ "jpegdec"; "g721enc"; "kmeans" ]));
+    Softft.Experiments.print_branch_faults
+      (Softft.Experiments.branch_faults ~trials:!default_trials ~seed:!seed
+         (subset [ "jpegdec"; "g721enc"; "kmeans" ]));
+    run_crossval ()
+  in
+  match List.rev !commands with
+  | [] ->
+    run_micro ();
+    print_all ();
+    run_extras ()
+  | [ "extras" ] -> run_extras ()
+  | cmds -> List.iter run_command cmds

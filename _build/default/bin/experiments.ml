@@ -1,0 +1,176 @@
+(** Command-line driver for full-scale reproduction campaigns.
+
+    The bench harness ([bench/main.exe]) uses reduced trial counts so it
+    finishes in minutes; this tool runs paper-scale campaigns (1000 trials
+    per benchmark and technique, §IV-C) and the auxiliary studies. *)
+
+open Cmdliner
+
+let trials_arg =
+  let doc = "Fault-injection trials per (benchmark, technique)." in
+  Arg.(value & opt int 1000 & info [ "trials"; "t" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Master random seed (campaigns are deterministic per seed)." in
+  Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let benchmarks_arg =
+  let doc = "Comma-separated benchmark subset (default: all 13)." in
+  Arg.(value & opt (some string) None & info [ "benchmarks"; "b" ] ~docv:"NAMES" ~doc)
+
+let quiet_arg =
+  let doc = "Suppress progress logging." in
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+
+let resolve_benchmarks = function
+  | None -> Workloads.Registry.all
+  | Some names ->
+    List.map Workloads.Registry.find (String.split_on_char ',' names)
+
+let log_of quiet =
+  if quiet then fun (_ : string) -> ()
+  else fun s -> Printf.eprintf "[experiments] %s\n%!" s
+
+let run_all trials seed benchmarks quiet =
+  let workloads = resolve_benchmarks benchmarks in
+  let results =
+    Softft.Experiments.evaluate ~trials ~seed ~log:(log_of quiet) workloads
+  in
+  Softft.Experiments.print_table1 ();
+  Softft.Experiments.print_table2 ();
+  Softft.Experiments.print_fig2 results;
+  Softft.Experiments.print_fig10 results;
+  Softft.Experiments.print_fig11 results;
+  Softft.Experiments.print_fig12 results;
+  Softft.Experiments.print_fig13 results;
+  Softft.Experiments.print_falsepos results;
+  Softft.Experiments.print_headline results;
+  Printf.printf
+    "\n(95%% confidence margin of error at %d trials: +-%.1f points)\n" trials
+    (100.0 *. Softft.margin_of_error ~trials ~proportion:0.5)
+
+let all_cmd =
+  let doc = "Run every table and figure of the paper's evaluation." in
+  Cmd.v
+    (Cmd.info "all" ~doc)
+    Term.(const run_all $ trials_arg $ seed_arg $ benchmarks_arg $ quiet_arg)
+
+let run_crossval trials seed quiet =
+  ignore quiet;
+  let rows = Softft.Experiments.crossval ~trials ~seed () in
+  Softft.Experiments.print_crossval rows
+
+let crossval_cmd =
+  let doc =
+    "Cross-validation (paper \xc2\xa7V): profile on the test input and inject \
+     on the train input, for jpegdec and kmeans."
+  in
+  Cmd.v
+    (Cmd.info "crossval" ~doc)
+    Term.(const run_crossval $ trials_arg $ seed_arg $ quiet_arg)
+
+let run_one name technique_name trials seed =
+  let w = Workloads.Registry.find name in
+  let technique =
+    match String.lowercase_ascii technique_name with
+    | "original" -> Softft.Original
+    | "dup" | "dup_only" -> Softft.Dup_only
+    | "dupval" | "dup_valchk" -> Softft.Dup_valchk
+    | "full" | "full_dup" -> Softft.Full_dup
+    | "cfc" -> Softft.Cfc_only
+    | "dupvalcfc" -> Softft.Dup_valchk_cfc
+    | other ->
+      invalid_arg
+        (Printf.sprintf
+           "unknown technique %S (original|dup|dupval|full|cfc|dupvalcfc)"
+           other)
+  in
+  let p = Softft.protect w technique in
+  let golden = Softft.golden p ~role:Workloads.Workload.Test in
+  Printf.printf "%s / %s\n" w.name (Softft.technique_name technique);
+  Printf.printf "  static instrs (orig) : %d\n" p.static_stats.original_instrs;
+  Printf.printf "  state variables      : %d\n" p.static_stats.state_vars;
+  Printf.printf "  duplicated instrs    : %d\n" p.static_stats.duplicated_instrs;
+  Printf.printf "  value checks         : %d\n" p.static_stats.value_checks;
+  Printf.printf "  golden steps/cycles  : %d / %d\n" golden.steps golden.cycles;
+  Printf.printf "  false positives      : %d\n" golden.false_positives;
+  let summary, (_ : Faults.Campaign.trial list) =
+    Softft.campaign p ~role:Workloads.Workload.Test ~trials ~seed
+  in
+  List.iter
+    (fun outcome ->
+      Printf.printf "  %-12s : %5.1f%%\n"
+        (Faults.Classify.name outcome)
+        (Faults.Campaign.percent summary outcome))
+    Faults.Classify.all
+
+let name_arg =
+  let doc = "Benchmark name (see `table1')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+
+let technique_arg =
+  let doc = "Protection technique: original, dup, dupval, full, cfc or dupvalcfc." in
+  Arg.(value & pos 1 string "dupval" & info [] ~docv:"TECHNIQUE" ~doc)
+
+let one_cmd =
+  let doc = "Protect one benchmark and run a campaign against it." in
+  Cmd.v
+    (Cmd.info "one" ~doc)
+    Term.(const run_one $ name_arg $ technique_arg $ trials_arg $ seed_arg)
+
+let run_table1 () = Softft.Experiments.print_table1 ()
+
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print the benchmark inventory (Table I).")
+    Term.(const run_table1 $ const ())
+
+let run_dump name technique_name =
+  let w = Workloads.Registry.find name in
+  let technique =
+    match String.lowercase_ascii technique_name with
+    | "original" -> Softft.Original
+    | "dup" | "dup_only" -> Softft.Dup_only
+    | "dupval" | "dup_valchk" -> Softft.Dup_valchk
+    | "full" | "full_dup" -> Softft.Full_dup
+    | "cfc" -> Softft.Cfc_only
+    | "dupvalcfc" -> Softft.Dup_valchk_cfc
+    | other -> invalid_arg (Printf.sprintf "unknown technique %S" other)
+  in
+  let p = Softft.protect w technique in
+  print_string (Ir.Printer.prog_to_string p.prog)
+
+let dump_cmd =
+  let doc = "Print the (optionally protected) IR of a benchmark." in
+  Cmd.v (Cmd.info "dump" ~doc) Term.(const run_dump $ name_arg $ technique_arg)
+
+let run_trace name limit =
+  let w = Workloads.Registry.find name in
+  let prog = w.build () in
+  let state = w.fresh_state Workloads.Workload.Test in
+  let events, result =
+    Interp.Trace.first_values ~limit prog ~entry:Workloads.Workload.entry
+      ~args:state.args ~mem:state.mem
+  in
+  List.iter print_endline (Interp.Trace.render prog events);
+  Format.printf "... run %a after %d steps@." Interp.Machine.pp_stop
+    result.stop result.steps
+
+let limit_arg =
+  let doc = "How many produced values to trace." in
+  Arg.(value & opt int 60 & info [ "limit"; "n" ] ~docv:"N" ~doc)
+
+let trace_cmd =
+  let doc = "Trace the first values a benchmark's kernel produces." in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run_trace $ name_arg $ limit_arg)
+
+let main_cmd =
+  let doc =
+    "Reproduction of `Harnessing Soft Computations for Low-budget Fault \
+     Tolerance' (MICRO 2014)"
+  in
+  Cmd.group
+    (Cmd.info "experiments" ~version:"1.0.0" ~doc)
+    [ all_cmd; crossval_cmd; one_cmd; table1_cmd; dump_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/check_tuning.ml: Faults Printf Profiling Softft String Workloads

@@ -1,0 +1,1 @@
+examples/check_tuning.mli:

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Builder Faults Fidelity Interp Ir List Printf Prog Softft Value Workloads

@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Array Char Faults Fidelity Hashtbl Interp List Option Printf Rng Softft Workloads

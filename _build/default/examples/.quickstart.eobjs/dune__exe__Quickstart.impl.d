@@ -1,0 +1,1 @@
+examples/quickstart.ml: Faults List Printf Softft Transform Workloads

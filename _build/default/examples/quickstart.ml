@@ -1,0 +1,50 @@
+(** Quickstart: protect a benchmark with the paper's technique and measure
+    what it buys.
+
+    Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Pick a workload from the paper's Table I suite. *)
+  let w = Workloads.Registry.find "jpegdec" in
+  Printf.printf "workload: %s (%s) — %s\n" w.name w.suite w.description;
+
+  (* 2. Protect it: value-profile on the training input, duplicate the
+     producer chains of its state variables, insert expected-value checks
+     (Optimizations 1 and 2 apply automatically). *)
+  let p = Softft.protect w Softft.Dup_valchk in
+  let s = p.static_stats in
+  Printf.printf "static IR instructions : %d\n" s.original_instrs;
+  Printf.printf "state variables        : %d\n" s.state_vars;
+  Printf.printf "duplicated instructions: %d (%.1f%%)\n" s.duplicated_instrs
+    (100.0 *. Transform.Pipeline.duplicated_fraction s);
+  Printf.printf "expected-value checks  : %d (%.1f%%)\n" s.value_checks
+    (100.0 *. Transform.Pipeline.value_check_fraction s);
+
+  (* 3. Runtime overhead versus the unmodified program (simulated cycles). *)
+  let baseline =
+    Softft.golden (Softft.protect w Softft.Original) ~role:Workloads.Workload.Test
+  in
+  let overhead = Softft.overhead ~baseline p ~role:Workloads.Workload.Test in
+  Printf.printf "runtime overhead       : %.1f%%\n" (100.0 *. overhead);
+
+  (* 4. Statistical fault injection: one random register bit flip per trial,
+     classified against the fault-free output. *)
+  let trials = 200 in
+  let summary, (_ : Faults.Campaign.trial list) =
+    Softft.campaign p ~role:Workloads.Workload.Test ~trials ~seed:7
+  in
+  Printf.printf "\nfault-injection outcomes over %d trials:\n" trials;
+  List.iter
+    (fun outcome ->
+      Printf.printf "  %-12s %5.1f%%\n"
+        (Faults.Classify.name outcome)
+        (Faults.Campaign.percent summary outcome))
+    Faults.Classify.all;
+  let usdc =
+    Faults.Campaign.percent_many summary
+      [ Faults.Classify.Usdc_large; Faults.Classify.Usdc_small ]
+  in
+  Printf.printf
+    "\nunacceptable silent data corruptions: %.1f%% (+-%.1f at 95%% conf.)\n"
+    usdc
+    (100.0 *. Softft.margin_of_error ~trials ~proportion:(usdc /. 100.0))

@@ -1,0 +1,1 @@
+lib/analysis/usedef.ml: Array Hashtbl Ir List

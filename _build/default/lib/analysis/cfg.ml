@@ -1,0 +1,62 @@
+(** Control-flow graph of one function, with blocks numbered densely so
+    downstream analyses can use arrays. *)
+
+type t = {
+  func : Ir.Func.t;
+  blocks : Ir.Block.t array;              (** indexed by node id *)
+  index_of : (string, int) Hashtbl.t;     (** label -> node id *)
+  succ : int list array;
+  pred : int list array;
+  entry : int;
+}
+
+let of_func (f : Ir.Func.t) =
+  let blocks = Array.of_list f.blocks in
+  let n = Array.length blocks in
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i (b : Ir.Block.t) -> Hashtbl.replace index_of b.label i) blocks;
+  let succ = Array.make n [] in
+  let pred = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+      let ss =
+        List.map (fun l -> Hashtbl.find index_of l) (Ir.Block.successors b)
+      in
+      succ.(i) <- ss;
+      List.iter (fun s -> pred.(s) <- i :: pred.(s)) ss)
+    blocks;
+  let entry = Hashtbl.find index_of f.entry in
+  { func = f; blocks; index_of; succ; pred; entry }
+
+let n_blocks t = Array.length t.blocks
+
+let block t i = t.blocks.(i)
+let label t i = t.blocks.(i).Ir.Block.label
+let index t lbl = Hashtbl.find t.index_of lbl
+
+(** Reverse postorder from the entry; unreachable blocks are excluded. *)
+let reverse_postorder t =
+  let n = n_blocks t in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs t.succ.(i);
+      order := i :: !order
+    end
+  in
+  dfs t.entry;
+  Array.of_list !order
+
+let reachable t =
+  let n = n_blocks t in
+  let seen = Array.make n false in
+  let rec dfs i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter dfs t.succ.(i)
+    end
+  in
+  dfs t.entry;
+  seen

@@ -1,0 +1,1 @@
+lib/core/softft.ml: Api Experiments Report

@@ -1,0 +1,1 @@
+lib/core/api.ml: Faults Ir Printf Profiling Transform Workloads

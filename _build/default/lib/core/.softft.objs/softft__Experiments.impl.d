@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Api Array Buffer Campaign Classify Faults Fidelity Interp List Printf Report Transform Workloads

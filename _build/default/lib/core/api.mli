@@ -1,0 +1,78 @@
+(** Public API of the reproduction: protect a workload with one of the
+    paper's techniques, measure its runtime overhead, and run statistical
+    fault-injection campaigns against it. *)
+
+type technique = Transform.Pipeline.technique =
+  | Original       (** unmodified program *)
+  | Dup_only       (** state-variable producer-chain duplication only *)
+  | Dup_valchk     (** the paper's scheme: duplication + expected-value
+                       checks, Optimizations 1 and 2 applied *)
+  | Full_dup       (** SWIFT-style full-duplication baseline *)
+  | Cfc_only       (** signature-based control-flow checking only *)
+  | Dup_valchk_cfc (** the paper's scheme plus the complementary
+                       signature scheme for branch-target faults (§IV-C) *)
+
+(** The four techniques of the paper's evaluation. *)
+val all_techniques : technique list
+
+(** All techniques, including the control-flow-checking extensions. *)
+val extended_techniques : technique list
+
+val technique_name : technique -> string
+
+(** A workload protected by one technique: the transformed program plus
+    the static statistics of the transformation (Figure 10 vocabulary). *)
+type protected = {
+  workload : Workloads.Workload.t;
+  technique : technique;
+  prog : Ir.Prog.t;
+  static_stats : Transform.Pipeline.stats;
+  profile_false_positive_info : int option;
+}
+
+(** Build a fresh program for the workload and apply the technique.  For
+    the check-inserting techniques the program is first value-profiled on
+    the training input (the paper's offline step); [params] tunes the
+    check-derivation heuristics, [opt1]/[opt2] toggle the interaction
+    optimizations (ablation), and [profile_role] supports the §V
+    cross-validation study. *)
+val protect :
+  ?params:Profiling.Value_profile.params ->
+  ?opt1:bool ->
+  ?opt2:bool ->
+  ?profile_role:Workloads.Workload.input_role ->
+  Workloads.Workload.t ->
+  technique ->
+  protected
+
+(** Wrap as a fault-campaign subject on the given input role. *)
+val subject :
+  ?label:string ->
+  protected ->
+  role:Workloads.Workload.input_role ->
+  Faults.Campaign.subject
+
+(** Fault-free reference run (simulated cycles, output, false positives). *)
+val golden : protected -> role:Workloads.Workload.input_role -> Faults.Campaign.golden
+
+(** Runtime overhead versus the unmodified program, as a fraction
+    (0.195 = 19.5 %), in simulated cycles — the Figure 12 quantity.
+    Pass [baseline] to amortize the original's golden run. *)
+val overhead :
+  ?baseline:Faults.Campaign.golden ->
+  protected ->
+  role:Workloads.Workload.input_role ->
+  float
+
+(** Statistical fault injection against the protected program. *)
+val campaign :
+  ?hw_window:int ->
+  ?seed:int ->
+  ?trials:int ->
+  protected ->
+  role:Workloads.Workload.input_role ->
+  Faults.Campaign.summary * Faults.Campaign.trial list
+
+(** 95 %-confidence margin of error for a proportion observed over
+    [trials] fault-injection trials (Leveugle et al., cited in §IV-C). *)
+val margin_of_error : trials:int -> proportion:float -> float

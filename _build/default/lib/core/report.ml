@@ -1,0 +1,44 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let pad_left width s =
+  let n = String.length s in
+  if n >= width then s else String.make (width - n) ' ' ^ s
+
+(** Render a table: the first column is left-aligned, the rest right-aligned. *)
+let render ~header ~rows =
+  let cols = List.length header in
+  List.iter
+    (fun r ->
+      if List.length r <> cols then invalid_arg "Report.render: ragged row")
+    rows;
+  let widths =
+    List.mapi
+      (fun c h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row c)))
+          (String.length h) rows)
+      header
+  in
+  let line cells =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth widths c in
+           if c = 0 then pad w cell else pad_left w cell)
+         cells)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let print ~title ~header ~rows =
+  Printf.printf "\n== %s ==\n%s\n" title (render ~header ~rows)
+
+let pct v = Printf.sprintf "%.1f%%" v
+let pct2 v = Printf.sprintf "%.2f%%" v
+let frac_pct v = Printf.sprintf "%.1f%%" (100.0 *. v)

@@ -1,0 +1,6 @@
+(** Library facade: [Softft] re-exports the protection API at the top level
+    and exposes the experiment harness and report rendering as submodules. *)
+
+include Api
+module Experiments = Experiments
+module Report = Report

@@ -1,0 +1,1 @@
+lib/faults/campaign.ml: Classify Fidelity Format Hashtbl Int64 Interp Ir Lazy List Rng

@@ -1,0 +1,1 @@
+lib/faults/campaign.mli: Classify Fidelity Hashtbl Interp Ir

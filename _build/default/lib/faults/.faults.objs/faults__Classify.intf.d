@@ -1,0 +1,1 @@
+lib/faults/classify.mli: Interp

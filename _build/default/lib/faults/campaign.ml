@@ -1,0 +1,178 @@
+(** Statistical fault injection campaigns (paper §IV).
+
+    A campaign takes a *subject* — a program variant plus the recipe for
+    materializing its input state and reading back its output — and runs N
+    independent trials.  Each trial flips one random bit of one random live
+    register at one random dynamic instruction, then classifies the run.
+
+    The golden (fault-free) run is performed once per subject; it yields the
+    reference output, the dynamic instruction count that bounds the fault
+    window, the simulated runtime, and the set of value checks that fail
+    without any fault (those are disabled for the trials, modelling the
+    paper's recover-once-then-ignore policy, and reported as the
+    false-positive rate). *)
+
+(** Everything needed for one execution: a fresh memory image, the entry
+    arguments, and how to read the output back as a flat signal for fidelity
+    evaluation.  Built per run so trials never observe each other's stores. *)
+type run_state = {
+  mem : Interp.Memory.t;
+  args : Ir.Value.t list;
+  read_output : Ir.Value.t option -> float array;
+}
+
+type subject = {
+  label : string;
+  prog : Ir.Prog.t;
+  entry : string;
+  fresh_state : unit -> run_state;
+  metric : Fidelity.Metric.spec;
+}
+
+type golden = {
+  output : float array;
+  steps : int;
+  cycles : int;
+  false_positives : int;          (** dynamic value-check failures, no fault *)
+  failing_checks : int list;      (** static uids of those checks *)
+}
+
+exception Golden_run_failed of string * string
+
+(** Fault-free reference execution of the subject. *)
+let golden_run subject =
+  let state = subject.fresh_state () in
+  let config =
+    { Interp.Machine.default_config with mode = Interp.Machine.Record }
+  in
+  let result =
+    Interp.Machine.run ~config subject.prog ~entry:subject.entry
+      ~args:state.args ~mem:state.mem
+  in
+  match result.stop with
+  | Interp.Machine.Finished ret ->
+    { output = state.read_output ret;
+      steps = result.steps;
+      cycles = result.cycles;
+      false_positives = result.valchk_failures;
+      failing_checks = result.failed_check_uids }
+  | stop ->
+    raise
+      (Golden_run_failed
+         (subject.label, Format.asprintf "%a" Interp.Machine.pp_stop stop))
+
+type trial = {
+  trial_seed : int;
+  at_step : int;
+  outcome : Classify.outcome;
+  injection : Interp.Machine.injection option;
+  detected_by : Interp.Machine.detection option;
+      (** which software check fired, for SWDetect outcomes *)
+  detect_latency : int option;
+      (** dynamic instructions between the flip and its detection, for
+          SWDetect/HWDetect outcomes — the window a recovery scheme must
+          cover (paper Â§IV-D) *)
+}
+
+type summary = {
+  subject_label : string;
+  trials : int;
+  counts : (Classify.outcome * int) list;
+  golden_info : golden;
+}
+
+let count summary outcome =
+  match List.assoc_opt outcome summary.counts with
+  | Some n -> n
+  | None -> 0
+
+let percent summary outcome =
+  100.0 *. float_of_int (count summary outcome) /. float_of_int summary.trials
+
+let percent_many summary outcomes =
+  List.fold_left (fun acc o -> acc +. percent summary o) 0.0 outcomes
+
+(** Run one fault-injection trial. *)
+let run_trial ?(fault_kind = Interp.Machine.Register_bit) subject ~golden
+    ~disabled ~hw_window ~seed =
+  let rng = Rng.create seed in
+  (* Random in time: a dynamic instruction index within the golden window.
+     The fault-free prefix of the run is deterministic, so the flip always
+     lands. *)
+  let at_step = 1 + Rng.int rng (max 1 (golden.steps - 1)) in
+  let state = subject.fresh_state () in
+  let config =
+    { Interp.Machine.default_config with
+      fuel = (golden.steps * 8) + 10_000;
+      mode = Interp.Machine.Detect;
+      fault =
+        Some { Interp.Machine.at_step; fault_rng = Rng.split rng;
+               kind = fault_kind };
+      disabled_checks = disabled }
+  in
+  let result =
+    Interp.Machine.run ~config subject.prog ~entry:subject.entry
+      ~args:state.args ~mem:state.mem
+  in
+  let outcome =
+    let output = lazy (
+      match result.stop with
+      | Interp.Machine.Finished ret -> state.read_output ret
+      | Interp.Machine.Trapped _ | Interp.Machine.Sw_detected _
+      | Interp.Machine.Out_of_fuel -> [||])
+    in
+    Classify.classify ~hw_window ~result
+      ~identical:(fun () ->
+        Fidelity.Metric.identical ~reference:golden.output (Lazy.force output))
+      ~acceptable:(fun () ->
+        Fidelity.Metric.acceptable subject.metric ~reference:golden.output
+          (Lazy.force output))
+  in
+  let detect_latency =
+    match outcome, result.injection with
+    | (Classify.Sw_detect | Classify.Hw_detect), Some inj ->
+      Some (result.steps - inj.inj_step)
+    | _, _ -> None
+  in
+  let detected_by =
+    match result.stop with
+    | Interp.Machine.Sw_detected d -> Some d
+    | Interp.Machine.Finished _ | Interp.Machine.Trapped _
+    | Interp.Machine.Out_of_fuel -> None
+  in
+  { trial_seed = seed; at_step; outcome; injection = result.injection;
+    detected_by; detect_latency }
+
+(** Run a whole campaign: one golden run plus [trials] injections.
+    [fault_kind] selects the paper's register bit flips (default) or
+    branch-target corruptions (the Â§IV-C complementary fault class). *)
+let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
+    ?(fault_kind = Interp.Machine.Register_bit) subject ~trials =
+  let golden = golden_run subject in
+  let disabled = Hashtbl.create 8 in
+  List.iter (fun uid -> Hashtbl.replace disabled uid ()) golden.failing_checks;
+  let master = Rng.create seed in
+  let results =
+    List.init trials (fun i ->
+      let trial_seed = Int64.to_int (Rng.bits master) land 0x3FFFFFFF + i in
+      run_trial ~fault_kind subject ~golden ~disabled ~hw_window
+        ~seed:trial_seed)
+  in
+  let counts =
+    List.map
+      (fun o ->
+        (o, List.length (List.filter (fun t -> t.outcome = o) results)))
+      Classify.all
+  in
+  ({ subject_label = subject.label; trials; counts; golden_info = golden },
+   results)
+
+(** Mean of per-subject percentages, the paper's cross-benchmark average. *)
+let mean_percent summaries outcomes =
+  match summaries with
+  | [] -> 0.0
+  | _ :: _ ->
+    List.fold_left
+      (fun acc s -> acc +. percent_many s outcomes)
+      0.0 summaries
+    /. float_of_int (List.length summaries)

@@ -1,0 +1,89 @@
+(** Statistical fault injection campaigns (paper §IV).
+
+    A campaign takes a *subject* — a program variant plus the recipe for
+    materializing its input state and reading back its output — and runs N
+    independent trials.  Each trial injects one fault (a random register
+    bit flip, or a branch-target corruption) at a random dynamic
+    instruction, then classifies the run against the fault-free golden
+    output. *)
+
+(** Everything needed for one execution: a fresh memory image, the entry
+    arguments, and how to read the output back as a flat signal for
+    fidelity evaluation.  Built per run so trials never observe each
+    other's stores. *)
+type run_state = {
+  mem : Interp.Memory.t;
+  args : Ir.Value.t list;
+  read_output : Ir.Value.t option -> float array;
+}
+
+type subject = {
+  label : string;
+  prog : Ir.Prog.t;
+  entry : string;
+  fresh_state : unit -> run_state;
+  metric : Fidelity.Metric.spec;
+}
+
+type golden = {
+  output : float array;
+  steps : int;
+  cycles : int;
+  false_positives : int;      (** dynamic value-check failures, no fault *)
+  failing_checks : int list;  (** static uids of those checks *)
+}
+
+exception Golden_run_failed of string * string
+
+(** Fault-free reference execution; raises {!Golden_run_failed} if the
+    subject does not run to completion. *)
+val golden_run : subject -> golden
+
+type trial = {
+  trial_seed : int;
+  at_step : int;
+  outcome : Classify.outcome;
+  injection : Interp.Machine.injection option;
+  detected_by : Interp.Machine.detection option;
+      (** which software check fired, for SWDetect outcomes *)
+  detect_latency : int option;
+      (** dynamic instructions between the fault and its detection, for
+          SWDetect/HWDetect outcomes — the window a recovery scheme must
+          cover (paper §IV-D) *)
+}
+
+type summary = {
+  subject_label : string;
+  trials : int;
+  counts : (Classify.outcome * int) list;
+  golden_info : golden;
+}
+
+val count : summary -> Classify.outcome -> int
+val percent : summary -> Classify.outcome -> float
+val percent_many : summary -> Classify.outcome list -> float
+
+(** One fault-injection trial; exposed for custom drivers (the bench
+    harness and the image-pipeline example). *)
+val run_trial :
+  ?fault_kind:Interp.Machine.fault_kind ->
+  subject ->
+  golden:golden ->
+  disabled:(int, unit) Hashtbl.t ->
+  hw_window:int ->
+  seed:int ->
+  trial
+
+(** Run a whole campaign: one golden run plus [trials] injections, all
+    deterministic in [seed].  [fault_kind] selects register bit flips
+    (default) or branch-target corruptions. *)
+val run :
+  ?hw_window:int ->
+  ?seed:int ->
+  ?fault_kind:Interp.Machine.fault_kind ->
+  subject ->
+  trials:int ->
+  summary * trial list
+
+(** Mean of per-subject percentages, the paper's cross-benchmark average. *)
+val mean_percent : summary list -> Classify.outcome list -> float

@@ -1,0 +1,93 @@
+(** Outcome classification of a fault-injection trial (paper §IV-C).
+
+    The five paper categories are Masked, HWDetect, SWDetect, Failure and
+    USDC; we additionally keep the ASDC/USDC split of Figure 13 (SDCs whose
+    output is still of acceptable quality) and the large/small-disturbance
+    split of USDCs from Figure 2. *)
+
+type outcome =
+  | Masked            (** bit-identical output *)
+  | Asdc              (** numerically different but acceptable output *)
+  | Usdc_large        (** unacceptable; flip caused a large value change *)
+  | Usdc_small        (** unacceptable; flip caused a small value change *)
+  | Sw_detect         (** caught by an inserted software check *)
+  | Hw_detect         (** trap (symptom) within the detection window *)
+  | Failure           (** late trap, or infinite loop (fuel exhausted) *)
+
+let all =
+  [ Masked; Asdc; Usdc_large; Usdc_small; Sw_detect; Hw_detect; Failure ]
+
+let name = function
+  | Masked -> "Masked"
+  | Asdc -> "ASDC"
+  | Usdc_large -> "USDC(large)"
+  | Usdc_small -> "USDC(small)"
+  | Sw_detect -> "SWDetect"
+  | Hw_detect -> "HWDetect"
+  | Failure -> "Failure"
+
+(** Paper defaults: a symptom within 1000 dynamic instructions of the flip
+    counts as HWDetect (§IV-C). *)
+let default_hw_window = 1000
+
+(** Was the register disturbance "large"?  Integers: the flip moved the
+    value by at least 2^16; floats: the value changed by more than 4x its
+    own magnitude (or became non-finite). *)
+let large_disturbance (inj : Interp.Machine.injection) =
+  match inj.inj_kind with
+  | Interp.Machine.Branch_target -> true
+  | Interp.Machine.Register_bit ->
+  let d = Ir.Value.disturbance ~before:inj.before ~after:inj.after in
+  match inj.before with
+  | Ir.Value.Int _ -> d >= 65536.0
+  | Ir.Value.Float f ->
+    (not (Float.is_finite d)) || d > 4.0 *. (Float.abs f +. 1e-9)
+
+(** Classify one finished-or-stopped machine run.
+
+    [acceptable] and [identical] judge the produced output against the
+    fault-free golden output; they are only consulted when the program ran
+    to completion. *)
+let classify ~hw_window ~(result : Interp.Machine.result)
+    ~identical ~acceptable =
+  match result.stop with
+  | Interp.Machine.Sw_detected _ -> Sw_detect
+  | Interp.Machine.Out_of_fuel -> Failure
+  | Interp.Machine.Trapped _ ->
+    (match result.injection with
+     | Some inj when result.steps - inj.inj_step <= hw_window -> Hw_detect
+     | Some _ -> Failure
+     | None -> Failure)
+  | Interp.Machine.Finished _ ->
+    if identical () then Masked
+    else if acceptable () then Asdc
+    else begin
+      match result.injection with
+      | Some inj when large_disturbance inj -> Usdc_large
+      | Some _ -> Usdc_small
+      | None -> Usdc_small
+    end
+
+(* Groupings used by the paper's different figures. *)
+
+(** Figure 11 collapses ASDCs into Masked. *)
+let fig11_bucket = function
+  | Masked | Asdc -> "Masked"
+  | Usdc_large | Usdc_small -> "USDC"
+  | Sw_detect -> "SWDetect"
+  | Hw_detect -> "HWDetect"
+  | Failure -> "Failure"
+
+let is_sdc = function
+  | Asdc | Usdc_large | Usdc_small -> true
+  | Masked | Sw_detect | Hw_detect | Failure -> false
+
+let is_usdc = function
+  | Usdc_large | Usdc_small -> true
+  | Masked | Asdc | Sw_detect | Hw_detect | Failure -> false
+
+(** Fault coverage as the paper defines it: Masked + SWDetect + HWDetect
+    (the system continues or can trigger recovery). *)
+let is_covered = function
+  | Masked | Asdc | Sw_detect | Hw_detect -> true
+  | Usdc_large | Usdc_small | Failure -> false

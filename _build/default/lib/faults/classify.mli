@@ -1,0 +1,45 @@
+(** Outcome classification of a fault-injection trial (paper §IV-C).
+
+    The five paper categories are Masked, HWDetect, SWDetect, Failure and
+    USDC; we additionally keep the ASDC/USDC split of Figure 13 and the
+    large/small-disturbance split of USDCs from Figure 2. *)
+
+type outcome =
+  | Masked            (** bit-identical output *)
+  | Asdc              (** numerically different but acceptable output *)
+  | Usdc_large        (** unacceptable; the fault caused a large value change *)
+  | Usdc_small        (** unacceptable; small value change *)
+  | Sw_detect         (** caught by an inserted software check *)
+  | Hw_detect         (** trap (symptom) within the detection window *)
+  | Failure           (** late trap, or infinite loop (fuel exhausted) *)
+
+val all : outcome list
+val name : outcome -> string
+
+(** A symptom within this many dynamic instructions of the flip counts as
+    HWDetect (paper: 1000). *)
+val default_hw_window : int
+
+(** Was the register disturbance "large"?  Integers: moved by at least
+    2^16; floats: changed by more than 4x its own magnitude or became
+    non-finite; branch-target corruptions always count as large. *)
+val large_disturbance : Interp.Machine.injection -> bool
+
+(** Classify one machine run.  [identical] and [acceptable] judge the
+    produced output against the fault-free golden output; they are only
+    consulted when the program ran to completion. *)
+val classify :
+  hw_window:int ->
+  result:Interp.Machine.result ->
+  identical:(unit -> bool) ->
+  acceptable:(unit -> bool) ->
+  outcome
+
+(** Figure 11 collapses ASDCs into Masked. *)
+val fig11_bucket : outcome -> string
+
+val is_sdc : outcome -> bool
+val is_usdc : outcome -> bool
+
+(** Fault coverage as the paper defines it: Masked + SWDetect + HWDetect. *)
+val is_covered : outcome -> bool

@@ -1,0 +1,1 @@
+lib/fidelity/metric.ml: Array Float Int64 Printf

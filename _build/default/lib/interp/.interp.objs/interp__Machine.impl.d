@@ -1,0 +1,1 @@
+lib/interp/machine.ml: Array Block Cost Format Func Hashtbl Instr Ir List Memory Opcode Option Printf Prog Rng Value

@@ -1,0 +1,1 @@
+lib/interp/machine.mli: Format Hashtbl Ir Memory Rng

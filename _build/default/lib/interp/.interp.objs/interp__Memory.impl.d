@@ -1,0 +1,1 @@
+lib/interp/memory.ml: Array Float Int64 Ir Value

@@ -1,0 +1,1 @@
+lib/interp/trace.ml: Format Func Hashtbl Instr Ir List Machine Printer Printf Prog String Value

@@ -1,0 +1,35 @@
+(** Per-instruction cycle cost model of the simulated machine.
+
+    Models the paper's 2-issue out-of-order ARMv7-a core (Table II) at the
+    level the evaluation needs: *relative* runtimes between protection
+    variants.  Source instructions pay scalar latencies; shadow
+    instructions inserted by the duplication passes either hide in spare
+    issue slots (tracked by the machine's slack-credit account) or pay one
+    slot; checks always pay one slot. *)
+
+val binop : Ir.Opcode.binop -> int
+val unop : Ir.Opcode.unop -> int
+val check_kind : Ir.Instr.check_kind -> int
+
+(** Latency of a source instruction.  The machine applies the slack model
+    on top of this for [Duplicated] instructions. *)
+val instr : Ir.Instr.t -> int
+
+(** Phi nodes are SSA bookkeeping (register renaming): free. *)
+val phi : int
+
+val jmp : int
+val br : int
+val ret : int
+
+(** Slack-credit model parameters: each source instruction accrues
+    [slack_gain] credit up to [slack_cap]; a shadow instruction either
+    spends [slack_cost] credit and issues free or pays [shadow_slot]. *)
+
+val shadow_slot : int
+val slack_gain : int
+val slack_cost : int
+val slack_cap : int
+
+(** Table II analogue: parameter/value pairs describing the machine. *)
+val describe : unit -> (string * string) list

@@ -1,0 +1,438 @@
+open Ir
+
+(** The simulated machine: an IR interpreter with a virtual register file per
+    call frame, a cycle cost model, software-check semantics and single-bit
+    fault injection into live registers.
+
+    This stands in for the paper's GEM5 ARMv7-a model: the fault target (the
+    architectural register file), the outcome signals (software check hits,
+    memory-access symptoms, infinite loops) and the relative runtime (cycle
+    model) are the quantities the evaluation needs. *)
+
+type trap =
+  | Segfault of int
+  | Division_by_zero
+  | Kind_confusion of string
+  | Undefined_register of Instr.reg
+  | Unknown_function of string
+
+type detection = {
+  check_uid : int;
+  dup_check : bool;       (** true: duplication compare; false: value check *)
+}
+
+type fault_kind =
+  | Register_bit     (** flip one bit of one live register (the paper's model) *)
+  | Branch_target    (** corrupt the target of the next taken branch — the
+                         fault class the paper defers to signature-based
+                         control-flow checking (Â§IV-C) *)
+
+(** A single injected fault, recorded for outcome analysis. *)
+type injection = {
+  inj_step : int;
+  inj_kind : fault_kind;
+  inj_reg : Instr.reg;    (** -1 for branch-target faults *)
+  inj_bit : int;          (** -1 for branch-target faults *)
+  before : Value.t;
+  after : Value.t;
+}
+
+type stop =
+  | Finished of Value.t option
+  | Trapped of trap
+  | Sw_detected of detection
+  | Out_of_fuel
+
+type result = {
+  stop : stop;
+  steps : int;
+  cycles : int;
+  valchk_failures : int;          (** dynamic count of ignored check failures *)
+  failed_check_uids : int list;   (** distinct uids of value checks that failed
+                                      without stopping the run *)
+  injection : injection option;   (** what was actually flipped, if anything *)
+}
+
+type valchk_mode =
+  | Detect     (** a failing value check stops the run (fault detected) *)
+  | Record     (** failures are counted and execution continues; used to
+                   measure the false-positive rate on fault-free runs *)
+
+type fault_plan = {
+  at_step : int;
+  fault_rng : Rng.t;
+  kind : fault_kind;
+}
+
+let register_fault ~at_step ~fault_rng = { at_step; fault_rng; kind = Register_bit }
+
+type config = {
+  fuel : int;
+  mode : valchk_mode;
+  on_def : (int -> Value.t -> unit) option;
+      (** profiling hook: called with (uid, value) for each dynamically
+          executed value-producing instruction *)
+  fault : fault_plan option;
+  disabled_checks : (int, unit) Hashtbl.t;
+      (** value checks that fire on the fault-free run: per the paper, a
+          check whose recovery fails to make it pass is executed once and
+          then ignored, so campaigns disable such checks instead of counting
+          their failures as detections *)
+}
+
+let default_config =
+  { fuel = 200_000_000; mode = Detect; on_def = None; fault = None;
+    disabled_checks = Hashtbl.create 1 }
+
+(* Internal signalling exceptions. *)
+exception Stop_detected of detection
+exception Stop_trap of trap
+
+type frame = {
+  func : Func.t;
+  values : Value.t array;
+  defined : bool array;
+  (** ring of the most recent register writes — the modelled architectural
+      register file contents (see [arch_registers]) *)
+  recent : int array;
+  mutable recent_n : int;
+  mutable recent_pos : int;
+  mutable block : Block.t;
+  mutable idx : int;              (** next body-instruction index *)
+  mutable prev_label : string;
+  ret_dest : Instr.reg option;    (** caller register receiving the result *)
+}
+
+type state = {
+  prog : Prog.t;
+  mem : Memory.t;
+  config : config;
+  mutable stack : frame list;
+  mutable steps : int;
+  mutable cycles : int;
+  mutable valchk_failures : int;
+  mutable failed_uids : (int, unit) Hashtbl.t;
+  mutable injection : injection option;
+  mutable fault_pending : fault_plan option;
+  mutable branch_fault_armed : Rng.t option;
+      (** a pending branch-target corruption waiting for the next branch *)
+  mutable slack_credit : int;     (** spare-issue-slot account, see Cost *)
+}
+
+(* Reads refresh the ring too: a register consulted every iteration (a loop
+   bound, a base address) stays resident in a real register file and keeps
+   absorbing faults, even though it was written long ago. *)
+let read _st (fr : frame) op =
+  match op with
+  | Instr.Imm v -> v
+  | Instr.Reg r ->
+    if fr.defined.(r) then begin
+      fr.recent.(fr.recent_pos) <- r;
+      fr.recent_pos <- (fr.recent_pos + 1) land (Array.length fr.recent - 1);
+      if fr.recent_n < Array.length fr.recent then
+        fr.recent_n <- fr.recent_n + 1;
+      fr.values.(r)
+    end
+    else raise (Stop_trap (Undefined_register r));
+  [@@inline]
+
+let write (fr : frame) r v =
+  if not fr.defined.(r) then fr.defined.(r) <- true;
+  fr.recent.(fr.recent_pos) <- r;
+  fr.recent_pos <- (fr.recent_pos + 1) land (Array.length fr.recent - 1);
+  if fr.recent_n < Array.length fr.recent then fr.recent_n <- fr.recent_n + 1;
+  fr.values.(r) <- v
+  [@@inline]
+
+let new_frame (st : state) (func : Func.t) ~args ~ret_dest =
+  let values = Array.make st.prog.next_reg Value.zero in
+  let defined = Array.make st.prog.next_reg false in
+  let fr =
+    { func; values; defined;
+      recent = Array.make 16 0; recent_n = 0; recent_pos = 0;
+      block = Func.entry_block func; idx = 0;
+      prev_label = ""; ret_dest }
+  in
+  (try List.iter2 (fun r v -> write fr r v) func.params args
+   with Invalid_argument _ ->
+     invalid_arg
+       (Printf.sprintf "call to %s: expected %d arguments, got %d" func.name
+          (List.length func.params) (List.length args)));
+  fr
+
+(** The modelled architectural register file holds the 16 most recently
+    written values: a bit flip in ARMv7's 16 architectural registers hits
+    recently produced (mostly live) values, not arbitrary stale SSA
+    temporaries.  The ring may contain a register more than once; that
+    biases faults toward frequently rewritten registers, as a rotating
+    physical file would. *)
+let arch_registers = 16
+
+(** Flip a random bit of a random recently-written register of the active
+    frame — the paper's register-file single-event upset. *)
+let inject_fault st (plan : fault_plan) =
+  match plan.kind with
+  | Branch_target -> st.branch_fault_armed <- Some plan.fault_rng
+  | Register_bit ->
+    (match st.stack with
+     | [] -> ()
+     | fr :: _ ->
+       if fr.recent_n > 0 then begin
+         let nth = Rng.int plan.fault_rng fr.recent_n in
+         let reg = fr.recent.(nth) in
+         let bit = Rng.int plan.fault_rng 64 in
+         let before = fr.values.(reg) in
+         let after = Value.flip_bit before bit in
+         fr.values.(reg) <- after;
+         st.injection <-
+           Some { inj_step = st.steps; inj_kind = Register_bit; inj_reg = reg;
+                  inj_bit = bit; before; after }
+       end)
+
+let tick st ~cycles =
+  st.steps <- st.steps + 1;
+  st.cycles <- st.cycles + cycles;
+  (match st.fault_pending with
+   | Some plan when st.steps >= plan.at_step ->
+     st.fault_pending <- None;
+     inject_fault st plan
+   | Some _ | None -> ())
+  [@@inline]
+
+(** Evaluate the phi batch of a block on entry from [prev_label]:
+    parallel-copy semantics (all reads before any write). *)
+let run_phis st (fr : frame) =
+  match fr.block.phis with
+  | [] -> ()
+  | phis ->
+    (* A phi without an edge from the (possibly fault-corrupted) previous
+       block keeps its stale value: the parallel copies that real codegen
+       places in the predecessor never executed.  Fault-free runs always
+       have the edge. *)
+    let vals =
+      List.map
+        (fun (phi : Instr.phi) ->
+          match List.assoc_opt fr.prev_label phi.incoming with
+          | Some op -> Some (read st fr op)
+          | None -> None)
+        phis
+    in
+    List.iter2
+      (fun (phi : Instr.phi) v ->
+        match v with
+        | Some v -> write fr phi.phi_dest v
+        | None -> ())
+      phis vals;
+    List.iter (fun (_ : Instr.phi) -> tick st ~cycles:Cost.phi) phis
+
+let goto st (fr : frame) label =
+  let label =
+    match st.branch_fault_armed with
+    | None -> label
+    | Some rng ->
+      st.branch_fault_armed <- None;
+      let blocks = Array.of_list fr.func.blocks in
+      let target = blocks.(Rng.int rng (Array.length blocks)) in
+      st.injection <-
+        Some { inj_step = st.steps; inj_kind = Branch_target; inj_reg = -1;
+               inj_bit = -1; before = Value.zero; after = Value.zero };
+      target.Block.label
+  in
+  fr.prev_label <- fr.block.label;
+  fr.block <- Func.find_block fr.func label;
+  fr.idx <- 0;
+  run_phis st fr
+
+(* Cycle accounting with the slack-credit model (see Cost): source
+   instructions accrue spare-slot credit, duplicated shadow instructions
+   consume it or pay one issue slot, checks always pay. *)
+let instr_cycles st (ins : Instr.t) =
+  match ins.origin with
+  | Instr.From_source ->
+    st.slack_credit <- min (st.slack_credit + Cost.slack_gain) Cost.slack_cap;
+    Cost.instr ins
+  | Instr.Duplicated _ ->
+    if st.slack_credit >= Cost.slack_cost then begin
+      st.slack_credit <- st.slack_credit - Cost.slack_cost;
+      0
+    end
+    else Cost.shadow_slot
+  | Instr.Check_insertion -> Cost.instr ins
+
+let exec_instr st (fr : frame) (ins : Instr.t) =
+  let rd op = read st fr op in
+  tick st ~cycles:(instr_cycles st ins);
+  match ins.kind with
+  | Binop (op, a, b) ->
+    let v =
+      try Opcode.eval_binop op (rd a) (rd b) with
+      | Opcode.Division_by_zero -> raise (Stop_trap Division_by_zero)
+      | Value.Kind_error m -> raise (Stop_trap (Kind_confusion m))
+    in
+    (match ins.dest with Some r -> write fr r v | None -> ());
+    (match st.config.on_def with Some f -> f ins.uid v | None -> ())
+  | Unop (op, a) ->
+    let v =
+      try Opcode.eval_unop op (rd a)
+      with Value.Kind_error m -> raise (Stop_trap (Kind_confusion m))
+    in
+    (match ins.dest with Some r -> write fr r v | None -> ());
+    (match st.config.on_def with Some f -> f ins.uid v | None -> ())
+  | Icmp (op, a, b) ->
+    let v =
+      try Opcode.eval_icmp op (rd a) (rd b)
+      with Value.Kind_error m -> raise (Stop_trap (Kind_confusion m))
+    in
+    (match ins.dest with Some r -> write fr r v | None -> ())
+  | Fcmp (op, a, b) ->
+    let v =
+      try Opcode.eval_fcmp op (rd a) (rd b)
+      with Value.Kind_error m -> raise (Stop_trap (Kind_confusion m))
+    in
+    (match ins.dest with Some r -> write fr r v | None -> ())
+  | Select (c, a, b) ->
+    let v = if Value.truthy (rd c) then rd a else rd b in
+    (match ins.dest with Some r -> write fr r v | None -> ());
+    (match st.config.on_def with Some f -> f ins.uid v | None -> ())
+  | Const v -> (match ins.dest with Some r -> write fr r v | None -> ())
+  | Load a ->
+    let addr =
+      try Memory.addr_of_value (rd a)
+      with Memory.Segfault x -> raise (Stop_trap (Segfault x))
+    in
+    let v =
+      try Memory.load st.mem addr
+      with Memory.Segfault x -> raise (Stop_trap (Segfault x))
+    in
+    (match ins.dest with Some r -> write fr r v | None -> ());
+    (match st.config.on_def with Some f -> f ins.uid v | None -> ())
+  | Store (a, v) ->
+    let addr =
+      try Memory.addr_of_value (rd a)
+      with Memory.Segfault x -> raise (Stop_trap (Segfault x))
+    in
+    (try Memory.store st.mem addr (rd v)
+     with Memory.Segfault x -> raise (Stop_trap (Segfault x)))
+  | Alloc n ->
+    let size =
+      try Value.to_int (rd n)
+      with Value.Kind_error m -> raise (Stop_trap (Kind_confusion m))
+    in
+    if size < 0 || size > 1 lsl 28 then
+      raise (Stop_trap (Segfault size));
+    let base = Memory.alloc st.mem size in
+    (match ins.dest with Some r -> write fr r (Value.of_int base) | None -> ())
+  | Call (name, args) ->
+    let callee =
+      try Prog.find_func st.prog name
+      with Invalid_argument _ -> raise (Stop_trap (Unknown_function name))
+    in
+    let arg_values = List.map rd args in
+    let callee_frame =
+      new_frame st callee ~args:arg_values ~ret_dest:ins.dest
+    in
+    st.stack <- callee_frame :: st.stack
+  | Dup_check (a, b) ->
+    if not (Value.equal (rd a) (rd b)) then
+      raise (Stop_detected { check_uid = ins.uid; dup_check = true })
+  | Value_check (ck, a) ->
+    if not (Instr.check_passes ck (rd a)) then begin
+      match st.config.mode with
+      | Detect ->
+        if Hashtbl.mem st.config.disabled_checks ins.uid then begin
+          st.valchk_failures <- st.valchk_failures + 1;
+          Hashtbl.replace st.failed_uids ins.uid ()
+        end
+        else raise (Stop_detected { check_uid = ins.uid; dup_check = false })
+      | Record ->
+        st.valchk_failures <- st.valchk_failures + 1;
+        Hashtbl.replace st.failed_uids ins.uid ()
+    end
+
+(** Execute the terminator; returns [Some v] when the whole program returns. *)
+let exec_terminator st (fr : frame) =
+  match fr.block.term with
+  | Instr.Jmp l ->
+    tick st ~cycles:Cost.jmp;
+    goto st fr l;
+    None
+  | Instr.Br (c, l1, l2) ->
+    tick st ~cycles:Cost.br;
+    let cond = Value.truthy (read st fr c) in
+    goto st fr (if cond then l1 else l2);
+    None
+  | Instr.Ret op ->
+    tick st ~cycles:Cost.ret;
+    let v = Option.map (read st fr) op in
+    (match st.stack with
+     | [] -> assert false
+     | _self :: rest ->
+       st.stack <- rest;
+       (match rest with
+        | [] -> Some v         (* program finished *)
+        | caller :: _ ->
+          (match fr.ret_dest, v with
+           | Some r, Some value -> write caller r value
+           | Some r, None -> write caller r Value.zero
+           | None, _ -> ());
+          None))
+
+let run ?(config = default_config) prog ~entry ~args ~mem =
+  let st =
+    { prog; mem; config; stack = []; steps = 0; cycles = 0;
+      valchk_failures = 0; failed_uids = Hashtbl.create 4; injection = None;
+      fault_pending = config.fault; branch_fault_armed = None;
+      slack_credit = 0 }
+  in
+  let finish stop =
+    { stop; steps = st.steps; cycles = st.cycles;
+      valchk_failures = st.valchk_failures;
+      failed_check_uids =
+        Hashtbl.fold (fun uid () acc -> uid :: acc) st.failed_uids []
+        |> List.sort compare;
+      injection = st.injection }
+  in
+  match
+    let entry_func = Prog.find_func prog entry in
+    let fr = new_frame st entry_func ~args ~ret_dest:None in
+    st.stack <- [ fr ];
+    let result = ref None in
+    while !result = None do
+      if st.steps >= config.fuel then result := Some Out_of_fuel
+      else begin
+        match st.stack with
+        | [] -> assert false
+        | fr :: _ ->
+          if fr.idx < Array.length fr.block.body then begin
+            let ins = fr.block.body.(fr.idx) in
+            fr.idx <- fr.idx + 1;
+            exec_instr st fr ins
+          end
+          else begin
+            match exec_terminator st fr with
+            | Some v -> result := Some (Finished v)
+            | None -> ()
+          end
+      end
+    done;
+    (match !result with Some s -> s | None -> assert false)
+  with
+  | stop -> finish stop
+  | exception Stop_detected d -> finish (Sw_detected d)
+  | exception Stop_trap t -> finish (Trapped t)
+
+let pp_trap ppf = function
+  | Segfault a -> Format.fprintf ppf "segfault @%d" a
+  | Division_by_zero -> Format.fprintf ppf "division by zero"
+  | Kind_confusion m -> Format.fprintf ppf "kind confusion: %s" m
+  | Undefined_register r -> Format.fprintf ppf "undefined register %%r%d" r
+  | Unknown_function f -> Format.fprintf ppf "unknown function %s" f
+
+let pp_stop ppf = function
+  | Finished None -> Format.fprintf ppf "finished"
+  | Finished (Some v) -> Format.fprintf ppf "finished with %a" Value.pp v
+  | Trapped t -> Format.fprintf ppf "trap: %a" pp_trap t
+  | Sw_detected d ->
+    Format.fprintf ppf "software detection at check #%d (%s)" d.check_uid
+      (if d.dup_check then "dup" else "value")
+  | Out_of_fuel -> Format.fprintf ppf "out of fuel"

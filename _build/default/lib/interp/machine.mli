@@ -1,0 +1,98 @@
+(** The simulated machine: an IR interpreter with a virtual register file
+    per call frame, a cycle cost model, software-check semantics and
+    single-event fault injection.
+
+    This stands in for the paper's GEM5 ARMv7-a model: the fault target
+    (the architectural register file, modelled as the 16 most recently
+    accessed registers), the outcome signals (software check hits,
+    memory-access symptoms, infinite loops) and the relative runtime
+    (slack-aware cycle model) are the quantities the evaluation needs. *)
+
+type trap =
+  | Segfault of int
+  | Division_by_zero
+  | Kind_confusion of string
+  | Undefined_register of Ir.Instr.reg
+  | Unknown_function of string
+
+type detection = {
+  check_uid : int;
+  dup_check : bool;   (** true: duplication compare; false: value check *)
+}
+
+type fault_kind =
+  | Register_bit    (** flip one bit of one live register (the paper's model) *)
+  | Branch_target   (** corrupt the target of the next taken branch — the
+                        fault class the paper defers to signature-based
+                        control-flow checking (§IV-C) *)
+
+(** A single injected fault, recorded for outcome analysis. *)
+type injection = {
+  inj_step : int;
+  inj_kind : fault_kind;
+  inj_reg : Ir.Instr.reg;   (** -1 for branch-target faults *)
+  inj_bit : int;            (** -1 for branch-target faults *)
+  before : Ir.Value.t;
+  after : Ir.Value.t;
+}
+
+type stop =
+  | Finished of Ir.Value.t option
+  | Trapped of trap
+  | Sw_detected of detection
+  | Out_of_fuel
+
+type result = {
+  stop : stop;
+  steps : int;
+  cycles : int;
+  valchk_failures : int;        (** dynamic count of ignored check failures *)
+  failed_check_uids : int list; (** distinct uids of value checks that failed
+                                    without stopping the run *)
+  injection : injection option; (** what was actually injected, if anything *)
+}
+
+type valchk_mode =
+  | Detect   (** a failing value check stops the run (fault detected) *)
+  | Record   (** failures are counted and execution continues; used to
+                 measure the false-positive rate on fault-free runs *)
+
+type fault_plan = {
+  at_step : int;
+  fault_rng : Rng.t;
+  kind : fault_kind;
+}
+
+val register_fault : at_step:int -> fault_rng:Rng.t -> fault_plan
+
+type config = {
+  fuel : int;
+  mode : valchk_mode;
+  on_def : (int -> Ir.Value.t -> unit) option;
+      (** profiling hook: called with (uid, value) for each dynamically
+          executed value-producing instruction *)
+  fault : fault_plan option;
+  disabled_checks : (int, unit) Hashtbl.t;
+      (** value checks that fire on the fault-free run: a check whose
+          recovery fails to make it pass is executed once and then ignored,
+          so campaigns disable such checks instead of counting their
+          failures as detections *)
+}
+
+val default_config : config
+
+(** Size of the modelled architectural register file (16, as in ARMv7). *)
+val arch_registers : int
+
+(** [run prog ~entry ~args ~mem] interprets [entry] to completion (or trap,
+    detection, fault, fuel exhaustion). *)
+val run :
+  ?config:config ->
+  Ir.Prog.t ->
+  entry:string ->
+  args:Ir.Value.t list ->
+  mem:Memory.t ->
+  result
+
+val pp_trap : Format.formatter -> trap -> unit
+val pp_stop : Format.formatter -> stop -> unit

@@ -1,0 +1,115 @@
+open Ir
+
+(** Word-addressed simulated memory.
+
+    Memory is a set of disjoint allocated regions separated by large guard
+    gaps; any access outside an allocated region raises {!Segfault}.  The
+    gaps matter for fidelity to the paper's fault model: when a bit flip
+    lands in an address computation, the access usually falls in a gap and
+    produces a page-fault-like symptom (HWDetect) rather than silently
+    hitting another object. *)
+
+exception Segfault of int
+
+type region = {
+  base : int;
+  size : int;
+  cells : Value.t array;
+}
+
+type t = {
+  mutable regions : region array;   (** sorted by base *)
+  mutable next_base : int;
+}
+
+let guard_gap = 0x10000
+let first_base = 0x40000
+
+let create () = { regions = [||]; next_base = first_base }
+
+(** Allocate [size] words; returns the base address. *)
+let alloc t size =
+  if size < 0 then invalid_arg "Memory.alloc: negative size";
+  let base = t.next_base in
+  let region = { base; size; cells = Array.make (max size 1) Value.zero } in
+  t.regions <- Array.append t.regions [| region |];
+  (* Round the next base up so that single bit flips in low address bits
+     stay inside the gap. *)
+  t.next_base <- base + size + guard_gap - ((base + size) mod guard_gap);
+  base
+
+let find_region t addr =
+  (* Binary search over regions sorted by base. *)
+  let lo = ref 0 and hi = ref (Array.length t.regions - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r = t.regions.(mid) in
+    if addr < r.base then hi := mid - 1
+    else if addr >= r.base + r.size then lo := mid + 1
+    else begin
+      found := Some r;
+      lo := !hi + 1
+    end
+  done;
+  match !found with
+  | Some r -> r
+  | None -> raise (Segfault addr)
+
+let load t addr =
+  let r = find_region t addr in
+  r.cells.(addr - r.base)
+
+let store t addr v =
+  let r = find_region t addr in
+  r.cells.(addr - r.base) <- v
+
+(** Address extraction from a runtime value.  A float used as an address is a
+    program error surfaced as a segfault-style trap; faults never change a
+    value's kind, so this can only come from a workload bug. *)
+let addr_of_value v =
+  match v with
+  | Value.Int i ->
+    let a = Int64.to_int i in
+    if Int64.of_int a <> i then raise (Segfault max_int) else a
+  | Value.Float _ -> raise (Segfault min_int)
+
+(* Bulk transfer helpers used by workload harnesses. *)
+
+let write_values t base arr =
+  Array.iteri (fun i v -> store t (base + i) v) arr
+
+let write_ints t base arr =
+  Array.iteri (fun i n -> store t (base + i) (Value.of_int n)) arr
+
+let write_floats t base arr =
+  Array.iteri (fun i f -> store t (base + i) (Value.of_float f)) arr
+
+let read_values t base n = Array.init n (fun i -> load t (base + i))
+
+let read_ints t base n =
+  Array.init n (fun i -> Value.to_int (load t (base + i)))
+
+let read_floats t base n =
+  Array.init n (fun i -> Value.to_float (load t (base + i)))
+
+(** Tolerant reads for possibly fault-corrupted output regions: any value
+    kind is projected onto the reals, never raising. *)
+let read_reals t base n =
+  Array.init n (fun i -> Value.to_real (load t (base + i)))
+
+let read_ints_tolerant t base n =
+  Array.init n (fun i ->
+    let r = Value.to_real (load t (base + i)) in
+    if Float.is_finite r && Float.abs r < 1e18 then int_of_float r else 0)
+
+(** Allocate a region and fill it. *)
+let alloc_ints t arr =
+  let base = alloc t (Array.length arr) in
+  write_ints t base arr;
+  base
+
+let alloc_floats t arr =
+  let base = alloc t (Array.length arr) in
+  write_floats t base arr;
+  base

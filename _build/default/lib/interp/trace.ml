@@ -1,0 +1,51 @@
+open Ir
+
+(** Execution tracing: capture the first values produced by a run, rendered
+    against the static program.  A debugging aid for kernel authors (see
+    the `trace` subcommand of bin/experiments.exe); it rides on the
+    machine's profiling hook, so tracing changes nothing about execution. *)
+
+type event = {
+  ordinal : int;           (** 0-based index among traced events *)
+  uid : int;               (** static instruction *)
+  value : Value.t;
+}
+
+(** [first_values prog ~entry ~args ~mem ~limit] runs the program and
+    returns the first [limit] values produced by value-producing
+    instructions, along with the machine result. *)
+let first_values ?(limit = 100) prog ~entry ~args ~mem =
+  let events = ref [] in
+  let count = ref 0 in
+  let on_def uid value =
+    if !count < limit then begin
+      events := { ordinal = !count; uid; value } :: !events;
+      incr count
+    end
+  in
+  let config = { Machine.default_config with on_def = Some on_def } in
+  let result = Machine.run ~config prog ~entry ~args ~mem in
+  (List.rev !events, result)
+
+(** Render events with their defining instructions. *)
+let render prog events =
+  (* uid -> rendered instruction, computed once. *)
+  let instr_text = Hashtbl.create 256 in
+  Prog.iter_funcs
+    (fun f ->
+      Func.iter_instrs
+        (fun ins ->
+          Hashtbl.replace instr_text ins.Instr.uid
+            (String.trim (Format.asprintf "%a" Printer.pp_instr ins)))
+        f)
+    prog;
+  List.map
+    (fun e ->
+      let text =
+        match Hashtbl.find_opt instr_text e.uid with
+        | Some t -> t
+        | None -> Printf.sprintf "#%d" e.uid
+      in
+      Printf.sprintf "%5d  %-60s -> %s" e.ordinal text
+        (Value.to_string e.value))
+    events

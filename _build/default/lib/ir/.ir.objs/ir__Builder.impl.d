@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Block Func Instr List Opcode Printf Prog Value

@@ -1,0 +1,1 @@
+lib/ir/opcode.ml: Float Int64 Value

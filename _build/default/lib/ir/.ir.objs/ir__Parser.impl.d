@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Block Format Func Hashtbl Instr Int64 List Opcode Prog Str_split String Value Verifier

@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Array Block Format Func Hashtbl Instr List Prog String

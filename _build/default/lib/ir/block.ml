@@ -1,0 +1,51 @@
+(** Basic blocks: a label, phi nodes, a straight-line body, one terminator. *)
+
+type t = {
+  label : string;
+  mutable phis : Instr.phi list;
+  mutable body : Instr.t array;
+  mutable term : Instr.terminator;
+}
+
+let create ~label = {
+  label;
+  phis = [];
+  body = [||];
+  term = Instr.Ret None;
+}
+
+let successors t = Instr.terminator_targets t.term
+
+(** Insert [instrs] immediately after the body instruction with uid
+    [after_uid].  Raises [Not_found] if the uid is not in this block. *)
+let insert_after t ~after_uid instrs =
+  let idx = ref (-1) in
+  Array.iteri (fun i (ins : Instr.t) -> if ins.uid = after_uid then idx := i) t.body;
+  if !idx < 0 then raise Not_found;
+  let n = Array.length t.body in
+  let extra = Array.of_list instrs in
+  let out = Array.make (n + Array.length extra) t.body.(0) in
+  Array.blit t.body 0 out 0 (!idx + 1);
+  Array.blit extra 0 out (!idx + 1) (Array.length extra);
+  Array.blit t.body (!idx + 1) out (!idx + 1 + Array.length extra) (n - !idx - 1);
+  t.body <- out
+
+(** Insert [instrs] immediately before the body instruction with uid
+    [before_uid].  Raises [Not_found] if the uid is not in this block. *)
+let insert_before t ~before_uid instrs =
+  let idx = ref (-1) in
+  Array.iteri (fun i (ins : Instr.t) -> if ins.uid = before_uid then idx := i) t.body;
+  if !idx < 0 then raise Not_found;
+  let n = Array.length t.body in
+  let extra = Array.of_list instrs in
+  let out = Array.make (n + Array.length extra) t.body.(0) in
+  Array.blit t.body 0 out 0 !idx;
+  Array.blit extra 0 out !idx (Array.length extra);
+  Array.blit t.body !idx out (!idx + Array.length extra) (n - !idx);
+  t.body <- out
+
+(** Append instructions at the end of the body (before the terminator). *)
+let append t instrs =
+  t.body <- Array.append t.body (Array.of_list instrs)
+
+let instr_count t = List.length t.phis + Array.length t.body

@@ -1,0 +1,97 @@
+(** Operation kinds of the IR.
+
+    The instruction set mirrors the scalar core of LLVM IR: integer and float
+    arithmetic, comparisons, conversions, and a select.  Memory and control
+    flow live in {!Instr} and {!Block}. *)
+
+type binop =
+  | Add | Sub | Mul | Sdiv | Srem
+  | And | Or | Xor | Shl | Lshr | Ashr
+  | Fadd | Fsub | Fmul | Fdiv
+
+type unop =
+  | Neg            (** integer negation *)
+  | Not            (** bitwise complement *)
+  | Fneg
+  | Float_of_int   (** signed conversion *)
+  | Int_of_float   (** truncation toward zero *)
+  | Fsqrt
+  | Fabs
+
+type icmp = Ieq | Ine | Islt | Isle | Isgt | Isge
+
+type fcmp = Feq | Fne | Flt | Fle | Fgt | Fge
+
+exception Division_by_zero
+
+let eval_binop op a b =
+  let open Value in
+  match op with
+  | Add -> Int (Int64.add (to_int64 a) (to_int64 b))
+  | Sub -> Int (Int64.sub (to_int64 a) (to_int64 b))
+  | Mul -> Int (Int64.mul (to_int64 a) (to_int64 b))
+  | Sdiv ->
+    let d = to_int64 b in
+    if Int64.equal d 0L then raise Division_by_zero
+    else Int (Int64.div (to_int64 a) d)
+  | Srem ->
+    let d = to_int64 b in
+    if Int64.equal d 0L then raise Division_by_zero
+    else Int (Int64.rem (to_int64 a) d)
+  | And -> Int (Int64.logand (to_int64 a) (to_int64 b))
+  | Or -> Int (Int64.logor (to_int64 a) (to_int64 b))
+  | Xor -> Int (Int64.logxor (to_int64 a) (to_int64 b))
+  | Shl -> Int (Int64.shift_left (to_int64 a) (Int64.to_int (to_int64 b) land 63))
+  | Lshr -> Int (Int64.shift_right_logical (to_int64 a) (Int64.to_int (to_int64 b) land 63))
+  | Ashr -> Int (Int64.shift_right (to_int64 a) (Int64.to_int (to_int64 b) land 63))
+  | Fadd -> Float (to_float a +. to_float b)
+  | Fsub -> Float (to_float a -. to_float b)
+  | Fmul -> Float (to_float a *. to_float b)
+  | Fdiv -> Float (to_float a /. to_float b)
+
+let eval_unop op a =
+  let open Value in
+  match op with
+  | Neg -> Int (Int64.neg (to_int64 a))
+  | Not -> Int (Int64.lognot (to_int64 a))
+  | Fneg -> Float (-.to_float a)
+  | Float_of_int -> Float (Int64.to_float (to_int64 a))
+  | Int_of_float -> Int (Int64.of_float (to_float a))
+  | Fsqrt -> Float (sqrt (to_float a))
+  | Fabs -> Float (Float.abs (to_float a))
+
+let eval_icmp op a b =
+  let x = Value.to_int64 a and y = Value.to_int64 b in
+  let c = Int64.compare x y in
+  Value.of_bool
+    (match op with
+     | Ieq -> c = 0 | Ine -> c <> 0
+     | Islt -> c < 0 | Isle -> c <= 0
+     | Isgt -> c > 0 | Isge -> c >= 0)
+
+let eval_fcmp op a b =
+  let x = Value.to_float a and y = Value.to_float b in
+  Value.of_bool
+    (match op with
+     | Feq -> x = y | Fne -> x <> y
+     | Flt -> x < y | Fle -> x <= y
+     | Fgt -> x > y | Fge -> x >= y)
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Sdiv -> "sdiv" | Srem -> "srem"
+  | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let unop_name = function
+  | Neg -> "neg" | Not -> "not" | Fneg -> "fneg"
+  | Float_of_int -> "sitofp" | Int_of_float -> "fptosi"
+  | Fsqrt -> "fsqrt" | Fabs -> "fabs"
+
+let icmp_name = function
+  | Ieq -> "eq" | Ine -> "ne" | Islt -> "slt" | Isle -> "sle"
+  | Isgt -> "sgt" | Isge -> "sge"
+
+let fcmp_name = function
+  | Feq -> "oeq" | Fne -> "one" | Flt -> "olt" | Fle -> "ole"
+  | Fgt -> "ogt" | Fge -> "oge"

@@ -1,0 +1,56 @@
+(** A program: a set of functions plus the counters that mint fresh
+    registers and instruction uids.
+
+    The counters live on the program so that transformation passes
+    (duplication, check insertion) can create instructions whose uids never
+    collide with existing ones — profiling data is keyed by uid. *)
+
+type t = {
+  mutable funcs : Func.t list;
+  mutable next_reg : int;
+  mutable next_uid : int;
+}
+
+let create () = { funcs = []; next_reg = 0; next_uid = 0 }
+
+let fresh_reg t =
+  let r = t.next_reg in
+  t.next_reg <- r + 1;
+  r
+
+let fresh_uid t =
+  let u = t.next_uid in
+  t.next_uid <- u + 1;
+  u
+
+let add_func t ~name ~n_params ~entry_label =
+  if List.exists (fun (f : Func.t) -> f.name = name) t.funcs then
+    invalid_arg (Printf.sprintf "duplicate function %S" name);
+  let params = List.init n_params (fun _ -> fresh_reg t) in
+  let f = Func.create ~name ~params ~entry_label in
+  t.funcs <- t.funcs @ [ f ];
+  f
+
+let find_func t name =
+  match List.find_opt (fun (f : Func.t) -> f.name = name) t.funcs with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "no function %S" name)
+
+let iter_funcs f t = List.iter f t.funcs
+
+let instr_count t =
+  List.fold_left (fun acc f -> acc + Func.instr_count f) 0 t.funcs
+
+(** Find the instruction with the given uid, with its function and block. *)
+let find_instr t uid =
+  let found = ref None in
+  iter_funcs
+    (fun f ->
+      Func.iter_blocks
+        (fun b ->
+          Array.iter
+            (fun (ins : Instr.t) -> if ins.uid = uid then found := Some (f, b, ins))
+            b.body)
+        f)
+    t;
+  !found

@@ -1,0 +1,96 @@
+(** Runtime values held in virtual registers and memory cells.
+
+    A value models the contents of one 64-bit architectural register.  We keep
+    a kind tag (integer vs. floating point) purely as simulation metadata: the
+    paper's fault model flips a bit of the 64-bit payload, which we reproduce
+    by flipping a bit of the integer, or of the IEEE-754 representation of the
+    float.  Faults never change the kind tag, exactly as a bit flip in a real
+    register file never changes how the program subsequently interprets the
+    register. *)
+
+type t =
+  | Int of int64
+  | Float of float
+
+let zero = Int 0L
+let one = Int 1L
+
+let of_int n = Int (Int64.of_int n)
+let of_float f = Float f
+let of_bool b = Int (if b then 1L else 0L)
+
+(** 64-bit payload of a value, as stored in a physical register. *)
+let bits = function
+  | Int i -> i
+  | Float f -> Int64.bits_of_float f
+
+(** Rebuild a value of the same kind as [like] from a 64-bit payload. *)
+let of_bits ~like payload =
+  match like with
+  | Int _ -> Int payload
+  | Float _ -> Float (Int64.float_of_bits payload)
+
+(** [flip_bit v b] flips bit [b] (0-63) of the register payload of [v],
+    preserving the kind.  This is the paper's single-event-upset model. *)
+let flip_bit v b =
+  assert (b >= 0 && b < 64);
+  let payload = Int64.logxor (bits v) (Int64.shift_left 1L b) in
+  of_bits ~like:v payload
+
+let is_int = function Int _ -> true | Float _ -> false
+let is_float = function Float _ -> true | Int _ -> false
+
+exception Kind_error of string
+
+let to_int64 = function
+  | Int i -> i
+  | Float _ -> raise (Kind_error "expected integer value, found float")
+
+let to_float = function
+  | Float f -> f
+  | Int _ -> raise (Kind_error "expected float value, found integer")
+
+let to_int v = Int64.to_int (to_int64 v)
+
+(** Truthiness used by conditional branches and [Select]. *)
+let truthy = function
+  | Int i -> i <> 0L
+  | Float f -> f <> 0.0
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> Int64.equal x y
+  | Float x, Float y ->
+    (* Bit equality so that NaN compares equal to itself; duplication checks
+       compare register payloads, not IEEE semantics. *)
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Int _, Float _ | Float _, Int _ -> false
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int64.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int _, Float _ -> -1
+  | Float _, Int _ -> 1
+
+(** Numeric view used by profiling histograms: every value projects onto the
+    real line so that ranges can be learned uniformly. *)
+let to_real = function
+  | Int i -> Int64.to_float i
+  | Float f -> f
+
+(** Magnitude of the change a bit flip caused, used to split USDCs into
+    large- and small-disturbance classes (paper, Figure 2). *)
+let disturbance ~before ~after =
+  match before, after with
+  | Int x, Int y -> Int64.to_float (Int64.abs (Int64.sub y x))
+  | Float x, Float y ->
+    let d = Float.abs (y -. x) in
+    if Float.is_nan d then Float.infinity else d
+  | Int _, Float _ | Float _, Int _ -> Float.infinity
+
+let pp ppf = function
+  | Int i -> Format.fprintf ppf "%Ld" i
+  | Float f -> Format.fprintf ppf "%h" f
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,1 @@
+lib/profiling/histogram.ml: Array Float Format List Option

@@ -1,0 +1,1 @@
+lib/profiling/histogram.mli: Format

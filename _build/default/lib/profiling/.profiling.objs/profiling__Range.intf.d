@@ -1,0 +1,1 @@
+lib/profiling/range.mli: Histogram

@@ -1,0 +1,1 @@
+lib/profiling/value_profile.ml: Float Hashtbl Histogram Int64 Interp Ir List Range

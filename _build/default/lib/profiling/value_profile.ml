@@ -1,0 +1,150 @@
+(** Value profiling: one histogram per static value-producing instruction,
+    collected from an interpreter run on the *training* input, then turned
+    into expected-value check shapes (Figure 6 of the paper).
+
+    Profiling is the paper's one-time offline step; its cost never enters
+    the reported performance overheads. *)
+
+type kind_seen = Ints | Floats | Mixed
+
+type entry = {
+  hist : Histogram.t;
+  mutable execs : int;
+  mutable seen : kind_seen option;
+}
+
+type t = {
+  table : (int, entry) Hashtbl.t;   (** uid -> profile entry *)
+  mutable run_steps : int;
+}
+
+(** Tunables of the check-derivation heuristics. *)
+type params = {
+  max_bins : int;            (** B of Algorithm 1 (paper: 5) *)
+  min_execs : int;           (** ignore instructions executed fewer times *)
+  exact_coverage : float;    (** coverage needed for single/double checks *)
+  range_coverage : float;    (** coverage needed for a range check *)
+  r_thr_abs : float;         (** absolute width threshold of Algorithm 2 *)
+  r_thr_rel : float;         (** relative alternative: width <= rel * scale *)
+  slack : float;             (** widen accepted ranges by this fraction per
+                                 side, to damp train-vs-test false positives *)
+}
+
+let default_params = {
+  max_bins = 5;
+  min_execs = 64;
+  exact_coverage = 1.0;
+  range_coverage = 1.0;
+  r_thr_abs = 4096.0;
+  r_thr_rel = 0.0;   (* disabled: Algorithm 2's threshold is absolute; a
+                        relative rule admits arbitrarily wide, near-useless
+                        ranges (kept as an ablation knob) *)
+  slack = 1.0;   (* the check-tuning ablation (examples/check_tuning.ml)
+                     shows this cuts train-vs-test false positives by two
+                     orders of magnitude at unchanged cost and coverage *)
+}
+
+let create () = { table = Hashtbl.create 256; run_steps = 0 }
+
+let record ?(max_bins = default_params.max_bins) t uid (v : Ir.Value.t) =
+  let e =
+    match Hashtbl.find_opt t.table uid with
+    | Some e -> e
+    | None ->
+      let e = { hist = Histogram.create ~max_bins (); execs = 0; seen = None } in
+      Hashtbl.replace t.table uid e;
+      e
+  in
+  e.execs <- e.execs + 1;
+  let k = if Ir.Value.is_int v then Ints else Floats in
+  (match e.seen with
+   | None -> e.seen <- Some k
+   | Some s when s = k -> ()
+   | Some Mixed -> ()
+   | Some _ -> e.seen <- Some Mixed);
+  Histogram.insert e.hist (Ir.Value.to_real v)
+
+(** Profile [prog] by interpreting it; returns the profile and run result. *)
+let collect ?(params = default_params) prog ~entry ~args ~mem =
+  let t = create () in
+  let config =
+    { Interp.Machine.default_config with
+      mode = Interp.Machine.Record;
+      on_def = Some (fun uid v -> record ~max_bins:params.max_bins t uid v) }
+  in
+  let result = Interp.Machine.run ~config prog ~entry ~args ~mem in
+  t.run_steps <- result.steps;
+  (t, result)
+
+let entry_of t uid = Hashtbl.find_opt t.table uid
+
+let execs t uid =
+  match entry_of t uid with
+  | Some e -> e.execs
+  | None -> 0
+
+(* Reconstruct a check constant on the instruction's value domain. *)
+let value_of kind_seen x =
+  match kind_seen with
+  | Ints -> Ir.Value.Int (Int64.of_float x)
+  | Floats | Mixed -> Ir.Value.Float x
+
+let widen_range ~params ~seen lo hi =
+  let w = hi -. lo in
+  let pad = (params.slack *. w) +. (match seen with Ints -> 1.0 | Floats | Mixed -> 1e-9) in
+  let lo = lo -. pad and hi = hi +. pad in
+  match seen with
+  | Ints -> (Float.of_int (int_of_float (Float.floor lo)),
+             Float.of_int (int_of_float (Float.ceil hi)))
+  | Floats | Mixed -> (lo, hi)
+
+(** Derive the expected-value check for instruction [uid], if its profile
+    makes it amenable (Figure 6): a single frequent value, two frequent
+    values, or a compact range. *)
+let check_kind ?(params = default_params) t uid : Ir.Instr.check_kind option =
+  match entry_of t uid with
+  | None -> None
+  | Some e ->
+    if e.execs < params.min_execs then None
+    else begin
+      match e.seen with
+      | None | Some Mixed -> None
+      | Some seen ->
+        let total = Histogram.total e.hist in
+        let cover m = float_of_int m /. float_of_int total in
+        let points = Histogram.point_bins e.hist in
+        match points with
+        | [ p ] when cover p.Histogram.m >= params.exact_coverage ->
+          Some (Ir.Instr.Single (value_of seen p.Histogram.lb))
+        | p1 :: p2 :: _
+          when cover (p1.Histogram.m + p2.Histogram.m) >= params.exact_coverage ->
+          Some
+            (Ir.Instr.Double
+               (value_of seen p1.Histogram.lb, value_of seen p2.Histogram.lb))
+        | _ ->
+          let scale =
+            match Histogram.hull e.hist with
+            | None -> 0.0
+            | Some (lo, hi) -> Float.max (Float.abs lo) (Float.abs hi)
+          in
+          let r_thr = Float.max params.r_thr_abs (params.r_thr_rel *. scale) in
+          (match Range.extract e.hist ~r_thr with
+           | None -> None
+           | Some r ->
+             if r.coverage >= params.range_coverage
+                && Range.width r <= r_thr then begin
+               let lo, hi = widen_range ~params ~seen r.lo r.hi in
+               Some (Ir.Instr.Range (value_of seen lo, value_of seen hi))
+             end
+             else None)
+    end
+
+(** All uids amenable to a check under [params]. *)
+let amenable_uids ?(params = default_params) t =
+  Hashtbl.fold
+    (fun uid _ acc ->
+      match check_kind ~params t uid with
+      | Some ck -> (uid, ck) :: acc
+      | None -> acc)
+    t.table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,1 @@
+lib/transform/cfc.ml: Analysis Array Func Hashtbl Instr Ir List Prog Value

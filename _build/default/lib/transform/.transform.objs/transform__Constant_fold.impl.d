@@ -1,0 +1,1 @@
+lib/transform/constant_fold.ml: Array Func Hashtbl Instr Int64 Ir List Opcode Option Prog Value

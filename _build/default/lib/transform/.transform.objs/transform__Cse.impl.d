@@ -1,0 +1,1 @@
+lib/transform/cse.ml: Analysis Array Func Hashtbl Instr Ir List Opcode Option Printer Printf Prog Value

@@ -1,0 +1,1 @@
+lib/transform/dce.ml: Array Constant_fold Cse Func Hashtbl Instr Ir List Prog Verifier

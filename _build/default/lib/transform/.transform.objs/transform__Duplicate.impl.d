@@ -1,0 +1,1 @@
+lib/transform/duplicate.ml: Analysis Block Func Hashtbl Instr Ir List Prog State_vars

@@ -1,0 +1,1 @@
+lib/transform/full_dup.ml: Array Block Func Hashtbl Instr Ir List Prog

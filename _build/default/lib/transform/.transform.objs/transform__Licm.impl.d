@@ -1,0 +1,1 @@
+lib/transform/licm.ml: Analysis Array Block Func Hashtbl Instr Ir List Opcode Prog Verifier

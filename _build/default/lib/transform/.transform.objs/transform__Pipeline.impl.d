@@ -1,0 +1,1 @@
+lib/transform/pipeline.ml: Cfc Duplicate Full_dup Hashtbl Ir Prog State_vars Value_checks Verifier

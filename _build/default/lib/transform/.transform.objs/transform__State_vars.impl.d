@@ -1,0 +1,1 @@
+lib/transform/state_vars.ml: Analysis Block Func Instr Ir List Prog

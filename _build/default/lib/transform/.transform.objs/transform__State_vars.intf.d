@@ -1,0 +1,1 @@
+lib/transform/state_vars.mli: Analysis Ir

@@ -1,0 +1,1 @@
+lib/transform/value_checks.ml: Analysis Array Block Func Hashtbl Instr Ir List Prog

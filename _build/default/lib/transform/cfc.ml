@@ -1,0 +1,88 @@
+open Ir
+
+(** Signature-based control-flow checking.
+
+    The paper's scheme does not protect against faults that corrupt branch
+    *targets*; §IV-C points to a signature-based low-cost solution that can
+    be used in conjunction.  This pass implements that complementary
+    technique, in the assertion style of CFCSS-family schemes:
+
+    - every block is assigned a compile-time signature (its dense index),
+    - a per-function signature cell is allocated at entry,
+    - each block entry loads the cell, checks that it holds the signature
+      of a *legal predecessor* (an expected-value check: Single for one
+      predecessor, Double for two, Range for fan-in regions), and stores
+      its own signature.
+
+    A wild jump lands in a block whose predecessor check cannot match the
+    stale signature and is caught as an SWDetect.  All inserted
+    instructions carry the [Check_insertion] origin, so the cost model
+    charges them like the other checks. *)
+
+type stats = {
+  mutable protected_blocks : int;
+  mutable signature_checks : int;
+}
+
+let sig_value n = Value.of_int (1000 + n)
+
+let check_kind_of_preds pred_sigs =
+  match List.sort_uniq compare pred_sigs with
+  | [] -> None
+  | [ s ] -> Some (Instr.Single (sig_value s))
+  | [ s1; s2 ] -> Some (Instr.Double (sig_value s1, sig_value s2))
+  | many ->
+    let lo = List.hd many and hi = List.nth many (List.length many - 1) in
+    Some (Instr.Range (sig_value lo, sig_value hi))
+
+let run_func prog (f : Func.t) ~stats =
+  let cfg = Analysis.Cfg.of_func f in
+  let preds = Func.predecessors f in
+  (* The signature cell: one word allocated at function entry. *)
+  let cell = Prog.fresh_reg prog in
+  let mk ?dest kind =
+    { Instr.uid = Prog.fresh_uid prog; dest; kind;
+      origin = Instr.Check_insertion }
+  in
+  let cell_alloc = mk ~dest:cell (Instr.Alloc (Instr.Imm (Value.of_int 1))) in
+  let entry_sig = Analysis.Cfg.index cfg f.entry in
+  let entry_store =
+    mk (Instr.Store (Instr.Reg cell, Instr.Imm (sig_value entry_sig)))
+  in
+  Func.iter_blocks
+    (fun b ->
+      if b.label = f.entry then begin
+        b.body <- Array.append [| cell_alloc; entry_store |] b.body;
+        stats.protected_blocks <- stats.protected_blocks + 1
+      end
+      else begin
+        let pred_sigs =
+          List.map
+            (fun lbl -> Analysis.Cfg.index cfg lbl)
+            (try Hashtbl.find preds b.label with Not_found -> [])
+        in
+        let loaded = Prog.fresh_reg prog in
+        let load = mk ~dest:loaded (Instr.Load (Instr.Reg cell)) in
+        let store =
+          mk
+            (Instr.Store
+               (Instr.Reg cell,
+                Instr.Imm (sig_value (Analysis.Cfg.index cfg b.label))))
+        in
+        let prefix =
+          match check_kind_of_preds pred_sigs with
+          | None -> [| load; store |]
+          | Some ck ->
+            stats.signature_checks <- stats.signature_checks + 1;
+            [| load; mk (Instr.Value_check (ck, Instr.Reg loaded)); store |]
+        in
+        b.body <- Array.append prefix b.body;
+        stats.protected_blocks <- stats.protected_blocks + 1
+      end)
+    f
+
+(** Instrument every function with signature checks. *)
+let run (prog : Prog.t) =
+  let stats = { protected_blocks = 0; signature_checks = 0 } in
+  List.iter (fun f -> run_func prog f ~stats) prog.funcs;
+  stats

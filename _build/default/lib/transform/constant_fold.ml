@@ -1,0 +1,168 @@
+open Ir
+
+(** Constant folding and algebraic simplification.
+
+    The paper applies its protection to compiler-optimized code ("compiled
+    with their suggested compiler options"); running the standard cleanup
+    passes first keeps the protection from wasting duplication and checks
+    on computations a real compiler would have folded away.
+
+    The pass rewrites, per function and in dominance (layout) order:
+    - operations on two immediates into the computed immediate,
+    - algebraic identities (x+0, x*1, x*0, x-0, x&0, x|0, x^0, shifts by 0),
+    - selects with a constant condition,
+    - conditional branches on a constant condition into jumps (the dead
+      edge is removed from successor phis).
+
+    Folded instructions become dead and are left for {!Dce}. *)
+
+type stats = {
+  mutable folded : int;
+  mutable identities : int;
+  mutable branches_resolved : int;
+}
+
+(* Registers known to hold an immediate value. *)
+type env = (Instr.reg, Value.t) Hashtbl.t
+
+let known (env : env) (op : Instr.operand) =
+  match op with
+  | Imm v -> Some v
+  | Reg r -> Hashtbl.find_opt env r
+
+let is_int_imm op n =
+  match op with
+  | Instr.Imm (Value.Int i) -> Int64.equal i (Int64.of_int n)
+  | Instr.Imm (Value.Float _) | Instr.Reg _ -> false
+
+(* Try to evaluate a side-effect-free instruction whose operands are all
+   known.  Division by zero stays un-folded: its trap is a runtime event. *)
+let eval_known (kind : Instr.kind) (env : env) =
+  match kind with
+  | Binop (op, a, b) ->
+    (match known env a, known env b with
+     | Some va, Some vb ->
+       (try Some (Opcode.eval_binop op va vb)
+        with Opcode.Division_by_zero | Value.Kind_error _ -> None)
+     | _, _ -> None)
+  | Unop (op, a) ->
+    (match known env a with
+     | Some va ->
+       (try Some (Opcode.eval_unop op va) with Value.Kind_error _ -> None)
+     | None -> None)
+  | Icmp (op, a, b) ->
+    (match known env a, known env b with
+     | Some va, Some vb ->
+       (try Some (Opcode.eval_icmp op va vb) with Value.Kind_error _ -> None)
+     | _, _ -> None)
+  | Fcmp (op, a, b) ->
+    (match known env a, known env b with
+     | Some va, Some vb ->
+       (try Some (Opcode.eval_fcmp op va vb) with Value.Kind_error _ -> None)
+     | _, _ -> None)
+  | Select (c, a, b) ->
+    (match known env c with
+     | Some vc -> (
+       let chosen = if Value.truthy vc then a else b in
+       match known env chosen with Some v -> Some v | None -> None)
+     | None -> None)
+  | Const v -> Some v
+  | Load _ | Store _ | Alloc _ | Call _ | Dup_check _ | Value_check _ -> None
+
+(* Algebraic identities that rewrite to one of the operands. *)
+let identity (kind : Instr.kind) =
+  match kind with
+  | Binop (Opcode.Add, x, z) when is_int_imm z 0 -> Some x
+  | Binop (Opcode.Add, z, x) when is_int_imm z 0 -> Some x
+  | Binop (Opcode.Sub, x, z) when is_int_imm z 0 -> Some x
+  | Binop (Opcode.Mul, x, one) when is_int_imm one 1 -> Some x
+  | Binop (Opcode.Mul, one, x) when is_int_imm one 1 -> Some x
+  | Binop (Opcode.Mul, _, z) when is_int_imm z 0 -> Some (Instr.Imm Value.zero)
+  | Binop (Opcode.Mul, z, _) when is_int_imm z 0 -> Some (Instr.Imm Value.zero)
+  | Binop (Opcode.And, _, z) when is_int_imm z 0 -> Some (Instr.Imm Value.zero)
+  | Binop (Opcode.And, z, _) when is_int_imm z 0 -> Some (Instr.Imm Value.zero)
+  | Binop (Opcode.Or, x, z) when is_int_imm z 0 -> Some x
+  | Binop (Opcode.Or, z, x) when is_int_imm z 0 -> Some x
+  | Binop (Opcode.Xor, x, z) when is_int_imm z 0 -> Some x
+  | Binop (Opcode.Xor, z, x) when is_int_imm z 0 -> Some x
+  | Binop ((Opcode.Shl | Opcode.Lshr | Opcode.Ashr), x, z) when is_int_imm z 0 ->
+    Some x
+  | Binop _ | Unop _ | Icmp _ | Fcmp _ | Select _ | Const _ | Load _
+  | Store _ | Alloc _ | Call _ | Dup_check _ | Value_check _ -> None
+
+let run_func (f : Func.t) ~stats =
+  let env : env = Hashtbl.create 64 in
+  (* Registers rewritten to another operand (copy propagation of folds). *)
+  let replaced : (Instr.reg, Instr.operand) Hashtbl.t = Hashtbl.create 64 in
+  let rec resolve op =
+    match op with
+    | Instr.Reg r ->
+      (match Hashtbl.find_opt replaced r with
+       | Some op' -> resolve op'
+       | None -> op)
+    | Instr.Imm _ -> op
+  in
+  Func.iter_blocks
+    (fun b ->
+      (* Phis: just resolve operands. *)
+      List.iter
+        (fun (phi : Instr.phi) ->
+          phi.incoming <-
+            List.map (fun (lbl, op) -> (lbl, resolve op)) phi.incoming)
+        b.phis;
+      b.body <-
+        Array.map
+          (fun (ins : Instr.t) ->
+            let ins = Instr.map_operands resolve ins in
+            match ins.dest with
+            | None -> ins
+            | Some dest ->
+              (match eval_known ins.kind env with
+               | Some v ->
+                 Hashtbl.replace env dest v;
+                 stats.folded <- stats.folded + 1;
+                 { ins with kind = Instr.Const v }
+               | None ->
+                 (match identity ins.kind with
+                  | Some op ->
+                    stats.identities <- stats.identities + 1;
+                    Hashtbl.replace replaced dest (resolve op);
+                    (* Keep a Const/copy so SSA stays well-formed; DCE will
+                       drop it once all uses are rewritten. *)
+                    (match resolve op with
+                     | Instr.Imm v -> { ins with kind = Instr.Const v }
+                     | Instr.Reg _ as src ->
+                       { ins with kind = Instr.Binop (Opcode.Add, src, Instr.Imm Value.zero) })
+                  | None -> ins)))
+          b.body;
+      (* Resolve the terminator; fold constant branches. *)
+      (match b.term with
+       | Instr.Ret op -> b.term <- Instr.Ret (Option.map resolve op)
+       | Instr.Jmp _ -> ()
+       | Instr.Br (c, if_true, if_false) ->
+         let c = resolve c in
+         (match known env c with
+          | Some v ->
+            let taken, dead =
+              if Value.truthy v then (if_true, if_false)
+              else (if_false, if_true)
+            in
+            stats.branches_resolved <- stats.branches_resolved + 1;
+            b.term <- Instr.Jmp taken;
+            if dead <> taken then begin
+              let dead_block = Func.find_block f dead in
+              List.iter
+                (fun (phi : Instr.phi) ->
+                  phi.incoming <-
+                    List.filter (fun (lbl, _) -> lbl <> b.label) phi.incoming)
+                dead_block.phis
+            end
+          | None -> b.term <- Instr.Br (c, if_true, if_false))))
+    f
+
+(** Fold constants across the program; returns statistics.  Run {!Dce}
+    afterwards to drop the dead remains. *)
+let run (prog : Prog.t) =
+  let stats = { folded = 0; identities = 0; branches_resolved = 0 } in
+  List.iter (fun f -> run_func f ~stats) prog.funcs;
+  stats

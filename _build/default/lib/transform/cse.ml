@@ -1,0 +1,96 @@
+open Ir
+
+(** Common-subexpression elimination, dominance-scoped.
+
+    Two side-effect-free instructions with the same opcode and operands
+    compute the same value; the later one is rewritten into a copy of the
+    earlier when the earlier's block dominates it.  Loads are *not* merged
+    (an intervening store may have changed memory), matching the
+    conservative behaviour the protection passes assume.
+
+    Like {!Constant_fold}, this runs as frontend cleanup before protection;
+    it never touches protection-inserted instructions. *)
+
+type stats = { mutable merged : int }
+
+(* Structural key of a pure computation.  Operands are resolved through the
+   replacement map first so chains of equal expressions collapse. *)
+let key_of (kind : Instr.kind) =
+  match kind with
+  | Binop (op, a, b) -> Some (Printf.sprintf "b:%s:%s:%s" (Opcode.binop_name op)
+                                (Printer.operand_key a) (Printer.operand_key b))
+  | Unop (op, a) -> Some (Printf.sprintf "u:%s:%s" (Opcode.unop_name op)
+                            (Printer.operand_key a))
+  | Icmp (op, a, b) -> Some (Printf.sprintf "i:%s:%s:%s" (Opcode.icmp_name op)
+                               (Printer.operand_key a) (Printer.operand_key b))
+  | Fcmp (op, a, b) -> Some (Printf.sprintf "f:%s:%s:%s" (Opcode.fcmp_name op)
+                               (Printer.operand_key a) (Printer.operand_key b))
+  | Select (c, a, b) ->
+    Some (Printf.sprintf "s:%s:%s:%s" (Printer.operand_key c)
+            (Printer.operand_key a) (Printer.operand_key b))
+  | Const v -> Some (Printf.sprintf "c:%s" (Value.to_string v))
+  | Load _ | Store _ | Alloc _ | Call _ | Dup_check _ | Value_check _ -> None
+
+let run_func (f : Func.t) ~stats =
+  let cfg = Analysis.Cfg.of_func f in
+  let dom = Analysis.Dom.compute cfg in
+  (* available: expression key -> (defining block index, register). *)
+  let available : (string, int * Instr.reg) Hashtbl.t = Hashtbl.create 64 in
+  let replaced : (Instr.reg, Instr.reg) Hashtbl.t = Hashtbl.create 32 in
+  let rec resolve_reg r =
+    match Hashtbl.find_opt replaced r with
+    | Some r' -> resolve_reg r'
+    | None -> r
+  in
+  let resolve op =
+    match op with
+    | Instr.Reg r -> Instr.Reg (resolve_reg r)
+    | Instr.Imm _ -> op
+  in
+  (* Dominance (reverse-postorder) walk: a dominator is always visited
+     before the blocks it dominates. *)
+  let rpo = Analysis.Cfg.reverse_postorder cfg in
+  Array.iter
+    (fun node ->
+      let b = Analysis.Cfg.block cfg node in
+      List.iter
+        (fun (phi : Instr.phi) ->
+          phi.incoming <-
+            List.map (fun (lbl, op) -> (lbl, resolve op)) phi.incoming)
+        b.phis;
+      b.body <-
+        Array.map
+          (fun (ins : Instr.t) ->
+            let ins = Instr.map_operands resolve ins in
+            if ins.origin <> Instr.From_source then ins
+            else begin
+              match ins.dest, key_of ins.kind with
+              | Some dest, Some key ->
+                (match Hashtbl.find_opt available key with
+                 | Some (def_node, reg) when Analysis.Dom.dominates dom def_node node ->
+                   stats.merged <- stats.merged + 1;
+                   Hashtbl.replace replaced dest reg;
+                   (* Keep a cheap copy so SSA stays well-formed; DCE drops
+                      it once all uses are rewritten. *)
+                   { ins with
+                     kind =
+                       Instr.Binop
+                         (Opcode.Add, Instr.Reg reg, Instr.Imm Value.zero) }
+                 | Some _ | None ->
+                   Hashtbl.replace available key (node, dest);
+                   ins)
+              | _, _ -> ins
+            end)
+          b.body;
+      match b.term with
+      | Instr.Ret op -> b.term <- Instr.Ret (Option.map resolve op)
+      | Instr.Br (c, t, e) -> b.term <- Instr.Br (resolve c, t, e)
+      | Instr.Jmp _ -> ())
+    rpo
+
+(** Merge common subexpressions across the program; run {!Dce} afterwards
+    to drop the left-over copies. *)
+let run (prog : Prog.t) =
+  let stats = { merged = 0 } in
+  List.iter (fun f -> run_func f ~stats) prog.funcs;
+  stats

@@ -1,0 +1,83 @@
+open Ir
+
+(** Dead-code elimination.
+
+    Removes value-producing instructions (and phis) whose results are never
+    used, iterating to a fixed point so whole dead chains disappear.
+    Side-effecting instructions — stores, calls, allocations, and the
+    protection checks — are always live, as are terminator operands. *)
+
+type stats = {
+  mutable removed_instrs : int;
+  mutable removed_phis : int;
+}
+
+let collect_uses (f : Func.t) =
+  let used : (Instr.reg, unit) Hashtbl.t = Hashtbl.create 128 in
+  let mark op =
+    match op with
+    | Instr.Reg r -> Hashtbl.replace used r ()
+    | Instr.Imm _ -> ()
+  in
+  Func.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (phi : Instr.phi) ->
+          List.iter (fun (_, op) -> mark op) phi.incoming)
+        b.phis;
+      Array.iter
+        (fun (ins : Instr.t) -> List.iter mark (Instr.operands ins))
+        b.body;
+      match b.term with
+      | Instr.Ret (Some op) | Instr.Br (op, _, _) -> mark op
+      | Instr.Ret None | Instr.Jmp _ -> ())
+    f;
+  used
+
+let sweep_func (f : Func.t) ~stats =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used = collect_uses f in
+    Func.iter_blocks
+      (fun b ->
+        let keep_instr (ins : Instr.t) =
+          Instr.has_side_effect ins
+          ||
+          (match ins.dest with
+           | None -> true
+           | Some r -> Hashtbl.mem used r)
+        in
+        let before = Array.length b.body in
+        b.body <- Array.of_list (List.filter keep_instr (Array.to_list b.body));
+        let removed = before - Array.length b.body in
+        if removed > 0 then begin
+          stats.removed_instrs <- stats.removed_instrs + removed;
+          changed := true
+        end;
+        let keep_phi (phi : Instr.phi) = Hashtbl.mem used phi.phi_dest in
+        let before_phis = List.length b.phis in
+        b.phis <- List.filter keep_phi b.phis;
+        let removed_phis = before_phis - List.length b.phis in
+        if removed_phis > 0 then begin
+          stats.removed_phis <- stats.removed_phis + removed_phis;
+          changed := true
+        end)
+      f
+  done
+
+(** Remove dead code across the program. *)
+let run (prog : Prog.t) =
+  let stats = { removed_instrs = 0; removed_phis = 0 } in
+  List.iter (fun f -> sweep_func f ~stats) prog.funcs;
+  stats
+
+(** The standard cleanup sequence the workload "frontend" runs before
+    protection: fold constants, merge common subexpressions, then sweep the
+    dead remains. *)
+let optimize (prog : Prog.t) =
+  let fold_stats = Constant_fold.run prog in
+  let cse_stats = Cse.run prog in
+  let dce_stats = run prog in
+  Verifier.verify prog;
+  (fold_stats, cse_stats, dce_stats)

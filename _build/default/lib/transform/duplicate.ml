@@ -1,0 +1,160 @@
+open Ir
+
+(** Selective duplication of state-variable producer chains (paper §III-B).
+
+    For every state variable (loop-header phi) the pass clones the producer
+    chain feeding its back edges — recursively over use-def edges, cloning
+    intermediate phis as needed — and inserts a [Dup_check] at each back edge
+    comparing the original against the shadow value.  Chains terminate at
+    loads, calls, allocations and parameters (cloning loads would double
+    memory traffic; a corrupted address tends to trap instead, paper Fig. 7).
+
+    With a value profile supplied, Optimization 2 applies: when the chain
+    walk reaches an instruction amenable to an expected-value check, the
+    clone is replaced by a [Value_check] on the original value and the walk
+    stops there (paper Fig. 9). *)
+
+type stats = {
+  mutable state_vars : int;
+  mutable cloned_instrs : int;
+  mutable cloned_phis : int;
+  mutable dup_checks : int;
+  mutable opt2_value_checks : int;
+}
+
+let empty_stats () =
+  { state_vars = 0; cloned_instrs = 0; cloned_phis = 0; dup_checks = 0;
+    opt2_value_checks = 0 }
+
+type ctx = {
+  prog : Prog.t;
+  usedef : Analysis.Usedef.t;
+  shadow : (Instr.reg, Instr.operand) Hashtbl.t;
+  profile : (int -> Instr.check_kind option) option;
+  (** original-instruction uids that received an Opt-2 value check, so the
+      later stand-alone value-check pass does not re-check them *)
+  opt2_checked : (int, unit) Hashtbl.t;
+  stats : stats;
+}
+
+let rec shadow_operand ctx (op : Instr.operand) =
+  match op with
+  | Imm v -> Instr.Imm v
+  | Reg r -> shadow_reg ctx r
+
+and shadow_reg ctx r =
+  match Hashtbl.find_opt ctx.shadow r with
+  | Some s -> s
+  | None ->
+    let s =
+      match Analysis.Usedef.def_of ctx.usedef r with
+      | None | Some Analysis.Usedef.Param -> Instr.Reg r
+      | Some (Analysis.Usedef.Phi_def (b, phi)) -> clone_phi ctx b phi
+      | Some (Analysis.Usedef.Instr_def (b, ins)) ->
+        if Analysis.Usedef.chain_terminator ins then Instr.Reg r
+        else begin
+          match opt2_check ctx ins with
+          | true -> Instr.Reg r
+          | false -> clone_instr ctx b ins r
+        end
+    in
+    Hashtbl.replace ctx.shadow r s;
+    s
+
+(* Optimization 2: terminate the chain with a value check when profitable.
+   Returns true when a check was (or already had been) placed on [ins]. *)
+and opt2_check ctx (ins : Instr.t) =
+  match ctx.profile with
+  | None -> false
+  | Some profile ->
+    if Hashtbl.mem ctx.opt2_checked ins.uid then true
+    else begin
+      match profile ins.uid with
+      | None -> false
+      | Some ck ->
+        (match ins.dest with
+         | None -> false
+         | Some dest ->
+           let check =
+             { Instr.uid = Prog.fresh_uid ctx.prog; dest = None;
+               kind = Instr.Value_check (ck, Instr.Reg dest);
+               origin = Instr.Check_insertion }
+           in
+           (match Prog.find_instr ctx.prog ins.uid with
+            | Some (_, block, _) ->
+              Block.insert_after block ~after_uid:ins.uid [ check ];
+              Hashtbl.replace ctx.opt2_checked ins.uid ();
+              ctx.stats.opt2_value_checks <- ctx.stats.opt2_value_checks + 1;
+              true
+            | None -> false))
+    end
+
+and clone_phi ctx (b : Block.t) (phi : Instr.phi) =
+  let dest = Prog.fresh_reg ctx.prog in
+  (* Pre-register before recursing: loop-carried phis reference their own
+     producer chain (e.g. [crc = f(crc)] in the paper's Fig. 3). *)
+  Hashtbl.replace ctx.shadow phi.phi_dest (Instr.Reg dest);
+  let clone =
+    { Instr.phi_uid = Prog.fresh_uid ctx.prog; phi_dest = dest;
+      incoming = []; phi_origin = Instr.Duplicated phi.phi_uid }
+  in
+  b.phis <- b.phis @ [ clone ];
+  clone.incoming <-
+    List.map (fun (lbl, op) -> (lbl, shadow_operand ctx op)) phi.incoming;
+  ctx.stats.cloned_phis <- ctx.stats.cloned_phis + 1;
+  Instr.Reg dest
+
+and clone_instr ctx (b : Block.t) (ins : Instr.t) orig_reg =
+  let dest = Prog.fresh_reg ctx.prog in
+  Hashtbl.replace ctx.shadow orig_reg (Instr.Reg dest);
+  let shadowed = Instr.map_operands (shadow_operand ctx) ins in
+  let clone =
+    { shadowed with
+      uid = Prog.fresh_uid ctx.prog; dest = Some dest;
+      origin = Instr.Duplicated ins.uid }
+  in
+  Block.insert_after b ~after_uid:ins.uid [ clone ];
+  ctx.stats.cloned_instrs <- ctx.stats.cloned_instrs + 1;
+  Instr.Reg dest
+
+let protect_state_var ctx (sv : State_vars.state_var) =
+  ctx.stats.state_vars <- ctx.stats.state_vars + 1;
+  (* Clone the phi (and hence its whole producer web). *)
+  let (_ : Instr.operand) = shadow_reg ctx sv.phi.phi_dest in
+  (* Compare original vs shadow where the back edge leaves the body. *)
+  List.iter
+    (fun (latch_lbl, op) ->
+      match op with
+      | Instr.Imm _ -> ()
+      | Instr.Reg r ->
+        let s = shadow_reg ctx r in
+        if s <> Instr.Reg r then begin
+          let latch = Func.find_block sv.func latch_lbl in
+          let check =
+            { Instr.uid = Prog.fresh_uid ctx.prog; dest = None;
+              kind = Instr.Dup_check (Instr.Reg r, s);
+              origin = Instr.Check_insertion }
+          in
+          Block.append latch [ check ];
+          ctx.stats.dup_checks <- ctx.stats.dup_checks + 1
+        end)
+    sv.back_edges
+
+(** Run selective duplication over the whole program.  [profile], when
+    given, enables Optimization 2.  Returns statistics and the set of uids
+    that received a value check during duplication. *)
+let run ?profile (prog : Prog.t) =
+  let stats = empty_stats () in
+  let opt2_checked = Hashtbl.create 16 in
+  List.iter
+    (fun func ->
+      let svs = State_vars.of_func func in
+      if svs <> [] then begin
+        let ctx =
+          { prog; usedef = Analysis.Usedef.compute func;
+            shadow = Hashtbl.create 64; profile; opt2_checked; stats }
+        in
+        List.iter (protect_state_var ctx) svs
+      end)
+    prog.funcs;
+  (stats, opt2_checked)

@@ -1,0 +1,99 @@
+open Ir
+
+(** Loop-invariant code motion.
+
+    Pure computations whose operands are all defined outside a loop are
+    hoisted to the loop's single entry block.  This completes the frontend
+    cleanup suite (fold, CSE, DCE) and interacts with protection in an
+    interesting way: a hoisted invariant executes once, so any value check
+    later placed on it costs one dynamic check instead of one per
+    iteration.
+
+    Safety rules:
+    - only side-effect-free, non-trapping instructions move (no loads —
+      an intervening store may change memory; no sdiv/srem — hoisting
+      could introduce a division trap on a path that never executed it);
+    - the loop must have a unique entry block outside the body
+      (builder-generated loops always do);
+    - operands must be defined outside the loop or by instructions already
+      hoisted from it (fixpoint). *)
+
+type stats = { mutable hoisted : int }
+
+let hoistable (ins : Instr.t) =
+  match ins.kind with
+  | Binop ((Opcode.Sdiv | Opcode.Srem), _, _) -> false
+  | Binop _ | Unop _ | Icmp _ | Fcmp _ | Select _ | Const _ -> true
+  | Load _ | Store _ | Alloc _ | Call _ | Dup_check _ | Value_check _ -> false
+
+let run_func (f : Func.t) ~stats =
+  let cfg = Analysis.Cfg.of_func f in
+  let loops = Analysis.Loops.compute cfg in
+  let usedef = Analysis.Usedef.compute f in
+  (* Innermost loops first so invariants bubble outward across passes. *)
+  let by_depth =
+    List.sort
+      (fun (a : Analysis.Loops.loop) b -> compare b.depth a.depth)
+      loops.loops
+  in
+  List.iter
+    (fun (l : Analysis.Loops.loop) ->
+      let in_body node = List.mem node l.body in
+      (* Unique entry: the header predecessor outside the body. *)
+      let entries =
+        List.filter (fun p -> not (in_body p)) cfg.pred.(l.header)
+      in
+      match entries with
+      | [ entry ] ->
+        let entry_block = Analysis.Cfg.block cfg entry in
+        let body_labels =
+          List.map (fun n -> (Analysis.Cfg.label cfg n)) l.body
+        in
+        let hoisted : (Instr.reg, unit) Hashtbl.t = Hashtbl.create 8 in
+        let defined_outside r =
+          Hashtbl.mem hoisted r
+          ||
+          (match Analysis.Usedef.def_of usedef r with
+           | None | Some Analysis.Usedef.Param -> true
+           | Some (Analysis.Usedef.Phi_def (b, _))
+           | Some (Analysis.Usedef.Instr_def (b, _)) ->
+             not (List.mem b.Block.label body_labels))
+        in
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          List.iter
+            (fun node ->
+              let b = Analysis.Cfg.block cfg node in
+              let keep, move =
+                List.partition
+                  (fun (ins : Instr.t) ->
+                    not
+                      (hoistable ins
+                       && ins.origin = Instr.From_source
+                       && List.for_all defined_outside (Instr.uses ins)))
+                  (Array.to_list b.body)
+              in
+              if move <> [] then begin
+                List.iter
+                  (fun (ins : Instr.t) ->
+                    match ins.dest with
+                    | Some r -> Hashtbl.replace hoisted r ()
+                    | None -> ())
+                  move;
+                Block.append entry_block move;
+                b.body <- Array.of_list keep;
+                stats.hoisted <- stats.hoisted + List.length move;
+                changed := true
+              end)
+            l.body
+        done
+      | [] | _ :: _ :: _ -> ())
+    by_depth
+
+(** Hoist loop invariants across the program. *)
+let run (prog : Prog.t) =
+  let stats = { hoisted = 0 } in
+  List.iter (fun f -> run_func f ~stats) prog.funcs;
+  Verifier.verify prog;
+  stats

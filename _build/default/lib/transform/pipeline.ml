@@ -1,0 +1,115 @@
+open Ir
+
+(** Program-variant construction: ties the passes into the four techniques
+    the paper evaluates, and reports the static statistics of Figure 10. *)
+
+type technique =
+  | Original       (** unmodified program *)
+  | Dup_only       (** state-variable producer-chain duplication only *)
+  | Dup_valchk     (** duplication + expected-value checks + Opt. 1 and 2 *)
+  | Full_dup       (** SWIFT-style full duplication baseline *)
+  | Cfc_only       (** signature-based control-flow checking only *)
+  | Dup_valchk_cfc (** the paper's scheme combined with the complementary
+                       signature scheme it points to for branch-target
+                       faults (Â§IV-C) *)
+
+let all_techniques = [ Original; Dup_only; Dup_valchk; Full_dup ]
+let extended_techniques = all_techniques @ [ Cfc_only; Dup_valchk_cfc ]
+
+let technique_name = function
+  | Original -> "Original"
+  | Dup_only -> "Dup only"
+  | Dup_valchk -> "Dup + val chks"
+  | Full_dup -> "Full duplication"
+  | Cfc_only -> "CFC only"
+  | Dup_valchk_cfc -> "Dup + val chks + CFC"
+
+(** Static statistics in the vocabulary of Figure 10: everything is reported
+    against the *original* static instruction count. *)
+type stats = {
+  technique : technique;
+  original_instrs : int;      (** static IR instructions before the pass *)
+  state_vars : int;
+  duplicated_instrs : int;    (** clones added (instructions + phis) *)
+  dup_checks : int;
+  value_checks : int;         (** stand-alone + Optimization-2 checks *)
+  suppressed_by_opt1 : int;
+}
+
+let fraction ~of_ n =
+  if of_ = 0 then 0.0 else float_of_int n /. float_of_int of_
+
+let duplicated_fraction s = fraction ~of_:s.original_instrs s.duplicated_instrs
+let value_check_fraction s = fraction ~of_:s.original_instrs s.value_checks
+let state_var_fraction s = fraction ~of_:s.original_instrs s.state_vars
+
+(** Apply [technique] to [prog] in place.  [profile] supplies the
+    expected-value check shapes (required only by [Dup_valchk]).  [opt1]
+    and [opt2] toggle the paper's two interaction optimizations (both on
+    by default; exposed for the ablation study).  The transformed program
+    is re-verified before returning. *)
+let protect ?profile ?(opt1 = true) ?(opt2 = true) (prog : Prog.t) technique =
+  let original_instrs = Prog.instr_count prog in
+  let stats =
+    match technique with
+    | Original ->
+      { technique; original_instrs; state_vars = State_vars.count_prog prog;
+        duplicated_instrs = 0; dup_checks = 0; value_checks = 0;
+        suppressed_by_opt1 = 0 }
+    | Dup_only ->
+      let d, (_ : (int, unit) Hashtbl.t) = Duplicate.run prog in
+      { technique; original_instrs; state_vars = d.state_vars;
+        duplicated_instrs = d.cloned_instrs + d.cloned_phis;
+        dup_checks = d.dup_checks; value_checks = 0; suppressed_by_opt1 = 0 }
+    | Dup_valchk ->
+      let profile =
+        match profile with
+        | Some p -> p
+        | None ->
+          invalid_arg "Pipeline.protect: Dup_valchk requires a value profile"
+      in
+      let d, opt2_checked =
+        if opt2 then Duplicate.run ~profile prog else Duplicate.run prog
+      in
+      let v =
+        Value_checks.run ~use_opt1:opt1 prog ~profile
+          ~already_checked:opt2_checked
+      in
+      { technique; original_instrs; state_vars = d.state_vars;
+        duplicated_instrs = d.cloned_instrs + d.cloned_phis;
+        dup_checks = d.dup_checks;
+        value_checks = v.inserted + d.opt2_value_checks;
+        suppressed_by_opt1 = v.suppressed_by_opt1 }
+    | Full_dup ->
+      let f = Full_dup.run prog in
+      { technique; original_instrs; state_vars = State_vars.count_prog prog;
+        duplicated_instrs = f.cloned_instrs + f.cloned_phis;
+        dup_checks = f.dup_checks; value_checks = 0; suppressed_by_opt1 = 0 }
+    | Cfc_only ->
+      let c = Cfc.run prog in
+      { technique; original_instrs; state_vars = State_vars.count_prog prog;
+        duplicated_instrs = 0; dup_checks = 0;
+        value_checks = c.signature_checks; suppressed_by_opt1 = 0 }
+    | Dup_valchk_cfc ->
+      let profile =
+        match profile with
+        | Some p -> p
+        | None ->
+          invalid_arg "Pipeline.protect: Dup_valchk_cfc requires a value profile"
+      in
+      let d, opt2_checked =
+        if opt2 then Duplicate.run ~profile prog else Duplicate.run prog
+      in
+      let v =
+        Value_checks.run ~use_opt1:opt1 prog ~profile
+          ~already_checked:opt2_checked
+      in
+      let c = Cfc.run prog in
+      { technique; original_instrs; state_vars = d.state_vars;
+        duplicated_instrs = d.cloned_instrs + d.cloned_phis;
+        dup_checks = d.dup_checks;
+        value_checks = v.inserted + d.opt2_value_checks + c.signature_checks;
+        suppressed_by_opt1 = v.suppressed_by_opt1 }
+  in
+  Verifier.verify prog;
+  stats

@@ -1,0 +1,41 @@
+open Ir
+
+(** State-variable identification (paper §III-B, §IV-A).
+
+    In SSA form a variable that carries state across loop iterations is
+    exactly a phi node in a loop header: one incoming definition from outside
+    the loop and one from the loop's own update.  Loop index variables are a
+    special case.  A corruption of such a variable snowballs into later
+    iterations, so these are the paper's critical variables. *)
+
+type state_var = {
+  func : Func.t;
+  loop : Analysis.Loops.loop;
+  header : Block.t;
+  phi : Instr.phi;
+  (** operands flowing in from back edges, with their latch labels *)
+  back_edges : (string * Instr.operand) list;
+}
+
+(** State variables of one function. *)
+let of_func (f : Func.t) =
+  let cfg = Analysis.Cfg.of_func f in
+  let loops = Analysis.Loops.compute cfg in
+  List.map
+    (fun ((loop : Analysis.Loops.loop), header, phi) ->
+      let latch_labels =
+        List.map (fun l -> Analysis.Cfg.label cfg l) loop.latches
+      in
+      let back_edges =
+        List.filter
+          (fun (lbl, _) -> List.mem lbl latch_labels)
+          phi.Instr.incoming
+      in
+      { func = f; loop; header; phi; back_edges })
+    (Analysis.Loops.header_phis loops)
+
+(** State variables of every function in the program. *)
+let of_prog (p : Prog.t) =
+  List.concat_map of_func p.funcs
+
+let count_prog p = List.length (of_prog p)

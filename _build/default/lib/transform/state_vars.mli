@@ -1,0 +1,25 @@
+(** State-variable identification (paper §III-B, §IV-A).
+
+    In SSA form a variable that carries state across loop iterations is
+    exactly a phi node in a loop header: one incoming definition from
+    outside the loop and one from the loop's own update.  Loop index
+    variables are a special case.  A corruption of such a variable
+    snowballs into later iterations, so these are the paper's critical
+    variables. *)
+
+type state_var = {
+  func : Ir.Func.t;
+  loop : Analysis.Loops.loop;
+  header : Ir.Block.t;
+  phi : Ir.Instr.phi;
+  back_edges : (string * Ir.Instr.operand) list;
+      (** operands flowing in from back edges, with their latch labels *)
+}
+
+(** State variables of one function. *)
+val of_func : Ir.Func.t -> state_var list
+
+(** State variables of every function in the program. *)
+val of_prog : Ir.Prog.t -> state_var list
+
+val count_prog : Ir.Prog.t -> int

@@ -1,0 +1,1 @@
+lib/workloads/adpcm_common.ml: Array Builder Interp Ir Kutil

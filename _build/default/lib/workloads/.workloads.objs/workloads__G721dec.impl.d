@@ -1,0 +1,1 @@
+lib/workloads/g721dec.ml: Adpcm_common Array Builder Faults Fidelity Interp Ir Kutil Prog Synth Value Workload

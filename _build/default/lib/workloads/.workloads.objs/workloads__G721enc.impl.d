@@ -1,0 +1,1 @@
+lib/workloads/g721enc.ml: Adpcm_common Builder Faults Fidelity Interp Ir Kutil Prog Synth Value Workload

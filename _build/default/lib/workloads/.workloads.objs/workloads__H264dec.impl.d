@@ -1,0 +1,1 @@
+lib/workloads/h264dec.ml: Array Builder Faults Fidelity H264_common Interp Ir Kutil Prog Synth Value Workload

@@ -1,0 +1,1 @@
+lib/workloads/jpeg_common.ml: Array Float Interp List

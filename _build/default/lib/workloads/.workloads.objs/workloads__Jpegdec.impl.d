@@ -1,0 +1,1 @@
+lib/workloads/jpegdec.ml: Array Builder Faults Fidelity Interp Ir Jpeg_common Kutil Printf Prog Synth Value Workload

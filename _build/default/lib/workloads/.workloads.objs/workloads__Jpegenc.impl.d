@@ -1,0 +1,1 @@
+lib/workloads/jpegenc.ml: Builder Faults Fidelity Interp Ir Jpeg_common Kutil Printf Prog Synth Value Workload

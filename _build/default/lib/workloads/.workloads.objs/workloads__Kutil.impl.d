@@ -1,0 +1,1 @@
+lib/workloads/kutil.ml: Builder Instr Ir

@@ -1,0 +1,1 @@
+lib/workloads/mp3_common.ml: Array Float Interp

@@ -1,0 +1,1 @@
+lib/workloads/mp3dec.ml: Array Builder Faults Fidelity Interp Ir Kutil Mp3_common Prog Synth Value Workload

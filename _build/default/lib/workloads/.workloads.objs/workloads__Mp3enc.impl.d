@@ -1,0 +1,1 @@
+lib/workloads/mp3enc.ml: Builder Faults Fidelity Interp Ir Kutil Mp3_common Prog Synth Value Workload

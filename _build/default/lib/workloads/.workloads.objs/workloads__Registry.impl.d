@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: G721dec G721enc H264dec H264enc Jpegdec Jpegenc Kmeans List Mp3dec Mp3enc Printf Segm String Svm Tex_synth Tiff2bw Workload

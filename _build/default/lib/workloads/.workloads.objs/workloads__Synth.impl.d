@@ -1,0 +1,1 @@
+lib/workloads/synth.ml: Array Rng

@@ -1,0 +1,1 @@
+lib/workloads/tex_synth.ml: Array Builder Faults Fidelity Interp Ir Kutil List Printf Prog Synth Value Workload

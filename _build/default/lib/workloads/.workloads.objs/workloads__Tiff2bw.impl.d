@@ -1,0 +1,1 @@
+lib/workloads/tiff2bw.ml: Array Builder Faults Fidelity Interp Ir Kutil Printf Prog Synth Value Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Faults Fidelity Format Interp Ir Printf Profiling

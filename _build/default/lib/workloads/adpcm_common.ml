@@ -1,0 +1,110 @@
+(** Shared pieces of the G.721-style ADPCM codec pair.
+
+    We implement the classic IMA/DVI ADPCM state machine (the same family
+    of waveform codecs as mediabench's g721): a 4-bit code per sample, with
+    a predicted value and a step index carried from sample to sample.  The
+    (valpred, index) pair is the textbook example of loop-carried critical
+    state — one corrupted prediction skews every following sample. *)
+
+let step_table =
+  [| 7; 8; 9; 10; 11; 12; 13; 14; 16; 17;
+     19; 21; 23; 25; 28; 31; 34; 37; 41; 45;
+     50; 55; 60; 66; 73; 80; 88; 97; 107; 118;
+     130; 143; 157; 173; 190; 209; 230; 253; 279; 307;
+     337; 371; 408; 449; 494; 544; 598; 658; 724; 796;
+     876; 963; 1060; 1166; 1282; 1411; 1552; 1707; 1878; 2066;
+     2272; 2499; 2749; 3024; 3327; 3660; 4026; 4428; 4871; 5358;
+     5894; 6484; 7132; 7845; 8630; 9493; 10442; 11487; 12635; 13899;
+     15289; 16818; 18500; 20350; 22385; 24623; 27086; 29794; 32767 |]
+
+let index_table = [| -1; -1; -1; -1; 2; 4; 6; 8; -1; -1; -1; -1; 2; 4; 6; 8 |]
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+(** Decode one code given (valpred, index); returns (sample, valpred', index').
+    Mirrors the IR decoder exactly (shared shift-add reconstruction). *)
+let decode_step ~valpred ~index code =
+  let code = code land 0xF in
+  let step = step_table.(clamp 0 88 index) in
+  (* vpdiff = (delta/2 + delta/4 + delta/8 + 1/8) * step, via shifts *)
+  let vpdiff = ref (step lsr 3) in
+  if code land 4 <> 0 then vpdiff := !vpdiff + step;
+  if code land 2 <> 0 then vpdiff := !vpdiff + (step lsr 1);
+  if code land 1 <> 0 then vpdiff := !vpdiff + (step lsr 2);
+  let valpred =
+    if code land 8 <> 0 then valpred - !vpdiff else valpred + !vpdiff
+  in
+  let valpred = clamp (-32768) 32767 valpred in
+  let index = clamp 0 88 (index + index_table.(code)) in
+  (valpred, valpred, index)
+
+(** Encode one sample; returns (code, valpred', index'). *)
+let encode_step ~valpred ~index sample =
+  let step = step_table.(clamp 0 88 index) in
+  let diff = sample - valpred in
+  let sign = if diff < 0 then 8 else 0 in
+  let diff = abs diff in
+  let code = ref 0 in
+  let vpdiff = ref (step lsr 3) in
+  let d = ref diff in
+  if !d >= step then begin code := 4; d := !d - step; vpdiff := !vpdiff + step end;
+  let half = step lsr 1 in
+  if !d >= half then begin
+    code := !code lor 2; d := !d - half; vpdiff := !vpdiff + half
+  end;
+  let quarter = step lsr 2 in
+  if !d >= quarter then begin
+    code := !code lor 1; vpdiff := !vpdiff + quarter
+  end;
+  let valpred =
+    if sign <> 0 then valpred - !vpdiff else valpred + !vpdiff
+  in
+  let valpred = clamp (-32768) 32767 valpred in
+  let code = !code lor sign in
+  let index = clamp 0 88 (index + index_table.(code)) in
+  (code, valpred, index)
+
+(** Host reference encoder: PCM16 -> 4-bit codes (one per word). *)
+let host_encode pcm =
+  let valpred = ref 0 and index = ref 0 in
+  Array.map
+    (fun s ->
+      let code, v, i = encode_step ~valpred:!valpred ~index:!index s in
+      valpred := v;
+      index := i;
+      code)
+    pcm
+
+(** Defensive host decoder: codes -> PCM16 floats (for fidelity scoring of
+    a possibly-corrupted encoder output). *)
+let host_decode codes =
+  let valpred = ref 0 and index = ref 0 in
+  Array.map
+    (fun code ->
+      let s, v, i = decode_step ~valpred:!valpred ~index:!index code in
+      valpred := v;
+      index := i;
+      float_of_int s)
+    codes
+
+let alloc_tables mem =
+  let steps = Interp.Memory.alloc_ints mem step_table in
+  let indices = Interp.Memory.alloc_ints mem index_table in
+  (steps, indices)
+
+open Ir
+
+(** Emit the shared predictor-update logic into a kernel.  Given the sign
+    bit and vpdiff, produces (valpred', index') with clamping — identical
+    shapes in encoder and decoder. *)
+let emit_predictor_update b ~valpred ~index ~indices ~sign ~vpdiff ~code =
+  let negative = Builder.ne b sign (Builder.imm 0) in
+  let vp =
+    Builder.select b negative
+      (Builder.sub b valpred vpdiff)
+      (Builder.add b valpred vpdiff)
+  in
+  let vp = Kutil.clamp b vp ~lo:(-32768) ~hi:32767 in
+  let adjust = Builder.geti b indices code in
+  let idx = Kutil.clamp b (Builder.add b index adjust) ~lo:0 ~hi:88 in
+  (vp, idx)

@@ -1,0 +1,86 @@
+open Ir
+
+(** [g721dec] — ADPCM audio decoder (mediabench g721 family).
+
+    The decoder reconstructs PCM16 from 4-bit codes, carrying the same
+    (predicted value, step index) state as the encoder. *)
+
+let name = "g721dec"
+let suite = "mediabench"
+let category = "audio"
+let description = "Audio decoding (ADPCM)"
+let metric = Fidelity.Metric.seg_snr_spec 80.0
+
+let train_n = 2400
+let test_n = 1400
+let train_desc = "train 2400-sample audio"
+let test_desc = "test 1400-sample audio"
+
+(* Parameters: codes, n, step_table, index_table, out. Returns predictor. *)
+let build () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:Workload.entry ~n_params:5 in
+  let codes = Builder.param b 0 in
+  let n = Builder.param b 1 in
+  let steps = Builder.param b 2 in
+  let indices = Builder.param b 3 in
+  let out = Builder.param b 4 in
+  let (valpred_final, _index_final) =
+    Kutil.for2 b ~from:(Builder.imm 0) ~until:n
+      ~init:(Builder.imm 0, Builder.imm 0)
+      ~body:(fun ~i valpred index ->
+        let code = Builder.and_ b (Builder.geti b codes i) (Builder.imm 0xF) in
+        let step = Builder.geti b steps index in
+        let vpd0 = Builder.ashr b step (Builder.imm 3) in
+        let bit4 = Builder.ne b (Builder.and_ b code (Builder.imm 4)) (Builder.imm 0) in
+        let vpd1 =
+          Builder.select b bit4 (Builder.add b vpd0 step) vpd0
+        in
+        let bit2 = Builder.ne b (Builder.and_ b code (Builder.imm 2)) (Builder.imm 0) in
+        let vpd2 =
+          Builder.select b bit2
+            (Builder.add b vpd1 (Builder.ashr b step (Builder.imm 1)))
+            vpd1
+        in
+        let bit1 = Builder.ne b (Builder.and_ b code (Builder.imm 1)) (Builder.imm 0) in
+        let vpd3 =
+          Builder.select b bit1
+            (Builder.add b vpd2 (Builder.ashr b step (Builder.imm 2)))
+            vpd2
+        in
+        let sign = Builder.and_ b code (Builder.imm 8) in
+        let vp', idx' =
+          Adpcm_common.emit_predictor_update b ~valpred ~index ~indices ~sign
+            ~vpdiff:vpd3 ~code
+        in
+        Builder.seti b out i vp';
+        (vp', idx'))
+  in
+  Builder.ret b valpred_final;
+  Builder.finish b;
+  prog
+
+let fresh_state role =
+  let n, seed =
+    match role with
+    | Workload.Train -> (train_n, 51)
+    | Workload.Test -> (test_n, 52)
+  in
+  let pcm_data = Synth.audio ~seed ~n in
+  let code_data = Adpcm_common.host_encode pcm_data in
+  let mem = Interp.Memory.create () in
+  let codes = Interp.Memory.alloc_ints mem code_data in
+  let steps, indices = Adpcm_common.alloc_tables mem in
+  let out = Interp.Memory.alloc mem n in
+  let read_output (_ : Value.t option) =
+    Array.map float_of_int (Interp.Memory.read_ints_tolerant mem out n)
+  in
+  { Faults.Campaign.mem;
+    args =
+      [ Value.of_int codes; Value.of_int n; Value.of_int steps;
+        Value.of_int indices; Value.of_int out ];
+    read_output }
+
+let workload =
+  { Workload.name; suite; category; description; train_desc; test_desc;
+    metric; build; fresh_state }

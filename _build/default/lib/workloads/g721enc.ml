@@ -1,0 +1,91 @@
+open Ir
+
+(** [g721enc] — ADPCM audio encoder (mediabench g721 family).
+
+    Waveform coding with a per-sample 4-bit code: the predicted value and
+    quantizer step index are carried from sample to sample, so a single
+    corrupted prediction skews the whole remaining stream.  Fidelity is the
+    segmental SNR of the host-decoded code stream. *)
+
+let name = "g721enc"
+let suite = "mediabench"
+let category = "audio"
+let description = "Audio encoding (ADPCM)"
+let metric = Fidelity.Metric.seg_snr_spec 80.0
+
+let train_n = 2400
+let test_n = 1400
+let train_desc = "train 2400-sample audio"
+let test_desc = "test 1400-sample audio"
+
+(* Parameters: pcm, n, step_table, index_table, out. Returns final predictor. *)
+let build () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:Workload.entry ~n_params:5 in
+  let pcm = Builder.param b 0 in
+  let n = Builder.param b 1 in
+  let steps = Builder.param b 2 in
+  let indices = Builder.param b 3 in
+  let out = Builder.param b 4 in
+  let (valpred_final, _index_final) =
+    Kutil.for2 b ~from:(Builder.imm 0) ~until:n
+      ~init:(Builder.imm 0, Builder.imm 0)
+      ~body:(fun ~i valpred index ->
+        let sample = Builder.geti b pcm i in
+        let step = Builder.geti b steps index in
+        let diff = Builder.sub b sample valpred in
+        let neg = Builder.lt b diff (Builder.imm 0) in
+        let sign = Builder.select b neg (Builder.imm 8) (Builder.imm 0) in
+        let diff = Kutil.iabs b diff in
+        (* Successive-approximation quantizer, branchless as in the C code. *)
+        let vpd0 = Builder.ashr b step (Builder.imm 3) in
+        let ge4 = Builder.ge b diff step in
+        let code4 = Builder.select b ge4 (Builder.imm 4) (Builder.imm 0) in
+        let d1 = Builder.select b ge4 (Builder.sub b diff step) diff in
+        let vpd1 = Builder.select b ge4 (Builder.add b vpd0 step) vpd0 in
+        let half = Builder.ashr b step (Builder.imm 1) in
+        let ge2 = Builder.ge b d1 half in
+        let code2 = Builder.select b ge2 (Builder.imm 2) (Builder.imm 0) in
+        let d2 = Builder.select b ge2 (Builder.sub b d1 half) d1 in
+        let vpd2 = Builder.select b ge2 (Builder.add b vpd1 half) vpd1 in
+        let quarter = Builder.ashr b step (Builder.imm 2) in
+        let ge1 = Builder.ge b d2 quarter in
+        let code1 = Builder.select b ge1 (Builder.imm 1) (Builder.imm 0) in
+        let vpd3 = Builder.select b ge1 (Builder.add b vpd2 quarter) vpd2 in
+        let code =
+          Builder.or_ b sign (Builder.or_ b code4 (Builder.or_ b code2 code1))
+        in
+        let vp', idx' =
+          Adpcm_common.emit_predictor_update b ~valpred ~index ~indices ~sign
+            ~vpdiff:vpd3 ~code
+        in
+        Builder.seti b out i code;
+        (vp', idx'))
+  in
+  Builder.ret b valpred_final;
+  Builder.finish b;
+  prog
+
+let fresh_state role =
+  let n, seed =
+    match role with
+    | Workload.Train -> (train_n, 41)
+    | Workload.Test -> (test_n, 42)
+  in
+  let pcm_data = Synth.audio ~seed ~n in
+  let mem = Interp.Memory.create () in
+  let pcm = Interp.Memory.alloc_ints mem pcm_data in
+  let steps, indices = Adpcm_common.alloc_tables mem in
+  let out = Interp.Memory.alloc mem n in
+  let read_output (_ : Value.t option) =
+    Adpcm_common.host_decode (Interp.Memory.read_ints_tolerant mem out n)
+  in
+  { Faults.Campaign.mem;
+    args =
+      [ Value.of_int pcm; Value.of_int n; Value.of_int steps;
+        Value.of_int indices; Value.of_int out ];
+    read_output }
+
+let workload =
+  { Workload.name; suite; category; description; train_desc; test_desc;
+    metric; build; fresh_state }

@@ -1,0 +1,108 @@
+(** Shared pieces of the H.264-style video codec pair.
+
+    The computational skeleton of a hybrid video coder: the first frame is
+    coded raw (intra), subsequent frames are coded per 8x8 block with
+    full-search motion estimation over the *reconstructed* previous frame,
+    followed by quantized residual coding.  Using the reconstruction (not
+    the source) as reference keeps encoder and decoder in lock step, as in
+    a real codec — and makes the reconstruction loop genuinely stateful.
+
+    Stream format: frame 0 pixels raw, then per inter block
+    [mvy; mvx; 64 quantized residuals]. *)
+
+let blk = 8
+
+(* Motion search radius (full search) and residual quantizer step. *)
+let search = 2
+let q = 8
+
+let block_words = 2 + (blk * blk)
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let quantize_residual r = (r + if r >= 0 then q / 2 else -(q / 2)) / q
+
+(** Stream length in words for a [frames]-frame [w]x[h] sequence. *)
+let stream_words ~w ~h ~frames =
+  (w * h) + ((frames - 1) * (w / blk) * (h / blk) * block_words)
+
+(** Host reference encoder, mirroring the kernel's search and quantization;
+    produces the stream the IR decoder consumes. *)
+let host_encode ~(video : int array) ~w ~h ~frames =
+  let out = Array.make (stream_words ~w ~h ~frames) 0 in
+  let recon = Array.make (frames * w * h) 0 in
+  for p = 0 to (w * h) - 1 do
+    out.(p) <- video.(p);
+    recon.(p) <- video.(p)
+  done;
+  let sp = ref (w * h) in
+  for f = 1 to frames - 1 do
+    let cur p = video.((f * w * h) + p) in
+    let prev p = recon.(((f - 1) * w * h) + p) in
+    for by = 0 to (h / blk) - 1 do
+      for bx = 0 to (w / blk) - 1 do
+        let y0 = by * blk and x0 = bx * blk in
+        let best = ref (max_int, y0, x0) in
+        for dy = -search to search do
+          for dx = -search to search do
+            let ry = clamp 0 (h - blk) (y0 + dy) in
+            let rx = clamp 0 (w - blk) (x0 + dx) in
+            let sad = ref 0 in
+            for y = 0 to blk - 1 do
+              for x = 0 to blk - 1 do
+                let c = cur (((y0 + y) * w) + x0 + x) in
+                let r = prev (((ry + y) * w) + rx + x) in
+                sad := !sad + abs (c - r)
+              done
+            done;
+            let cost, _, _ = !best in
+            if !sad < cost then best := (!sad, ry, rx)
+          done
+        done;
+        let _, bry, brx = !best in
+        out.(!sp) <- bry - y0;
+        out.(!sp + 1) <- brx - x0;
+        for y = 0 to blk - 1 do
+          for x = 0 to blk - 1 do
+            let c = cur (((y0 + y) * w) + x0 + x) in
+            let p = prev (((bry + y) * w) + brx + x) in
+            let rq = quantize_residual (c - p) in
+            out.(!sp + 2 + (y * blk) + x) <- rq;
+            recon.((f * w * h) + ((y0 + y) * w) + x0 + x) <-
+              clamp 0 255 (p + (rq * q))
+          done
+        done;
+        sp := !sp + block_words
+      done
+    done
+  done;
+  out
+
+(** Defensive host decoder: stream -> pixels of all frames as floats. *)
+let host_decode ~(stream : int array) ~w ~h ~frames =
+  let len = Array.length stream in
+  let get i = if i >= 0 && i < len then stream.(i) else 0 in
+  let recon = Array.make (frames * w * h) 0 in
+  for p = 0 to (w * h) - 1 do
+    recon.(p) <- clamp 0 255 (get p)
+  done;
+  let rp = ref (w * h) in
+  for f = 1 to frames - 1 do
+    for by = 0 to (h / blk) - 1 do
+      for bx = 0 to (w / blk) - 1 do
+        let y0 = by * blk and x0 = bx * blk in
+        let ry = clamp 0 (h - blk) (y0 + get !rp) in
+        let rx = clamp 0 (w - blk) (x0 + get (!rp + 1)) in
+        for y = 0 to blk - 1 do
+          for x = 0 to blk - 1 do
+            let p = recon.(((f - 1) * w * h) + ((ry + y) * w) + rx + x) in
+            let rq = get (!rp + 2 + (y * blk) + x) in
+            recon.((f * w * h) + ((y0 + y) * w) + x0 + x) <-
+              clamp 0 255 (p + (rq * q))
+          done
+        done;
+        rp := !rp + block_words
+      done
+    done
+  done;
+  Array.map float_of_int recon

@@ -1,0 +1,111 @@
+open Ir
+
+(** [h264dec] — H.264-style video decoder (mediabench II).
+
+    Rebuilds the frame sequence from the reference encoder's stream:
+    motion-compensated prediction from the previously reconstructed frame
+    plus dequantized residuals.  The stream read pointer carries across
+    blocks and frames; corrupting it desynchronizes all later blocks. *)
+
+let name = "h264dec"
+let suite = "mediabench II"
+let category = "video"
+let description = "H.264 video decoding"
+let metric = Fidelity.Metric.psnr_spec 30.0
+
+let train_w, train_h, train_frames = 32, 24, 3
+let test_w, test_h, test_frames = 24, 24, 3
+let train_desc = "train 32x24x3 video"
+let test_desc = "test 24x24x3 video"
+
+let blk = H264_common.blk
+let qstep = H264_common.q
+
+(* Parameters: stream, w, h, n_frames, out. Returns a motion checksum. *)
+let build () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:Workload.entry ~n_params:5 in
+  let stream = Builder.param b 0 in
+  let w = Builder.param b 1 in
+  let h = Builder.param b 2 in
+  let n_frames = Builder.param b 3 in
+  let out = Builder.param b 4 in
+  let i8 = Builder.imm blk in
+  let wh = Builder.mul b w h in
+  (* Intra frame. *)
+  Builder.for_each b ~from:(Builder.imm 0) ~until:wh ~body:(fun ~i:p ->
+    let v = Kutil.clamp b (Builder.geti b stream p) ~lo:0 ~hi:255 in
+    Builder.seti b out p v);
+  let nbx = Builder.sdiv b w i8 in
+  let nby = Builder.sdiv b h i8 in
+  let n_blocks = Builder.mul b nby nbx in
+  let (checksum, _rp) =
+    Kutil.for2 b ~from:(Builder.imm 1) ~until:n_frames
+      ~init:(Builder.imm 0, Builder.add b stream wh)
+      ~body:(fun ~i:f sum_f rp_frame ->
+        let prev_base =
+          Builder.add b out (Builder.mul b (Builder.sub b f (Builder.imm 1)) wh)
+        in
+        let cur_base = Builder.add b out (Builder.mul b f wh) in
+        Kutil.for2 b ~from:(Builder.imm 0) ~until:n_blocks
+          ~init:(sum_f, rp_frame)
+          ~body:(fun ~i:blk_i sum rp ->
+            let by = Builder.sdiv b blk_i nbx in
+            let bx = Builder.srem b blk_i nbx in
+            let y0 = Builder.mul b by i8 in
+            let x0 = Builder.mul b bx i8 in
+            let mvy = Builder.load b rp in
+            let mvx = Builder.load b (Builder.add b rp (Builder.imm 1)) in
+            let ry = Builder.add b y0 mvy in
+            let rx = Builder.add b x0 mvx in
+            Builder.for_each b ~from:(Builder.imm 0) ~until:i8 ~body:(fun ~i:yy ->
+              Builder.for_each b ~from:(Builder.imm 0) ~until:i8
+                ~body:(fun ~i:xx ->
+                  let p =
+                    Kutil.get2 b prev_base ~row:(Builder.add b ry yy) ~ncols:w
+                      ~col:(Builder.add b rx xx)
+                  in
+                  let rq =
+                    Builder.load b
+                      (Builder.add b rp
+                         (Builder.add b (Builder.imm 2)
+                            (Builder.add b (Builder.mul b yy i8) xx)))
+                  in
+                  let v =
+                    Kutil.clamp b
+                      (Builder.add b p (Builder.mul b rq (Builder.imm qstep)))
+                      ~lo:0 ~hi:255
+                  in
+                  Kutil.set2 b cur_base ~row:(Builder.add b y0 yy) ~ncols:w
+                    ~col:(Builder.add b x0 xx) v));
+            (Builder.add b sum (Builder.add b (Kutil.iabs b mvy) (Kutil.iabs b mvx)),
+             Builder.add b rp (Builder.imm H264_common.block_words))))
+  in
+  Builder.ret b checksum;
+  Builder.finish b;
+  prog
+
+let fresh_state role =
+  let w, h, frames, seed =
+    match role with
+    | Workload.Train -> (train_w, train_h, train_frames, 91)
+    | Workload.Test -> (test_w, test_h, test_frames, 92)
+  in
+  let video_data = Synth.video ~seed ~w ~h ~frames in
+  let stream_data = H264_common.host_encode ~video:video_data ~w ~h ~frames in
+  let mem = Interp.Memory.create () in
+  let stream = Interp.Memory.alloc_ints mem stream_data in
+  let out = Interp.Memory.alloc mem (frames * w * h) in
+  let read_output (_ : Value.t option) =
+    Array.map float_of_int
+      (Interp.Memory.read_ints_tolerant mem out (frames * w * h))
+  in
+  { Faults.Campaign.mem;
+    args =
+      [ Value.of_int stream; Value.of_int w; Value.of_int h;
+        Value.of_int frames; Value.of_int out ];
+    read_output }
+
+let workload =
+  { Workload.name; suite; category; description; train_desc; test_desc;
+    metric; build; fresh_state }

@@ -1,0 +1,173 @@
+open Ir
+
+(** [h264enc] — H.264-style video encoder (mediabench II).
+
+    Intra-codes the first frame, then per 8x8 block runs full-search motion
+    estimation against the reconstructed previous frame and quantized
+    residual coding, maintaining the reconstruction loop.  The stream write
+    pointer and the reconstruction state carry across blocks and frames. *)
+
+let name = "h264enc"
+let suite = "mediabench II"
+let category = "video"
+let description = "H.264 video encoding"
+let metric = Fidelity.Metric.psnr_spec 30.0
+
+let train_w, train_h, train_frames = 32, 24, 3
+let test_w, test_h, test_frames = 24, 24, 3
+let train_desc = "train 32x24x3 video"
+let test_desc = "test 24x24x3 video"
+
+let blk = H264_common.blk
+let qstep = H264_common.q
+
+(* Parameters: video, w, h, n_frames, recon, out. Returns stream length. *)
+let build () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:Workload.entry ~n_params:6 in
+  let video = Builder.param b 0 in
+  let w = Builder.param b 1 in
+  let h = Builder.param b 2 in
+  let n_frames = Builder.param b 3 in
+  let recon = Builder.param b 4 in
+  let out = Builder.param b 5 in
+  let i8 = Builder.imm blk in
+  let wh = Builder.mul b w h in
+  (* Intra frame: copy source into both the stream and the reconstruction. *)
+  Builder.for_each b ~from:(Builder.imm 0) ~until:wh ~body:(fun ~i:p ->
+    let v = Builder.geti b video p in
+    Builder.seti b recon p v;
+    Builder.seti b out p v);
+  let nbx = Builder.sdiv b w i8 in
+  let nby = Builder.sdiv b h i8 in
+  let n_blocks = Builder.mul b nby nbx in
+  let hi_y = Builder.sub b h i8 in
+  let hi_x = Builder.sub b w i8 in
+  let sp_final =
+    Kutil.for1 b ~from:(Builder.imm 1) ~until:n_frames
+      ~init:(Builder.add b out wh)
+      ~body:(fun ~i:f sp_frame ->
+        let cur_base = Builder.add b video (Builder.mul b f wh) in
+        let prev_base =
+          Builder.add b recon (Builder.mul b (Builder.sub b f (Builder.imm 1)) wh)
+        in
+        let rec_base = Builder.add b recon (Builder.mul b f wh) in
+        Kutil.for1 b ~from:(Builder.imm 0) ~until:n_blocks ~init:sp_frame
+          ~body:(fun ~i:blk_i sp ->
+            let by = Builder.sdiv b blk_i nbx in
+            let bx = Builder.srem b blk_i nbx in
+            let y0 = Builder.mul b by i8 in
+            let x0 = Builder.mul b bx i8 in
+            (* Full-search motion estimation over a clamped window. *)
+            let (_cost, bry, brx) =
+              Kutil.for3 b ~from:(Builder.imm 0)
+                ~until:(Builder.imm ((2 * H264_common.search) + 1))
+                ~init:(Builder.imm max_int, y0, x0)
+                ~body:(fun ~i:dyi cost0 bry0 brx0 ->
+                  let ry =
+                    Kutil.imax b (Builder.imm 0)
+                      (Kutil.imin b
+                         (Builder.add b y0
+                            (Builder.sub b dyi (Builder.imm H264_common.search)))
+                         hi_y)
+                  in
+                  Kutil.for3 b ~from:(Builder.imm 0)
+                    ~until:(Builder.imm ((2 * H264_common.search) + 1))
+                    ~init:(cost0, bry0, brx0)
+                    ~body:(fun ~i:dxi cost bry brx ->
+                      let rx =
+                        Kutil.imax b (Builder.imm 0)
+                          (Kutil.imin b
+                             (Builder.add b x0
+                                (Builder.sub b dxi
+                                   (Builder.imm H264_common.search)))
+                             hi_x)
+                      in
+                      let sad =
+                        Kutil.isum b ~from:(Builder.imm 0) ~until:i8
+                          ~f:(fun ~i:yy ->
+                            Kutil.isum b ~from:(Builder.imm 0) ~until:i8
+                              ~f:(fun ~i:xx ->
+                                let c =
+                                  Kutil.get2 b cur_base
+                                    ~row:(Builder.add b y0 yy) ~ncols:w
+                                    ~col:(Builder.add b x0 xx)
+                                in
+                                let r =
+                                  Kutil.get2 b prev_base
+                                    ~row:(Builder.add b ry yy) ~ncols:w
+                                    ~col:(Builder.add b rx xx)
+                                in
+                                Kutil.iabs b (Builder.sub b c r)))
+                      in
+                      let better = Builder.lt b sad cost in
+                      (Builder.select b better sad cost,
+                       Builder.select b better ry bry,
+                       Builder.select b better rx brx)))
+            in
+            Builder.store b sp (Builder.sub b bry y0);
+            Builder.store b (Builder.add b sp (Builder.imm 1))
+              (Builder.sub b brx x0);
+            (* Quantized residual + reconstruction update. *)
+            Builder.for_each b ~from:(Builder.imm 0) ~until:i8 ~body:(fun ~i:yy ->
+              Builder.for_each b ~from:(Builder.imm 0) ~until:i8
+                ~body:(fun ~i:xx ->
+                  let c =
+                    Kutil.get2 b cur_base ~row:(Builder.add b y0 yy) ~ncols:w
+                      ~col:(Builder.add b x0 xx)
+                  in
+                  let p =
+                    Kutil.get2 b prev_base ~row:(Builder.add b bry yy) ~ncols:w
+                      ~col:(Builder.add b brx xx)
+                  in
+                  let r = Builder.sub b c p in
+                  let bias =
+                    Builder.select b (Builder.ge b r (Builder.imm 0))
+                      (Builder.imm (qstep / 2))
+                      (Builder.imm (-(qstep / 2)))
+                  in
+                  let rq = Builder.sdiv b (Builder.add b r bias) (Builder.imm qstep) in
+                  let slot =
+                    Builder.add b sp
+                      (Builder.add b (Builder.imm 2)
+                         (Builder.add b (Builder.mul b yy i8) xx))
+                  in
+                  Builder.store b slot rq;
+                  let v =
+                    Kutil.clamp b
+                      (Builder.add b p (Builder.mul b rq (Builder.imm qstep)))
+                      ~lo:0 ~hi:255
+                  in
+                  Kutil.set2 b rec_base ~row:(Builder.add b y0 yy) ~ncols:w
+                    ~col:(Builder.add b x0 xx) v));
+            Builder.add b sp (Builder.imm H264_common.block_words)))
+  in
+  Builder.ret b (Builder.sub b sp_final out);
+  Builder.finish b;
+  prog
+
+let fresh_state role =
+  let w, h, frames, seed =
+    match role with
+    | Workload.Train -> (train_w, train_h, train_frames, 81)
+    | Workload.Test -> (test_w, test_h, test_frames, 82)
+  in
+  let video_data = Synth.video ~seed ~w ~h ~frames in
+  let mem = Interp.Memory.create () in
+  let video = Interp.Memory.alloc_ints mem video_data in
+  let recon = Interp.Memory.alloc mem (frames * w * h) in
+  let out_words = H264_common.stream_words ~w ~h ~frames in
+  let out = Interp.Memory.alloc mem out_words in
+  let read_output (_ : Value.t option) =
+    let stream = Interp.Memory.read_ints_tolerant mem out out_words in
+    H264_common.host_decode ~stream ~w ~h ~frames
+  in
+  { Faults.Campaign.mem;
+    args =
+      [ Value.of_int video; Value.of_int w; Value.of_int h;
+        Value.of_int frames; Value.of_int recon; Value.of_int out ];
+    read_output }
+
+let workload =
+  { Workload.name; suite; category; description; train_desc; test_desc;
+    metric; build; fresh_state }

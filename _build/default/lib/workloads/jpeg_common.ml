@@ -1,0 +1,193 @@
+(** Shared pieces of the JPEG encoder/decoder pair: DCT basis, quantization
+    and zigzag tables, the block-stream format, and host-side reference
+    codecs.
+
+    Stream format, per 8x8 block:
+      [dc_delta; n_pairs; (run, value) * n_pairs]
+    where dc_delta is DPCM against the previous block's DC (a classic state
+    variable), and the pairs run-length encode the non-zero AC coefficients
+    in zigzag order.
+
+    The host codecs only need *format* compatibility with the IR kernels:
+    fidelity is always measured against the fault-free golden run, so both
+    golden and faulty outputs pass through the same host decoder. *)
+
+let block = 8
+let coeffs = block * block
+
+(** Orthonormal 8-point DCT-II basis: ctab.(u*8+x) = a(u)/2 * cos((2x+1)uπ/16). *)
+let ctab =
+  let t = Array.make coeffs 0.0 in
+  for u = 0 to block - 1 do
+    let alpha = if u = 0 then 1.0 /. sqrt 2.0 else 1.0 in
+    for x = 0 to block - 1 do
+      t.((u * block) + x) <-
+        alpha /. 2.0
+        *. cos ((float_of_int ((2 * x) + 1)) *. float_of_int u *. Float.pi /. 16.0)
+    done
+  done;
+  t
+
+(** Standard JPEG luminance quantization table (Annex K). *)
+let qtab =
+  [| 16; 11; 10; 16; 24; 40; 51; 61;
+     12; 12; 14; 19; 26; 58; 60; 55;
+     14; 13; 16; 24; 40; 57; 69; 56;
+     14; 17; 22; 29; 51; 87; 80; 62;
+     18; 22; 37; 56; 68; 109; 103; 77;
+     24; 35; 55; 64; 81; 104; 113; 92;
+     49; 64; 78; 87; 103; 121; 120; 101;
+     72; 92; 95; 98; 112; 100; 103; 99 |]
+
+(** Zigzag scan: zigzag.(k) is the block position of scan index k. *)
+let zigzag =
+  [| 0; 1; 8; 16; 9; 2; 3; 10; 17; 24; 32; 25; 18; 11; 4; 5;
+     12; 19; 26; 33; 40; 48; 41; 34; 27; 20; 13; 6; 7; 14; 21; 28;
+     35; 42; 49; 56; 57; 50; 43; 36; 29; 22; 15; 23; 30; 37; 44; 51;
+     58; 59; 52; 45; 38; 31; 39; 46; 53; 60; 61; 54; 47; 55; 62; 63 |]
+
+(** Worst-case stream words per block: dc + count + 63 pairs. *)
+let max_block_words = 2 + (63 * 2)
+
+let round_half_away r =
+  if r >= 0.0 then int_of_float (r +. 0.5) else -int_of_float (0.5 -. r)
+
+let clamp_pixel v = if v < 0 then 0 else if v > 255 then 255 else v
+
+(* ----- host-side reference codec ----- *)
+
+let forward_dct (shifted : float array) =
+  let tmp = Array.make coeffs 0.0 in
+  for v = 0 to block - 1 do
+    for x = 0 to block - 1 do
+      let acc = ref 0.0 in
+      for y = 0 to block - 1 do
+        acc := !acc +. (ctab.((v * block) + y) *. shifted.((y * block) + x))
+      done;
+      tmp.((v * block) + x) <- !acc
+    done
+  done;
+  let freq = Array.make coeffs 0.0 in
+  for v = 0 to block - 1 do
+    for u = 0 to block - 1 do
+      let acc = ref 0.0 in
+      for x = 0 to block - 1 do
+        acc := !acc +. (ctab.((u * block) + x) *. tmp.((v * block) + x))
+      done;
+      freq.((v * block) + u) <- !acc
+    done
+  done;
+  freq
+
+let inverse_dct (freq : float array) =
+  let tmp = Array.make coeffs 0.0 in
+  for y = 0 to block - 1 do
+    for u = 0 to block - 1 do
+      let acc = ref 0.0 in
+      for v = 0 to block - 1 do
+        acc := !acc +. (ctab.((v * block) + y) *. freq.((v * block) + u))
+      done;
+      tmp.((y * block) + u) <- !acc
+    done
+  done;
+  let pix = Array.make coeffs 0.0 in
+  for y = 0 to block - 1 do
+    for x = 0 to block - 1 do
+      let acc = ref 0.0 in
+      for u = 0 to block - 1 do
+        acc := !acc +. (ctab.((u * block) + x) *. tmp.((y * block) + u))
+      done;
+      pix.((y * block) + x) <- !acc
+    done
+  done;
+  pix
+
+(** Reference encoder: produces the stream the IR decoder consumes. *)
+let host_encode ~(pixels : int array) ~w ~h =
+  assert (w mod block = 0 && h mod block = 0);
+  let bw = w / block and bh = h / block in
+  let out = ref [] in
+  let n_out = ref 0 in
+  let emit v = out := v :: !out; incr n_out in
+  let dc_pred = ref 0 in
+  for by = 0 to bh - 1 do
+    for bx = 0 to bw - 1 do
+      let shifted = Array.make coeffs 0.0 in
+      for y = 0 to block - 1 do
+        for x = 0 to block - 1 do
+          let p = pixels.(((by * block) + y) * w + (bx * block) + x) in
+          shifted.((y * block) + x) <- float_of_int (p - 128)
+        done
+      done;
+      let freq = forward_dct shifted in
+      let qcoef =
+        Array.init coeffs (fun k ->
+          let pos = zigzag.(k) in
+          round_half_away (freq.(pos) /. float_of_int qtab.(pos)))
+      in
+      emit (qcoef.(0) - !dc_pred);
+      dc_pred := qcoef.(0);
+      let pairs = ref [] in
+      let run = ref 0 in
+      for k = 1 to coeffs - 1 do
+        if qcoef.(k) = 0 then incr run
+        else begin
+          pairs := (!run, qcoef.(k)) :: !pairs;
+          run := 0
+        end
+      done;
+      let pairs = List.rev !pairs in
+      emit (List.length pairs);
+      List.iter (fun (r, v) -> emit r; emit v) pairs
+    done
+  done;
+  Array.of_list (List.rev !out)
+
+(** Defensive reference decoder: never raises on a corrupted stream; used
+    to turn an encoder's (possibly faulty) output back into pixels for
+    fidelity scoring. *)
+let host_decode ~(stream : int array) ~w ~h =
+  let bw = w / block and bh = h / block in
+  let len = Array.length stream in
+  let rp = ref 0 in
+  let next () = if !rp < len then (let v = stream.(!rp) in incr rp; v) else 0 in
+  let pixels = Array.make (w * h) 0.0 in
+  let dc_pred = ref 0 in
+  for by = 0 to bh - 1 do
+    for bx = 0 to bw - 1 do
+      let qcoef = Array.make coeffs 0 in
+      let dc_delta = next () in
+      dc_pred := !dc_pred + dc_delta;
+      qcoef.(0) <- !dc_pred;
+      let n_pairs = max 0 (min 63 (next ())) in
+      let k = ref 1 in
+      for _ = 1 to n_pairs do
+        let run = next () in
+        let v = next () in
+        k := !k + max 0 run;
+        if !k <= 63 then qcoef.(!k) <- v;
+        incr k
+      done;
+      let freq = Array.make coeffs 0.0 in
+      for k = 0 to coeffs - 1 do
+        let pos = zigzag.(k) in
+        freq.(pos) <- float_of_int qcoef.(k) *. float_of_int qtab.(pos)
+      done;
+      let pix = inverse_dct freq in
+      for y = 0 to block - 1 do
+        for x = 0 to block - 1 do
+          let v = round_half_away (pix.((y * block) + x) +. 128.0) in
+          pixels.(((by * block) + y) * w + (bx * block) + x) <-
+            float_of_int (clamp_pixel v)
+        done
+      done
+    done
+  done;
+  pixels
+
+(** Memory image shared by both kernels: the three tables. *)
+let alloc_tables mem =
+  let ctab_base = Interp.Memory.alloc_floats mem ctab in
+  let qtab_base = Interp.Memory.alloc_ints mem qtab in
+  let zig_base = Interp.Memory.alloc_ints mem zigzag in
+  (ctab_base, qtab_base, zig_base)

@@ -1,0 +1,132 @@
+open Ir
+
+(** [jpegdec] — JPEG image decoder (mediabench).
+
+    The kernel consumes a block stream produced by the reference encoder:
+    per block it reads the DC delta and RLE pairs (the stream read pointer
+    and the DC predictor are loop-carried state variables), dequantizes,
+    runs the inverse DCT, clamps and stores pixels.  A corrupted read
+    pointer desynchronizes every later block — the paper's Figure 1(c)
+    failure mode. *)
+
+let name = "jpegdec"
+let suite = "mediabench"
+let category = "image"
+let description = "A JPEG image decoder"
+let metric = Fidelity.Metric.psnr_spec 30.0
+
+let train_w, train_h = 64, 64
+let test_w, test_h = 48, 48
+let train_desc = Printf.sprintf "train %dx%d image" train_w train_h
+let test_desc = Printf.sprintf "test %dx%d image" test_w test_h
+
+(* Parameters: stream, out_img, width, bw, bh, ctab, qtab, zig.
+   Returns the final DC predictor (a checksum of sorts). *)
+let build () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:Workload.entry ~n_params:8 in
+  let stream = Builder.param b 0 in
+  let out_img = Builder.param b 1 in
+  let width = Builder.param b 2 in
+  let bw = Builder.param b 3 in
+  let bh = Builder.param b 4 in
+  let ctab = Builder.param b 5 in
+  let qtab = Builder.param b 6 in
+  let zig = Builder.param b 7 in
+  let i8 = Builder.imm 8 in
+  let qcoef = Builder.alloc b (Builder.imm 64) in
+  let freq = Builder.alloc b (Builder.imm 64) in
+  let tmp = Builder.alloc b (Builder.imm 64) in
+  let n_blocks = Builder.mul b bw bh in
+  let (dc_final, _rp_final) =
+    Kutil.for2 b ~from:(Builder.imm 0) ~until:n_blocks
+      ~init:(Builder.imm 0, stream)
+      ~body:(fun ~i:blk dc_pred rp ->
+        let by = Builder.sdiv b blk bw in
+        let bx = Builder.srem b blk bw in
+        let y0 = Builder.mul b by i8 in
+        let x0 = Builder.mul b bx i8 in
+        (* Clear coefficients. *)
+        Builder.for_each b ~from:(Builder.imm 0) ~until:(Builder.imm 64)
+          ~body:(fun ~i:k -> Builder.seti b qcoef k (Builder.imm 0));
+        (* DC DPCM reconstruction: dc_pred is a state variable. *)
+        let dc_delta = Builder.load b rp in
+        let n_pairs = Builder.load b (Builder.add b rp (Builder.imm 1)) in
+        let dc = Builder.add b dc_pred dc_delta in
+        Builder.seti b qcoef (Builder.imm 0) dc;
+        (* Read RLE pairs; the scan position and read pointer both carry. *)
+        let pairs_start = Builder.add b rp (Builder.imm 2) in
+        let (_k_final, rp') =
+          Kutil.for2 b ~from:(Builder.imm 0) ~until:n_pairs
+            ~init:(Builder.imm 1, pairs_start)
+            ~body:(fun ~i:_ k p ->
+              let run = Builder.load b p in
+              let v = Builder.load b (Builder.add b p (Builder.imm 1)) in
+              let k = Builder.add b k run in
+              Builder.seti b qcoef k v;
+              (Builder.add b k (Builder.imm 1),
+               Builder.add b p (Builder.imm 2)))
+        in
+        (* Dequantize out of zigzag order. *)
+        Builder.for_each b ~from:(Builder.imm 0) ~until:(Builder.imm 64)
+          ~body:(fun ~i:k ->
+            let pos = Builder.geti b zig k in
+            let qc = Builder.geti b qcoef k in
+            let q = Builder.geti b qtab pos in
+            let f = Builder.float_of_int b (Builder.mul b qc q) in
+            Builder.seti b freq pos f);
+        (* IDCT pass 1: tmp[y][u] = sum_v ctab[v][y] * freq[v][u]. *)
+        Builder.for_each b ~from:(Builder.imm 0) ~until:i8 ~body:(fun ~i:y ->
+          Builder.for_each b ~from:(Builder.imm 0) ~until:i8 ~body:(fun ~i:u ->
+            let acc =
+              Kutil.fsum b ~from:(Builder.imm 0) ~until:i8 ~f:(fun ~i:v ->
+                let c = Kutil.get2 b ctab ~row:v ~ncols:i8 ~col:y in
+                let f = Kutil.get2 b freq ~row:v ~ncols:i8 ~col:u in
+                Builder.fmul b c f)
+            in
+            Kutil.set2 b tmp ~row:y ~ncols:i8 ~col:u acc));
+        (* IDCT pass 2 + level unshift + clamp + store. *)
+        Builder.for_each b ~from:(Builder.imm 0) ~until:i8 ~body:(fun ~i:y ->
+          Builder.for_each b ~from:(Builder.imm 0) ~until:i8 ~body:(fun ~i:x ->
+            let acc =
+              Kutil.fsum b ~from:(Builder.imm 0) ~until:i8 ~f:(fun ~i:u ->
+                let c = Kutil.get2 b ctab ~row:u ~ncols:i8 ~col:x in
+                let t = Kutil.get2 b tmp ~row:y ~ncols:i8 ~col:u in
+                Builder.fmul b c t)
+            in
+            let v = Kutil.round b (Builder.fadd b acc (Builder.immf 128.0)) in
+            let v = Kutil.clamp b v ~lo:0 ~hi:255 in
+            Kutil.set2 b out_img ~row:(Builder.add b y0 y) ~ncols:width
+              ~col:(Builder.add b x0 x) v));
+        (dc, rp'))
+  in
+  Builder.ret b dc_final;
+  Builder.finish b;
+  prog
+
+let fresh_state role =
+  let w, h, seed =
+    match role with
+    | Workload.Train -> (train_w, train_h, 21)
+    | Workload.Test -> (test_w, test_h, 22)
+  in
+  let pixels = Synth.gray_image ~seed ~w ~h in
+  let stream_data = Jpeg_common.host_encode ~pixels ~w ~h in
+  let mem = Interp.Memory.create () in
+  let stream = Interp.Memory.alloc_ints mem stream_data in
+  let out_img = Interp.Memory.alloc mem (w * h) in
+  let ctab, qtab, zig = Jpeg_common.alloc_tables mem in
+  let bw = w / 8 and bh = h / 8 in
+  let read_output (_ : Value.t option) =
+    Array.map float_of_int (Interp.Memory.read_ints_tolerant mem out_img (w * h))
+  in
+  { Faults.Campaign.mem;
+    args =
+      [ Value.of_int stream; Value.of_int out_img; Value.of_int w;
+        Value.of_int bw; Value.of_int bh; Value.of_int ctab;
+        Value.of_int qtab; Value.of_int zig ];
+    read_output }
+
+let workload =
+  { Workload.name; suite; category; description; train_desc; test_desc;
+    metric; build; fresh_state }

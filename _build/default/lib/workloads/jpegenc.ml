@@ -1,0 +1,150 @@
+open Ir
+
+(** [jpegenc] — JPEG image encoder (mediabench).
+
+    The kernel runs the computational core of a baseline JPEG encoder over a
+    grayscale image: per 8x8 block, level shift, 2-D DCT, quantization,
+    zigzag scan, DC DPCM prediction and run-length encoding into an output
+    stream.  The DC predictor and the stream write pointer are loop-carried
+    state variables — exactly the Huffman-state pattern the paper's
+    motivation highlights for jpeg.
+
+    Output for fidelity: the stream decoded back to pixels by the host
+    reference decoder, scored with PSNR (threshold 30 dB, Table I). *)
+
+let name = "jpegenc"
+let suite = "mediabench"
+let category = "image"
+let description = "A JPEG image encoder"
+let metric = Fidelity.Metric.psnr_spec 30.0
+
+let train_w, train_h = 64, 64
+let test_w, test_h = 48, 48
+let train_desc = Printf.sprintf "train %dx%d image" train_w train_h
+let test_desc = Printf.sprintf "test %dx%d image" test_w test_h
+
+(* Parameters: img, width, bw, bh, ctab, qtab, zig, out. Returns stream
+   length in words. *)
+let build () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:Workload.entry ~n_params:8 in
+  let img = Builder.param b 0 in
+  let width = Builder.param b 1 in
+  let bw = Builder.param b 2 in
+  let bh = Builder.param b 3 in
+  let ctab = Builder.param b 4 in
+  let qtab = Builder.param b 5 in
+  let zig = Builder.param b 6 in
+  let out = Builder.param b 7 in
+  let i8 = Builder.imm 8 in
+  let shifted = Builder.alloc b (Builder.imm 64) in
+  let tmp = Builder.alloc b (Builder.imm 64) in
+  let freq = Builder.alloc b (Builder.imm 64) in
+  let qcoef = Builder.alloc b (Builder.imm 64) in
+  let n_blocks = Builder.mul b bw bh in
+  let (_dc_final, sp_final) =
+    Kutil.for2 b ~from:(Builder.imm 0) ~until:n_blocks
+      ~init:(Builder.imm 0, out)
+      ~body:(fun ~i:blk dc_pred sp ->
+        let by = Builder.sdiv b blk bw in
+        let bx = Builder.srem b blk bw in
+        let y0 = Builder.mul b by i8 in
+        let x0 = Builder.mul b bx i8 in
+        (* Level shift into the block buffer. *)
+        Builder.for_each b ~from:(Builder.imm 0) ~until:i8 ~body:(fun ~i:y ->
+          Builder.for_each b ~from:(Builder.imm 0) ~until:i8 ~body:(fun ~i:x ->
+            let p =
+              Kutil.get2 b img ~row:(Builder.add b y0 y) ~ncols:width
+                ~col:(Builder.add b x0 x)
+            in
+            let s = Builder.float_of_int b (Builder.sub b p (Builder.imm 128)) in
+            Kutil.set2 b shifted ~row:y ~ncols:i8 ~col:x s));
+        (* DCT pass 1: tmp[v][x] = sum_y ctab[v][y] * shifted[y][x]. *)
+        Builder.for_each b ~from:(Builder.imm 0) ~until:i8 ~body:(fun ~i:v ->
+          Builder.for_each b ~from:(Builder.imm 0) ~until:i8 ~body:(fun ~i:x ->
+            let acc =
+              Kutil.fsum b ~from:(Builder.imm 0) ~until:i8 ~f:(fun ~i:y ->
+                let c = Kutil.get2 b ctab ~row:v ~ncols:i8 ~col:y in
+                let s = Kutil.get2 b shifted ~row:y ~ncols:i8 ~col:x in
+                Builder.fmul b c s)
+            in
+            Kutil.set2 b tmp ~row:v ~ncols:i8 ~col:x acc));
+        (* DCT pass 2: freq[v][u] = sum_x ctab[u][x] * tmp[v][x]. *)
+        Builder.for_each b ~from:(Builder.imm 0) ~until:i8 ~body:(fun ~i:v ->
+          Builder.for_each b ~from:(Builder.imm 0) ~until:i8 ~body:(fun ~i:u ->
+            let acc =
+              Kutil.fsum b ~from:(Builder.imm 0) ~until:i8 ~f:(fun ~i:x ->
+                let c = Kutil.get2 b ctab ~row:u ~ncols:i8 ~col:x in
+                let t = Kutil.get2 b tmp ~row:v ~ncols:i8 ~col:x in
+                Builder.fmul b c t)
+            in
+            Kutil.set2 b freq ~row:v ~ncols:i8 ~col:u acc));
+        (* Quantize in zigzag order. *)
+        Builder.for_each b ~from:(Builder.imm 0) ~until:(Builder.imm 64)
+          ~body:(fun ~i:k ->
+            let pos = Builder.geti b zig k in
+            let f = Builder.geti b freq pos in
+            let q = Builder.float_of_int b (Builder.geti b qtab pos) in
+            let r = Builder.fdiv b f q in
+            Builder.seti b qcoef k (Kutil.round b r));
+        (* DC DPCM: state variable dc_pred. *)
+        let dc = Builder.geti b qcoef (Builder.imm 0) in
+        Builder.store b sp (Builder.sub b dc dc_pred);
+        (* Run-length encode the 63 AC coefficients. *)
+        let pairs_start = Builder.add b sp (Builder.imm 2) in
+        let (_run, wp) =
+          Kutil.for2 b ~from:(Builder.imm 1) ~until:(Builder.imm 64)
+            ~init:(Builder.imm 0, pairs_start)
+            ~body:(fun ~i:k run wp ->
+              let qc = Builder.geti b qcoef k in
+              let is_zero = Builder.eq b qc (Builder.imm 0) in
+              Kutil.if2 b is_zero
+                ~then_:(fun () -> (Builder.add b run (Builder.imm 1), wp))
+                ~else_:(fun () ->
+                  Builder.store b wp run;
+                  Builder.store b (Builder.add b wp (Builder.imm 1)) qc;
+                  (Builder.imm 0, Builder.add b wp (Builder.imm 2))))
+        in
+        let n_pairs =
+          Builder.sdiv b (Builder.sub b wp pairs_start) (Builder.imm 2)
+        in
+        Builder.store b (Builder.add b sp (Builder.imm 1)) n_pairs;
+        (dc, wp))
+  in
+  Builder.ret b (Builder.sub b sp_final out);
+  Builder.finish b;
+  prog
+
+let fresh_state role =
+  let w, h, seed =
+    match role with
+    | Workload.Train -> (train_w, train_h, 11)
+    | Workload.Test -> (test_w, test_h, 12)
+  in
+  let pixels = Synth.gray_image ~seed ~w ~h in
+  let mem = Interp.Memory.create () in
+  let img = Interp.Memory.alloc_ints mem pixels in
+  let ctab, qtab, zig = Jpeg_common.alloc_tables mem in
+  let bw = w / 8 and bh = h / 8 in
+  let out_words = bw * bh * Jpeg_common.max_block_words in
+  let out = Interp.Memory.alloc mem out_words in
+  let read_output ret =
+    let len =
+      match ret with
+      | Some v when Ir.Value.is_int v ->
+        max 0 (min out_words (Ir.Value.to_int v))
+      | Some _ | None -> out_words
+    in
+    let stream = Interp.Memory.read_ints_tolerant mem out len in
+    Jpeg_common.host_decode ~stream ~w ~h
+  in
+  { Faults.Campaign.mem;
+    args =
+      [ Value.of_int img; Value.of_int w; Value.of_int bw; Value.of_int bh;
+        Value.of_int ctab; Value.of_int qtab; Value.of_int zig;
+        Value.of_int out ];
+    read_output }
+
+let workload =
+  { Workload.name; suite; category; description; train_desc; test_desc;
+    metric; build; fresh_state }

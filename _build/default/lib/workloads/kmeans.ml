@@ -1,0 +1,116 @@
+open Ir
+
+(** [kmeans] — clustering (in-house, as in the paper).
+
+    Standard Lloyd iterations over multi-dimensional float points: assign
+    each point to the nearest centroid, recompute centroids, repeat.  The
+    centroids carried across iterations and the per-cluster accumulators
+    are the critical state.  Fidelity is the fraction of points whose final
+    assignment changed (classification error, 10 %). *)
+
+let name = "kmeans"
+let suite = "in-house"
+let category = "machine learning"
+let description = "Clustering algorithm"
+let metric = Fidelity.Metric.class_error_spec 0.10
+
+let clusters = 4
+let dims = 4
+let iters = 8
+let train_n = 160
+let test_n = 120
+let train_desc = Printf.sprintf "train %dx%d samples" train_n dims
+let test_desc = Printf.sprintf "test %dx%d samples" test_n dims
+
+(* Parameters: points, n, d, k, iters, labels. Returns assignment checksum. *)
+let build () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:Workload.entry ~n_params:6 in
+  let points = Builder.param b 0 in
+  let n = Builder.param b 1 in
+  let d = Builder.param b 2 in
+  let k = Builder.param b 3 in
+  let n_iters = Builder.param b 4 in
+  let labels = Builder.param b 5 in
+  let kd = Builder.mul b k d in
+  let centroids = Builder.alloc b kd in
+  let sums = Builder.alloc b kd in
+  let counts = Builder.alloc b k in
+  (* Initial centroids: the first k points. *)
+  Builder.for_each b ~from:(Builder.imm 0) ~until:kd ~body:(fun ~i ->
+    Builder.seti b centroids i (Builder.geti b points i));
+  Builder.for_each b ~from:(Builder.imm 0) ~until:n_iters ~body:(fun ~i:_ ->
+    Builder.for_each b ~from:(Builder.imm 0) ~until:kd ~body:(fun ~i ->
+      Builder.seti b sums i (Builder.immf 0.0));
+    Builder.for_each b ~from:(Builder.imm 0) ~until:k ~body:(fun ~i:c ->
+      Builder.seti b counts c (Builder.imm 0));
+    (* Assignment sweep. *)
+    Builder.for_each b ~from:(Builder.imm 0) ~until:n ~body:(fun ~i:p ->
+      let px_base = Builder.mul b p d in
+      let best_c, _best_d =
+        Kutil.for2 b ~from:(Builder.imm 0) ~until:k
+          ~init:(Builder.imm 0, Builder.immf infinity)
+          ~body:(fun ~i:c bc bd ->
+            let c_base = Builder.mul b c d in
+            let dist =
+              Kutil.fsum b ~from:(Builder.imm 0) ~until:d ~f:(fun ~i:j ->
+                let x = Builder.geti b points (Builder.add b px_base j) in
+                let m = Builder.geti b centroids (Builder.add b c_base j) in
+                let diff = Builder.fsub b x m in
+                Builder.fmul b diff diff)
+            in
+            let better = Builder.flt b dist bd in
+            (Builder.select b better c bc, Builder.select b better dist bd))
+      in
+      Builder.seti b labels p best_c;
+      let s_base = Builder.mul b best_c d in
+      Builder.for_each b ~from:(Builder.imm 0) ~until:d ~body:(fun ~i:j ->
+        let x = Builder.geti b points (Builder.add b px_base j) in
+        let slot = Builder.add b s_base j in
+        Builder.seti b sums slot (Builder.fadd b (Builder.geti b sums slot) x));
+      Builder.seti b counts best_c
+        (Builder.add b (Builder.geti b counts best_c) (Builder.imm 1)));
+    (* Centroid update. *)
+    Builder.for_each b ~from:(Builder.imm 0) ~until:k ~body:(fun ~i:c ->
+      let cnt = Builder.geti b counts c in
+      let has_members = Builder.gt b cnt (Builder.imm 0) in
+      let denom = Builder.float_of_int b (Kutil.imax b cnt (Builder.imm 1)) in
+      let c_base = Builder.mul b c d in
+      Builder.for_each b ~from:(Builder.imm 0) ~until:d ~body:(fun ~i:j ->
+        let slot = Builder.add b c_base j in
+        let mean = Builder.fdiv b (Builder.geti b sums slot) denom in
+        let old = Builder.geti b centroids slot in
+        Builder.seti b centroids slot
+          (Builder.select b has_members mean old))));
+  let checksum =
+    Kutil.isum b ~from:(Builder.imm 0) ~until:n ~f:(fun ~i:p ->
+      Builder.geti b labels p)
+  in
+  Builder.ret b checksum;
+  Builder.finish b;
+  prog
+
+let fresh_state role =
+  let n, seed =
+    match role with
+    | Workload.Train -> (train_n, 121)
+    | Workload.Test -> (test_n, 122)
+  in
+  let points_data, (_ : int array) =
+    Synth.clustered_points ~seed ~n ~d:dims ~k:clusters
+  in
+  let mem = Interp.Memory.create () in
+  let points = Interp.Memory.alloc_floats mem points_data in
+  let labels = Interp.Memory.alloc mem n in
+  let read_output (_ : Value.t option) =
+    Array.map float_of_int (Interp.Memory.read_ints_tolerant mem labels n)
+  in
+  { Faults.Campaign.mem;
+    args =
+      [ Value.of_int points; Value.of_int n; Value.of_int dims;
+        Value.of_int clusters; Value.of_int iters; Value.of_int labels ];
+    read_output }
+
+let workload =
+  { Workload.name; suite; category; description; train_desc; test_desc;
+    metric; build; fresh_state }

@@ -1,0 +1,89 @@
+(** Shared pieces of the MP3-style perceptual audio codec pair.
+
+    We implement the computational skeleton of an MPEG audio layer codec:
+    framed analysis transform (an orthonormal 32-point DCT-II standing in
+    for the polyphase filterbank), per-frame scalefactor extraction, and
+    scalar quantization of the subband coefficients.  Frame stream format:
+    [scalefactor; q_0 .. q_31] per frame.  The frame read/write pointers and
+    the running scalefactor state are the loop-carried critical variables. *)
+
+let bands = 32
+let frame_words = bands + 1
+let qmax = 127
+
+(** Orthonormal 32-point DCT-II basis, row-major: ctab.(k*32+n). *)
+let ctab =
+  let t = Array.make (bands * bands) 0.0 in
+  for k = 0 to bands - 1 do
+    let s =
+      if k = 0 then sqrt (1.0 /. float_of_int bands)
+      else sqrt (2.0 /. float_of_int bands)
+    in
+    for n = 0 to bands - 1 do
+      t.((k * bands) + n) <-
+        s
+        *. cos
+             (Float.pi *. (float_of_int ((2 * n) + 1)) *. float_of_int k
+              /. (2.0 *. float_of_int bands))
+    done
+  done;
+  t
+
+let round_half_away r =
+  if r >= 0.0 then int_of_float (r +. 0.5) else -int_of_float (0.5 -. r)
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+(** Host reference encoder: PCM16 -> frame stream.  [n] must be a multiple
+    of 32; callers arrange that. *)
+let host_encode pcm =
+  let n = Array.length pcm in
+  let n_frames = n / bands in
+  let out = Array.make (n_frames * frame_words) 0 in
+  for f = 0 to n_frames - 1 do
+    let coeffs =
+      Array.init bands (fun k ->
+        let acc = ref 0.0 in
+        for i = 0 to bands - 1 do
+          acc :=
+            !acc +. (ctab.((k * bands) + i) *. float_of_int pcm.((f * bands) + i))
+        done;
+        !acc)
+    in
+    let scale =
+      Array.fold_left (fun m c -> Float.max m (Float.abs c)) 1.0 coeffs
+    in
+    let sf = max 1 (round_half_away scale) in
+    out.(f * frame_words) <- sf;
+    for k = 0 to bands - 1 do
+      let q =
+        round_half_away (coeffs.(k) /. float_of_int sf *. float_of_int qmax)
+      in
+      out.((f * frame_words) + 1 + k) <- clamp (-qmax) qmax q
+    done
+  done;
+  out
+
+(** Defensive host decoder: frame stream -> PCM floats. *)
+let host_decode stream =
+  let n_frames = Array.length stream / frame_words in
+  let out = Array.make (n_frames * bands) 0.0 in
+  for f = 0 to n_frames - 1 do
+    let sf = float_of_int (max 1 (abs stream.(f * frame_words))) in
+    let coeffs =
+      Array.init bands (fun k ->
+        let q = clamp (-qmax) qmax stream.((f * frame_words) + 1 + k) in
+        float_of_int q *. sf /. float_of_int qmax)
+    in
+    for i = 0 to bands - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to bands - 1 do
+        acc := !acc +. (ctab.((k * bands) + i) *. coeffs.(k))
+      done;
+      out.((f * bands) + i) <-
+        float_of_int (clamp (-32768) 32767 (round_half_away !acc))
+    done
+  done;
+  out
+
+let alloc_tables mem = Interp.Memory.alloc_floats mem ctab

@@ -1,0 +1,89 @@
+open Ir
+
+(** [mp3dec] — MP3-style audio decoder (mibench mad family).
+
+    Per frame: read the scalefactor, dequantize the 32 subband codes and run
+    the synthesis transform back to PCM.  The stream read pointer carries
+    across frames. *)
+
+let name = "mp3dec"
+let suite = "mibench"
+let category = "audio"
+let description = "Audio decoding (subband)"
+let metric = Fidelity.Metric.psnr_spec ~peak:32768.0 30.0
+
+let train_n = 1280
+let test_n = 768
+let train_desc = "train 1280-sample audio"
+let test_desc = "test 768-sample audio"
+
+let bands = Mp3_common.bands
+
+(* Parameters: stream, n_frames, ctab, out. Returns a checksum. *)
+let build () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:Workload.entry ~n_params:4 in
+  let stream = Builder.param b 0 in
+  let n_frames = Builder.param b 1 in
+  let ctab = Builder.param b 2 in
+  let out = Builder.param b 3 in
+  let nb = Builder.imm bands in
+  let coeffs = Builder.alloc b nb in
+  let (checksum, _rp) =
+    Kutil.for2 b ~from:(Builder.imm 0) ~until:n_frames
+      ~init:(Builder.imm 0, stream)
+      ~body:(fun ~i:f sum rp ->
+        let sf = Builder.load b rp in
+        let sff = Builder.float_of_int b (Kutil.imax b sf (Builder.imm 1)) in
+        (* Dequantize. *)
+        Builder.for_each b ~from:(Builder.imm 0) ~until:nb ~body:(fun ~i:k ->
+          let q =
+            Builder.load b (Builder.add b (Builder.add b rp (Builder.imm 1)) k)
+          in
+          let c =
+            Builder.fdiv b
+              (Builder.fmul b (Builder.float_of_int b q) sff)
+              (Builder.immf (float_of_int Mp3_common.qmax))
+          in
+          Builder.seti b coeffs k c);
+        (* Synthesis transform: pcm[i] = sum_k ctab[k][i] * coeffs[k]. *)
+        let base = Builder.mul b f nb in
+        Builder.for_each b ~from:(Builder.imm 0) ~until:nb ~body:(fun ~i ->
+          let acc =
+            Kutil.fsum b ~from:(Builder.imm 0) ~until:nb ~f:(fun ~i:k ->
+              let c = Kutil.get2 b ctab ~row:k ~ncols:nb ~col:i in
+              Builder.fmul b c (Builder.geti b coeffs k))
+          in
+          let s = Kutil.clamp b (Kutil.round b acc) ~lo:(-32768) ~hi:32767 in
+          Builder.seti b out (Builder.add b base i) s);
+        (Builder.add b sum sf, Builder.add b rp (Builder.imm Mp3_common.frame_words)))
+  in
+  Builder.ret b checksum;
+  Builder.finish b;
+  prog
+
+let fresh_state role =
+  let n, seed =
+    match role with
+    | Workload.Train -> (train_n, 71)
+    | Workload.Test -> (test_n, 72)
+  in
+  let pcm_data = Synth.audio ~seed ~n in
+  let stream_data = Mp3_common.host_encode pcm_data in
+  let n_frames = n / bands in
+  let mem = Interp.Memory.create () in
+  let stream = Interp.Memory.alloc_ints mem stream_data in
+  let ctab = Mp3_common.alloc_tables mem in
+  let out = Interp.Memory.alloc mem n in
+  let read_output (_ : Value.t option) =
+    Array.map float_of_int (Interp.Memory.read_ints_tolerant mem out n)
+  in
+  { Faults.Campaign.mem;
+    args =
+      [ Value.of_int stream; Value.of_int n_frames; Value.of_int ctab;
+        Value.of_int out ];
+    read_output }
+
+let workload =
+  { Workload.name; suite; category; description; train_desc; test_desc;
+    metric; build; fresh_state }

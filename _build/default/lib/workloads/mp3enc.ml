@@ -1,0 +1,102 @@
+open Ir
+
+(** [mp3enc] — MP3-style audio encoder (mibench mad family).
+
+    Per 32-sample frame: analysis transform, scalefactor extraction and
+    scalar quantization into the frame stream.  The stream write pointer is
+    the critical loop-carried state — a corrupted pointer shears every
+    later frame, the exact failure mode of Figure 3's bitstream loop. *)
+
+let name = "mp3enc"
+let suite = "mibench"
+let category = "audio"
+let description = "Audio encoding (subband)"
+let metric = Fidelity.Metric.psnr_spec ~peak:32768.0 30.0
+
+let train_n = 1280
+let test_n = 768
+let train_desc = "train 1280-sample audio"
+let test_desc = "test 768-sample audio"
+
+let bands = Mp3_common.bands
+
+(* Parameters: pcm, n_frames, ctab, out. Returns the stream length. *)
+let build () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:Workload.entry ~n_params:4 in
+  let pcm = Builder.param b 0 in
+  let n_frames = Builder.param b 1 in
+  let ctab = Builder.param b 2 in
+  let out = Builder.param b 3 in
+  let nb = Builder.imm bands in
+  let coeffs = Builder.alloc b nb in
+  let sp_final =
+    Kutil.for1 b ~from:(Builder.imm 0) ~until:n_frames ~init:out
+      ~body:(fun ~i:f sp ->
+        let base = Builder.mul b f nb in
+        (* Analysis transform: coeffs[k] = sum_i ctab[k][i] * pcm[base+i]. *)
+        Builder.for_each b ~from:(Builder.imm 0) ~until:nb ~body:(fun ~i:k ->
+          let acc =
+            Kutil.fsum b ~from:(Builder.imm 0) ~until:nb ~f:(fun ~i ->
+              let c = Kutil.get2 b ctab ~row:k ~ncols:nb ~col:i in
+              let s =
+                Builder.float_of_int b (Builder.geti b pcm (Builder.add b base i))
+              in
+              Builder.fmul b c s)
+          in
+          Builder.seti b coeffs k acc);
+        (* Scalefactor: running max of |coeff| (a state variable). *)
+        let scale_reg =
+          Kutil.for1 b ~from:(Builder.imm 0) ~until:nb ~init:(Builder.immf 1.0)
+            ~body:(fun ~i:k m ->
+              let a = Builder.fabs b (Builder.geti b coeffs k) in
+              Builder.select b (Builder.fgt b a m) a m)
+        in
+        let sf = Kutil.imax b (Kutil.round b scale_reg) (Builder.imm 1) in
+        Builder.store b sp sf;
+        (* Quantize each band. *)
+        let sff = Builder.float_of_int b sf in
+        Builder.for_each b ~from:(Builder.imm 0) ~until:nb ~body:(fun ~i:k ->
+          let c = Builder.geti b coeffs k in
+          let scaled =
+            Builder.fmul b (Builder.fdiv b c sff)
+              (Builder.immf (float_of_int Mp3_common.qmax))
+          in
+          let q =
+            Kutil.clamp b (Kutil.round b scaled) ~lo:(-Mp3_common.qmax)
+              ~hi:Mp3_common.qmax
+          in
+          Builder.store b
+            (Builder.add b (Builder.add b sp (Builder.imm 1)) k)
+            q);
+        Builder.add b sp (Builder.imm Mp3_common.frame_words))
+  in
+  Builder.ret b (Builder.sub b sp_final out);
+  Builder.finish b;
+  prog
+
+let fresh_state role =
+  let n, seed =
+    match role with
+    | Workload.Train -> (train_n, 61)
+    | Workload.Test -> (test_n, 62)
+  in
+  let pcm_data = Synth.audio ~seed ~n in
+  let n_frames = n / bands in
+  let mem = Interp.Memory.create () in
+  let pcm = Interp.Memory.alloc_ints mem pcm_data in
+  let ctab = Mp3_common.alloc_tables mem in
+  let out_words = n_frames * Mp3_common.frame_words in
+  let out = Interp.Memory.alloc mem out_words in
+  let read_output (_ : Value.t option) =
+    Mp3_common.host_decode (Interp.Memory.read_ints_tolerant mem out out_words)
+  in
+  { Faults.Campaign.mem;
+    args =
+      [ Value.of_int pcm; Value.of_int n_frames; Value.of_int ctab;
+        Value.of_int out ];
+    read_output }
+
+let workload =
+  { Workload.name; suite; category; description; train_desc; test_desc;
+    metric; build; fresh_state }

@@ -1,0 +1,109 @@
+open Ir
+
+(** [segm] — image segmentation (SD-VBS).
+
+    Iterative intensity clustering: pixels are partitioned into K segments
+    by repeated assign-to-nearest / recompute-center sweeps, producing a
+    segment label matrix.  The cluster centers carried across iterations
+    are the critical state; fidelity is the fraction of label cells that
+    differ from the fault-free segmentation (10 % threshold, Table I). *)
+
+let name = "segm"
+let suite = "SD-VBS"
+let category = "computer vision"
+let description = "Image segmentation"
+let metric = Fidelity.Metric.mismatch_spec 0.10
+
+let train_w, train_h = 40, 32
+let test_w, test_h = 32, 32
+let segments = 4
+let iters = 6
+let train_desc = Printf.sprintf "train %dx%d image" train_w train_h
+let test_desc = Printf.sprintf "test %dx%d image" test_w test_h
+
+(* Parameters: img, n_pixels, k, iters, labels. Returns center checksum. *)
+let build () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:Workload.entry ~n_params:5 in
+  let img = Builder.param b 0 in
+  let n = Builder.param b 1 in
+  let k = Builder.param b 2 in
+  let n_iters = Builder.param b 3 in
+  let labels = Builder.param b 4 in
+  let centers = Builder.alloc b k in
+  let sums = Builder.alloc b k in
+  let counts = Builder.alloc b k in
+  (* Intensity range scan. *)
+  let mn, mx =
+    Kutil.for2 b ~from:(Builder.imm 0) ~until:n
+      ~init:(Builder.imm 255, Builder.imm 0)
+      ~body:(fun ~i:p mn mx ->
+        let v = Builder.geti b img p in
+        (Kutil.imin b mn v, Kutil.imax b mx v))
+  in
+  (* Evenly spaced initial centers. *)
+  Builder.for_each b ~from:(Builder.imm 0) ~until:k ~body:(fun ~i:c ->
+    let span = Builder.sub b mx mn in
+    let num =
+      Builder.mul b span
+        (Builder.add b (Builder.mul b c (Builder.imm 2)) (Builder.imm 1))
+    in
+    let offset = Builder.sdiv b num (Builder.mul b k (Builder.imm 2)) in
+    Builder.seti b centers c (Builder.add b mn offset));
+  (* Lloyd sweeps. *)
+  Builder.for_each b ~from:(Builder.imm 0) ~until:n_iters ~body:(fun ~i:_ ->
+    Builder.for_each b ~from:(Builder.imm 0) ~until:k ~body:(fun ~i:c ->
+      Builder.seti b sums c (Builder.imm 0);
+      Builder.seti b counts c (Builder.imm 0));
+    Builder.for_each b ~from:(Builder.imm 0) ~until:n ~body:(fun ~i:p ->
+      let v = Builder.geti b img p in
+      let best_c, _best_d =
+        Kutil.for2 b ~from:(Builder.imm 0) ~until:k
+          ~init:(Builder.imm 0, Builder.imm max_int)
+          ~body:(fun ~i:c bc bd ->
+            let d = Kutil.iabs b (Builder.sub b v (Builder.geti b centers c)) in
+            let better = Builder.lt b d bd in
+            (Builder.select b better c bc, Builder.select b better d bd))
+      in
+      Builder.seti b labels p best_c;
+      Builder.seti b sums best_c
+        (Builder.add b (Builder.geti b sums best_c) v);
+      Builder.seti b counts best_c
+        (Builder.add b (Builder.geti b counts best_c) (Builder.imm 1)));
+    Builder.for_each b ~from:(Builder.imm 0) ~until:k ~body:(fun ~i:c ->
+      let cnt = Builder.geti b counts c in
+      let has_members = Builder.gt b cnt (Builder.imm 0) in
+      let safe = Kutil.imax b cnt (Builder.imm 1) in
+      let mean = Builder.sdiv b (Builder.geti b sums c) safe in
+      let old = Builder.geti b centers c in
+      Builder.seti b centers c (Builder.select b has_members mean old)));
+  let checksum =
+    Kutil.isum b ~from:(Builder.imm 0) ~until:k ~f:(fun ~i:c ->
+      Builder.geti b centers c)
+  in
+  Builder.ret b checksum;
+  Builder.finish b;
+  prog
+
+let fresh_state role =
+  let w, h, seed =
+    match role with
+    | Workload.Train -> (train_w, train_h, 101)
+    | Workload.Test -> (test_w, test_h, 102)
+  in
+  let pixels = Synth.gray_image ~seed ~w ~h in
+  let mem = Interp.Memory.create () in
+  let img = Interp.Memory.alloc_ints mem pixels in
+  let labels = Interp.Memory.alloc mem (w * h) in
+  let read_output (_ : Value.t option) =
+    Array.map float_of_int (Interp.Memory.read_ints_tolerant mem labels (w * h))
+  in
+  { Faults.Campaign.mem;
+    args =
+      [ Value.of_int img; Value.of_int (w * h); Value.of_int segments;
+        Value.of_int iters; Value.of_int labels ];
+    read_output }
+
+let workload =
+  { Workload.name; suite; category; description; train_desc; test_desc;
+    metric; build; fresh_state }

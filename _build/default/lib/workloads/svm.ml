@@ -1,0 +1,88 @@
+open Ir
+
+(** [svm] — support-vector-machine classification (svmlight).
+
+    The classification phase of a trained SVM with a linear kernel: for
+    each test example, the decision value is the alpha-weighted sum of
+    dot products against every support vector, plus the bias.  The running
+    positive-class counter carries across examples.  Fidelity is the
+    fraction of labels that changed (classification error, 10 %). *)
+
+let name = "svm"
+let suite = "svmlight"
+let category = "machine learning"
+let description = "Support vector machine"
+let metric = Fidelity.Metric.class_error_spec 0.10
+
+let dims = 8
+let n_sv = 24
+let train_tests = 140
+let test_tests = 100
+let train_desc = Printf.sprintf "train %d examples" train_tests
+let test_desc = Printf.sprintf "test %d examples" test_tests
+
+(* Parameters: sv, alpha, n_sv, d, test, n_test, bias, labels.
+   Returns the number of positive classifications. *)
+let build () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:Workload.entry ~n_params:8 in
+  let sv = Builder.param b 0 in
+  let alpha = Builder.param b 1 in
+  let nsv = Builder.param b 2 in
+  let d = Builder.param b 3 in
+  let test = Builder.param b 4 in
+  let n_test = Builder.param b 5 in
+  let bias = Builder.param b 6 in
+  let labels = Builder.param b 7 in
+  let positives =
+    Kutil.for1 b ~from:(Builder.imm 0) ~until:n_test ~init:(Builder.imm 0)
+      ~body:(fun ~i:t pos ->
+        let x_base = Builder.mul b t d in
+        let score =
+          Kutil.for1 b ~from:(Builder.imm 0) ~until:nsv ~init:bias
+            ~body:(fun ~i:j acc ->
+              let sv_base = Builder.mul b j d in
+              let dot =
+                Kutil.fsum b ~from:(Builder.imm 0) ~until:d ~f:(fun ~i:l ->
+                  let a = Builder.geti b sv (Builder.add b sv_base l) in
+                  let x = Builder.geti b test (Builder.add b x_base l) in
+                  Builder.fmul b a x)
+              in
+              Builder.fadd b acc (Builder.fmul b (Builder.geti b alpha j) dot))
+        in
+        let positive = Builder.fge b score (Builder.immf 0.0) in
+        let label = Builder.select b positive (Builder.imm 1) (Builder.imm 0) in
+        Builder.seti b labels t label;
+        Builder.add b pos label)
+  in
+  Builder.ret b positives;
+  Builder.finish b;
+  prog
+
+let fresh_state role =
+  let n_test, seed =
+    match role with
+    | Workload.Train -> (train_tests, 131)
+    | Workload.Test -> (test_tests, 132)
+  in
+  let sv_data, alpha_data, bias, test_data =
+    Synth.svm_problem ~seed ~n_sv ~n_test ~d:dims
+  in
+  let mem = Interp.Memory.create () in
+  let sv = Interp.Memory.alloc_floats mem sv_data in
+  let alpha = Interp.Memory.alloc_floats mem alpha_data in
+  let test = Interp.Memory.alloc_floats mem test_data in
+  let labels = Interp.Memory.alloc mem n_test in
+  let read_output (_ : Value.t option) =
+    Array.map float_of_int (Interp.Memory.read_ints_tolerant mem labels n_test)
+  in
+  { Faults.Campaign.mem;
+    args =
+      [ Value.of_int sv; Value.of_int alpha; Value.of_int n_sv;
+        Value.of_int dims; Value.of_int test; Value.of_int n_test;
+        Value.of_float bias; Value.of_int labels ];
+    read_output }
+
+let workload =
+  { Workload.name; suite; category; description; train_desc; test_desc;
+    metric; build; fresh_state }

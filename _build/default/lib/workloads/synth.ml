@@ -1,0 +1,153 @@
+(** Deterministic synthetic inputs.
+
+    The paper uses media files and datasets we do not have (mediabench
+    images, audio clips, video sequences, svmlight data).  Each generator
+    below produces a structured signal of the same nature — smooth regions,
+    edges, periodic content, clustered points — because the value profiles
+    and fault behaviour depend on signal structure, not on any specific
+    file.  Distinct seeds give the distinct train vs. test inputs of
+    Table I. *)
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+(** Grayscale image, row-major, values 0..255: a smooth gradient field with
+    a few soft blobs and mild noise — the structure of natural photos that
+    makes DCT coefficients compact. *)
+let gray_image ~seed ~w ~h =
+  let rng = Rng.create seed in
+  let n_blobs = 3 + Rng.int rng 3 in
+  let blobs =
+    Array.init n_blobs (fun _ ->
+      (Rng.float rng *. float_of_int w,
+       Rng.float rng *. float_of_int h,
+       4.0 +. (Rng.float rng *. float_of_int (min w h) /. 2.0),
+       60.0 +. (Rng.float rng *. 120.0)))
+  in
+  let gx = Rng.float_range rng (-1.0) 1.0 in
+  let gy = Rng.float_range rng (-1.0) 1.0 in
+  Array.init (w * h) (fun i ->
+    let x = float_of_int (i mod w) and y = float_of_int (i / w) in
+    let base = 96.0 +. (gx *. x) +. (gy *. y) in
+    let v =
+      Array.fold_left
+        (fun acc (bx, by, r, a) ->
+          let d2 = (((x -. bx) ** 2.0) +. ((y -. by) ** 2.0)) /. (r *. r) in
+          acc +. (a *. exp (-.d2)))
+        base blobs
+    in
+    let noise = Rng.float_range rng (-4.0) 4.0 in
+    clamp 0 255 (int_of_float (v +. noise)))
+
+(** Interleaved RGB image (r,g,b per pixel), values 0..255. *)
+let rgb_image ~seed ~w ~h =
+  let r = gray_image ~seed ~w ~h in
+  let g = gray_image ~seed:(seed + 101) ~w ~h in
+  let b = gray_image ~seed:(seed + 202) ~w ~h in
+  let out = Array.make (3 * w * h) 0 in
+  for i = 0 to (w * h) - 1 do
+    out.((3 * i) + 0) <- r.(i);
+    out.((3 * i) + 1) <- g.(i);
+    out.((3 * i) + 2) <- b.(i)
+  done;
+  out
+
+(** PCM16 audio: a chord of sinusoids with an envelope plus light noise. *)
+let audio ~seed ~n =
+  let rng = Rng.create seed in
+  let n_tones = 2 + Rng.int rng 3 in
+  let tones =
+    Array.init n_tones (fun _ ->
+      (Rng.float_range rng 0.01 0.2,        (* angular frequency *)
+       Rng.float_range rng 1000.0 6000.0,   (* amplitude *)
+       Rng.float_range rng 0.0 6.28))       (* phase *)
+  in
+  Array.init n (fun i ->
+    let t = float_of_int i in
+    let envelope = 0.5 +. (0.5 *. sin (t /. float_of_int n *. 3.1)) in
+    let v =
+      Array.fold_left
+        (fun acc (freq, amp, phase) -> acc +. (amp *. sin ((freq *. t) +. phase)))
+        0.0 tones
+    in
+    let noise = Rng.float_range rng (-60.0) 60.0 in
+    clamp (-32768) 32767 (int_of_float ((envelope *. v) +. noise)))
+
+(** Video: [frames] grayscale frames of [w]x[h], concatenated.  A textured
+    background with an object translating a little each frame — exactly the
+    content a motion-estimation search exploits. *)
+let video ~seed ~w ~h ~frames =
+  let background = gray_image ~seed ~w ~h in
+  let rng = Rng.create (seed + 7) in
+  let obj_w = max 4 (w / 4) and obj_h = max 4 (h / 4) in
+  let x0 = Rng.int rng (w - obj_w) and y0 = Rng.int rng (h - obj_h) in
+  let dx = 1 + Rng.int rng 2 and dy = Rng.int rng 2 in
+  let out = Array.make (frames * w * h) 0 in
+  for f = 0 to frames - 1 do
+    let ox = clamp 0 (w - obj_w) (x0 + (f * dx)) in
+    let oy = clamp 0 (h - obj_h) (y0 + (f * dy)) in
+    for y = 0 to h - 1 do
+      for x = 0 to w - 1 do
+        let inside = x >= ox && x < ox + obj_w && y >= oy && y < oy + obj_h in
+        let v =
+          if inside then clamp 0 255 (255 - background.((y * w) + x))
+          else background.((y * w) + x)
+        in
+        out.((f * w * h) + (y * w) + x) <- v
+      done
+    done
+  done;
+  out
+
+(** Gaussian point clusters for kmeans: [n] points of dimension [d] drawn
+    around [k] well-separated centers.  Returns (points, true_labels). *)
+let clustered_points ~seed ~n ~d ~k =
+  let rng = Rng.create seed in
+  let centers =
+    Array.init k (fun _ -> Array.init d (fun _ -> Rng.float_range rng (-10.0) 10.0))
+  in
+  let points = Array.make (n * d) 0.0 in
+  let labels = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let c = i mod k in
+    labels.(i) <- c;
+    for j = 0 to d - 1 do
+      points.((i * d) + j) <- centers.(c).(j) +. (Rng.gaussian rng *. 1.2)
+    done
+  done;
+  (points, labels)
+
+(** A trained linear SVM: support vectors with coefficients around a random
+    separating hyperplane, plus labelled test examples.  Returns
+    (support_vectors [n_sv*d], coefficients [n_sv], bias, test_points
+    [n_test*d]). *)
+let svm_problem ~seed ~n_sv ~n_test ~d =
+  let rng = Rng.create seed in
+  let w = Array.init d (fun _ -> Rng.float_range rng (-1.0) 1.0) in
+  let norm = sqrt (Array.fold_left (fun a x -> a +. (x *. x)) 0.0 w) in
+  let w = Array.map (fun x -> x /. norm) w in
+  let bias = Rng.float_range rng (-0.5) 0.5 in
+  let sample margin =
+    let x = Array.init d (fun _ -> Rng.float_range rng (-3.0) 3.0) in
+    let dot = ref bias in
+    Array.iteri (fun j xj -> dot := !dot +. (w.(j) *. xj)) x;
+    (* Push the point to the requested side with the requested margin. *)
+    let side = if Rng.bool rng then 1.0 else -1.0 in
+    let shift = (side *. margin) -. !dot in
+    Array.mapi (fun j xj -> xj +. (shift *. w.(j))) x
+  in
+  let sv = Array.make (n_sv * d) 0.0 in
+  let alpha = Array.make n_sv 0.0 in
+  for i = 0 to n_sv - 1 do
+    let x = sample (0.7 +. Rng.float rng) in
+    Array.blit x 0 sv (i * d) d;
+    let dot = ref bias in
+    Array.iteri (fun j xj -> dot := !dot +. (w.(j) *. xj)) x;
+    let label = if !dot >= 0.0 then 1.0 else -1.0 in
+    alpha.(i) <- label *. (0.2 +. Rng.float rng)
+  done;
+  let test = Array.make (n_test * d) 0.0 in
+  for i = 0 to n_test - 1 do
+    let x = sample (0.3 +. (2.0 *. Rng.float rng)) in
+    Array.blit x 0 test (i * d) d
+  done;
+  (sv, alpha, bias, test)

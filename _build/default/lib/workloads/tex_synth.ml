@@ -1,0 +1,112 @@
+open Ir
+
+(** [tex_synth] — texture synthesis (SD-VBS).
+
+    Efros-Leung-style non-parametric synthesis: after seeding a border from
+    the sample texture, each output pixel (raster order) copies the sample
+    pixel whose causal neighbourhood best matches the already-synthesized
+    neighbourhood (SSD over 4 causal neighbours).  The raster write
+    position is the carried state; synthesis errors propagate, so the
+    output-matrix mismatch metric (10 %) mirrors the paper. *)
+
+let name = "tex_synth"
+let suite = "SD-VBS"
+let category = "computer vision"
+let description = "Texture synthesis"
+let metric = Fidelity.Metric.mismatch_spec 0.10
+
+let train_sw, train_ow, train_oh = 10, 13, 13
+let test_sw, test_ow, test_oh = 9, 12, 12
+let train_desc = Printf.sprintf "train %dx%d sample" train_sw train_sw
+let test_desc = Printf.sprintf "test %dx%d sample" test_sw test_sw
+
+(* Causal neighbourhood offsets (dy, dx) relative to the target pixel. *)
+let neighbours = [ (-1, -1); (-1, 0); (-1, 1); (0, -1) ]
+
+(* Parameters: sample, sw, out, ow, oh. Returns a pixel checksum. *)
+let build () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:Workload.entry ~n_params:5 in
+  let sample = Builder.param b 0 in
+  let sw = Builder.param b 1 in
+  let out = Builder.param b 2 in
+  let ow = Builder.param b 3 in
+  let oh = Builder.param b 4 in
+  (* Seed: border rows/cols tile the sample. *)
+  Builder.for_each b ~from:(Builder.imm 0) ~until:oh ~body:(fun ~i:y ->
+    Builder.for_each b ~from:(Builder.imm 0) ~until:ow ~body:(fun ~i:x ->
+      let border =
+        Builder.or_ b
+          (Builder.lt b y (Builder.imm 2))
+          (Builder.lt b x (Builder.imm 2))
+      in
+      let sy = Builder.srem b y sw in
+      let sx = Builder.srem b x sw in
+      let v = Kutil.get2 b sample ~row:sy ~ncols:sw ~col:sx in
+      let old = Builder.imm 0 in
+      Kutil.set2 b out ~row:y ~ncols:ow ~col:x
+        (Builder.select b border v old)));
+  (* Candidate grid bounds: cy in [1, sw-1), cx in [1, sw-2). *)
+  let cy_hi = Builder.sub b sw (Builder.imm 1) in
+  let cx_hi = Builder.sub b sw (Builder.imm 2) in
+  let checksum =
+    Kutil.for1 b ~from:(Builder.imm 2) ~until:oh ~init:(Builder.imm 0)
+      ~body:(fun ~i:y sum_row ->
+        Kutil.for1 b ~from:(Builder.imm 2) ~until:ow ~init:sum_row
+          ~body:(fun ~i:x sum ->
+            let best_v, _best_cost =
+              Kutil.for2 b ~from:(Builder.imm 1) ~until:cy_hi
+                ~init:(Builder.imm 0, Builder.imm max_int)
+                ~body:(fun ~i:cy bv0 bc0 ->
+                  Kutil.for2 b ~from:(Builder.imm 1) ~until:cx_hi
+                    ~init:(bv0, bc0)
+                    ~body:(fun ~i:cx bv bc ->
+                      let ssd =
+                        List.fold_left
+                          (fun acc (dy, dx) ->
+                            let oy = Builder.add b y (Builder.imm dy) in
+                            let ox = Builder.add b x (Builder.imm dx) in
+                            let ov = Kutil.get2 b out ~row:oy ~ncols:ow ~col:ox in
+                            let sy = Builder.add b cy (Builder.imm dy) in
+                            let sx = Builder.add b cx (Builder.imm dx) in
+                            let sv =
+                              Kutil.get2 b sample ~row:sy ~ncols:sw ~col:sx
+                            in
+                            let d = Builder.sub b ov sv in
+                            Builder.add b acc (Builder.mul b d d))
+                          (Builder.imm 0) neighbours
+                      in
+                      let better = Builder.lt b ssd bc in
+                      let cand = Kutil.get2 b sample ~row:cy ~ncols:sw ~col:cx in
+                      (Builder.select b better cand bv,
+                       Builder.select b better ssd bc)))
+            in
+            Kutil.set2 b out ~row:y ~ncols:ow ~col:x best_v;
+            Builder.add b sum best_v))
+  in
+  Builder.ret b checksum;
+  Builder.finish b;
+  prog
+
+let fresh_state role =
+  let sw, ow, oh, seed =
+    match role with
+    | Workload.Train -> (train_sw, train_ow, train_oh, 111)
+    | Workload.Test -> (test_sw, test_ow, test_oh, 112)
+  in
+  let sample_data = Synth.gray_image ~seed ~w:sw ~h:sw in
+  let mem = Interp.Memory.create () in
+  let sample = Interp.Memory.alloc_ints mem sample_data in
+  let out = Interp.Memory.alloc mem (ow * oh) in
+  let read_output (_ : Value.t option) =
+    Array.map float_of_int (Interp.Memory.read_ints_tolerant mem out (ow * oh))
+  in
+  { Faults.Campaign.mem;
+    args =
+      [ Value.of_int sample; Value.of_int sw; Value.of_int out;
+        Value.of_int ow; Value.of_int oh ];
+    read_output }
+
+let workload =
+  { Workload.name; suite; category; description; train_desc; test_desc;
+    metric; build; fresh_state }

@@ -1,0 +1,75 @@
+open Ir
+
+(** [tiff2bw] — TIFF colour-to-grayscale converter (mibench).
+
+    The kernel is the tool's computational core: a scanline loop applying
+    the ITU-R 601 luma weights y = (77 r + 150 g + 29 b) >> 8 to every
+    pixel, with a running checksum as a loop-carried state variable (the
+    original tool threads strip offsets the same way). *)
+
+let name = "tiff2bw"
+let suite = "mibench"
+let category = "image"
+let description = "A tiff format to BW converter"
+let metric = Fidelity.Metric.psnr_spec 30.0
+
+let train_w, train_h = 72, 60
+let test_w, test_h = 56, 56
+let train_desc = Printf.sprintf "train %dx%d image" train_w train_h
+let test_desc = Printf.sprintf "test %dx%d image" test_w test_h
+
+(* Parameters: rgb (interleaved), width, height, out. Returns checksum. *)
+let build () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:Workload.entry ~n_params:4 in
+  let rgb = Builder.param b 0 in
+  let width = Builder.param b 1 in
+  let height = Builder.param b 2 in
+  let out = Builder.param b 3 in
+  let checksum =
+    Kutil.for1 b ~from:(Builder.imm 0) ~until:height ~init:(Builder.imm 0)
+      ~body:(fun ~i:row sum_row ->
+        Kutil.for1 b ~from:(Builder.imm 0) ~until:width ~init:sum_row
+          ~body:(fun ~i:col sum ->
+            let idx = Builder.add b (Builder.mul b row width) col in
+            let base = Builder.add b rgb (Builder.mul b idx (Builder.imm 3)) in
+            let r = Builder.load b base in
+            let g = Builder.load b (Builder.add b base (Builder.imm 1)) in
+            let bl = Builder.load b (Builder.add b base (Builder.imm 2)) in
+            let weighted =
+              Builder.add b
+                (Builder.add b
+                   (Builder.mul b r (Builder.imm 77))
+                   (Builder.mul b g (Builder.imm 150)))
+                (Builder.mul b bl (Builder.imm 29))
+            in
+            let y = Builder.ashr b weighted (Builder.imm 8) in
+            let y = Kutil.clamp b y ~lo:0 ~hi:255 in
+            Builder.seti b out idx y;
+            Builder.add b sum y))
+  in
+  Builder.ret b checksum;
+  Builder.finish b;
+  prog
+
+let fresh_state role =
+  let w, h, seed =
+    match role with
+    | Workload.Train -> (train_w, train_h, 31)
+    | Workload.Test -> (test_w, test_h, 32)
+  in
+  let rgb_data = Synth.rgb_image ~seed ~w ~h in
+  let mem = Interp.Memory.create () in
+  let rgb = Interp.Memory.alloc_ints mem rgb_data in
+  let out = Interp.Memory.alloc mem (w * h) in
+  let read_output (_ : Value.t option) =
+    Array.map float_of_int (Interp.Memory.read_ints_tolerant mem out (w * h))
+  in
+  { Faults.Campaign.mem;
+    args =
+      [ Value.of_int rgb; Value.of_int w; Value.of_int h; Value.of_int out ];
+    read_output }
+
+let workload =
+  { Workload.name; suite; category; description; train_desc; test_desc;
+    metric; build; fresh_state }

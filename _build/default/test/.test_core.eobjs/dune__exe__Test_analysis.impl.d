@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Builder Func Instr Ir List Prog Transform Verifier

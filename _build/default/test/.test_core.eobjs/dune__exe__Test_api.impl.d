@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Float List Printf Softft String Transform Workloads

@@ -1,0 +1,1 @@
+test/test_codecs.ml: Adpcm_common Alcotest Array Fidelity Float H264_common Jpeg_common Mp3_common Printf Rng Synth Workloads

@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Builder Faults Fidelity Hashtbl Interp Ir List Printf Prog Transform Value Workloads

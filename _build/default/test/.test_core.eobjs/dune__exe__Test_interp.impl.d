@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Builder Float Format Instr Interp Ir List Opcode Printf Prog Rng String Value Workloads

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Block Builder Float Func Instr Int64 Interp Ir Opcode Printer Printf Prog String Value Verifier

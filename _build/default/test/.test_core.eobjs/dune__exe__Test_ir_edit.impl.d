@@ -1,0 +1,1 @@
+test/test_ir_edit.ml: Alcotest Array Block Builder Func Instr Int64 Ir List Opcode Prog Value

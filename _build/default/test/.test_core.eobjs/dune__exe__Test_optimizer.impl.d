@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Analysis Block Builder Faults Fidelity Instr Interp Ir List Printf Prog Softft Transform Value Verifier Workloads

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Builder Func Instr Interp Ir List Parser Printer Prog Softft Str_split Value Verifier Workloads

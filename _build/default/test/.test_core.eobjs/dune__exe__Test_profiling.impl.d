@@ -1,0 +1,1 @@
+test/test_profiling.ml: Alcotest Gen Histogram Interp Ir List Profiling QCheck QCheck_alcotest Range Rng Value_profile Workloads

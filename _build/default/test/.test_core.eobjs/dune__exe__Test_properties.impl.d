@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Builder Hashtbl Instr Int64 Interp Ir List Opcode Parser Printer Profiling Prog QCheck QCheck_alcotest Rng Transform Value Verifier

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Builder Func Hashtbl Instr Interp Ir List Printf Profiling Prog Rng Transform Value Verifier

@@ -1,0 +1,153 @@
+(** Integration tests of the public [Softft] API on real workloads. *)
+
+let jpegdec () = Workloads.Registry.find "jpegdec"
+let g721enc () = Workloads.Registry.find "g721enc"
+
+let test_protect_original_is_identity () =
+  let p = Softft.protect (jpegdec ()) Softft.Original in
+  Alcotest.(check int) "nothing duplicated" 0 p.static_stats.duplicated_instrs;
+  Alcotest.(check int) "no checks" 0 p.static_stats.value_checks
+
+let test_protect_dup_only () =
+  let p = Softft.protect (g721enc ()) Softft.Dup_only in
+  Alcotest.(check bool) "state vars found" true (p.static_stats.state_vars > 0);
+  Alcotest.(check bool) "duplicates added" true
+    (p.static_stats.duplicated_instrs > 0);
+  Alcotest.(check bool) "dup checks added" true (p.static_stats.dup_checks > 0);
+  Alcotest.(check int) "no value checks" 0 p.static_stats.value_checks
+
+let test_protect_dup_valchk () =
+  let p = Softft.protect (jpegdec ()) Softft.Dup_valchk in
+  Alcotest.(check bool) "value checks added" true
+    (p.static_stats.value_checks > 0)
+
+let test_protect_full_dup_is_bigger () =
+  let d = Softft.protect (jpegdec ()) Softft.Dup_only in
+  let f = Softft.protect (jpegdec ()) Softft.Full_dup in
+  Alcotest.(check bool) "full dup clones more" true
+    (f.static_stats.duplicated_instrs > d.static_stats.duplicated_instrs)
+
+let test_overhead_ordering () =
+  let w = jpegdec () in
+  let role = Workloads.Workload.Test in
+  let baseline = Softft.golden (Softft.protect w Softft.Original) ~role in
+  let ovh t = Softft.overhead ~baseline (Softft.protect w t) ~role in
+  let dup = ovh Softft.Dup_only in
+  let dv = ovh Softft.Dup_valchk in
+  let full = ovh Softft.Full_dup in
+  Alcotest.(check bool) (Printf.sprintf "dup>0 (%.3f)" dup) true (dup > 0.0);
+  Alcotest.(check bool) (Printf.sprintf "dv>dup (%.3f)" dv) true (dv > dup);
+  Alcotest.(check bool) (Printf.sprintf "full largest (%.3f)" full) true
+    (full > dv)
+
+let test_campaign_runs () =
+  let p = Softft.protect (g721enc ()) Softft.Dup_only in
+  let summary, trials =
+    Softft.campaign p ~role:Workloads.Workload.Test ~trials:30 ~seed:4
+  in
+  Alcotest.(check int) "30 trials" 30 summary.trials;
+  Alcotest.(check int) "trial records" 30 (List.length trials)
+
+let test_margin_of_error () =
+  let m = Softft.margin_of_error ~trials:1000 ~proportion:0.5 in
+  Alcotest.(check bool) "~3.1% at n=1000, p=.5" true
+    (Float.abs (m -. 0.031) < 0.001);
+  Alcotest.(check bool) "shrinks with n" true
+    (Softft.margin_of_error ~trials:4000 ~proportion:0.5 < m)
+
+let test_static_stat_fractions () =
+  let p = Softft.protect (jpegdec ()) Softft.Dup_valchk in
+  let s = p.static_stats in
+  let dup_frac = Transform.Pipeline.duplicated_fraction s in
+  let chk_frac = Transform.Pipeline.value_check_fraction s in
+  Alcotest.(check bool) "dup fraction sane" true (dup_frac > 0.0 && dup_frac < 1.0);
+  Alcotest.(check bool) "chk fraction sane" true (chk_frac > 0.0 && chk_frac < 1.0)
+
+let test_experiments_table_rows () =
+  Alcotest.(check int) "table 1 covers all benchmarks" 13
+    (List.length (Softft.Experiments.table1_rows ()))
+
+let test_experiments_evaluate_structure () =
+  let results =
+    Softft.Experiments.evaluate ~trials:10
+      ~techniques:[ Softft.Original; Softft.Dup_only ]
+      [ g721enc () ]
+  in
+  match results with
+  | [ r ] ->
+    Alcotest.(check int) "two cells" 2 (List.length r.cells);
+    let rows = Softft.Experiments.fig2_rows results in
+    Alcotest.(check int) "fig2: one bench + average" 2 (List.length rows)
+  | _ -> Alcotest.fail "expected one result"
+
+let test_csv_export () =
+  let results =
+    Softft.Experiments.evaluate ~trials:10
+      ~techniques:[ Softft.Original; Softft.Dup_only ]
+      [ g721enc () ]
+  in
+  let csv = Softft.Experiments.to_csv results in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (* header + one row per (benchmark, technique) *)
+  Alcotest.(check int) "rows" 3 (List.length lines);
+  Alcotest.(check bool) "header starts with benchmark" true
+    (String.length (List.hd lines) > 9
+     && String.sub (List.hd lines) 0 9 = "benchmark")
+
+let test_detection_sources () =
+  let rows =
+    Softft.Experiments.detection_sources ~trials:60 [ g721enc () ]
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun (r : Softft.Experiments.sources_row) ->
+      Alcotest.(check int) "split adds up" r.src_swdetect
+        (r.src_dup_checks + r.src_value_checks))
+    rows;
+  (* Under Dup only, every detection is a duplication compare. *)
+  let dup_only = List.hd rows in
+  Alcotest.(check int) "dup-only has no value checks" 0
+    dup_only.src_value_checks
+
+let test_cfc_static_stats () =
+  let p = Softft.protect (g721enc ()) Softft.Cfc_only in
+  Alcotest.(check bool) "signature checks counted" true
+    (p.static_stats.value_checks > 0);
+  Alcotest.(check int) "no duplication" 0 p.static_stats.duplicated_instrs
+
+let test_report_render () =
+  let s =
+    Softft.Report.render ~header:[ "a"; "b" ]
+      ~rows:[ [ "x"; "1" ]; [ "longer"; "22" ] ]
+  in
+  Alcotest.(check bool) "contains separator" true (String.contains s '-');
+  Alcotest.(check bool) "multi-line" true (String.contains s '\n')
+
+let test_report_ragged_rejected () =
+  Alcotest.(check bool) "ragged raises" true
+    (try
+       ignore (Softft.Report.render ~header:[ "a"; "b" ] ~rows:[ [ "x" ] ]);
+       false
+     with Invalid_argument _ -> true)
+
+let tests =
+  [ Alcotest.test_case "protect: original identity" `Quick
+      test_protect_original_is_identity;
+    Alcotest.test_case "protect: dup only" `Quick test_protect_dup_only;
+    Alcotest.test_case "protect: dup+valchk" `Quick test_protect_dup_valchk;
+    Alcotest.test_case "protect: full dup bigger" `Quick
+      test_protect_full_dup_is_bigger;
+    Alcotest.test_case "overhead: ordering (jpegdec)" `Slow test_overhead_ordering;
+    Alcotest.test_case "campaign: runs" `Quick test_campaign_runs;
+    Alcotest.test_case "margin of error" `Quick test_margin_of_error;
+    Alcotest.test_case "static stats: fractions" `Quick test_static_stat_fractions;
+    Alcotest.test_case "experiments: table 1" `Quick test_experiments_table_rows;
+    Alcotest.test_case "experiments: evaluate" `Slow
+      test_experiments_evaluate_structure;
+    Alcotest.test_case "experiments: csv export" `Slow test_csv_export;
+    Alcotest.test_case "experiments: detection sources" `Slow
+      test_detection_sources;
+    Alcotest.test_case "protect: cfc stats" `Quick test_cfc_static_stats;
+    Alcotest.test_case "report: render" `Quick test_report_render;
+    Alcotest.test_case "report: ragged" `Quick test_report_ragged_rejected;
+  ]

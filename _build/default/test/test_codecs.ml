@@ -1,0 +1,193 @@
+(** Fine-grained behaviour tests of the codec building blocks shared by the
+    host references and the IR kernels. *)
+
+open Workloads
+
+(* ----- JPEG pieces ----- *)
+
+let test_zigzag_is_permutation () =
+  let seen = Array.make 64 false in
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "in range" true (p >= 0 && p < 64);
+      Alcotest.(check bool) "not repeated" false seen.(p);
+      seen.(p) <- true)
+    Jpeg_common.zigzag;
+  Alcotest.(check int) "dc first" 0 Jpeg_common.zigzag.(0);
+  Alcotest.(check int) "classic second entry" 1 Jpeg_common.zigzag.(1)
+
+let test_dct_orthonormal () =
+  (* Forward then inverse DCT must reconstruct the block (within epsilon). *)
+  let rng = Rng.create 77 in
+  let block = Array.init 64 (fun _ -> Rng.float_range rng (-128.0) 127.0) in
+  let reconstructed = Jpeg_common.inverse_dct (Jpeg_common.forward_dct block) in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cell %d" i)
+        true
+        (Float.abs (v -. block.(i)) < 1e-9))
+    reconstructed
+
+let test_dct_dc_coefficient () =
+  (* A constant block concentrates all energy in DC: F(0,0) = 8 * value. *)
+  let block = Array.make 64 10.0 in
+  let freq = Jpeg_common.forward_dct block in
+  Alcotest.(check bool) "dc = 80" true (Float.abs (freq.(0) -. 80.0) < 1e-9);
+  for k = 1 to 63 do
+    Alcotest.(check bool) "ac ~ 0" true (Float.abs freq.(k) < 1e-9)
+  done
+
+let test_round_half_away () =
+  Alcotest.(check int) "2.5 -> 3" 3 (Jpeg_common.round_half_away 2.5);
+  Alcotest.(check int) "-2.5 -> -3" (-3) (Jpeg_common.round_half_away (-2.5));
+  Alcotest.(check int) "2.4 -> 2" 2 (Jpeg_common.round_half_away 2.4);
+  Alcotest.(check int) "-0.4 -> 0" 0 (Jpeg_common.round_half_away (-0.4))
+
+let test_jpeg_stream_length_bound () =
+  let pixels = Synth.gray_image ~seed:3 ~w:32 ~h:32 in
+  let stream = Jpeg_common.host_encode ~pixels ~w:32 ~h:32 in
+  Alcotest.(check bool) "within worst case" true
+    (Array.length stream <= 16 * Jpeg_common.max_block_words);
+  Alcotest.(check bool) "compresses" true
+    (Array.length stream < 32 * 32)
+
+(* ----- ADPCM pieces ----- *)
+
+let test_adpcm_step_table_monotone () =
+  let t = Adpcm_common.step_table in
+  Alcotest.(check int) "89 entries" 89 (Array.length t);
+  for i = 1 to Array.length t - 1 do
+    Alcotest.(check bool) "increasing" true (t.(i) > t.(i - 1))
+  done;
+  Alcotest.(check int) "last is pcm16 max" 32767 t.(Array.length t - 1)
+
+let test_adpcm_predictor_clamps () =
+  (* Feeding maximal samples must keep the predictor inside PCM16. *)
+  let valpred = ref 0 and index = ref 0 in
+  for _ = 1 to 200 do
+    let _, v, i = Adpcm_common.encode_step ~valpred:!valpred ~index:!index 32767 in
+    valpred := v;
+    index := i;
+    Alcotest.(check bool) "valpred clamped" true (v >= -32768 && v <= 32767);
+    Alcotest.(check bool) "index clamped" true (i >= 0 && i <= 88)
+  done
+
+let test_adpcm_encode_decode_agree () =
+  (* The encoder's internal reconstruction equals the decoder's output for
+     the same code stream — the property that keeps them in sync. *)
+  let pcm = Synth.audio ~seed:9 ~n:500 in
+  let enc_valpred = ref 0 and enc_index = ref 0 in
+  let dec_valpred = ref 0 and dec_index = ref 0 in
+  Array.iter
+    (fun s ->
+      let code, ev, ei =
+        Adpcm_common.encode_step ~valpred:!enc_valpred ~index:!enc_index s
+      in
+      let _, dv, di =
+        Adpcm_common.decode_step ~valpred:!dec_valpred ~index:!dec_index code
+      in
+      enc_valpred := ev; enc_index := ei;
+      dec_valpred := dv; dec_index := di;
+      Alcotest.(check int) "predictors in lock step" ev dv;
+      Alcotest.(check int) "indices in lock step" ei di)
+    pcm
+
+let test_adpcm_decode_masks_codes () =
+  (* Codes outside 4 bits (fault-corrupted streams) are masked, not fatal. *)
+  let _, v, i = Adpcm_common.decode_step ~valpred:0 ~index:0 0xFFFF in
+  Alcotest.(check bool) "valpred sane" true (v >= -32768 && v <= 32767);
+  Alcotest.(check bool) "index sane" true (i >= 0 && i <= 88)
+
+(* ----- MP3 pieces ----- *)
+
+let test_mp3_basis_orthonormal () =
+  let n = Mp3_common.bands in
+  let c = Mp3_common.ctab in
+  for k1 = 0 to n - 1 do
+    for k2 = k1 to min (n - 1) (k1 + 3) do
+      let dot = ref 0.0 in
+      for i = 0 to n - 1 do
+        dot := !dot +. (c.((k1 * n) + i) *. c.((k2 * n) + i))
+      done;
+      let expected = if k1 = k2 then 1.0 else 0.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "<row%d,row%d>" k1 k2)
+        true
+        (Float.abs (!dot -. expected) < 1e-9)
+    done
+  done
+
+let test_mp3_scalefactor_floor () =
+  (* Silence still encodes with scalefactor >= 1 (no division by zero). *)
+  let stream = Mp3_common.host_encode (Array.make 64 0) in
+  Alcotest.(check bool) "sf >= 1" true (stream.(0) >= 1);
+  let decoded = Mp3_common.host_decode stream in
+  Array.iter
+    (fun v -> Alcotest.(check (float 1e-9)) "silence decodes to silence" 0.0 v)
+    decoded
+
+let test_mp3_quantizer_saturates () =
+  let pcm = Array.make 64 32767 in
+  let stream = Mp3_common.host_encode pcm in
+  for k = 1 to Mp3_common.bands do
+    let q = stream.(k) in
+    Alcotest.(check bool) "|q| <= qmax" true (abs q <= Mp3_common.qmax)
+  done
+
+(* ----- H.264 pieces ----- *)
+
+let test_h264_stream_geometry () =
+  Alcotest.(check int) "block words" 66 H264_common.block_words;
+  Alcotest.(check int) "3-frame 24x24 stream" (576 + (2 * 9 * 66))
+    (H264_common.stream_words ~w:24 ~h:24 ~frames:3)
+
+let test_h264_static_scene_codes_small_residuals () =
+  (* A static scene: motion search always finds a pixel-identical block
+     (flat regions can tie at nonzero motion vectors), so every residual is
+     zero and the decode is exact. *)
+  let frame = Synth.gray_image ~seed:4 ~w:24 ~h:24 in
+  let video = Array.concat [ frame; frame; frame ] in
+  let stream = H264_common.host_encode ~video ~w:24 ~h:24 ~frames:3 in
+  for blk = 0 to (2 * 9) - 1 do
+    for k = 2 to 65 do
+      Alcotest.(check int) "residual zero" 0 stream.(576 + (blk * 66) + k)
+    done
+  done;
+  let decoded = H264_common.host_decode ~stream ~w:24 ~h:24 ~frames:3 in
+  Alcotest.(check bool) "decode exact" true
+    (Fidelity.Metric.identical
+       ~reference:(Array.map float_of_int video)
+       decoded)
+
+let test_h264_motion_found_for_translation () =
+  (* A purely translated frame should be predicted nearly perfectly within
+     the search radius: the decoded video matches the source closely. *)
+  let video = Synth.video ~seed:5 ~w:24 ~h:24 ~frames:3 in
+  let stream = H264_common.host_encode ~video ~w:24 ~h:24 ~frames:3 in
+  let decoded = H264_common.host_decode ~stream ~w:24 ~h:24 ~frames:3 in
+  let reference = Array.map float_of_int video in
+  let psnr = Fidelity.Metric.psnr ~reference decoded in
+  Alcotest.(check bool) (Printf.sprintf "%.1f dB" psnr) true (psnr > 30.0)
+
+let tests =
+  [ Alcotest.test_case "jpeg: zigzag permutation" `Quick test_zigzag_is_permutation;
+    Alcotest.test_case "jpeg: dct orthonormal" `Quick test_dct_orthonormal;
+    Alcotest.test_case "jpeg: dc concentration" `Quick test_dct_dc_coefficient;
+    Alcotest.test_case "jpeg: rounding" `Quick test_round_half_away;
+    Alcotest.test_case "jpeg: stream bound" `Quick test_jpeg_stream_length_bound;
+    Alcotest.test_case "adpcm: step table" `Quick test_adpcm_step_table_monotone;
+    Alcotest.test_case "adpcm: predictor clamps" `Quick test_adpcm_predictor_clamps;
+    Alcotest.test_case "adpcm: enc/dec lock step" `Quick
+      test_adpcm_encode_decode_agree;
+    Alcotest.test_case "adpcm: wild codes masked" `Quick
+      test_adpcm_decode_masks_codes;
+    Alcotest.test_case "mp3: basis orthonormal" `Quick test_mp3_basis_orthonormal;
+    Alcotest.test_case "mp3: scalefactor floor" `Quick test_mp3_scalefactor_floor;
+    Alcotest.test_case "mp3: quantizer saturates" `Quick test_mp3_quantizer_saturates;
+    Alcotest.test_case "h264: stream geometry" `Quick test_h264_stream_geometry;
+    Alcotest.test_case "h264: static scene" `Quick
+      test_h264_static_scene_codes_small_residuals;
+    Alcotest.test_case "h264: translation predicted" `Quick
+      test_h264_motion_found_for_translation;
+  ]

@@ -1,0 +1,20 @@
+(** Test-suite entry point: aggregates the per-module suites. *)
+
+let () =
+  Alcotest.run "softft"
+    [ ("rng", Test_rng.tests);
+      ("ir", Test_ir.tests);
+      ("ir-edit", Test_ir_edit.tests);
+      ("parser", Test_parser.tests);
+      ("analysis", Test_analysis.tests);
+      ("interp", Test_interp.tests);
+      ("fidelity", Test_fidelity.tests);
+      ("profiling", Test_profiling.tests);
+      ("transform", Test_transform.tests);
+      ("optimizer", Test_optimizer.tests);
+      ("faults", Test_faults.tests);
+      ("workloads", Test_workloads.tests);
+      ("codecs", Test_codecs.tests);
+      ("api", Test_api.tests);
+      ("properties", Test_properties.tests);
+    ]

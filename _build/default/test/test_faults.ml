@@ -1,0 +1,214 @@
+(** Tests for the fault library: outcome classification and campaigns. *)
+
+open Ir
+
+(* A small subject: sums an input array into an output cell, loop-carried
+   accumulator; acceptable if the single output cell is within 10%. *)
+let array_sum_subject ?(n = 64) ?(prog = None) () =
+  let build () =
+    let prog = Prog.create () in
+    let b = Builder.create prog ~name:"main" ~n_params:3 in
+    let src = Builder.param b 0 in
+    let len = Builder.param b 1 in
+    let out = Builder.param b 2 in
+    let s =
+      Workloads.Kutil.for1 b ~from:(Builder.imm 0) ~until:len ~init:(Builder.imm 0)
+        ~body:(fun ~i acc -> Builder.add b acc (Builder.geti b src i))
+    in
+    Builder.seti b out (Builder.imm 0) s;
+    Builder.ret b s;
+    Builder.finish b;
+    prog
+  in
+  let prog = match prog with Some p -> p | None -> build () in
+  let fresh_state () =
+    let mem = Interp.Memory.create () in
+    let data = Array.init n (fun i -> (i * 13 mod 50) + 1) in
+    let src = Interp.Memory.alloc_ints mem data in
+    let out = Interp.Memory.alloc mem 1 in
+    { Faults.Campaign.mem;
+      args = [ Value.of_int src; Value.of_int n; Value.of_int out ];
+      read_output =
+        (fun (_ : Value.t option) ->
+          Array.map float_of_int (Interp.Memory.read_ints_tolerant mem out 1)) }
+  in
+  { Faults.Campaign.label = "array_sum"; prog; entry = "main"; fresh_state;
+    metric = Fidelity.Metric.mismatch_spec 0.0 }
+
+(* ----- Classification ----- *)
+
+let mk_result stop ~steps ~inj_step : Interp.Machine.result =
+  { stop; steps; cycles = steps; valchk_failures = 0; failed_check_uids = [];
+    injection =
+      Some { Interp.Machine.inj_step; inj_kind = Interp.Machine.Register_bit;
+             inj_reg = 0; inj_bit = 3;
+             before = Value.of_int 0; after = Value.of_int 8 } }
+
+let classify ?(identical = false) ?(acceptable = false) result =
+  Faults.Classify.classify ~hw_window:1000 ~result
+    ~identical:(fun () -> identical)
+    ~acceptable:(fun () -> acceptable)
+
+let test_classify_masked () =
+  let r = mk_result (Interp.Machine.Finished None) ~steps:100 ~inj_step:50 in
+  Alcotest.(check string) "masked" "Masked"
+    (Faults.Classify.name (classify ~identical:true r))
+
+let test_classify_asdc () =
+  let r = mk_result (Interp.Machine.Finished None) ~steps:100 ~inj_step:50 in
+  Alcotest.(check string) "asdc" "ASDC"
+    (Faults.Classify.name (classify ~acceptable:true r))
+
+let test_classify_usdc_small () =
+  let r = mk_result (Interp.Machine.Finished None) ~steps:100 ~inj_step:50 in
+  Alcotest.(check string) "usdc small" "USDC(small)"
+    (Faults.Classify.name (classify r))
+
+let test_classify_usdc_large () =
+  let r =
+    { (mk_result (Interp.Machine.Finished None) ~steps:100 ~inj_step:50) with
+      injection =
+        Some { Interp.Machine.inj_step = 50;
+               inj_kind = Interp.Machine.Register_bit; inj_reg = 0;
+               inj_bit = 40;
+               before = Value.of_int 0; after = Value.Int 1099511627776L } }
+  in
+  Alcotest.(check string) "usdc large" "USDC(large)"
+    (Faults.Classify.name (classify r))
+
+let test_classify_hw_window () =
+  let trap = Interp.Machine.Trapped (Interp.Machine.Segfault 1) in
+  let within = mk_result trap ~steps:500 ~inj_step:100 in
+  let beyond = mk_result trap ~steps:5000 ~inj_step:100 in
+  Alcotest.(check string) "within window" "HWDetect"
+    (Faults.Classify.name (classify within));
+  Alcotest.(check string) "beyond window" "Failure"
+    (Faults.Classify.name (classify beyond))
+
+let test_classify_sw_and_fuel () =
+  let sw =
+    mk_result
+      (Interp.Machine.Sw_detected { check_uid = 7; dup_check = true })
+      ~steps:100 ~inj_step:50
+  in
+  let fuel = mk_result Interp.Machine.Out_of_fuel ~steps:100 ~inj_step:50 in
+  Alcotest.(check string) "sw" "SWDetect" (Faults.Classify.name (classify sw));
+  Alcotest.(check string) "fuel is failure" "Failure"
+    (Faults.Classify.name (classify fuel))
+
+let test_groupings () =
+  let open Faults.Classify in
+  Alcotest.(check string) "fig11 folds asdc" "Masked" (fig11_bucket Asdc);
+  Alcotest.(check bool) "asdc is sdc" true (is_sdc Asdc);
+  Alcotest.(check bool) "asdc is not usdc" false (is_usdc Asdc);
+  Alcotest.(check bool) "swdetect covered" true (is_covered Sw_detect);
+  Alcotest.(check bool) "failure not covered" false (is_covered Failure);
+  Alcotest.(check int) "seven categories" 7 (List.length all)
+
+(* ----- Campaign ----- *)
+
+let test_golden_run () =
+  let subject = array_sum_subject () in
+  let g = Faults.Campaign.golden_run subject in
+  Alcotest.(check int) "one output" 1 (Array.length g.output);
+  Alcotest.(check bool) "positive sum" true (g.output.(0) > 0.0);
+  Alcotest.(check bool) "steps counted" true (g.steps > 100)
+
+let test_campaign_counts_sum_to_trials () =
+  let subject = array_sum_subject () in
+  let summary, trials = Faults.Campaign.run subject ~trials:50 ~seed:1 in
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 summary.counts in
+  Alcotest.(check int) "counts sum" 50 total;
+  Alcotest.(check int) "trial list length" 50 (List.length trials)
+
+let test_campaign_deterministic () =
+  let run () =
+    let summary, _ = Faults.Campaign.run (array_sum_subject ()) ~trials:40 ~seed:77 in
+    summary.counts
+  in
+  Alcotest.(check bool) "same seed, same counts" true (run () = run ())
+
+let test_campaign_seed_sensitivity () =
+  let run seed =
+    let _, trials = Faults.Campaign.run (array_sum_subject ()) ~trials:30 ~seed in
+    List.map (fun t -> t.Faults.Campaign.at_step) trials
+  in
+  Alcotest.(check bool) "different seeds, different schedule" true
+    (run 1 <> run 2)
+
+let test_campaign_finds_corruptions () =
+  (* With a strict metric (mismatch 0), any changed sum is a USDC. *)
+  let summary, _ = Faults.Campaign.run (array_sum_subject ()) ~trials:200 ~seed:3 in
+  let usdc =
+    Faults.Campaign.count summary Faults.Classify.Usdc_large
+    + Faults.Campaign.count summary Faults.Classify.Usdc_small
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "some corruptions (%d/200)" usdc)
+    true (usdc > 0)
+
+let test_campaign_protection_reduces_usdc () =
+  (* Duplicate the accumulator chain: SWDetect must appear and USDC drop. *)
+  let unprotected, _ =
+    Faults.Campaign.run (array_sum_subject ()) ~trials:200 ~seed:5
+  in
+  let protected_subject =
+    let s = array_sum_subject () in
+    let (_ : Transform.Duplicate.stats), (_ : (int, unit) Hashtbl.t) =
+      Transform.Duplicate.run s.prog
+    in
+    Ir.Verifier.verify s.prog;
+    s
+  in
+  let protected_, _ = Faults.Campaign.run protected_subject ~trials:200 ~seed:5 in
+  let usdc s =
+    Faults.Campaign.count s Faults.Classify.Usdc_large
+    + Faults.Campaign.count s Faults.Classify.Usdc_small
+  in
+  let sw = Faults.Campaign.count protected_ Faults.Classify.Sw_detect in
+  Alcotest.(check bool) "protection detects" true (sw > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "usdc reduced (%d -> %d)" (usdc unprotected) (usdc protected_))
+    true
+    (usdc protected_ < usdc unprotected)
+
+let test_percent_helpers () =
+  let summary, _ = Faults.Campaign.run (array_sum_subject ()) ~trials:50 ~seed:9 in
+  let total =
+    List.fold_left
+      (fun acc o -> acc +. Faults.Campaign.percent summary o)
+      0.0 Faults.Classify.all
+  in
+  Alcotest.(check (float 1e-6)) "percents sum to 100" 100.0 total
+
+let test_mean_percent () =
+  let s1, _ = Faults.Campaign.run (array_sum_subject ()) ~trials:50 ~seed:1 in
+  let s2, _ = Faults.Campaign.run (array_sum_subject ()) ~trials:50 ~seed:2 in
+  let m =
+    Faults.Campaign.mean_percent [ s1; s2 ] [ Faults.Classify.Masked ]
+  in
+  let a = Faults.Campaign.percent s1 Faults.Classify.Masked in
+  let b = Faults.Campaign.percent s2 Faults.Classify.Masked in
+  Alcotest.(check (float 1e-6)) "mean of two" ((a +. b) /. 2.0) m
+
+let tests =
+  [ Alcotest.test_case "classify: masked" `Quick test_classify_masked;
+    Alcotest.test_case "classify: asdc" `Quick test_classify_asdc;
+    Alcotest.test_case "classify: usdc small" `Quick test_classify_usdc_small;
+    Alcotest.test_case "classify: usdc large" `Quick test_classify_usdc_large;
+    Alcotest.test_case "classify: hw window" `Quick test_classify_hw_window;
+    Alcotest.test_case "classify: sw and fuel" `Quick test_classify_sw_and_fuel;
+    Alcotest.test_case "classify: groupings" `Quick test_groupings;
+    Alcotest.test_case "campaign: golden run" `Quick test_golden_run;
+    Alcotest.test_case "campaign: counts sum" `Quick
+      test_campaign_counts_sum_to_trials;
+    Alcotest.test_case "campaign: deterministic" `Quick test_campaign_deterministic;
+    Alcotest.test_case "campaign: seed sensitivity" `Quick
+      test_campaign_seed_sensitivity;
+    Alcotest.test_case "campaign: finds corruptions" `Quick
+      test_campaign_finds_corruptions;
+    Alcotest.test_case "campaign: protection reduces USDC" `Quick
+      test_campaign_protection_reduces_usdc;
+    Alcotest.test_case "campaign: percent helpers" `Quick test_percent_helpers;
+    Alcotest.test_case "campaign: mean percent" `Quick test_mean_percent;
+  ]

@@ -1,0 +1,119 @@
+(** Tests for the fidelity metrics (paper Table I, column 4). *)
+
+open Fidelity
+
+let approx = Alcotest.float 1e-6
+
+let test_psnr_identical_infinite () =
+  let a = [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check bool) "infinite" true (Metric.psnr ~reference:a a = infinity)
+
+let test_psnr_known_value () =
+  (* Uniform error of 1 on peak 255: PSNR = 20*log10(255) ~ 48.13 dB. *)
+  let reference = Array.make 100 10.0 in
+  let signal = Array.make 100 11.0 in
+  Alcotest.check approx "uniform error" (20.0 *. log10 255.0)
+    (Metric.psnr ~reference signal)
+
+let test_psnr_monotone_in_error () =
+  let reference = Array.init 50 float_of_int in
+  let small = Array.map (fun v -> v +. 0.5) reference in
+  let large = Array.map (fun v -> v +. 5.0) reference in
+  Alcotest.(check bool) "smaller error, higher psnr" true
+    (Metric.psnr ~reference small > Metric.psnr ~reference large)
+
+let test_psnr_peak_scaling () =
+  let reference = Array.make 10 0.0 in
+  let signal = Array.make 10 100.0 in
+  Alcotest.(check bool) "higher peak, higher psnr" true
+    (Metric.psnr ~peak:32768.0 ~reference signal
+     > Metric.psnr ~peak:255.0 ~reference signal)
+
+let test_segmental_snr_identical () =
+  let a = Array.init 256 (fun i -> sin (float_of_int i /. 10.0) *. 100.0) in
+  Alcotest.check approx "clamped max" 100.0 (Metric.segmental_snr ~reference:a a)
+
+let test_segmental_snr_localized_corruption () =
+  (* One bad segment out of many leaves the mean above the 80 dB bar. *)
+  let n = 1024 in
+  let reference = Array.init n (fun i -> sin (float_of_int i /. 7.0) *. 1000.0) in
+  let corrupted = Array.copy reference in
+  for i = 0 to 63 do
+    corrupted.(i) <- 0.0
+  done;
+  let snr = Metric.segmental_snr ~reference corrupted in
+  Alcotest.(check bool) "localized stays acceptable" true (snr >= 80.0);
+  Alcotest.(check bool) "but not perfect" true (snr < 100.0)
+
+let test_segmental_snr_global_corruption () =
+  let n = 1024 in
+  let reference = Array.init n (fun i -> sin (float_of_int i /. 7.0) *. 1000.0) in
+  let corrupted = Array.map (fun v -> -.v) reference in
+  Alcotest.(check bool) "global corruption fails" true
+    (Metric.segmental_snr ~reference corrupted < 80.0)
+
+let test_mismatch_fraction () =
+  let reference = [| 0.0; 1.0; 2.0; 3.0 |] in
+  Alcotest.check approx "none" 0.0
+    (Metric.mismatch_fraction ~reference [| 0.0; 1.0; 2.0; 3.0 |]);
+  Alcotest.check approx "half" 0.5
+    (Metric.mismatch_fraction ~reference [| 0.0; 9.0; 2.0; 9.0 |]);
+  Alcotest.check approx "all" 1.0
+    (Metric.mismatch_fraction ~reference [| 9.0; 9.0; 9.0; 9.0 |])
+
+let test_spec_acceptance () =
+  let psnr30 = Metric.psnr_spec 30.0 in
+  let reference = Array.make 100 128.0 in
+  let tiny = Array.map (fun v -> v +. 1.0) reference in
+  let huge = Array.map (fun v -> v +. 200.0) reference in
+  Alcotest.(check bool) "tiny error acceptable" true
+    (Metric.acceptable psnr30 ~reference tiny);
+  Alcotest.(check bool) "huge error unacceptable" false
+    (Metric.acceptable psnr30 ~reference huge);
+  let mis = Metric.mismatch_spec 0.10 in
+  let labels = Array.init 100 (fun i -> float_of_int (i mod 4)) in
+  let five_wrong = Array.copy labels in
+  for i = 0 to 4 do five_wrong.(i) <- 99.0 done;
+  let fifty_wrong = Array.copy labels in
+  for i = 0 to 49 do fifty_wrong.(i) <- 99.0 done;
+  Alcotest.(check bool) "5% mismatch acceptable" true
+    (Metric.acceptable mis ~reference:labels five_wrong);
+  Alcotest.(check bool) "50% mismatch unacceptable" false
+    (Metric.acceptable mis ~reference:labels fifty_wrong)
+
+let test_identical_nan_safe () =
+  let reference = [| Float.nan; 1.0 |] in
+  Alcotest.(check bool) "nan equals itself bitwise" true
+    (Metric.identical ~reference [| Float.nan; 1.0 |]);
+  Alcotest.(check bool) "different lengths" false
+    (Metric.identical ~reference [| Float.nan |])
+
+let test_length_mismatch_rejected () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Metric.psnr ~reference:[| 1.0 |] [| 1.0; 2.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_spec_to_string () =
+  Alcotest.(check string) "psnr" "PSNR (30 dB)"
+    (Metric.spec_to_string (Metric.psnr_spec 30.0));
+  Alcotest.(check string) "mismatch" "Matrix mismatch (10%)"
+    (Metric.spec_to_string (Metric.mismatch_spec 0.10))
+
+let tests =
+  [ Alcotest.test_case "psnr: identical" `Quick test_psnr_identical_infinite;
+    Alcotest.test_case "psnr: known value" `Quick test_psnr_known_value;
+    Alcotest.test_case "psnr: monotone" `Quick test_psnr_monotone_in_error;
+    Alcotest.test_case "psnr: peak scaling" `Quick test_psnr_peak_scaling;
+    Alcotest.test_case "segsnr: identical" `Quick test_segmental_snr_identical;
+    Alcotest.test_case "segsnr: localized ok" `Quick
+      test_segmental_snr_localized_corruption;
+    Alcotest.test_case "segsnr: global fails" `Quick
+      test_segmental_snr_global_corruption;
+    Alcotest.test_case "mismatch: fractions" `Quick test_mismatch_fraction;
+    Alcotest.test_case "spec: acceptance" `Quick test_spec_acceptance;
+    Alcotest.test_case "identical: nan safe" `Quick test_identical_nan_safe;
+    Alcotest.test_case "lengths checked" `Quick test_length_mismatch_rejected;
+    Alcotest.test_case "spec: to_string" `Quick test_spec_to_string;
+  ]

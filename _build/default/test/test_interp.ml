@@ -1,0 +1,234 @@
+(** Tests for the interpreter substrate: memory, cost model, machine
+    semantics, fault injection. *)
+
+open Ir
+
+let run_main ?config prog args =
+  let mem = Interp.Memory.create () in
+  Interp.Machine.run ?config prog ~entry:"main" ~args ~mem
+
+(* ----- Memory ----- *)
+
+let test_memory_roundtrip () =
+  let mem = Interp.Memory.create () in
+  let base = Interp.Memory.alloc mem 16 in
+  Interp.Memory.store mem (base + 3) (Value.of_int 99);
+  Alcotest.(check int) "load back" 99
+    (Value.to_int (Interp.Memory.load mem (base + 3)));
+  Alcotest.(check int) "unwritten cell is zero" 0
+    (Value.to_int (Interp.Memory.load mem base))
+
+let test_memory_bounds () =
+  let mem = Interp.Memory.create () in
+  let base = Interp.Memory.alloc mem 8 in
+  Alcotest.check_raises "below" (Interp.Memory.Segfault (base - 1)) (fun () ->
+    ignore (Interp.Memory.load mem (base - 1)));
+  Alcotest.check_raises "above" (Interp.Memory.Segfault (base + 8)) (fun () ->
+    ignore (Interp.Memory.load mem (base + 8)))
+
+let test_memory_guard_gaps () =
+  let mem = Interp.Memory.create () in
+  let a = Interp.Memory.alloc mem 100 in
+  let b = Interp.Memory.alloc mem 100 in
+  Alcotest.(check bool) "regions widely separated" true (b - a >= 0x10000)
+
+let test_memory_bulk_helpers () =
+  let mem = Interp.Memory.create () in
+  let data = [| 5; -3; 0; 42 |] in
+  let base = Interp.Memory.alloc_ints mem data in
+  Alcotest.(check (array int)) "ints roundtrip" data
+    (Interp.Memory.read_ints mem base 4);
+  let fdata = [| 1.5; -2.25 |] in
+  let fbase = Interp.Memory.alloc_floats mem fdata in
+  Alcotest.(check (array (float 0.0))) "floats roundtrip" fdata
+    (Interp.Memory.read_floats mem fbase 2)
+
+let test_memory_tolerant_read () =
+  let mem = Interp.Memory.create () in
+  let base = Interp.Memory.alloc mem 3 in
+  Interp.Memory.store mem base (Value.of_float 2.9);
+  Interp.Memory.store mem (base + 1) (Value.of_float Float.nan);
+  Interp.Memory.store mem (base + 2) (Value.of_int 7);
+  Alcotest.(check (array int)) "tolerant" [| 2; 0; 7 |]
+    (Interp.Memory.read_ints_tolerant mem base 3)
+
+let test_float_address_traps () =
+  Alcotest.(check bool) "float address raises Segfault" true
+    (try
+       ignore (Interp.Memory.addr_of_value (Value.of_float 3.0));
+       false
+     with Interp.Memory.Segfault _ -> true)
+
+(* ----- Machine semantics ----- *)
+
+let build_storeload () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:"main" ~n_params:1 in
+  let base = Builder.alloc b (Builder.imm 4) in
+  Builder.seti b base (Builder.imm 2) (Builder.param b 0);
+  Builder.ret b (Builder.geti b base (Builder.imm 2));
+  Builder.finish b;
+  prog
+
+let test_machine_store_load () =
+  match (run_main (build_storeload ()) [ Value.of_int 77 ]).stop with
+  | Interp.Machine.Finished (Some v) ->
+    Alcotest.(check int) "store/load" 77 (Value.to_int v)
+  | stop -> Alcotest.failf "unexpected: %a" Interp.Machine.pp_stop stop
+
+let test_machine_div_by_zero_trap () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:"main" ~n_params:1 in
+  Builder.ret b (Builder.sdiv b (Builder.imm 10) (Builder.param b 0));
+  Builder.finish b;
+  match (run_main prog [ Value.of_int 0 ]).stop with
+  | Interp.Machine.Trapped Interp.Machine.Division_by_zero -> ()
+  | stop -> Alcotest.failf "unexpected: %a" Interp.Machine.pp_stop stop
+
+let test_machine_fuel () =
+  (* An infinite loop ends as Out_of_fuel. *)
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:"main" ~n_params:0 in
+  let (_ : Instr.reg list) =
+    Builder.loop b ~init:[ Builder.imm 0 ]
+      ~cond:(fun _ -> Builder.imm 1)
+      ~body:(fun regs ->
+        match regs with
+        | [ r ] -> [ Builder.add b (Reg r) (Builder.imm 1) ]
+        | _ -> assert false)
+  in
+  Builder.ret b (Builder.imm 0);
+  Builder.finish b;
+  let config = { Interp.Machine.default_config with fuel = 1000 } in
+  match (run_main ~config prog []).stop with
+  | Interp.Machine.Out_of_fuel -> ()
+  | stop -> Alcotest.failf "unexpected: %a" Interp.Machine.pp_stop stop
+
+let test_machine_oob_trap () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:"main" ~n_params:1 in
+  Builder.ret b (Builder.load b (Builder.param b 0));
+  Builder.finish b;
+  match (run_main prog [ Value.of_int 5 ]).stop with
+  | Interp.Machine.Trapped (Interp.Machine.Segfault 5) -> ()
+  | stop -> Alcotest.failf "unexpected: %a" Interp.Machine.pp_stop stop
+
+let test_machine_deterministic () =
+  let prog = build_storeload () in
+  let r1 = run_main prog [ Value.of_int 1 ] in
+  let r2 = run_main prog [ Value.of_int 1 ] in
+  Alcotest.(check int) "steps equal" r1.steps r2.steps;
+  Alcotest.(check int) "cycles equal" r1.cycles r2.cycles
+
+let test_machine_counts_steps_and_cycles () =
+  let r = run_main (build_storeload ()) [ Value.of_int 1 ] in
+  Alcotest.(check bool) "steps positive" true (r.steps > 0);
+  Alcotest.(check bool) "cycles >= steps" true (r.cycles >= r.steps - 2)
+
+(* ----- Fault injection ----- *)
+
+let sum_prog () =
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:"main" ~n_params:1 in
+  let n = Builder.param b 0 in
+  let s =
+    Workloads.Kutil.for1 b ~from:(Builder.imm 0) ~until:n ~init:(Builder.imm 0)
+      ~body:(fun ~i acc -> Builder.add b acc i)
+  in
+  Builder.ret b s;
+  Builder.finish b;
+  prog
+
+let test_injection_records_flip () =
+  let prog = sum_prog () in
+  let config =
+    { Interp.Machine.default_config with
+      fault = Some (Interp.Machine.register_fault ~at_step:50 ~fault_rng:(Rng.create 7)) }
+  in
+  let r = run_main ~config prog [ Value.of_int 100 ] in
+  match r.injection with
+  | Some inj ->
+    Alcotest.(check bool) "flip changed payload" false
+      (Value.equal inj.before inj.after);
+    Alcotest.(check bool) "flip near requested step" true (inj.inj_step >= 50)
+  | None -> Alcotest.fail "no injection recorded"
+
+let test_injection_deterministic_per_seed () =
+  let outcome seed =
+    let prog = sum_prog () in
+    let config =
+      { Interp.Machine.default_config with
+        fault = Some (Interp.Machine.register_fault ~at_step:40 ~fault_rng:(Rng.create seed)) }
+    in
+    let r = run_main ~config prog [ Value.of_int 200 ] in
+    Format.asprintf "%a/%d" Interp.Machine.pp_stop r.stop r.steps
+  in
+  Alcotest.(check string) "same seed, same outcome" (outcome 3) (outcome 3);
+  Alcotest.(check bool) "fault-free differs from nothing" true
+    (String.length (outcome 3) > 0)
+
+let test_injection_can_corrupt_result () =
+  (* Across many seeds, at least one flip must change the returned sum
+     without being masked — proof the flip lands in live state. *)
+  let golden =
+    match (run_main (sum_prog ()) [ Value.of_int 100 ]).stop with
+    | Interp.Machine.Finished (Some v) -> Value.to_int64 v
+    | _ -> Alcotest.fail "golden failed"
+  in
+  let corrupted = ref 0 in
+  for seed = 1 to 40 do
+    let config =
+      { Interp.Machine.default_config with
+        fuel = 100_000;
+        fault = Some (Interp.Machine.register_fault ~at_step:100 ~fault_rng:(Rng.create seed)) }
+    in
+    match (run_main ~config (sum_prog ()) [ Value.of_int 100 ]).stop with
+    | Interp.Machine.Finished (Some v) ->
+      if Value.to_int64 v <> golden then incr corrupted
+    | _ -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "some corruptions (%d/40)" !corrupted)
+    true (!corrupted > 0)
+
+let test_no_fault_no_injection () =
+  let r = run_main (sum_prog ()) [ Value.of_int 10 ] in
+  Alcotest.(check bool) "no injection" true (r.injection = None)
+
+(* ----- Cost model ----- *)
+
+let test_cost_model_sanity () =
+  Alcotest.(check bool) "div slower than add" true
+    (Interp.Cost.binop Opcode.Sdiv > Interp.Cost.binop Opcode.Add);
+  Alcotest.(check bool) "load slower than add" true
+    (Interp.Cost.instr
+       { Instr.uid = 0; dest = Some 0; kind = Instr.Load (Instr.Imm Value.zero);
+         origin = Instr.From_source }
+     > Interp.Cost.binop Opcode.Add);
+  Alcotest.(check int) "phi is free" 0 Interp.Cost.phi;
+  Alcotest.(check bool) "table II is non-empty" true
+    (List.length (Interp.Cost.describe ()) > 5)
+
+let tests =
+  [ Alcotest.test_case "memory: roundtrip" `Quick test_memory_roundtrip;
+    Alcotest.test_case "memory: bounds" `Quick test_memory_bounds;
+    Alcotest.test_case "memory: guard gaps" `Quick test_memory_guard_gaps;
+    Alcotest.test_case "memory: bulk helpers" `Quick test_memory_bulk_helpers;
+    Alcotest.test_case "memory: tolerant reads" `Quick test_memory_tolerant_read;
+    Alcotest.test_case "memory: float address traps" `Quick test_float_address_traps;
+    Alcotest.test_case "machine: store/load" `Quick test_machine_store_load;
+    Alcotest.test_case "machine: div-by-zero trap" `Quick
+      test_machine_div_by_zero_trap;
+    Alcotest.test_case "machine: fuel exhaustion" `Quick test_machine_fuel;
+    Alcotest.test_case "machine: out-of-bounds trap" `Quick test_machine_oob_trap;
+    Alcotest.test_case "machine: deterministic" `Quick test_machine_deterministic;
+    Alcotest.test_case "machine: step/cycle accounting" `Quick
+      test_machine_counts_steps_and_cycles;
+    Alcotest.test_case "inject: records flip" `Quick test_injection_records_flip;
+    Alcotest.test_case "inject: deterministic per seed" `Quick
+      test_injection_deterministic_per_seed;
+    Alcotest.test_case "inject: can corrupt live state" `Quick
+      test_injection_can_corrupt_result;
+    Alcotest.test_case "inject: absent without plan" `Quick test_no_fault_no_injection;
+    Alcotest.test_case "cost: model sanity" `Quick test_cost_model_sanity;
+  ]

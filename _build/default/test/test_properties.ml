@@ -1,0 +1,166 @@
+(** Property-based tests over randomly generated IR programs: the
+    protection passes must keep any well-formed program verified and
+    fault-free-semantics-identical. *)
+
+open Ir
+
+(* Generate a random loop program: a counted loop carrying [n_carried]
+   integer accumulators updated by random side-effect-free expressions over
+   the carried values, the index and a memory table. *)
+let random_program rng =
+  let n_carried = 1 + Rng.int rng 3 in
+  let iters = 10 + Rng.int rng 60 in
+  let prog = Prog.create () in
+  let b = Builder.create prog ~name:"main" ~n_params:0 in
+  let table = Builder.alloc b (Builder.imm 16) in
+  Builder.for_each b ~from:(Builder.imm 0) ~until:(Builder.imm 16)
+    ~body:(fun ~i ->
+      Builder.seti b table i (Builder.mul b i (Builder.imm (1 + Rng.int rng 9))));
+  let init = List.init n_carried (fun k -> Builder.imm (Rng.int rng 100 - 50 + k)) in
+  let rec random_expr b rng depth ~i ~carried =
+    if depth = 0 || Rng.int rng 3 = 0 then begin
+      match Rng.int rng 4 with
+      | 0 -> i
+      | 1 -> Builder.imm (Rng.int rng 64)
+      | 2 -> List.nth carried (Rng.int rng (List.length carried))
+      | _ ->
+        let idx = Builder.and_ b i (Builder.imm 15) in
+        Builder.geti b table idx
+    end
+    else begin
+      let x = random_expr b rng (depth - 1) ~i ~carried in
+      let y = random_expr b rng (depth - 1) ~i ~carried in
+      let op =
+        match Rng.int rng 6 with
+        | 0 -> Opcode.Add
+        | 1 -> Opcode.Sub
+        | 2 -> Opcode.Mul
+        | 3 -> Opcode.And
+        | 4 -> Opcode.Or
+        | _ -> Opcode.Xor
+      in
+      Builder.binop b op x y
+    end
+  in
+  let finals =
+    Builder.for_up b ~from:(Builder.imm 0) ~until:(Builder.imm iters)
+      ~carried:init
+      ~body:(fun ~i regs ->
+        let carried = List.map (fun r -> Instr.Reg r) regs in
+        List.map
+          (fun _ -> random_expr b rng (1 + Rng.int rng 3) ~i ~carried)
+          regs)
+      ()
+  in
+  let result =
+    List.fold_left
+      (fun acc r -> Builder.xor b acc (Instr.Reg r))
+      (Builder.imm 0) finals
+  in
+  Builder.ret b result;
+  Builder.finish b;
+  prog
+
+let run_result prog =
+  let mem = Interp.Memory.create () in
+  match (Interp.Machine.run prog ~entry:"main" ~args:[] ~mem).stop with
+  | Interp.Machine.Finished (Some v) -> Value.to_int64 v
+  | stop ->
+    Alcotest.failf "random program did not finish: %a" Interp.Machine.pp_stop
+      stop
+
+(* Two structurally identical builds from the same seed: transforms mutate
+   in place, so each check builds its own copies. *)
+let with_pair seed f =
+  let rng1 = Rng.create seed and rng2 = Rng.create seed in
+  f (random_program rng1) (random_program rng2)
+
+let prop_generated_programs_verify =
+  QCheck.Test.make ~name:"random programs verify" ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = random_program (Rng.create seed) in
+      Verifier.is_valid prog)
+
+let prop_dup_preserves =
+  QCheck.Test.make ~name:"duplication preserves random-program semantics"
+    ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      with_pair seed (fun original transformed ->
+        let expected = run_result original in
+        let (_ : Transform.Duplicate.stats), (_ : (int, unit) Hashtbl.t) =
+          Transform.Duplicate.run transformed
+        in
+        Verifier.is_valid transformed && run_result transformed = expected))
+
+let prop_full_dup_preserves =
+  QCheck.Test.make
+    ~name:"full duplication preserves random-program semantics" ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      with_pair seed (fun original transformed ->
+        let expected = run_result original in
+        let (_ : Transform.Full_dup.stats) = Transform.Full_dup.run transformed in
+        Verifier.is_valid transformed && run_result transformed = expected))
+
+let prop_dup_valchk_preserves =
+  QCheck.Test.make
+    ~name:"dup+value checks preserve random-program semantics" ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      with_pair seed (fun original transformed ->
+        let expected = run_result original in
+        let mem = Interp.Memory.create () in
+        let profile_data, (_ : Interp.Machine.result) =
+          Profiling.Value_profile.collect transformed ~entry:"main" ~args:[]
+            ~mem
+        in
+        let profile uid = Profiling.Value_profile.check_kind profile_data uid in
+        let (_ : Transform.Pipeline.stats) =
+          Transform.Pipeline.protect ~profile transformed
+            Transform.Pipeline.Dup_valchk
+        in
+        Verifier.is_valid transformed && run_result transformed = expected))
+
+let prop_transform_only_grows =
+  QCheck.Test.make ~name:"transforms never remove instructions" ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      with_pair seed (fun original transformed ->
+        let before = Prog.instr_count original in
+        let (_ : Transform.Duplicate.stats), (_ : (int, unit) Hashtbl.t) =
+          Transform.Duplicate.run transformed
+        in
+        Prog.instr_count transformed >= before))
+
+let prop_parser_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip preserves behaviour"
+    ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = random_program (Rng.create seed) in
+      let expected = run_result prog in
+      let text = Printer.prog_to_string prog in
+      let reparsed = Parser.parse text in
+      Printer.prog_to_string reparsed = text && run_result reparsed = expected)
+
+let prop_flip_bit_changes_exactly_one_bit =
+  QCheck.Test.make ~name:"bit flip changes exactly one payload bit" ~count:200
+    QCheck.(pair int64 (int_range 0 63))
+    (fun (payload, bit) ->
+      let v = Value.Int payload in
+      let flipped = Value.flip_bit v bit in
+      let diff = Int64.logxor (Value.bits v) (Value.bits flipped) in
+      diff = Int64.shift_left 1L bit)
+
+let tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_generated_programs_verify;
+      prop_dup_preserves;
+      prop_full_dup_preserves;
+      prop_dup_valchk_preserves;
+      prop_transform_only_grows;
+      prop_parser_roundtrip;
+      prop_flip_bit_changes_exactly_one_bit;
+    ]
