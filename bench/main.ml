@@ -12,11 +12,14 @@
       bench/main.exe all             all tables only
       bench/main.exe fig2|fig10|fig11|fig12|fig13|table1|table2|crossval|falsepos
       bench/main.exe micro           micro-benchmarks only
-      options: --trials N  --seed N  --benchmarks a,b,c  --quick *)
+      bench/main.exe campaign-perf   campaign throughput, serial vs. parallel
+                                     (writes BENCH_campaign.json)
+      options: --trials N  --seed N  --benchmarks a,b,c  --domains N  --quick *)
 
 let default_trials = ref 120
 let seed = ref 0xC0FFEE
 let selected_benchmarks : string list option ref = ref None
+let domains = ref (Faults.Pool.recommended_domains ())
 
 let workloads () =
   match !selected_benchmarks with
@@ -112,7 +115,7 @@ let results () =
     let r =
       Softft.Experiments.evaluate ~trials:!default_trials ~seed:!seed
         ~log:(fun s -> Printf.eprintf "[eval] %s\n%!" s)
-        (workloads ())
+        ~domains:!domains (workloads ())
     in
     evaluated := Some r;
     r
@@ -136,9 +139,100 @@ let print_all () =
 
 let run_crossval () =
   let rows =
-    Softft.Experiments.crossval ~trials:!default_trials ~seed:!seed ()
+    Softft.Experiments.crossval ~trials:!default_trials ~seed:!seed
+      ~domains:!domains ()
   in
   Softft.Experiments.print_crossval rows
+
+(* ----- Campaign throughput: trials/sec, serial vs. domain-parallel -----
+
+   The perf trajectory future PRs regress against: per workload, time the
+   same fixed-seed campaign at [~domains:1] and at the requested domain
+   count, check the two runs agree bit-for-bit, and persist both
+   throughputs to BENCH_campaign.json. *)
+
+let campaign_perf_workloads () =
+  match !selected_benchmarks with
+  | Some names -> List.map Workloads.Registry.find names
+  | None ->
+    List.map Workloads.Registry.find [ "jpegdec"; "g721enc"; "kmeans" ]
+
+let run_campaign_perf () =
+  let trials = !default_trials in
+  let par_domains = max 2 !domains in
+  let rows =
+    List.map
+      (fun (w : Workloads.Workload.t) ->
+        Printf.eprintf "[campaign-perf] %s (%d trials)...\n%!" w.name trials;
+        let p = Softft.protect w Softft.Dup_valchk in
+        let subject = Softft.subject p ~role:Workloads.Workload.Test in
+        (* Warm the compile cache and the golden run outside the timing. *)
+        let golden = Faults.Campaign.golden_run subject in
+        let timed domains =
+          let t0 = Unix.gettimeofday () in
+          let summary, trial_list =
+            Faults.Campaign.run ~seed:!seed ~domains subject ~trials
+          in
+          (Unix.gettimeofday () -. t0, summary, trial_list)
+        in
+        let serial_sec, serial_summary, serial_trials = timed 1 in
+        let parallel_sec, parallel_summary, parallel_trials =
+          timed par_domains
+        in
+        let identical =
+          serial_summary.Faults.Campaign.counts
+            = parallel_summary.Faults.Campaign.counts
+          && Faults.Campaign.trials_equal serial_trials parallel_trials
+        in
+        if not identical then
+          Printf.eprintf
+            "[campaign-perf] WARNING: %s parallel run diverged from serial!\n%!"
+            w.name;
+        (w.name, golden.Faults.Campaign.steps, serial_sec, parallel_sec,
+         identical))
+      (campaign_perf_workloads ())
+  in
+  let per_sec sec = float_of_int trials /. max 1e-9 sec in
+  Printf.printf
+    "\n== Campaign throughput (%d trials/campaign, %d domains) ==\n" trials
+    par_domains;
+  Printf.printf "%-12s %12s %14s %14s %9s %6s\n" "workload" "golden steps"
+    "serial tr/s" "parallel tr/s" "speedup" "same?";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun (name, steps, ser, par, identical) ->
+      Printf.printf "%-12s %12d %14.1f %14.1f %8.2fx %6s\n" name steps
+        (per_sec ser) (per_sec par)
+        (ser /. max 1e-9 par)
+        (if identical then "yes" else "NO"))
+    rows;
+  let path = "BENCH_campaign.json" in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"softft.bench_campaign.v1\",\n";
+  Printf.fprintf oc "  \"trials\": %d,\n" trials;
+  Printf.fprintf oc "  \"seed\": %d,\n" !seed;
+  Printf.fprintf oc "  \"domains\": %d,\n" par_domains;
+  Printf.fprintf oc "  \"technique\": \"dup_valchk\",\n";
+  Printf.fprintf oc "  \"workloads\": [";
+  List.iteri
+    (fun i (name, steps, ser, par, identical) ->
+      Printf.fprintf oc "%s\n    { \"name\": %S, \"golden_steps\": %d,\n"
+        (if i = 0 then "" else ",")
+        name steps;
+      Printf.fprintf oc
+        "      \"serial_sec\": %.6f, \"serial_trials_per_sec\": %.2f,\n" ser
+        (per_sec ser);
+      Printf.fprintf oc
+        "      \"parallel_sec\": %.6f, \"parallel_trials_per_sec\": %.2f,\n"
+        par (per_sec par);
+      Printf.fprintf oc
+        "      \"parallel_speedup\": %.3f, \"bit_identical\": %b }"
+        (ser /. max 1e-9 par) identical)
+    rows;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let () =
   let commands = ref [] in
@@ -152,6 +246,9 @@ let () =
       parse rest
     | "--benchmarks" :: names :: rest ->
       selected_benchmarks := Some (String.split_on_char ',' names);
+      parse rest
+    | "--domains" :: n :: rest ->
+      domains := max 1 (int_of_string n);
       parse rest
     | "--quick" :: rest ->
       default_trials := 40;
@@ -175,12 +272,14 @@ let () =
     | "falsepos" -> Softft.Experiments.print_falsepos (results ())
     | "headline" -> Softft.Experiments.print_headline (results ())
     | "crossval" -> run_crossval ()
+    | "campaign-perf" -> run_campaign_perf ()
     | "ablation" ->
       List.iter
         (fun name ->
           let w = Workloads.Registry.find name in
           let rows =
-            Softft.Experiments.ablation ~trials:!default_trials ~seed:!seed w
+            Softft.Experiments.ablation ~trials:!default_trials ~seed:!seed
+              ~domains:!domains w
           in
           Softft.Experiments.print_ablation w rows)
         (match !selected_benchmarks with
@@ -189,7 +288,7 @@ let () =
     | "sources" ->
       let rows =
         Softft.Experiments.detection_sources ~trials:!default_trials
-          ~seed:!seed (workloads ())
+          ~seed:!seed ~domains:!domains (workloads ())
       in
       Softft.Experiments.print_detection_sources rows
     | "csv" ->
@@ -197,6 +296,7 @@ let () =
     | "branchfault" ->
       let rows =
         Softft.Experiments.branch_faults ~trials:!default_trials ~seed:!seed
+          ~domains:!domains
           (match !selected_benchmarks with
            | Some names -> List.map Workloads.Registry.find names
            | None ->
@@ -206,13 +306,14 @@ let () =
     | "latency" ->
       let rows =
         Softft.Experiments.latency ~trials:!default_trials ~seed:!seed
-          (workloads ())
+          ~domains:!domains (workloads ())
       in
       Softft.Experiments.print_latency rows
     | cmd ->
       Printf.eprintf
         "unknown command %S (try: micro all fig2 fig10 fig11 fig12 fig13 \
-         table1 table2 falsepos headline crossval ablation latency branchfault sources csv)\n"
+         table1 table2 falsepos headline crossval campaign-perf ablation \
+         latency branchfault sources csv)\n"
         cmd;
       exit 1
   in
@@ -224,18 +325,19 @@ let () =
       (fun name ->
         let w = Workloads.Registry.find name in
         Softft.Experiments.print_ablation w
-          (Softft.Experiments.ablation ~trials:!default_trials ~seed:!seed w))
+          (Softft.Experiments.ablation ~trials:!default_trials ~seed:!seed
+             ~domains:!domains w))
       [ "jpegdec"; "g721enc" ];
     Softft.Experiments.print_detection_sources
       (Softft.Experiments.detection_sources ~trials:!default_trials
-         ~seed:!seed
+         ~seed:!seed ~domains:!domains
          (subset [ "jpegdec"; "g721enc"; "kmeans" ]));
     Softft.Experiments.print_latency
       (Softft.Experiments.latency ~trials:!default_trials ~seed:!seed
-         (subset [ "jpegdec"; "g721enc"; "kmeans" ]));
+         ~domains:!domains (subset [ "jpegdec"; "g721enc"; "kmeans" ]));
     Softft.Experiments.print_branch_faults
       (Softft.Experiments.branch_faults ~trials:!default_trials ~seed:!seed
-         (subset [ "jpegdec"; "g721enc"; "kmeans" ]));
+         ~domains:!domains (subset [ "jpegdec"; "g721enc"; "kmeans" ]));
     run_crossval ()
   in
   match List.rev !commands with

@@ -18,6 +18,16 @@ let benchmarks_arg =
   let doc = "Comma-separated benchmark subset (default: all 13)." in
   Arg.(value & opt (some string) None & info [ "benchmarks"; "b" ] ~docv:"NAMES" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains per campaign (default: the recommended domain count of \
+     this machine; 1 = serial).  Results are bit-identical for any value."
+  in
+  Arg.(
+    value
+    & opt int (Faults.Pool.recommended_domains ())
+    & info [ "domains"; "j" ] ~docv:"N" ~doc)
+
 let quiet_arg =
   let doc = "Suppress progress logging." in
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
@@ -31,10 +41,11 @@ let log_of quiet =
   if quiet then fun (_ : string) -> ()
   else fun s -> Printf.eprintf "[experiments] %s\n%!" s
 
-let run_all trials seed benchmarks quiet =
+let run_all trials seed benchmarks domains quiet =
   let workloads = resolve_benchmarks benchmarks in
   let results =
-    Softft.Experiments.evaluate ~trials ~seed ~log:(log_of quiet) workloads
+    Softft.Experiments.evaluate ~trials ~seed ~log:(log_of quiet) ~domains
+      workloads
   in
   Softft.Experiments.print_table1 ();
   Softft.Experiments.print_table2 ();
@@ -53,11 +64,13 @@ let all_cmd =
   let doc = "Run every table and figure of the paper's evaluation." in
   Cmd.v
     (Cmd.info "all" ~doc)
-    Term.(const run_all $ trials_arg $ seed_arg $ benchmarks_arg $ quiet_arg)
+    Term.(
+      const run_all $ trials_arg $ seed_arg $ benchmarks_arg $ domains_arg
+      $ quiet_arg)
 
-let run_crossval trials seed quiet =
+let run_crossval trials seed domains quiet =
   ignore quiet;
-  let rows = Softft.Experiments.crossval ~trials ~seed () in
+  let rows = Softft.Experiments.crossval ~trials ~seed ~domains () in
   Softft.Experiments.print_crossval rows
 
 let crossval_cmd =
@@ -67,9 +80,9 @@ let crossval_cmd =
   in
   Cmd.v
     (Cmd.info "crossval" ~doc)
-    Term.(const run_crossval $ trials_arg $ seed_arg $ quiet_arg)
+    Term.(const run_crossval $ trials_arg $ seed_arg $ domains_arg $ quiet_arg)
 
-let run_one name technique_name trials seed =
+let run_one name technique_name trials seed domains =
   let w = Workloads.Registry.find name in
   let technique =
     match String.lowercase_ascii technique_name with
@@ -95,7 +108,7 @@ let run_one name technique_name trials seed =
   Printf.printf "  golden steps/cycles  : %d / %d\n" golden.steps golden.cycles;
   Printf.printf "  false positives      : %d\n" golden.false_positives;
   let summary, (_ : Faults.Campaign.trial list) =
-    Softft.campaign p ~role:Workloads.Workload.Test ~trials ~seed
+    Softft.campaign p ~role:Workloads.Workload.Test ~trials ~seed ~domains
   in
   List.iter
     (fun outcome ->
@@ -116,7 +129,9 @@ let one_cmd =
   let doc = "Protect one benchmark and run a campaign against it." in
   Cmd.v
     (Cmd.info "one" ~doc)
-    Term.(const run_one $ name_arg $ technique_arg $ trials_arg $ seed_arg)
+    Term.(
+      const run_one $ name_arg $ technique_arg $ trials_arg $ seed_arg
+      $ domains_arg)
 
 let run_table1 () = Softft.Experiments.print_table1 ()
 

@@ -83,9 +83,11 @@ let overhead ?baseline (p : protected) ~role =
   (float_of_int own.Faults.Campaign.cycles /. float_of_int base.Faults.Campaign.cycles)
   -. 1.0
 
-(** Statistical fault injection against the protected program. *)
-let campaign ?hw_window ?seed ?(trials = 1000) (p : protected) ~role =
-  Faults.Campaign.run ?hw_window ?seed (subject p ~role) ~trials
+(** Statistical fault injection against the protected program.  [domains]
+    fans the trials out over OCaml 5 domains (deterministic for any worker
+    count; see {!Faults.Campaign.run}). *)
+let campaign ?hw_window ?seed ?(trials = 1000) ?domains (p : protected) ~role =
+  Faults.Campaign.run ?hw_window ?seed ?domains (subject p ~role) ~trials
 
 (** 95 %-confidence margin of error for a proportion observed over [n]
     fault-injection trials (Leveugle et al., as cited in §IV-C). *)

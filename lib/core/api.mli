@@ -64,11 +64,14 @@ val overhead :
   role:Workloads.Workload.input_role ->
   float
 
-(** Statistical fault injection against the protected program. *)
+(** Statistical fault injection against the protected program.  [domains]
+    fans the trials out over OCaml 5 domains; results are bit-identical
+    for any worker count (see {!Faults.Campaign.run}). *)
 val campaign :
   ?hw_window:int ->
   ?seed:int ->
   ?trials:int ->
+  ?domains:int ->
   protected ->
   role:Workloads.Workload.input_role ->
   Faults.Campaign.summary * Faults.Campaign.trial list

@@ -29,10 +29,11 @@ let find_cell r technique =
          (Api.technique_name technique) r.workload.name)
 
 (** Run the full evaluation matrix.  [trials] is per (workload, technique);
-    the paper uses 1000. *)
+    the paper uses 1000.  [domains] parallelizes each campaign over OCaml 5
+    domains without changing any result (see {!Faults.Campaign.run}). *)
 let evaluate ?(trials = 200) ?(seed = 0xC0FFEE) ?(role = Workloads.Workload.Test)
     ?(techniques = Api.all_techniques) ?(log = fun (_ : string) -> ())
-    workloads =
+    ?domains workloads =
   List.map
     (fun (w : Workloads.Workload.t) ->
       let baseline = ref None in
@@ -55,7 +56,7 @@ let evaluate ?(trials = 200) ?(seed = 0xC0FFEE) ?(role = Workloads.Workload.Test
               | None -> 0.0
             in
             let summary, (_ : Campaign.trial list) =
-              Api.campaign p ~role ~trials ~seed
+              Api.campaign p ~role ~trials ~seed ?domains
             in
             { technique; static_stats = p.static_stats; golden; overhead;
               summary })
@@ -294,19 +295,21 @@ type crossval_row = {
 (** Profile on the test input and inject on the train input (the reverse of
     the normal direction), as the paper does for jpegdec and kmeans. *)
 let crossval ?(trials = 200) ?(seed = 0xBEEF) ?(names = [ "jpegdec"; "kmeans" ])
-    () =
+    ?domains () =
   List.map
     (fun name ->
       let w = Workloads.Registry.find name in
       let normal_p = Api.protect w Api.Dup_valchk in
       let normal, (_ : Campaign.trial list) =
         Api.campaign normal_p ~role:Workloads.Workload.Test ~trials ~seed
+          ?domains
       in
       let swapped_p =
         Api.protect ~profile_role:Workloads.Workload.Test w Api.Dup_valchk
       in
       let swapped, (_ : Campaign.trial list) =
         Api.campaign swapped_p ~role:Workloads.Workload.Train ~trials ~seed
+          ?domains
       in
       { cv_name = name; normal; swapped })
 
@@ -383,13 +386,16 @@ type ablation_row = {
 (** Compare Dup+val chks with each optimization toggled off, on one
     workload.  Opt. 1 removes redundant checks on one producer chain;
     Opt. 2 trades duplication for checks. *)
-let ablation ?(trials = 200) ?(seed = 0xAB1A) (w : Workloads.Workload.t) =
+let ablation ?(trials = 200) ?(seed = 0xAB1A) ?domains
+    (w : Workloads.Workload.t) =
   let role = Workloads.Workload.Test in
   let baseline = Api.golden (Api.protect w Api.Original) ~role in
   let configuration ~label ~opt1 ~opt2 =
     let p = Api.protect ~opt1 ~opt2 w Api.Dup_valchk in
     let overhead = Api.overhead ~baseline p ~role in
-    let summary, (_ : Campaign.trial list) = Api.campaign p ~role ~trials ~seed in
+    let summary, (_ : Campaign.trial list) =
+      Api.campaign p ~role ~trials ~seed ?domains
+    in
     { ab_label = label;
       ab_checks = p.static_stats.value_checks;
       ab_duplicated = p.static_stats.duplicated_instrs;
@@ -460,14 +466,14 @@ let latency_of_trials label trials =
 (** Detection-latency study: how many dynamic instructions pass between a
     flip and its detection, per technique.  A checkpoint-based recovery
     needs state at least that old (the paper argues ~1000 instructions). *)
-let latency ?(trials = 300) ?(seed = 0x1A7) workloads =
+let latency ?(trials = 300) ?(seed = 0x1A7) ?domains workloads =
   List.concat_map
     (fun (w : Workloads.Workload.t) ->
       List.map
         (fun technique ->
           let p = Api.protect w technique in
           let (_ : Campaign.summary), trial_list =
-            Api.campaign p ~role:Workloads.Workload.Test ~trials ~seed
+            Api.campaign p ~role:Workloads.Workload.Test ~trials ~seed ?domains
           in
           latency_of_trials
             (Printf.sprintf "%s/%s" w.name (Api.technique_name technique))
@@ -505,7 +511,7 @@ type branchfault_row = {
 (** Inject branch-target corruptions (instead of register bit flips) and
     compare the paper's scheme with and without the complementary
     signature-based control-flow checking. *)
-let branch_faults ?(trials = 200) ?(seed = 0xB4A) workloads =
+let branch_faults ?(trials = 200) ?(seed = 0xB4A) ?domains workloads =
   List.concat_map
     (fun (w : Workloads.Workload.t) ->
       List.map
@@ -513,8 +519,8 @@ let branch_faults ?(trials = 200) ?(seed = 0xB4A) workloads =
           let p = Api.protect w technique in
           let subject = Api.subject p ~role:Workloads.Workload.Test in
           let summary, (_ : Campaign.trial list) =
-            Campaign.run ~seed ~fault_kind:Interp.Machine.Branch_target subject
-              ~trials
+            Campaign.run ~seed ~fault_kind:Interp.Machine.Branch_target
+              ?domains subject ~trials
           in
           { bf_label =
               Printf.sprintf "%s/%s" w.name (Api.technique_name technique);
@@ -556,14 +562,14 @@ type sources_row = {
     Dup + val chks gap.  Under Dup only every detection is a duplication
     compare; under the full scheme the value checks add coverage on the
     non-state computation. *)
-let detection_sources ?(trials = 300) ?(seed = 0x5EC) workloads =
+let detection_sources ?(trials = 300) ?(seed = 0x5EC) ?domains workloads =
   List.concat_map
     (fun (w : Workloads.Workload.t) ->
       List.map
         (fun technique ->
           let p = Api.protect w technique in
           let (_ : Campaign.summary), trial_list =
-            Api.campaign p ~role:Workloads.Workload.Test ~trials ~seed
+            Api.campaign p ~role:Workloads.Workload.Test ~trials ~seed ?domains
           in
           let detections =
             List.filter_map (fun t -> t.Campaign.detected_by) trial_list

@@ -46,8 +46,9 @@ let golden_run subject =
     { Interp.Machine.default_config with mode = Interp.Machine.Record }
   in
   let result =
-    Interp.Machine.run ~config subject.prog ~entry:subject.entry
-      ~args:state.args ~mem:state.mem
+    Interp.Machine.run_compiled ~config
+      (Interp.Compiled.cached subject.prog)
+      ~entry:subject.entry ~args:state.args ~mem:state.mem
   in
   match result.stop with
   | Interp.Machine.Finished ret ->
@@ -74,6 +75,30 @@ type trial = {
           cover (paper Â§IV-D) *)
 }
 
+(* Bit-exact trial comparison for the parallel-determinism contract.
+   Polymorphic [=] is wrong here: an injected fault on a float register can
+   produce NaN in [injection.before]/[after], and NaN <> NaN even when the
+   payloads are bit-identical.  [Value.equal] compares register bits. *)
+let injection_equal (a : Interp.Machine.injection)
+    (b : Interp.Machine.injection) =
+  a.inj_step = b.inj_step && a.inj_kind = b.inj_kind
+  && a.inj_reg = b.inj_reg && a.inj_bit = b.inj_bit
+  && Ir.Value.equal a.before b.before
+  && Ir.Value.equal a.after b.after
+
+let trial_equal a b =
+  a.trial_seed = b.trial_seed && a.at_step = b.at_step
+  && a.outcome = b.outcome
+  && (match a.injection, b.injection with
+      | None, None -> true
+      | Some x, Some y -> injection_equal x y
+      | None, Some _ | Some _, None -> false)
+  && a.detected_by = b.detected_by
+  && a.detect_latency = b.detect_latency
+
+let trials_equal a b =
+  List.length a = List.length b && List.for_all2 trial_equal a b
+
 type summary = {
   subject_label : string;
   trials : int;
@@ -92,9 +117,16 @@ let percent summary outcome =
 let percent_many summary outcomes =
   List.fold_left (fun acc o -> acc +. percent summary o) 0.0 outcomes
 
-(** Run one fault-injection trial. *)
-let run_trial ?(fault_kind = Interp.Machine.Register_bit) subject ~golden
-    ~disabled ~hw_window ~seed =
+(** Run one fault-injection trial.  [compiled] lets campaigns lower the
+    subject program once and share it across all trials (and domains); when
+    omitted it is looked up in the per-program compile cache. *)
+let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled subject
+    ~golden ~disabled ~hw_window ~seed =
+  let compiled =
+    match compiled with
+    | Some c -> c
+    | None -> Interp.Compiled.cached subject.prog
+  in
   let rng = Rng.create seed in
   (* Random in time: a dynamic instruction index within the golden window.
      The fault-free prefix of the run is deterministic, so the flip always
@@ -111,7 +143,7 @@ let run_trial ?(fault_kind = Interp.Machine.Register_bit) subject ~golden
       disabled_checks = disabled }
   in
   let result =
-    Interp.Machine.run ~config subject.prog ~entry:subject.entry
+    Interp.Machine.run_compiled ~config compiled ~entry:subject.entry
       ~args:state.args ~mem:state.mem
   in
   let outcome =
@@ -143,20 +175,41 @@ let run_trial ?(fault_kind = Interp.Machine.Register_bit) subject ~golden
   { trial_seed = seed; at_step; outcome; injection = result.injection;
     detected_by; detect_latency }
 
+(** All trial seeds, derived from the master RNG *before* any trial runs.
+    This is the campaign determinism contract: seed assignment depends only
+    on ([seed], trial index), never on worker scheduling, so any [~domains]
+    produces bit-identical trials.  The sequence matches what the historical
+    serial loop drew from the master generator one trial at a time. *)
+let derive_seeds ~seed ~trials =
+  let master = Rng.create seed in
+  let seeds = Array.make (max trials 0) 0 in
+  for i = 0 to trials - 1 do
+    seeds.(i) <- (Int64.to_int (Rng.bits master) land 0x3FFFFFFF) + i
+  done;
+  seeds
+
 (** Run a whole campaign: one golden run plus [trials] injections.
     [fault_kind] selects the paper's register bit flips (default) or
-    branch-target corruptions (the Â§IV-C complementary fault class). *)
+    branch-target corruptions (the Â§IV-C complementary fault class).
+    [domains] fans the trials out over OCaml 5 domains ({!Pool}); results
+    are bit-identical to the serial run for any worker count because every
+    trial's seed is pre-derived by {!derive_seeds} and each trial executes
+    against its own fresh state. *)
 let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
-    ?(fault_kind = Interp.Machine.Register_bit) subject ~trials =
+    ?(fault_kind = Interp.Machine.Register_bit) ?(domains = 1) subject
+    ~trials =
   let golden = golden_run subject in
   let disabled = Hashtbl.create 8 in
   List.iter (fun uid -> Hashtbl.replace disabled uid ()) golden.failing_checks;
-  let master = Rng.create seed in
+  let seeds = derive_seeds ~seed ~trials in
+  let compiled = Interp.Compiled.cached subject.prog in
   let results =
-    List.init trials (fun i ->
-      let trial_seed = Int64.to_int (Rng.bits master) land 0x3FFFFFFF + i in
-      run_trial ~fault_kind subject ~golden ~disabled ~hw_window
-        ~seed:trial_seed)
+    Pool.map ~domains
+      (fun i ->
+        run_trial ~fault_kind ~compiled subject ~golden ~disabled ~hw_window
+          ~seed:seeds.(i))
+      trials
+    |> Array.to_list
   in
   let counts =
     List.map

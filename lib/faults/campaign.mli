@@ -52,6 +52,12 @@ type trial = {
           cover (paper §IV-D) *)
 }
 
+(** Bit-exact trial (list) equality, the parallel-determinism contract's
+    notion of "identical".  Unlike polymorphic [=], injected float
+    payloads compare by their register bits, so NaN equals NaN. *)
+val trial_equal : trial -> trial -> bool
+val trials_equal : trial list -> trial list -> bool
+
 type summary = {
   subject_label : string;
   trials : int;
@@ -64,9 +70,12 @@ val percent : summary -> Classify.outcome -> float
 val percent_many : summary -> Classify.outcome list -> float
 
 (** One fault-injection trial; exposed for custom drivers (the bench
-    harness and the image-pipeline example). *)
+    harness and the image-pipeline example).  [compiled] lets a driver
+    lower the subject program once and reuse it across trials; when
+    omitted the per-program compile cache is consulted. *)
 val run_trial :
   ?fault_kind:Interp.Machine.fault_kind ->
+  ?compiled:Interp.Compiled.t ->
   subject ->
   golden:golden ->
   disabled:(int, unit) Hashtbl.t ->
@@ -74,13 +83,23 @@ val run_trial :
   seed:int ->
   trial
 
+(** [derive_seeds ~seed ~trials] is every trial's seed, drawn from the
+    master generator up front — the campaign determinism contract: seed
+    assignment depends only on ([seed], trial index), never on worker
+    scheduling.  Matches the sequence the historical serial loop drew one
+    trial at a time. *)
+val derive_seeds : seed:int -> trials:int -> int array
+
 (** Run a whole campaign: one golden run plus [trials] injections, all
     deterministic in [seed].  [fault_kind] selects register bit flips
-    (default) or branch-target corruptions. *)
+    (default) or branch-target corruptions.  [domains] (default 1: serial)
+    fans trials out over OCaml 5 domains; summaries and trial lists are
+    bit-identical for any worker count. *)
 val run :
   ?hw_window:int ->
   ?seed:int ->
   ?fault_kind:Interp.Machine.fault_kind ->
+  ?domains:int ->
   subject ->
   trials:int ->
   summary * trial list

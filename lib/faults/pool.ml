@@ -1,0 +1,76 @@
+(** Minimal domain worker pool for embarrassingly parallel index spaces.
+
+    Fault-injection campaigns are N independent trials (DESIGN.md §4): one
+    golden run, then N seeded single-fault runs that never observe each
+    other's state.  This module fans an index space [0, n) out over OCaml 5
+    domains.  Each index is computed exactly once and its result lands at
+    its own slot of the output array, so the output is independent of how
+    the scheduler interleaves workers — determinism is the caller's seed
+    discipline (derive all per-index seeds *before* dispatch) plus this
+    placement guarantee. *)
+
+(** Domains the hardware comfortably supports, always at least 1. *)
+let recommended_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* Contiguous chunks keep per-index dispatch overhead (one atomic
+   fetch-and-add per chunk) negligible against trial runtimes while still
+   load-balancing runs whose lengths vary by outcome (an early SWDetect
+   trial is much shorter than a run to completion). *)
+let default_chunk ~domains n = max 1 (min 32 (n / (domains * 8)))
+
+(** [map ~domains f n] is [\[| f 0; f 1; ...; f (n-1) |\]], computed by
+    [domains] workers.  [f] must be safe to call from any domain and must
+    not depend on call order.  [domains <= 1] (or [n <= 1]) degenerates to
+    a plain in-order serial loop with no domain spawned. *)
+let map ?chunk ~domains f n =
+  if n = 0 then [||]
+  else begin
+    let domains = max 1 (min domains n) in
+    if domains = 1 then begin
+      let first = f 0 in
+      let out = Array.make n first in
+      for i = 1 to n - 1 do
+        out.(i) <- f i
+      done;
+      out
+    end
+    else begin
+      let chunk =
+        match chunk with
+        | Some c -> max 1 c
+        | None -> default_chunk ~domains n
+      in
+      let out = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let continue_ = ref true in
+        while !continue_ do
+          let start = Atomic.fetch_and_add next chunk in
+          if start >= n then continue_ := false
+          else
+            for i = start to min (start + chunk) n - 1 do
+              out.(i) <- Some (f i)
+            done
+        done
+      in
+      let helpers =
+        Array.init (domains - 1) (fun _ -> Domain.spawn worker)
+      in
+      let main_exn = (try worker (); None with e -> Some e) in
+      (* Join everyone before re-raising so no domain outlives the call. *)
+      let helper_exn =
+        Array.fold_left
+          (fun acc d ->
+            match (try Domain.join d; None with e -> Some e) with
+            | Some _ as e when acc = None -> e
+            | _ -> acc)
+          None helpers
+      in
+      (match main_exn, helper_exn with
+       | Some e, _ | None, Some e -> raise e
+       | None, None -> ());
+      Array.map
+        (function Some v -> v | None -> assert false (* every slot filled *))
+        out
+    end
+  end

@@ -1,0 +1,19 @@
+(** Minimal domain worker pool for embarrassingly parallel index spaces.
+
+    Fans an index space [0, n) out over OCaml 5 domains in contiguous
+    chunks.  Each index is computed exactly once and lands at its own slot
+    of the output array, so the result is independent of scheduling;
+    determinism is the caller's seed discipline (derive all per-index seeds
+    before dispatch) plus that placement guarantee. *)
+
+(** Domains the hardware comfortably supports, always at least 1. *)
+val recommended_domains : unit -> int
+
+(** [map ~domains f n] is [\[| f 0; f 1; ...; f (n-1) |\]], computed by
+    [domains] workers.  [f] must be safe to call from any domain and must
+    not depend on call order.  [domains <= 1] (or [n <= 1]) degenerates to
+    a plain in-order serial loop with no domain spawned.  [chunk] overrides
+    the work-dealing granularity (default: scaled to [n] and [domains]).
+    If [f] raises, all workers are joined and one of the exceptions is
+    re-raised. *)
+val map : ?chunk:int -> domains:int -> (int -> 'a) -> int -> 'a array

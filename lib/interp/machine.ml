@@ -7,7 +7,12 @@ open Ir
     This stands in for the paper's GEM5 ARMv7-a model: the fault target (the
     architectural register file), the outcome signals (software check hits,
     memory-access symptoms, infinite loops) and the relative runtime (cycle
-    model) are the quantities the evaluation needs. *)
+    model) are the quantities the evaluation needs.
+
+    The interpreter runs the precompiled representation ({!Compiled}):
+    branches, calls and phi edges are integer-indexed, so the hot loop never
+    hashes a label or scans the function list.  {!run} lowers the program on
+    entry; campaigns lower once and call {!run_compiled} for every trial. *)
 
 type trap =
   | Segfault of int
@@ -89,7 +94,7 @@ exception Stop_detected of detection
 exception Stop_trap of trap
 
 type frame = {
-  func : Func.t;
+  cfunc : Compiled.cfunc;
   values : Value.t array;
   defined : bool array;
   (** ring of the most recent register writes — the modelled architectural
@@ -97,14 +102,17 @@ type frame = {
   recent : int array;
   mutable recent_n : int;
   mutable recent_pos : int;
-  mutable block : Block.t;
+  mutable cblock : Compiled.cblock;
   mutable idx : int;              (** next body-instruction index *)
-  mutable prev_label : string;
+  mutable prev_block : int;       (** index of the block we came from;
+                                      -1 on function entry *)
   ret_dest : Instr.reg option;    (** caller register receiving the result *)
 }
 
 type state = {
-  prog : Prog.t;
+  compiled : Compiled.t;
+  imms : Value.t array;             (** the compiled immediate pool *)
+  on_def : (int -> Value.t -> unit) option;  (** hoisted from [config] *)
   mem : Memory.t;
   config : config;
   mutable stack : frame list;
@@ -114,51 +122,15 @@ type state = {
   mutable failed_uids : (int, unit) Hashtbl.t;
   mutable injection : injection option;
   mutable fault_pending : fault_plan option;
+  mutable fault_at : int;         (** step of the pending fault; [max_int]
+                                      when none, so the per-step check is a
+                                      single integer compare *)
   mutable branch_fault_armed : Rng.t option;
       (** a pending branch-target corruption waiting for the next branch *)
   mutable slack_credit : int;     (** spare-issue-slot account, see Cost *)
+  phi_vals : Value.t array;       (** scratch for parallel phi copies *)
+  phi_set : bool array;
 }
-
-(* Reads refresh the ring too: a register consulted every iteration (a loop
-   bound, a base address) stays resident in a real register file and keeps
-   absorbing faults, even though it was written long ago. *)
-let read _st (fr : frame) op =
-  match op with
-  | Instr.Imm v -> v
-  | Instr.Reg r ->
-    if fr.defined.(r) then begin
-      fr.recent.(fr.recent_pos) <- r;
-      fr.recent_pos <- (fr.recent_pos + 1) land (Array.length fr.recent - 1);
-      if fr.recent_n < Array.length fr.recent then
-        fr.recent_n <- fr.recent_n + 1;
-      fr.values.(r)
-    end
-    else raise (Stop_trap (Undefined_register r));
-  [@@inline]
-
-let write (fr : frame) r v =
-  if not fr.defined.(r) then fr.defined.(r) <- true;
-  fr.recent.(fr.recent_pos) <- r;
-  fr.recent_pos <- (fr.recent_pos + 1) land (Array.length fr.recent - 1);
-  if fr.recent_n < Array.length fr.recent then fr.recent_n <- fr.recent_n + 1;
-  fr.values.(r) <- v
-  [@@inline]
-
-let new_frame (st : state) (func : Func.t) ~args ~ret_dest =
-  let values = Array.make st.prog.next_reg Value.zero in
-  let defined = Array.make st.prog.next_reg false in
-  let fr =
-    { func; values; defined;
-      recent = Array.make 16 0; recent_n = 0; recent_pos = 0;
-      block = Func.entry_block func; idx = 0;
-      prev_label = ""; ret_dest }
-  in
-  (try List.iter2 (fun r v -> write fr r v) func.params args
-   with Invalid_argument _ ->
-     invalid_arg
-       (Printf.sprintf "call to %s: expected %d arguments, got %d" func.name
-          (List.length func.params) (List.length args)));
-  fr
 
 (** The modelled architectural register file holds the 16 most recently
     written values: a bit flip in ARMv7's 16 architectural registers hits
@@ -167,6 +139,66 @@ let new_frame (st : state) (func : Func.t) ~args ~ret_dest =
     biases faults toward frequently rewritten registers, as a rotating
     physical file would. *)
 let arch_registers = 16
+
+(* Reads refresh the ring too: a register consulted every iteration (a loop
+   bound, a base address) stays resident in a real register file and keeps
+   absorbing faults, even though it was written long ago.  The ring size is
+   hardwired ([arch_registers] = 16) so the updates need no length loads. *)
+let read _st (fr : frame) op =
+  match op with
+  | Instr.Imm v -> v
+  | Instr.Reg r ->
+    (* [r] comes from static code, so it is < [next_reg] (the array size),
+       and [recent_pos] is masked to 0-15: the checks the compiler cannot
+       see are established by construction. *)
+    if Array.unsafe_get fr.defined r then begin
+      Array.unsafe_set fr.recent fr.recent_pos r;
+      fr.recent_pos <- (fr.recent_pos + 1) land 15;
+      if fr.recent_n < 16 then fr.recent_n <- fr.recent_n + 1;
+      Array.unsafe_get fr.values r
+    end
+    else raise (Stop_trap (Undefined_register r));
+  [@@inline]
+
+(* Same as {!read} for an integer-coded operand (register index, or [lnot]
+   of an immediate-pool slot — immediates touch no ring, as before). *)
+let read_code st (fr : frame) code =
+  if code >= 0 then begin
+    if Array.unsafe_get fr.defined code then begin
+      Array.unsafe_set fr.recent fr.recent_pos code;
+      fr.recent_pos <- (fr.recent_pos + 1) land 15;
+      if fr.recent_n < 16 then fr.recent_n <- fr.recent_n + 1;
+      Array.unsafe_get fr.values code
+    end
+    else raise (Stop_trap (Undefined_register code))
+  end
+  else Array.unsafe_get st.imms (lnot code)
+  [@@inline]
+
+let write (fr : frame) r v =
+  if not (Array.unsafe_get fr.defined r) then Array.unsafe_set fr.defined r true;
+  Array.unsafe_set fr.recent fr.recent_pos r;
+  fr.recent_pos <- (fr.recent_pos + 1) land 15;
+  if fr.recent_n < 16 then fr.recent_n <- fr.recent_n + 1;
+  Array.unsafe_set fr.values r v
+  [@@inline]
+
+let new_frame (st : state) (cfunc : Compiled.cfunc) ~args ~ret_dest =
+  let values = Array.make st.compiled.next_reg Value.zero in
+  let defined = Array.make st.compiled.next_reg false in
+  let fr =
+    { cfunc; values; defined;
+      recent = Array.make arch_registers 0; recent_n = 0; recent_pos = 0;
+      cblock = cfunc.cf_blocks.(cfunc.cf_entry); idx = 0;
+      prev_block = -1; ret_dest }
+  in
+  (try List.iter2 (fun r v -> write fr r v) cfunc.cf_params args
+   with Invalid_argument _ ->
+     invalid_arg
+       (Printf.sprintf "call to %s: expected %d arguments, got %d"
+          cfunc.cf_name
+          (List.length cfunc.cf_params) (List.length args)));
+  fr
 
 (** Flip a random bit of a random recently-written register of the active
     frame — the paper's register-file single-event upset. *)
@@ -192,176 +224,195 @@ let inject_fault st (plan : fault_plan) =
 let tick st ~cycles =
   st.steps <- st.steps + 1;
   st.cycles <- st.cycles + cycles;
-  (match st.fault_pending with
-   | Some plan when st.steps >= plan.at_step ->
-     st.fault_pending <- None;
-     inject_fault st plan
-   | Some _ | None -> ())
+  if st.steps >= st.fault_at then begin
+    st.fault_at <- max_int;
+    match st.fault_pending with
+    | Some plan ->
+      st.fault_pending <- None;
+      inject_fault st plan
+    | None -> ()
+  end
   [@@inline]
 
-(** Evaluate the phi batch of a block on entry from [prev_label]:
-    parallel-copy semantics (all reads before any write). *)
+(** Evaluate the phi batch of a block on entry from [fr.prev_block]:
+    parallel-copy semantics (all reads before any write), staged through
+    the preallocated scratch arrays so nothing is allocated per batch. *)
 let run_phis st (fr : frame) =
-  match fr.block.phis with
-  | [] -> ()
-  | phis ->
+  let phis = fr.cblock.Compiled.cb_phis in
+  let n = Array.length phis in
+  if n > 0 then begin
+    let pred = fr.prev_block in
     (* A phi without an edge from the (possibly fault-corrupted) previous
        block keeps its stale value: the parallel copies that real codegen
        places in the predecessor never executed.  Fault-free runs always
        have the edge. *)
-    let vals =
-      List.map
-        (fun (phi : Instr.phi) ->
-          match List.assoc_opt fr.prev_label phi.incoming with
-          | Some op -> Some (read st fr op)
-          | None -> None)
-        phis
-    in
-    List.iter2
-      (fun (phi : Instr.phi) v ->
-        match v with
-        | Some v -> write fr phi.phi_dest v
-        | None -> ())
-      phis vals;
-    List.iter (fun (_ : Instr.phi) -> tick st ~cycles:Cost.phi) phis
+    for i = 0 to n - 1 do
+      let phi = phis.(i) in
+      let preds = phi.Compiled.cp_preds in
+      let m = Array.length preds in
+      let j = ref 0 in
+      while !j < m && preds.(!j) <> pred do incr j done;
+      if !j < m then begin
+        st.phi_vals.(i) <- read st fr phi.Compiled.cp_ops.(!j);
+        st.phi_set.(i) <- true
+      end
+      else st.phi_set.(i) <- false
+    done;
+    for i = 0 to n - 1 do
+      if st.phi_set.(i) then write fr phis.(i).Compiled.cp_dest st.phi_vals.(i)
+    done;
+    for _ = 1 to n do tick st ~cycles:Cost.phi done
+  end
 
-let goto st (fr : frame) label =
-  let label =
+let goto st (fr : frame) target ~label =
+  let target =
     match st.branch_fault_armed with
-    | None -> label
+    | None -> target
     | Some rng ->
       st.branch_fault_armed <- None;
-      let blocks = Array.of_list fr.func.blocks in
-      let target = blocks.(Rng.int rng (Array.length blocks)) in
+      let blocks = fr.cfunc.Compiled.cf_blocks in
+      let corrupted = Rng.int rng (Array.length blocks) in
       st.injection <-
         Some { inj_step = st.steps; inj_kind = Branch_target; inj_reg = -1;
                inj_bit = -1; before = Value.zero; after = Value.zero };
-      target.Block.label
+      corrupted
   in
-  fr.prev_label <- fr.block.label;
-  fr.block <- Func.find_block fr.func label;
+  if target < 0 then
+    invalid_arg
+      (Printf.sprintf "%s: no block %S" fr.cfunc.Compiled.cf_name label);
+  fr.prev_block <- fr.cblock.Compiled.cb_index;
+  fr.cblock <- fr.cfunc.Compiled.cf_blocks.(target);
   fr.idx <- 0;
   run_phis st fr
 
 (* Cycle accounting with the slack-credit model (see Cost): source
    instructions accrue spare-slot credit, duplicated shadow instructions
-   consume it or pay one issue slot, checks always pay. *)
-let instr_cycles st (ins : Instr.t) =
-  match ins.origin with
-  | Instr.From_source ->
-    st.slack_credit <- min (st.slack_credit + Cost.slack_gain) Cost.slack_cap;
-    Cost.instr ins
-  | Instr.Duplicated _ ->
+   consume it or pay one issue slot, checks always pay.  [meta] is the
+   precomputed cost/origin word from {!Compiled.cblock.cb_meta}. *)
+let instr_cycles st meta =
+  let origin = Compiled.meta_origin meta in
+  if origin = Compiled.origin_source then begin
+    let credit = st.slack_credit + Cost.slack_gain in
+    st.slack_credit <-
+      (if credit > Cost.slack_cap then Cost.slack_cap else credit);
+    Compiled.meta_cost meta
+  end
+  else if origin = Compiled.origin_duplicated then begin
     if st.slack_credit >= Cost.slack_cost then begin
       st.slack_credit <- st.slack_credit - Cost.slack_cost;
       0
     end
     else Cost.shadow_slot
-  | Instr.Check_insertion -> Cost.instr ins
+  end
+  else Compiled.meta_cost meta
+  [@@inline]
 
-let exec_instr st (fr : frame) (ins : Instr.t) =
-  let rd op = read st fr op in
-  tick st ~cycles:(instr_cycles st ins);
-  match ins.kind with
-  | Binop (op, a, b) ->
+(* The executor walks {!Compiled.cinstr} micro-ops: flat records with
+   integer-coded operands, so one instruction costs one block load instead
+   of a chase through kind, operand and destination AST nodes.  Two-operand
+   reads keep the source interpreter's right-to-left evaluation order ([b]
+   before [a]) so the recent-register ring — and therefore fault targeting —
+   stays bit-identical.  There is also no per-instruction [try]: workload
+   exceptions ([Division_by_zero], [Kind_error], [Segfault]) abort the whole
+   run, so {!run_compiled} translates them to traps in its single outer
+   handler instead of paying for a trap frame on every step. *)
+let exec_instr st (fr : frame) (ci : Compiled.cinstr) meta =
+  tick st ~cycles:(instr_cycles st meta);
+  match ci with
+  | Compiled.CAdd { uid; dest; a; b } ->
+    (* Specialization of the dominant binop: the add runs inline on the
+       unboxed payloads instead of through [Opcode.eval_binop]'s dispatch. *)
+    let vb = read_code st fr b in
+    let va = read_code st fr a in
+    let v = Value.of_int64 (Int64.add (Value.to_int64 va) (Value.to_int64 vb)) in
+    if dest >= 0 then write fr dest v;
+    (match st.on_def with Some f -> f uid v | None -> ())
+  | Compiled.CSub { uid; dest; a; b } ->
+    let vb = read_code st fr b in
+    let va = read_code st fr a in
+    let v = Value.of_int64 (Int64.sub (Value.to_int64 va) (Value.to_int64 vb)) in
+    if dest >= 0 then write fr dest v;
+    (match st.on_def with Some f -> f uid v | None -> ())
+  | Compiled.CBinop { op; uid; dest; a; b } ->
+    let vb = read_code st fr b in
+    let va = read_code st fr a in
+    let v = Opcode.eval_binop op va vb in
+    if dest >= 0 then write fr dest v;
+    (match st.on_def with Some f -> f uid v | None -> ())
+  | Compiled.CUnop { op; uid; dest; a } ->
+    let v = Opcode.eval_unop op (read_code st fr a) in
+    if dest >= 0 then write fr dest v;
+    (match st.on_def with Some f -> f uid v | None -> ())
+  | Compiled.CIcmp { op; dest; a; b } ->
+    let vb = read_code st fr b in
+    let va = read_code st fr a in
+    let v = Opcode.eval_icmp op va vb in
+    if dest >= 0 then write fr dest v
+  | Compiled.CFcmp { op; dest; a; b } ->
+    let vb = read_code st fr b in
+    let va = read_code st fr a in
+    let v = Opcode.eval_fcmp op va vb in
+    if dest >= 0 then write fr dest v
+  | Compiled.CSelect { uid; dest; c; a; b } ->
     let v =
-      try Opcode.eval_binop op (rd a) (rd b) with
-      | Opcode.Division_by_zero -> raise (Stop_trap Division_by_zero)
-      | Value.Kind_error m -> raise (Stop_trap (Kind_confusion m))
+      if Value.truthy (read_code st fr c) then read_code st fr a
+      else read_code st fr b
     in
-    (match ins.dest with Some r -> write fr r v | None -> ());
-    (match st.config.on_def with Some f -> f ins.uid v | None -> ())
-  | Unop (op, a) ->
-    let v =
-      try Opcode.eval_unop op (rd a)
-      with Value.Kind_error m -> raise (Stop_trap (Kind_confusion m))
-    in
-    (match ins.dest with Some r -> write fr r v | None -> ());
-    (match st.config.on_def with Some f -> f ins.uid v | None -> ())
-  | Icmp (op, a, b) ->
-    let v =
-      try Opcode.eval_icmp op (rd a) (rd b)
-      with Value.Kind_error m -> raise (Stop_trap (Kind_confusion m))
-    in
-    (match ins.dest with Some r -> write fr r v | None -> ())
-  | Fcmp (op, a, b) ->
-    let v =
-      try Opcode.eval_fcmp op (rd a) (rd b)
-      with Value.Kind_error m -> raise (Stop_trap (Kind_confusion m))
-    in
-    (match ins.dest with Some r -> write fr r v | None -> ())
-  | Select (c, a, b) ->
-    let v = if Value.truthy (rd c) then rd a else rd b in
-    (match ins.dest with Some r -> write fr r v | None -> ());
-    (match st.config.on_def with Some f -> f ins.uid v | None -> ())
-  | Const v -> (match ins.dest with Some r -> write fr r v | None -> ())
-  | Load a ->
-    let addr =
-      try Memory.addr_of_value (rd a)
-      with Memory.Segfault x -> raise (Stop_trap (Segfault x))
-    in
-    let v =
-      try Memory.load st.mem addr
-      with Memory.Segfault x -> raise (Stop_trap (Segfault x))
-    in
-    (match ins.dest with Some r -> write fr r v | None -> ());
-    (match st.config.on_def with Some f -> f ins.uid v | None -> ())
-  | Store (a, v) ->
-    let addr =
-      try Memory.addr_of_value (rd a)
-      with Memory.Segfault x -> raise (Stop_trap (Segfault x))
-    in
-    (try Memory.store st.mem addr (rd v)
-     with Memory.Segfault x -> raise (Stop_trap (Segfault x)))
-  | Alloc n ->
-    let size =
-      try Value.to_int (rd n)
-      with Value.Kind_error m -> raise (Stop_trap (Kind_confusion m))
-    in
+    if dest >= 0 then write fr dest v;
+    (match st.on_def with Some f -> f uid v | None -> ())
+  | Compiled.CConst { dest; v } -> if dest >= 0 then write fr dest v
+  | Compiled.CLoad { uid; dest; a } ->
+    let addr = Memory.addr_of_value (read_code st fr a) in
+    let v = Memory.load st.mem addr in
+    if dest >= 0 then write fr dest v;
+    (match st.on_def with Some f -> f uid v | None -> ())
+  | Compiled.CStore { a; v } ->
+    let addr = Memory.addr_of_value (read_code st fr a) in
+    Memory.store st.mem addr (read_code st fr v)
+  | Compiled.CAlloc { dest; n } ->
+    let size = Value.to_int (read_code st fr n) in
     if size < 0 || size > 1 lsl 28 then
       raise (Stop_trap (Segfault size));
     let base = Memory.alloc st.mem size in
-    (match ins.dest with Some r -> write fr r (Value.of_int base) | None -> ())
-  | Call (name, args) ->
-    let callee =
-      try Prog.find_func st.prog name
-      with Invalid_argument _ -> raise (Stop_trap (Unknown_function name))
-    in
-    let arg_values = List.map rd args in
-    let callee_frame =
-      new_frame st callee ~args:arg_values ~ret_dest:ins.dest
-    in
+    if dest >= 0 then write fr dest (Value.of_int base)
+  | Compiled.CCall { name; callee; args; dest } ->
+    if callee < 0 then raise (Stop_trap (Unknown_function name));
+    let cf = st.compiled.Compiled.funcs.(callee) in
+    let arg_values = List.map (fun op -> read st fr op) args in
+    let callee_frame = new_frame st cf ~args:arg_values ~ret_dest:dest in
     st.stack <- callee_frame :: st.stack
-  | Dup_check (a, b) ->
-    if not (Value.equal (rd a) (rd b)) then
-      raise (Stop_detected { check_uid = ins.uid; dup_check = true })
-  | Value_check (ck, a) ->
-    if not (Instr.check_passes ck (rd a)) then begin
+  | Compiled.CDup_check { uid; a; b } ->
+    let vb = read_code st fr b in
+    let va = read_code st fr a in
+    if not (Value.equal va vb) then
+      raise (Stop_detected { check_uid = uid; dup_check = true })
+  | Compiled.CValue_check { uid; ck; a } ->
+    if not (Instr.check_passes ck (read_code st fr a)) then begin
       match st.config.mode with
       | Detect ->
-        if Hashtbl.mem st.config.disabled_checks ins.uid then begin
+        if Hashtbl.mem st.config.disabled_checks uid then begin
           st.valchk_failures <- st.valchk_failures + 1;
-          Hashtbl.replace st.failed_uids ins.uid ()
+          Hashtbl.replace st.failed_uids uid ()
         end
-        else raise (Stop_detected { check_uid = ins.uid; dup_check = false })
+        else raise (Stop_detected { check_uid = uid; dup_check = false })
       | Record ->
         st.valchk_failures <- st.valchk_failures + 1;
-        Hashtbl.replace st.failed_uids ins.uid ()
+        Hashtbl.replace st.failed_uids uid ()
     end
 
 (** Execute the terminator; returns [Some v] when the whole program returns. *)
 let exec_terminator st (fr : frame) =
-  match fr.block.term with
-  | Instr.Jmp l ->
+  match fr.cblock.Compiled.cb_term with
+  | Compiled.Cjmp (target, label) ->
     tick st ~cycles:Cost.jmp;
-    goto st fr l;
+    goto st fr target ~label;
     None
-  | Instr.Br (c, l1, l2) ->
+  | Compiled.Cbr (c, t1, l1, t2, l2) ->
     tick st ~cycles:Cost.br;
     let cond = Value.truthy (read st fr c) in
-    goto st fr (if cond then l1 else l2);
+    if cond then goto st fr t1 ~label:l1 else goto st fr t2 ~label:l2;
     None
-  | Instr.Ret op ->
+  | Compiled.Cret op ->
     tick st ~cycles:Cost.ret;
     let v = Option.map (read st fr) op in
     (match st.stack with
@@ -377,12 +428,18 @@ let exec_terminator st (fr : frame) =
            | None, _ -> ());
           None))
 
-let run ?(config = default_config) prog ~entry ~args ~mem =
+let run_compiled ?(config = default_config) compiled ~entry ~args ~mem =
   let st =
-    { prog; mem; config; stack = []; steps = 0; cycles = 0;
+    { compiled; imms = compiled.Compiled.imms; on_def = config.on_def;
+      mem; config; stack = []; steps = 0; cycles = 0;
       valchk_failures = 0; failed_uids = Hashtbl.create 4; injection = None;
-      fault_pending = config.fault; branch_fault_armed = None;
-      slack_credit = 0 }
+      fault_pending = config.fault;
+      fault_at =
+        (match config.fault with Some p -> p.at_step | None -> max_int);
+      branch_fault_armed = None;
+      slack_credit = 0;
+      phi_vals = Array.make (max 1 compiled.Compiled.max_phis) Value.zero;
+      phi_set = Array.make (max 1 compiled.Compiled.max_phis) false }
   in
   let finish stop =
     { stop; steps = st.steps; cycles = st.cycles;
@@ -393,20 +450,45 @@ let run ?(config = default_config) prog ~entry ~args ~mem =
       injection = st.injection }
   in
   match
-    let entry_func = Prog.find_func prog entry in
+    let entry_func = Compiled.find_func compiled entry in
     let fr = new_frame st entry_func ~args ~ret_dest:None in
     st.stack <- [ fr ];
     let result = ref None in
-    while !result = None do
+    (* Pattern-matching the condition keeps the loop head a tag test; [=]
+       on options would call the polymorphic comparator every step. *)
+    while (match !result with None -> true | Some _ -> false) do
       if st.steps >= config.fuel then result := Some Out_of_fuel
       else begin
         match st.stack with
         | [] -> assert false
         | fr :: _ ->
-          if fr.idx < Array.length fr.block.body then begin
-            let ins = fr.block.body.(fr.idx) in
-            fr.idx <- fr.idx + 1;
-            exec_instr st fr ins
+          let cblock = fr.cblock in
+          let code = cblock.Compiled.cb_code in
+          let n = Array.length code in
+          if fr.idx < n then begin
+            if (not cblock.Compiled.cb_has_call)
+               && st.steps + (n - fr.idx) < config.fuel
+            then begin
+              (* Call-free block comfortably inside the fuel budget: [fr]
+                 stays the top frame and no fuel stop can hit mid-body, so
+                 the whole remainder runs without per-step stack or bounds
+                 bookkeeping.  Nothing reads [fr.idx] mid-body, so it can
+                 be retired up front. *)
+              let meta = cblock.Compiled.cb_meta in
+              let start = fr.idx in
+              fr.idx <- n;
+              for i = start to n - 1 do
+                (* [i < n] = both array lengths, by the loop bound. *)
+                exec_instr st fr (Array.unsafe_get code i)
+                  (Array.unsafe_get meta i)
+              done
+            end
+            else begin
+              let ci = code.(fr.idx) in
+              let meta = cblock.Compiled.cb_meta.(fr.idx) in
+              fr.idx <- fr.idx + 1;
+              exec_instr st fr ci meta
+            end
           end
           else begin
             match exec_terminator st fr with
@@ -420,6 +502,12 @@ let run ?(config = default_config) prog ~entry ~args ~mem =
   | stop -> finish stop
   | exception Stop_detected d -> finish (Sw_detected d)
   | exception Stop_trap t -> finish (Trapped t)
+  | exception Opcode.Division_by_zero -> finish (Trapped Division_by_zero)
+  | exception Value.Kind_error m -> finish (Trapped (Kind_confusion m))
+  | exception Memory.Segfault x -> finish (Trapped (Segfault x))
+
+let run ?config prog ~entry ~args ~mem =
+  run_compiled ?config (Compiled.of_prog prog) ~entry ~args ~mem
 
 let pp_trap ppf = function
   | Segfault a -> Format.fprintf ppf "segfault @%d" a

@@ -85,10 +85,24 @@ val default_config : config
 val arch_registers : int
 
 (** [run prog ~entry ~args ~mem] interprets [entry] to completion (or trap,
-    detection, fault, fuel exhaustion). *)
+    detection, fault, fuel exhaustion).  The program is lowered with
+    {!Compiled.of_prog} on every call; repeated runs of the same program
+    (fault-injection trials) should lower once and use {!run_compiled}. *)
 val run :
   ?config:config ->
   Ir.Prog.t ->
+  entry:string ->
+  args:Ir.Value.t list ->
+  mem:Memory.t ->
+  result
+
+(** Like {!run}, against an already-lowered program.  Bit-identical to
+    {!run} on the program it was compiled from; safe to call concurrently
+    from several domains (the compiled form is read-only, all run state is
+    per-call). *)
+val run_compiled :
+  ?config:config ->
+  Compiled.t ->
   entry:string ->
   args:Ir.Value.t list ->
   mem:Memory.t ->

@@ -20,12 +20,15 @@ type region = {
 type t = {
   mutable regions : region array;   (** sorted by base *)
   mutable next_base : int;
+  mutable last : int;               (** index of the most recently hit region;
+                                        accesses cluster, so checking it first
+                                        skips the binary search almost always *)
 }
 
 let guard_gap = 0x10000
 let first_base = 0x40000
 
-let create () = { regions = [||]; next_base = first_base }
+let create () = { regions = [||]; next_base = first_base; last = 0 }
 
 (** Allocate [size] words; returns the base address. *)
 let alloc t size =
@@ -38,31 +41,48 @@ let alloc t size =
   t.next_base <- base + size + guard_gap - ((base + size) mod guard_gap);
   base
 
-let find_region t addr =
-  (* Binary search over regions sorted by base. *)
-  let lo = ref 0 and hi = ref (Array.length t.regions - 1) in
-  let found = ref None in
+let find_region_slow t addr =
+  (* Binary search over regions sorted by base; tracks the hit by index so
+     every load/store stays allocation-free. *)
+  let regions = t.regions in
+  let lo = ref 0 and hi = ref (Array.length regions - 1) in
+  let found = ref (-1) in
   while !lo <= !hi do
     let mid = (!lo + !hi) / 2 in
-    let r = t.regions.(mid) in
+    let r = regions.(mid) in
     if addr < r.base then hi := mid - 1
     else if addr >= r.base + r.size then lo := mid + 1
     else begin
-      found := Some r;
+      found := mid;
       lo := !hi + 1
     end
   done;
-  match !found with
-  | Some r -> r
-  | None -> raise (Segfault addr)
+  if !found < 0 then raise (Segfault addr)
+  else begin
+    t.last <- !found;
+    regions.(!found)
+  end
 
+let find_region t addr =
+  let regions = t.regions in
+  if t.last < Array.length regions then begin
+    let r = regions.(t.last) in
+    if addr >= r.base && addr - r.base < r.size then r
+    else find_region_slow t addr
+  end
+  else find_region_slow t addr
+  [@@inline]
+
+(* find_region established base <= addr < base + size = length cells. *)
 let load t addr =
   let r = find_region t addr in
-  r.cells.(addr - r.base)
+  Array.unsafe_get r.cells (addr - r.base)
+  [@@inline]
 
 let store t addr v =
   let r = find_region t addr in
-  r.cells.(addr - r.base) <- v
+  Array.unsafe_set r.cells (addr - r.base) v
+  [@@inline]
 
 (** Address extraction from a runtime value.  A float used as an address is a
     program error surfaced as a segfault-style trap; faults never change a

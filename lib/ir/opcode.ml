@@ -24,26 +24,28 @@ type fcmp = Feq | Fne | Flt | Fle | Fgt | Fge
 
 exception Division_by_zero
 
+(* Integer results go through {!Value.of_int64}, which interns the small
+   values the kernels churn through; see value.ml. *)
 let eval_binop op a b =
   let open Value in
   match op with
-  | Add -> Int (Int64.add (to_int64 a) (to_int64 b))
-  | Sub -> Int (Int64.sub (to_int64 a) (to_int64 b))
-  | Mul -> Int (Int64.mul (to_int64 a) (to_int64 b))
+  | Add -> of_int64 (Int64.add (to_int64 a) (to_int64 b))
+  | Sub -> of_int64 (Int64.sub (to_int64 a) (to_int64 b))
+  | Mul -> of_int64 (Int64.mul (to_int64 a) (to_int64 b))
   | Sdiv ->
     let d = to_int64 b in
     if Int64.equal d 0L then raise Division_by_zero
-    else Int (Int64.div (to_int64 a) d)
+    else of_int64 (Int64.div (to_int64 a) d)
   | Srem ->
     let d = to_int64 b in
     if Int64.equal d 0L then raise Division_by_zero
-    else Int (Int64.rem (to_int64 a) d)
-  | And -> Int (Int64.logand (to_int64 a) (to_int64 b))
-  | Or -> Int (Int64.logor (to_int64 a) (to_int64 b))
-  | Xor -> Int (Int64.logxor (to_int64 a) (to_int64 b))
-  | Shl -> Int (Int64.shift_left (to_int64 a) (Int64.to_int (to_int64 b) land 63))
-  | Lshr -> Int (Int64.shift_right_logical (to_int64 a) (Int64.to_int (to_int64 b) land 63))
-  | Ashr -> Int (Int64.shift_right (to_int64 a) (Int64.to_int (to_int64 b) land 63))
+    else of_int64 (Int64.rem (to_int64 a) d)
+  | And -> of_int64 (Int64.logand (to_int64 a) (to_int64 b))
+  | Or -> of_int64 (Int64.logor (to_int64 a) (to_int64 b))
+  | Xor -> of_int64 (Int64.logxor (to_int64 a) (to_int64 b))
+  | Shl -> of_int64 (Int64.shift_left (to_int64 a) (Int64.to_int (to_int64 b) land 63))
+  | Lshr -> of_int64 (Int64.shift_right_logical (to_int64 a) (Int64.to_int (to_int64 b) land 63))
+  | Ashr -> of_int64 (Int64.shift_right (to_int64 a) (Int64.to_int (to_int64 b) land 63))
   | Fadd -> Float (to_float a +. to_float b)
   | Fsub -> Float (to_float a -. to_float b)
   | Fmul -> Float (to_float a *. to_float b)
@@ -52,11 +54,11 @@ let eval_binop op a b =
 let eval_unop op a =
   let open Value in
   match op with
-  | Neg -> Int (Int64.neg (to_int64 a))
-  | Not -> Int (Int64.lognot (to_int64 a))
+  | Neg -> of_int64 (Int64.neg (to_int64 a))
+  | Not -> of_int64 (Int64.lognot (to_int64 a))
   | Fneg -> Float (-.to_float a)
   | Float_of_int -> Float (Int64.to_float (to_int64 a))
-  | Int_of_float -> Int (Int64.of_float (to_float a))
+  | Int_of_float -> of_int64 (Int64.of_float (to_float a))
   | Fsqrt -> Float (sqrt (to_float a))
   | Fabs -> Float (Float.abs (to_float a))
 

@@ -389,7 +389,7 @@ let parse text =
             Hashtbl.replace f.index label b;
             f.blocks <- f.blocks @ [ b ])
           pf.pf_blocks;
-        prog.funcs <- prog.funcs @ [ f ])
+        Prog.register_func prog f)
     (List.rev !funcs);
   prog.next_reg <- !max_reg + 1;
   prog.next_uid <- !max_uid + 1;

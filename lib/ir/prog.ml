@@ -9,9 +9,13 @@ type t = {
   mutable funcs : Func.t list;
   mutable next_reg : int;
   mutable next_uid : int;
+  by_name : (string, Func.t) Hashtbl.t;
+      (** name -> function, kept in sync by {!add_func}/{!register_func} so
+          every [call] resolves in O(1) instead of scanning [funcs] *)
 }
 
-let create () = { funcs = []; next_reg = 0; next_uid = 0 }
+let create () =
+  { funcs = []; next_reg = 0; next_uid = 0; by_name = Hashtbl.create 8 }
 
 let fresh_reg t =
   let r = t.next_reg in
@@ -23,18 +27,27 @@ let fresh_uid t =
   t.next_uid <- u + 1;
   u
 
+(** Append an already-built function, indexing it by name.  Every code path
+    that grows [funcs] must go through here (or {!add_func}) so the name
+    index never goes stale. *)
+let register_func t (f : Func.t) =
+  if Hashtbl.mem t.by_name f.name then
+    invalid_arg (Printf.sprintf "duplicate function %S" f.name);
+  t.funcs <- t.funcs @ [ f ];
+  Hashtbl.replace t.by_name f.name f
+
 let add_func t ~name ~n_params ~entry_label =
-  if List.exists (fun (f : Func.t) -> f.name = name) t.funcs then
-    invalid_arg (Printf.sprintf "duplicate function %S" name);
   let params = List.init n_params (fun _ -> fresh_reg t) in
   let f = Func.create ~name ~params ~entry_label in
-  t.funcs <- t.funcs @ [ f ];
+  register_func t f;
   f
 
 let find_func t name =
-  match List.find_opt (fun (f : Func.t) -> f.name = name) t.funcs with
+  match Hashtbl.find_opt t.by_name name with
   | Some f -> f
   | None -> invalid_arg (Printf.sprintf "no function %S" name)
+
+let mem_func t name = Hashtbl.mem t.by_name name
 
 let iter_funcs f t = List.iter f t.funcs
 

@@ -15,9 +15,31 @@ type t =
 let zero = Int 0L
 let one = Int 1L
 
-let of_int n = Int (Int64.of_int n)
+(* Small integers dominate the integer traffic of the interpreted kernels
+   (loop counters, indices, pixel components), so the constructors below
+   intern them: producing such a value costs an array load instead of two
+   heap blocks (the [Int] cell plus the boxed [int64]).  Values are
+   immutable and never compared physically, so the sharing is
+   unobservable. *)
+let small_lo = -64
+let small_hi = 1024
+
+let small =
+  Array.init (small_hi - small_lo + 1) (fun i -> Int (Int64.of_int (small_lo + i)))
+
+let of_int64 i =
+  if i >= -64L && i <= 1024L then small.(Int64.to_int i - small_lo) else Int i
+  [@@inline]
+
+let of_int n =
+  if n >= small_lo && n <= small_hi then small.(n - small_lo)
+  else Int (Int64.of_int n)
+
 let of_float f = Float f
-let of_bool b = Int (if b then 1L else 0L)
+
+(* Comparisons run once per dynamic compare instruction; sharing the two
+   constants keeps the hot loop from allocating a fresh block each time. *)
+let of_bool b = if b then one else zero [@@inline]
 
 (** 64-bit payload of a value, as stored in a physical register. *)
 let bits = function
@@ -45,10 +67,12 @@ exception Kind_error of string
 let to_int64 = function
   | Int i -> i
   | Float _ -> raise (Kind_error "expected integer value, found float")
+  [@@inline]
 
 let to_float = function
   | Float f -> f
   | Int _ -> raise (Kind_error "expected float value, found integer")
+  [@@inline]
 
 let to_int v = Int64.to_int (to_int64 v)
 
@@ -56,6 +80,7 @@ let to_int v = Int64.to_int (to_int64 v)
 let truthy = function
   | Int i -> i <> 0L
   | Float f -> f <> 0.0
+  [@@inline]
 
 let equal a b =
   match a, b with

@@ -172,6 +172,45 @@ let test_campaign_protection_reduces_usdc () =
     true
     (usdc protected_ < usdc unprotected)
 
+(* ----- Parallel campaign determinism ----- *)
+
+(* The determinism contract: because every trial seed is pre-derived from
+   the master RNG before any worker starts, the worker count must be
+   unobservable — same summary, same trial list, bit for bit. *)
+let check_parallel_identical subject ~trials ~seed =
+  let serial_summary, serial_trials =
+    Faults.Campaign.run subject ~trials ~seed ~domains:1
+  in
+  let par_summary, par_trials =
+    Faults.Campaign.run subject ~trials ~seed ~domains:4
+  in
+  Alcotest.(check bool) "summaries identical" true
+    (serial_summary.Faults.Campaign.counts = par_summary.Faults.Campaign.counts
+     && serial_summary.subject_label = par_summary.subject_label
+     && serial_summary.trials = par_summary.trials);
+  Alcotest.(check bool) "trial lists identical" true
+    (Faults.Campaign.trials_equal serial_trials par_trials)
+
+let test_campaign_parallel_identical_array_sum () =
+  check_parallel_identical (array_sum_subject ()) ~trials:40 ~seed:11
+
+let test_campaign_parallel_identical_workload () =
+  let p = Softft.protect (Workloads.Registry.find "g721enc") Softft.Dup_only in
+  let subject = Softft.subject p ~role:Workloads.Workload.Test in
+  check_parallel_identical subject ~trials:16 ~seed:42
+
+let test_derive_seeds_matches_serial () =
+  (* The pre-derived schedule must reproduce what the historical serial
+     loop drew from the master generator, one trial at a time. *)
+  let trials = 25 and seed = 123 in
+  let master = Rng.create seed in
+  let expected = Array.make trials 0 in
+  for i = 0 to trials - 1 do
+    expected.(i) <- (Int64.to_int (Rng.bits master) land 0x3FFFFFFF) + i
+  done;
+  let got = Faults.Campaign.derive_seeds ~seed ~trials in
+  Alcotest.(check (array int)) "seed schedule" expected got
+
 let test_percent_helpers () =
   let summary, _ = Faults.Campaign.run (array_sum_subject ()) ~trials:50 ~seed:9 in
   let total =
@@ -209,6 +248,12 @@ let tests =
       test_campaign_finds_corruptions;
     Alcotest.test_case "campaign: protection reduces USDC" `Quick
       test_campaign_protection_reduces_usdc;
+    Alcotest.test_case "campaign: parallel identical (array_sum)" `Quick
+      test_campaign_parallel_identical_array_sum;
+    Alcotest.test_case "campaign: parallel identical (g721enc)" `Quick
+      test_campaign_parallel_identical_workload;
+    Alcotest.test_case "campaign: derived seed schedule" `Quick
+      test_derive_seeds_matches_serial;
     Alcotest.test_case "campaign: percent helpers" `Quick test_percent_helpers;
     Alcotest.test_case "campaign: mean percent" `Quick test_mean_percent;
   ]
