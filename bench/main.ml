@@ -21,6 +21,9 @@ let seed = ref 0xC0FFEE
 let selected_benchmarks : string list option ref = ref None
 let domains = ref (Faults.Pool.recommended_domains ())
 
+let log =
+  lazy (Obs.Log.make ~sinks:[ Obs.Log.stderr_sink () ] "bench")
+
 let workloads () =
   match !selected_benchmarks with
   | None -> Workloads.Registry.all
@@ -114,8 +117,7 @@ let results () =
   | None ->
     let r =
       Softft.Experiments.evaluate ~trials:!default_trials ~seed:!seed
-        ~log:(fun s -> Printf.eprintf "[eval] %s\n%!" s)
-        ~domains:!domains (workloads ())
+        ~log:(Lazy.force log) ~domains:!domains (workloads ())
     in
     evaluated := Some r;
     r
@@ -157,26 +159,45 @@ let campaign_perf_workloads () =
   | None ->
     List.map Workloads.Registry.find [ "jpegdec"; "g721enc"; "kmeans" ]
 
+type perf_row = {
+  pr_name : string;
+  pr_steps : int;
+  pr_serial_sec : float;
+  pr_parallel_sec : float;
+  pr_serial_stats : Faults.Campaign.run_stats option;
+  pr_parallel_stats : Faults.Campaign.run_stats option;
+  pr_identical : bool;
+}
+
 let run_campaign_perf () =
+  let log = Lazy.force log in
   let trials = !default_trials in
   let par_domains = max 2 !domains in
   let rows =
     List.map
       (fun (w : Workloads.Workload.t) ->
-        Printf.eprintf "[campaign-perf] %s (%d trials)...\n%!" w.name trials;
+        Obs.Log.info log
+          ~fields:
+            [ ("workload", Obs.Json.Str w.name);
+              ("trials", Obs.Json.Int trials) ]
+          "campaign-perf run";
         let p = Softft.protect w Softft.Dup_valchk in
         let subject = Softft.subject p ~role:Workloads.Workload.Test in
         (* Warm the compile cache and the golden run outside the timing. *)
         let golden = Faults.Campaign.golden_run subject in
         let timed domains =
+          let stats = ref None in
           let t0 = Unix.gettimeofday () in
           let summary, trial_list =
-            Faults.Campaign.run ~seed:!seed ~domains subject ~trials
+            Faults.Campaign.run ~seed:!seed ~domains ~stats_out:stats subject
+              ~trials
           in
-          (Unix.gettimeofday () -. t0, summary, trial_list)
+          (Unix.gettimeofday () -. t0, summary, trial_list, !stats)
         in
-        let serial_sec, serial_summary, serial_trials = timed 1 in
-        let parallel_sec, parallel_summary, parallel_trials =
+        let serial_sec, serial_summary, serial_trials, serial_stats =
+          timed 1
+        in
+        let parallel_sec, parallel_summary, parallel_trials, parallel_stats =
           timed par_domains
         in
         let identical =
@@ -185,11 +206,13 @@ let run_campaign_perf () =
           && Faults.Campaign.trials_equal serial_trials parallel_trials
         in
         if not identical then
-          Printf.eprintf
-            "[campaign-perf] WARNING: %s parallel run diverged from serial!\n%!"
-            w.name;
-        (w.name, golden.Faults.Campaign.steps, serial_sec, parallel_sec,
-         identical))
+          Obs.Log.warn log
+            ~fields:[ ("workload", Obs.Json.Str w.name) ]
+            "parallel run diverged from serial";
+        { pr_name = w.name; pr_steps = golden.Faults.Campaign.steps;
+          pr_serial_sec = serial_sec; pr_parallel_sec = parallel_sec;
+          pr_serial_stats = serial_stats; pr_parallel_stats = parallel_stats;
+          pr_identical = identical })
       (campaign_perf_workloads ())
   in
   let per_sec sec = float_of_int trials /. max 1e-9 sec in
@@ -200,37 +223,63 @@ let run_campaign_perf () =
     "serial tr/s" "parallel tr/s" "speedup" "same?";
   Printf.printf "%s\n" (String.make 72 '-');
   List.iter
-    (fun (name, steps, ser, par, identical) ->
-      Printf.printf "%-12s %12d %14.1f %14.1f %8.2fx %6s\n" name steps
-        (per_sec ser) (per_sec par)
-        (ser /. max 1e-9 par)
-        (if identical then "yes" else "NO"))
+    (fun r ->
+      Printf.printf "%-12s %12d %14.1f %14.1f %8.2fx %6s\n" r.pr_name
+        r.pr_steps
+        (per_sec r.pr_serial_sec)
+        (per_sec r.pr_parallel_sec)
+        (r.pr_serial_sec /. max 1e-9 r.pr_parallel_sec)
+        (if r.pr_identical then "yes" else "NO"))
     rows;
+  let chunk =
+    (* The chunking parameter actually used by the parallel phase, from the
+       first pool breakdown (identical across workloads at equal trials). *)
+    match
+      List.find_map
+        (fun r ->
+          Option.bind r.pr_parallel_stats
+            (fun (s : Faults.Campaign.run_stats) -> s.pool))
+        rows
+    with
+    | Some (ps : Faults.Pool.stats) -> ps.st_chunk
+    | None -> 0
+  in
+  let opt_field name f = function None -> [] | Some v -> [ (name, f v) ] in
+  let json =
+    Obs.Json.Obj
+      [ ("schema", Obs.Json.Str "softft.bench_campaign.v2");
+        ("trials", Obs.Json.Int trials);
+        ("seed", Obs.Json.Int !seed);
+        ("domains", Obs.Json.Int par_domains);
+        ("chunk", Obs.Json.Int chunk);
+        ("technique", Obs.Json.Str "dup_valchk");
+        ("workloads",
+         Obs.Json.List
+           (List.map
+              (fun r ->
+                Obs.Json.Obj
+                  ([ ("name", Obs.Json.Str r.pr_name);
+                     ("golden_steps", Obs.Json.Int r.pr_steps);
+                     ("serial_sec", Obs.Json.Float r.pr_serial_sec);
+                     ("serial_trials_per_sec",
+                      Obs.Json.Float (per_sec r.pr_serial_sec));
+                     ("parallel_sec", Obs.Json.Float r.pr_parallel_sec);
+                     ("parallel_trials_per_sec",
+                      Obs.Json.Float (per_sec r.pr_parallel_sec));
+                     ("parallel_speedup",
+                      Obs.Json.Float
+                        (r.pr_serial_sec /. max 1e-9 r.pr_parallel_sec));
+                     ("bit_identical", Obs.Json.Bool r.pr_identical) ]
+                   @ opt_field "serial" Faults.Journal.stats_json
+                       r.pr_serial_stats
+                   @ opt_field "parallel" Faults.Journal.stats_json
+                       r.pr_parallel_stats))
+              rows)) ]
+  in
   let path = "BENCH_campaign.json" in
   let oc = open_out path in
-  Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"softft.bench_campaign.v1\",\n";
-  Printf.fprintf oc "  \"trials\": %d,\n" trials;
-  Printf.fprintf oc "  \"seed\": %d,\n" !seed;
-  Printf.fprintf oc "  \"domains\": %d,\n" par_domains;
-  Printf.fprintf oc "  \"technique\": \"dup_valchk\",\n";
-  Printf.fprintf oc "  \"workloads\": [";
-  List.iteri
-    (fun i (name, steps, ser, par, identical) ->
-      Printf.fprintf oc "%s\n    { \"name\": %S, \"golden_steps\": %d,\n"
-        (if i = 0 then "" else ",")
-        name steps;
-      Printf.fprintf oc
-        "      \"serial_sec\": %.6f, \"serial_trials_per_sec\": %.2f,\n" ser
-        (per_sec ser);
-      Printf.fprintf oc
-        "      \"parallel_sec\": %.6f, \"parallel_trials_per_sec\": %.2f,\n"
-        par (per_sec par);
-      Printf.fprintf oc
-        "      \"parallel_speedup\": %.3f, \"bit_identical\": %b }"
-        (ser /. max 1e-9 par) identical)
-    rows;
-  Printf.fprintf oc "\n  ]\n}\n";
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 

@@ -29,23 +29,50 @@ let domains_arg =
     & info [ "domains"; "j" ] ~docv:"N" ~doc)
 
 let quiet_arg =
-  let doc = "Suppress progress logging." in
+  let doc = "Only log warnings and errors." in
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+
+let log_json_arg =
+  let doc = "Also append structured log events to $(docv) as JSON lines." in
+  Arg.(value & opt (some string) None & info [ "log-json" ] ~docv:"FILE" ~doc)
 
 let resolve_benchmarks = function
   | None -> Workloads.Registry.all
   | Some names ->
     List.map Workloads.Registry.find (String.split_on_char ',' names)
 
-let log_of quiet =
-  if quiet then fun (_ : string) -> ()
-  else fun s -> Printf.eprintf "[experiments] %s\n%!" s
+(** Structured logger for the process: pretty events on stderr (warnings
+    only under [--quiet]), plus an optional JSONL sink. *)
+let logger_of quiet log_json =
+  let level = if quiet then Obs.Log.Warn else Obs.Log.Info in
+  let log = Obs.Log.make ~level ~sinks:[ Obs.Log.stderr_sink () ] "experiments" in
+  (match log_json with
+   | Some path ->
+     let oc = open_out path in
+     at_exit (fun () -> close_out_noerr oc);
+     Obs.Log.add_sink log (Obs.Log.jsonl_sink oc)
+   | None -> ());
+  log
 
-let run_all trials seed benchmarks domains quiet =
+let technique_of_string s =
+  match String.lowercase_ascii s with
+  | "original" -> Softft.Original
+  | "dup" | "dup_only" -> Softft.Dup_only
+  | "dupval" | "dup_valchk" -> Softft.Dup_valchk
+  | "full" | "full_dup" -> Softft.Full_dup
+  | "cfc" -> Softft.Cfc_only
+  | "dupvalcfc" -> Softft.Dup_valchk_cfc
+  | other ->
+    invalid_arg
+      (Printf.sprintf
+         "unknown technique %S (original|dup|dupval|full|cfc|dupvalcfc)"
+         other)
+
+let run_all trials seed benchmarks domains quiet log_json =
+  let log = logger_of quiet log_json in
   let workloads = resolve_benchmarks benchmarks in
   let results =
-    Softft.Experiments.evaluate ~trials ~seed ~log:(log_of quiet) ~domains
-      workloads
+    Softft.Experiments.evaluate ~trials ~seed ~log ~domains workloads
   in
   Softft.Experiments.print_table1 ();
   Softft.Experiments.print_table2 ();
@@ -66,7 +93,7 @@ let all_cmd =
     (Cmd.info "all" ~doc)
     Term.(
       const run_all $ trials_arg $ seed_arg $ benchmarks_arg $ domains_arg
-      $ quiet_arg)
+      $ quiet_arg $ log_json_arg)
 
 let run_crossval trials seed domains quiet =
   ignore quiet;
@@ -82,22 +109,11 @@ let crossval_cmd =
     (Cmd.info "crossval" ~doc)
     Term.(const run_crossval $ trials_arg $ seed_arg $ domains_arg $ quiet_arg)
 
-let run_one name technique_name trials seed domains =
+let run_one name technique_name trials seed domains journal profile_flag quiet
+    log_json =
+  let log = logger_of quiet log_json in
   let w = Workloads.Registry.find name in
-  let technique =
-    match String.lowercase_ascii technique_name with
-    | "original" -> Softft.Original
-    | "dup" | "dup_only" -> Softft.Dup_only
-    | "dupval" | "dup_valchk" -> Softft.Dup_valchk
-    | "full" | "full_dup" -> Softft.Full_dup
-    | "cfc" -> Softft.Cfc_only
-    | "dupvalcfc" -> Softft.Dup_valchk_cfc
-    | other ->
-      invalid_arg
-        (Printf.sprintf
-           "unknown technique %S (original|dup|dupval|full|cfc|dupvalcfc)"
-           other)
-  in
+  let technique = technique_of_string technique_name in
   let p = Softft.protect w technique in
   let golden = Softft.golden p ~role:Workloads.Workload.Test in
   Printf.printf "%s / %s\n" w.name (Softft.technique_name technique);
@@ -107,15 +123,43 @@ let run_one name technique_name trials seed domains =
   Printf.printf "  value checks         : %d\n" p.static_stats.value_checks;
   Printf.printf "  golden steps/cycles  : %d / %d\n" golden.steps golden.cycles;
   Printf.printf "  false positives      : %d\n" golden.false_positives;
-  let summary, (_ : Faults.Campaign.trial list) =
+  let profile =
+    if profile_flag then Some (Interp.Profile.create ()) else None
+  in
+  let stats = ref None in
+  let summary, results =
     Softft.campaign p ~role:Workloads.Workload.Test ~trials ~seed ~domains
+      ?profile ~stats_out:stats
   in
   List.iter
     (fun outcome ->
       Printf.printf "  %-12s : %5.1f%%\n"
         (Faults.Classify.name outcome)
         (Faults.Campaign.percent summary outcome))
-    Faults.Classify.all
+    Faults.Classify.all;
+  (match journal with
+   | Some path ->
+     let manifest =
+       Faults.Journal.manifest_record
+         ~technique:(Softft.technique_name technique)
+         ?stats:!stats
+         ~label:(Printf.sprintf "%s/%s/test" w.name
+                   (Softft.technique_name technique))
+         ~trials ~seed ~domains
+         ~hw_window:Faults.Classify.default_hw_window
+         ~fault_kind:"register_bit"
+         ~golden:summary.Faults.Campaign.golden_info ()
+     in
+     Faults.Journal.write ~path ~manifest ~trials:results;
+     Obs.Log.info log
+       ~fields:
+         [ ("path", Obs.Json.Str path);
+           ("trials", Obs.Json.Int (List.length results)) ]
+       "journal written"
+   | None -> ());
+  match profile with
+  | Some prof -> Softft.Experiments.print_profile prof
+  | None -> ()
 
 let name_arg =
   let doc = "Benchmark name (see `table1')." in
@@ -125,13 +169,56 @@ let technique_arg =
   let doc = "Protection technique: original, dup, dupval, full, cfc or dupvalcfc." in
   Arg.(value & pos 1 string "dupval" & info [] ~docv:"TECHNIQUE" ~doc)
 
+let journal_arg =
+  let doc =
+    "Write a trial journal to $(docv): one JSON line per trial, preceded \
+     by a campaign manifest.  Aggregate it later with the `report' command."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc =
+    "Collect an execution profile over all trials (dynamic opcode mix, hot \
+     blocks, check firings) and print it after the campaign.  \
+     Observation-only: trial outcomes are bit-identical either way."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let one_cmd =
   let doc = "Protect one benchmark and run a campaign against it." in
   Cmd.v
     (Cmd.info "one" ~doc)
     Term.(
       const run_one $ name_arg $ technique_arg $ trials_arg $ seed_arg
-      $ domains_arg)
+      $ domains_arg $ journal_arg $ profile_arg $ quiet_arg $ log_json_arg)
+
+let run_report path csv =
+  let manifest, views = Faults.Journal.load path in
+  Softft.Experiments.print_journal_report ?manifest views;
+  match csv with
+  | Some out ->
+    let oc = open_out out in
+    output_string oc (Softft.Experiments.journal_check_csv views);
+    close_out oc;
+    Printf.printf "\nper-check CSV written to %s\n" out
+  | None -> ()
+
+let journal_path_arg =
+  let doc = "Trial journal produced by `one --journal'." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"JOURNAL" ~doc)
+
+let csv_arg =
+  let doc = "Export the per-check firing table to $(docv) as CSV." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let report_cmd =
+  let doc =
+    "Aggregate a trial journal: outcome shares, detection-latency \
+     histogram, and per-check firing tables."
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc)
+    Term.(const run_report $ journal_path_arg $ csv_arg)
 
 let run_table1 () = Softft.Experiments.print_table1 ()
 
@@ -142,16 +229,7 @@ let table1_cmd =
 
 let run_dump name technique_name =
   let w = Workloads.Registry.find name in
-  let technique =
-    match String.lowercase_ascii technique_name with
-    | "original" -> Softft.Original
-    | "dup" | "dup_only" -> Softft.Dup_only
-    | "dupval" | "dup_valchk" -> Softft.Dup_valchk
-    | "full" | "full_dup" -> Softft.Full_dup
-    | "cfc" -> Softft.Cfc_only
-    | "dupvalcfc" -> Softft.Dup_valchk_cfc
-    | other -> invalid_arg (Printf.sprintf "unknown technique %S" other)
-  in
+  let technique = technique_of_string technique_name in
   let p = Softft.protect w technique in
   print_string (Ir.Printer.prog_to_string p.prog)
 
@@ -186,6 +264,7 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "experiments" ~version:"1.0.0" ~doc)
-    [ all_cmd; crossval_cmd; one_cmd; table1_cmd; dump_cmd; trace_cmd ]
+    [ all_cmd; crossval_cmd; one_cmd; report_cmd; table1_cmd; dump_cmd;
+      trace_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -64,9 +64,10 @@ let subject ?label (p : protected) ~role =
   Workloads.Workload.subject ~label p.workload ~role ~prog:p.prog
 
 (** Fault-free reference run (also yields simulated cycles and the
-    false-positive statistics of the inserted value checks). *)
-let golden (p : protected) ~role =
-  Faults.Campaign.golden_run (subject p ~role)
+    false-positive statistics of the inserted value checks).  [profile]
+    attaches an observation-only execution profile to the run. *)
+let golden ?profile (p : protected) ~role =
+  Faults.Campaign.golden_run ?profile (subject p ~role)
 
 (** Runtime overhead of the protected program relative to the unmodified
     one, as a fraction (0.195 = 19.5 %), measured in simulated cycles on
@@ -85,9 +86,13 @@ let overhead ?baseline (p : protected) ~role =
 
 (** Statistical fault injection against the protected program.  [domains]
     fans the trials out over OCaml 5 domains (deterministic for any worker
-    count; see {!Faults.Campaign.run}). *)
-let campaign ?hw_window ?seed ?(trials = 1000) ?domains (p : protected) ~role =
-  Faults.Campaign.run ?hw_window ?seed ?domains (subject p ~role) ~trials
+    count; see {!Faults.Campaign.run}).  [profile], [on_trial] and
+    [stats_out] are {!Faults.Campaign.run}'s observation-only telemetry
+    hooks — any combination leaves results bit-identical. *)
+let campaign ?hw_window ?seed ?(trials = 1000) ?domains ?profile ?on_trial
+    ?stats_out (p : protected) ~role =
+  Faults.Campaign.run ?hw_window ?seed ?domains ?profile ?on_trial ?stats_out
+    (subject p ~role) ~trials
 
 (** 95 %-confidence margin of error for a proportion observed over [n]
     fault-injection trials (Leveugle et al., as cited in §IV-C). *)

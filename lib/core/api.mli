@@ -52,8 +52,13 @@ val subject :
   role:Workloads.Workload.input_role ->
   Faults.Campaign.subject
 
-(** Fault-free reference run (simulated cycles, output, false positives). *)
-val golden : protected -> role:Workloads.Workload.input_role -> Faults.Campaign.golden
+(** Fault-free reference run (simulated cycles, output, false positives).
+    [profile] attaches an observation-only execution profile to the run. *)
+val golden :
+  ?profile:Interp.Profile.t ->
+  protected ->
+  role:Workloads.Workload.input_role ->
+  Faults.Campaign.golden
 
 (** Runtime overhead versus the unmodified program, as a fraction
     (0.195 = 19.5 %), in simulated cycles — the Figure 12 quantity.
@@ -66,12 +71,17 @@ val overhead :
 
 (** Statistical fault injection against the protected program.  [domains]
     fans the trials out over OCaml 5 domains; results are bit-identical
-    for any worker count (see {!Faults.Campaign.run}). *)
+    for any worker count (see {!Faults.Campaign.run}).  [profile],
+    [on_trial] and [stats_out] are {!Faults.Campaign.run}'s
+    observation-only telemetry hooks. *)
 val campaign :
   ?hw_window:int ->
   ?seed:int ->
   ?trials:int ->
   ?domains:int ->
+  ?profile:Interp.Profile.t ->
+  ?on_trial:(int -> Faults.Campaign.trial -> unit) ->
+  ?stats_out:Faults.Campaign.run_stats option ref ->
   protected ->
   role:Workloads.Workload.input_role ->
   Faults.Campaign.summary * Faults.Campaign.trial list

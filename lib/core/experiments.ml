@@ -30,9 +30,11 @@ let find_cell r technique =
 
 (** Run the full evaluation matrix.  [trials] is per (workload, technique);
     the paper uses 1000.  [domains] parallelizes each campaign over OCaml 5
-    domains without changing any result (see {!Faults.Campaign.run}). *)
+    domains without changing any result (see {!Faults.Campaign.run}).
+    [log] is a structured {!Obs.Log} logger; every campaign emits a start
+    event and a completion event carrying its wall-clock timings. *)
 let evaluate ?(trials = 200) ?(seed = 0xC0FFEE) ?(role = Workloads.Workload.Test)
-    ?(techniques = Api.all_techniques) ?(log = fun (_ : string) -> ())
+    ?(techniques = Api.all_techniques) ?(log = Obs.Log.null)
     ?domains workloads =
   List.map
     (fun (w : Workloads.Workload.t) ->
@@ -40,9 +42,13 @@ let evaluate ?(trials = 200) ?(seed = 0xC0FFEE) ?(role = Workloads.Workload.Test
       let cells =
         List.map
           (fun technique ->
-            log
-              (Printf.sprintf "%s / %s ..." w.name
-                 (Api.technique_name technique));
+            let tname = Api.technique_name technique in
+            Obs.Log.info log
+              ~fields:
+                [ ("workload", Obs.Json.Str w.name);
+                  ("technique", Obs.Json.Str tname);
+                  ("trials", Obs.Json.Int trials) ]
+              "campaign start";
             let p = Api.protect w technique in
             let golden = Api.golden p ~role in
             (match technique with
@@ -55,9 +61,24 @@ let evaluate ?(trials = 200) ?(seed = 0xC0FFEE) ?(role = Workloads.Workload.Test
                 (float_of_int golden.cycles /. float_of_int base.cycles) -. 1.0
               | None -> 0.0
             in
+            let stats = ref None in
             let summary, (_ : Campaign.trial list) =
-              Api.campaign p ~role ~trials ~seed ?domains
+              Api.campaign p ~role ~trials ~seed ?domains ~stats_out:stats
             in
+            Obs.Log.info log
+              ~fields:
+                ([ ("workload", Obs.Json.Str w.name);
+                   ("technique", Obs.Json.Str tname);
+                   ("usdc_pct",
+                    Obs.Json.Float
+                      (Campaign.percent_many summary
+                         [ Classify.Usdc_large; Classify.Usdc_small ])) ]
+                 @ (match !stats with
+                    | Some (rs : Campaign.run_stats) ->
+                      [ ("wall_sec", Obs.Json.Float rs.wall_sec);
+                        ("trials_sec", Obs.Json.Float rs.trials_sec) ]
+                    | None -> []))
+              "campaign done";
             { technique; static_stats = p.static_stats; golden; overhead;
               summary })
           techniques
@@ -641,3 +662,193 @@ let write_csv path results =
   let oc = open_out path in
   output_string oc (to_csv results);
   close_out oc
+
+(* ----- Journal reports: aggregate a campaign trial journal (see
+   Faults.Journal) into the paper-style per-check and latency views that
+   the end-of-campaign summary tables discard ----- *)
+
+let journal_outcome_rows (views : Faults.Journal.view list) =
+  let total = max 1 (List.length views) in
+  List.map
+    (fun o ->
+      let name = Classify.name o in
+      let n =
+        List.length
+          (List.filter
+             (fun (v : Faults.Journal.view) -> v.v_outcome = name)
+             views)
+      in
+      [ name; string_of_int n;
+        Report.pct (100.0 *. float_of_int n /. float_of_int total) ])
+    Classify.all
+
+(** Detection-latency histogram (log2 buckets) over every trial that
+    recorded a latency — the distribution a checkpoint-recovery scheme
+    must cover (paper §IV-D). *)
+let journal_latency_rows (views : Faults.Journal.view list) =
+  let reg = Obs.Metrics.registry () in
+  let h = Obs.Metrics.histogram reg "detect_latency" in
+  List.iter
+    (fun (v : Faults.Journal.view) ->
+      match v.v_latency with
+      | Some l -> Obs.Metrics.observe h l
+      | None -> ())
+    views;
+  let total = max 1 (Obs.Metrics.hist_count h) in
+  let cumulative = ref 0 in
+  List.map
+    (fun (lo, hi, n) ->
+      cumulative := !cumulative + n;
+      [ Printf.sprintf "[%d, %d)" lo hi;
+        string_of_int n;
+        Report.pct (100.0 *. float_of_int !cumulative /. float_of_int total) ])
+    (Obs.Metrics.hist_buckets h)
+
+(* Latencies of the SWDetect trials a given check caught, plus helpers. *)
+let check_groups (views : Faults.Journal.view list) =
+  let by_uid : (int, bool * int list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (v : Faults.Journal.view) ->
+      match v.v_check_uid with
+      | None -> ()
+      | Some uid ->
+        let dup = match v.v_dup_check with Some d -> d | None -> false in
+        let lats =
+          match Hashtbl.find_opt by_uid uid with
+          | Some (_, l) -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.replace by_uid uid (dup, l);
+            l
+        in
+        (match v.v_latency with Some l -> lats := l :: !lats | None -> ()))
+    views;
+  Hashtbl.fold
+    (fun uid (dup, lats) acc -> (uid, dup, List.sort compare !lats) :: acc)
+    by_uid []
+  |> List.sort (fun (ua, _, la) (ub, _, lb) ->
+         match compare (List.length lb) (List.length la) with
+         | 0 -> compare ua ub
+         | c -> c)
+
+let mean_of = function
+  | [] -> 0.0
+  | l ->
+    float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+
+let nth_pct sorted p =
+  match sorted with
+  | [] -> 0
+  | _ :: _ ->
+    let n = List.length sorted in
+    List.nth sorted (min (n - 1) (n * p / 100))
+
+(** Per-check firing table: which detector catches how many faults, at
+    what latency — the Table I / Figure 9 style decomposition DETOx-like
+    placement studies need. *)
+let journal_check_rows (views : Faults.Journal.view list) =
+  let detections =
+    List.length
+      (List.filter
+         (fun (v : Faults.Journal.view) -> v.v_check_uid <> None)
+         views)
+  in
+  List.map
+    (fun (uid, dup, lats) ->
+      let fires =
+        List.length
+          (List.filter
+             (fun (v : Faults.Journal.view) -> v.v_check_uid = Some uid)
+             views)
+      in
+      [ string_of_int uid;
+        (if dup then "dup" else "value");
+        string_of_int fires;
+        Report.pct
+          (100.0 *. float_of_int fires /. float_of_int (max 1 detections));
+        Printf.sprintf "%.0f" (mean_of lats);
+        string_of_int (nth_pct lats 50);
+        string_of_int (nth_pct lats 95) ])
+    (check_groups views)
+
+let journal_check_csv (views : Faults.Journal.view list) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "check_uid,kind,fires,share_of_swdetect_pct,mean_latency,p50_latency,\
+     p95_latency\n";
+  List.iter
+    (fun row ->
+      (* The table rows are already plain numbers plus a % suffix. *)
+      Buffer.add_string buf
+        (String.concat ","
+           (List.map
+              (fun cell ->
+                match String.index_opt cell '%' with
+                | Some i -> String.sub cell 0 i
+                | None -> cell)
+              row));
+      Buffer.add_char buf '\n')
+    (journal_check_rows views);
+  Buffer.contents buf
+
+let print_journal_report ?manifest (views : Faults.Journal.view list) =
+  (match manifest with
+   | Some m ->
+     let str name =
+       match Option.bind (Obs.Json.member name m) Obs.Json.to_str with
+       | Some s -> s
+       | None -> "?"
+     in
+     let int name =
+       match Option.bind (Obs.Json.member name m) Obs.Json.to_int with
+       | Some i -> string_of_int i
+       | None -> "?"
+     in
+     Printf.printf
+       "journal: %s  (schema %s, git %s, %s trials, seed %s, %s domains, \
+        fault kind %s)\n"
+       (str "label") (str "schema") (str "git") (int "trials") (int "seed")
+       (int "domains") (str "fault_kind")
+   | None -> Printf.printf "journal: no manifest record found\n");
+  Report.print ~title:"Outcome classification (from journal)"
+    ~header:[ "outcome"; "trials"; "share" ]
+    ~rows:(journal_outcome_rows views);
+  Report.print
+    ~title:"Detection latency histogram (log2 buckets, SWDetect + HWDetect)"
+    ~header:[ "latency bucket"; "detections"; "cumulative" ]
+    ~rows:(journal_latency_rows views);
+  Report.print
+    ~title:"Per-check firings (SWDetect decomposed by detecting check)"
+    ~header:
+      [ "check uid"; "kind"; "fires"; "share"; "mean lat"; "p50"; "p95" ]
+    ~rows:(journal_check_rows views)
+
+(* ----- Execution-profile report (Interp.Profile) ----- *)
+
+let print_profile ?(block_limit = 12) (p : Interp.Profile.t) =
+  Report.print ~title:"Dynamic opcode mix"
+    ~header:[ "opcode class"; "dynamic count"; "share" ]
+    ~rows:
+      (let total = max 1 (Interp.Profile.total_instrs p) in
+       List.map
+         (fun (name, n) ->
+           [ name; string_of_int n;
+             Report.pct (100.0 *. float_of_int n /. float_of_int total) ])
+         (Interp.Profile.opcode_rows p));
+  Report.print ~title:"Hottest blocks"
+    ~header:[ "function"; "block"; "executions" ]
+    ~rows:
+      (List.map
+         (fun (func, block, n) ->
+           [ func; string_of_int block; string_of_int n ])
+         (Interp.Profile.hot_blocks ~limit:block_limit p));
+  match Interp.Profile.check_rows p with
+  | [] -> ()
+  | rows ->
+    Report.print ~title:"Check activity (executions vs. fires)"
+      ~header:[ "check uid"; "executed"; "fired" ]
+      ~rows:
+        (List.map
+           (fun (uid, ex, fired) ->
+             [ string_of_int uid; string_of_int ex; string_of_int fired ])
+           rows)

@@ -11,9 +11,13 @@ let pad_left width s =
 (** Render a table: the first column is left-aligned, the rest right-aligned. *)
 let render ~header ~rows =
   let cols = List.length header in
-  List.iter
-    (fun r ->
-      if List.length r <> cols then invalid_arg "Report.render: ragged row")
+  List.iteri
+    (fun i r ->
+      let n = List.length r in
+      if n <> cols then
+        invalid_arg
+          (Printf.sprintf
+             "Report.render: row %d has %d cells, header has %d" i n cols))
     rows;
   let widths =
     List.mapi

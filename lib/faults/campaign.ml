@@ -39,11 +39,13 @@ type golden = {
 
 exception Golden_run_failed of string * string
 
-(** Fault-free reference execution of the subject. *)
-let golden_run subject =
+(** Fault-free reference execution of the subject.  [profile] attaches an
+    execution profile to the run (observation-only). *)
+let golden_run ?profile subject =
   let state = subject.fresh_state () in
   let config =
-    { Interp.Machine.default_config with mode = Interp.Machine.Record }
+    { Interp.Machine.default_config with mode = Interp.Machine.Record;
+      profile }
   in
   let result =
     Interp.Machine.run_compiled ~config
@@ -73,6 +75,8 @@ type trial = {
       (** dynamic instructions between the flip and its detection, for
           SWDetect/HWDetect outcomes — the window a recovery scheme must
           cover (paper Â§IV-D) *)
+  steps : int;    (** dynamic instructions the faulted run executed *)
+  cycles : int;   (** simulated cycles of the faulted run *)
 }
 
 (* Bit-exact trial comparison for the parallel-determinism contract.
@@ -95,6 +99,7 @@ let trial_equal a b =
       | None, Some _ | Some _, None -> false)
   && a.detected_by = b.detected_by
   && a.detect_latency = b.detect_latency
+  && a.steps = b.steps && a.cycles = b.cycles
 
 let trials_equal a b =
   List.length a = List.length b && List.for_all2 trial_equal a b
@@ -120,8 +125,8 @@ let percent_many summary outcomes =
 (** Run one fault-injection trial.  [compiled] lets campaigns lower the
     subject program once and share it across all trials (and domains); when
     omitted it is looked up in the per-program compile cache. *)
-let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled subject
-    ~golden ~disabled ~hw_window ~seed =
+let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled ?profile
+    subject ~(golden : golden) ~disabled ~hw_window ~seed =
   let compiled =
     match compiled with
     | Some c -> c
@@ -140,7 +145,8 @@ let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled subject
       fault =
         Some { Interp.Machine.at_step; fault_rng = Rng.split rng;
                kind = fault_kind };
-      disabled_checks = disabled }
+      disabled_checks = disabled;
+      profile }
   in
   let result =
     Interp.Machine.run_compiled ~config compiled ~entry:subject.entry
@@ -173,7 +179,8 @@ let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled subject
     | Interp.Machine.Out_of_fuel -> None
   in
   { trial_seed = seed; at_step; outcome; injection = result.injection;
-    detected_by; detect_latency }
+    detected_by; detect_latency; steps = result.steps;
+    cycles = result.cycles }
 
 (** All trial seeds, derived from the master RNG *before* any trial runs.
     This is the campaign determinism contract: seed assignment depends only
@@ -188,29 +195,79 @@ let derive_seeds ~seed ~trials =
   done;
   seeds
 
+(** Wall-clock accounting of one {!run}: where the campaign spent its
+    time, and how the trial work spread over domains.  Observation-only;
+    never feeds back into results. *)
+type run_stats = {
+  golden_sec : float;    (** golden run (and check-disabling setup) *)
+  trials_sec : float;    (** the parallel trial phase *)
+  wall_sec : float;      (** whole campaign, entry to exit *)
+  pool : Pool.stats option;  (** per-domain breakdown of the trial phase *)
+}
+
 (** Run a whole campaign: one golden run plus [trials] injections.
     [fault_kind] selects the paper's register bit flips (default) or
     branch-target corruptions (the Â§IV-C complementary fault class).
     [domains] fans the trials out over OCaml 5 domains ({!Pool}); results
     are bit-identical to the serial run for any worker count because every
     trial's seed is pre-derived by {!derive_seeds} and each trial executes
-    against its own fresh state. *)
+    against its own fresh state.
+
+    The observability hooks are all optional and observation-only — any
+    combination leaves the summary and trial list bit-identical:
+    - [profile] accumulates the execution profiles of every trial
+      (per-trial instances, merged in trial order after the parallel
+      phase, so worker scheduling stays unobservable);
+    - [on_trial] receives [(index, trial)] for every trial, in
+      deterministic seed order, after the parallel phase — the journal
+      emission point;
+    - [stats_out] receives the campaign's {!run_stats}. *)
 let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
-    ?(fault_kind = Interp.Machine.Register_bit) ?(domains = 1) subject
-    ~trials =
+    ?(fault_kind = Interp.Machine.Register_bit) ?(domains = 1) ?profile
+    ?on_trial ?stats_out subject ~trials =
+  let t_start = Unix.gettimeofday () in
   let golden = golden_run subject in
   let disabled = Hashtbl.create 8 in
   List.iter (fun uid -> Hashtbl.replace disabled uid ()) golden.failing_checks;
   let seeds = derive_seeds ~seed ~trials in
   let compiled = Interp.Compiled.cached subject.prog in
+  let t_trials = Unix.gettimeofday () in
+  (* Each trial profiles into its own instance; the merge below runs in
+     trial order on the calling domain, so the aggregate is deterministic
+     and the hot path shares nothing across workers. *)
+  let trial_profiles =
+    match profile with
+    | None -> [||]
+    | Some _ -> Array.init trials (fun _ -> Interp.Profile.create ())
+  in
+  let pool_stats = ref None in
   let results =
-    Pool.map ~domains
+    Pool.map ~domains ~stats:pool_stats
       (fun i ->
-        run_trial ~fault_kind ~compiled subject ~golden ~disabled ~hw_window
-          ~seed:seeds.(i))
+        let profile =
+          if Array.length trial_profiles = 0 then None
+          else Some trial_profiles.(i)
+        in
+        run_trial ~fault_kind ~compiled ?profile subject ~golden ~disabled
+          ~hw_window ~seed:seeds.(i))
       trials
     |> Array.to_list
   in
+  let t_end = Unix.gettimeofday () in
+  (match profile with
+   | Some dst ->
+     Array.iter (fun p -> Interp.Profile.merge_into ~dst p) trial_profiles
+   | None -> ());
+  (match on_trial with
+   | Some emit -> List.iteri emit results
+   | None -> ());
+  (match stats_out with
+   | Some r ->
+     r :=
+       Some
+         { golden_sec = t_trials -. t_start; trials_sec = t_end -. t_trials;
+           wall_sec = t_end -. t_start; pool = !pool_stats }
+   | None -> ());
   let counts =
     List.map
       (fun o ->

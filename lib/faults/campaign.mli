@@ -36,8 +36,9 @@ type golden = {
 exception Golden_run_failed of string * string
 
 (** Fault-free reference execution; raises {!Golden_run_failed} if the
-    subject does not run to completion. *)
-val golden_run : subject -> golden
+    subject does not run to completion.  [profile] attaches an execution
+    profile ({!Interp.Profile}) to the run — observation-only. *)
+val golden_run : ?profile:Interp.Profile.t -> subject -> golden
 
 type trial = {
   trial_seed : int;
@@ -50,6 +51,8 @@ type trial = {
       (** dynamic instructions between the fault and its detection, for
           SWDetect/HWDetect outcomes — the window a recovery scheme must
           cover (paper §IV-D) *)
+  steps : int;    (** dynamic instructions the faulted run executed *)
+  cycles : int;   (** simulated cycles of the faulted run *)
 }
 
 (** Bit-exact trial (list) equality, the parallel-determinism contract's
@@ -76,6 +79,7 @@ val percent_many : summary -> Classify.outcome list -> float
 val run_trial :
   ?fault_kind:Interp.Machine.fault_kind ->
   ?compiled:Interp.Compiled.t ->
+  ?profile:Interp.Profile.t ->
   subject ->
   golden:golden ->
   disabled:(int, unit) Hashtbl.t ->
@@ -90,16 +94,34 @@ val run_trial :
     trial at a time. *)
 val derive_seeds : seed:int -> trials:int -> int array
 
+(** Wall-clock accounting of one {!run}; observation-only. *)
+type run_stats = {
+  golden_sec : float;    (** golden run (and check-disabling setup) *)
+  trials_sec : float;    (** the parallel trial phase *)
+  wall_sec : float;      (** whole campaign, entry to exit *)
+  pool : Pool.stats option;  (** per-domain breakdown of the trial phase *)
+}
+
 (** Run a whole campaign: one golden run plus [trials] injections, all
     deterministic in [seed].  [fault_kind] selects register bit flips
     (default) or branch-target corruptions.  [domains] (default 1: serial)
     fans trials out over OCaml 5 domains; summaries and trial lists are
-    bit-identical for any worker count. *)
+    bit-identical for any worker count.
+
+    Observability hooks, all observation-only (any combination leaves
+    results bit-identical): [profile] accumulates every trial's execution
+    profile (merged in trial order); [on_trial] is called with
+    [(index, trial)] for each trial in deterministic seed order after the
+    parallel phase — the journal emission point; [stats_out] receives the
+    campaign's {!run_stats}. *)
 val run :
   ?hw_window:int ->
   ?seed:int ->
   ?fault_kind:Interp.Machine.fault_kind ->
   ?domains:int ->
+  ?profile:Interp.Profile.t ->
+  ?on_trial:(int -> trial -> unit) ->
+  ?stats_out:run_stats option ref ->
   subject ->
   trials:int ->
   summary * trial list

@@ -1,0 +1,182 @@
+(** Campaign trial journal; see the interface for the file layout. *)
+
+open Obs
+
+let schema = "softft.journal.v1"
+
+let git_describe () =
+  try
+    let ic =
+      Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with Unix.Unix_error _ | Sys_error _ -> "unknown"
+
+let value_json (v : Ir.Value.t) =
+  match v with
+  | Ir.Value.Int i ->
+    (* int64 payloads may exceed the OCaml int range; keep them lossless
+       as decimal strings. *)
+    Json.Obj [ ("kind", Json.Str "int"); ("v", Json.Str (Int64.to_string i)) ]
+  | Ir.Value.Float f ->
+    Json.Obj
+      [ ("kind", Json.Str "float"); ("v", Json.Float f);
+        ("bits", Json.Str (Int64.to_string (Int64.bits_of_float f))) ]
+
+let fault_kind_name = function
+  | Interp.Machine.Register_bit -> "register_bit"
+  | Interp.Machine.Branch_target -> "branch_target"
+
+let injection_json (inj : Interp.Machine.injection) =
+  Json.Obj
+    [ ("kind", Json.Str (fault_kind_name inj.inj_kind));
+      ("step", Json.Int inj.inj_step);
+      ("reg", Json.Int inj.inj_reg);
+      ("bit", Json.Int inj.inj_bit);
+      ("before", value_json inj.before);
+      ("after", value_json inj.after) ]
+
+let opt_field name f = function
+  | None -> []
+  | Some v -> [ (name, f v) ]
+
+let trial_record ~index (t : Campaign.trial) =
+  Json.Obj
+    ([ ("type", Json.Str "trial");
+       ("i", Json.Int index);
+       ("seed", Json.Int t.trial_seed);
+       ("at_step", Json.Int t.at_step);
+       ("outcome", Json.Str (Classify.name t.outcome));
+       ("steps", Json.Int t.steps);
+       ("cycles", Json.Int t.cycles) ]
+     @ opt_field "detect_latency" (fun l -> Json.Int l) t.detect_latency
+     @ (match t.detected_by with
+        | None -> []
+        | Some (d : Interp.Machine.detection) ->
+          [ ("check_uid", Json.Int d.check_uid);
+            ("dup_check", Json.Bool d.dup_check) ])
+     @ opt_field "injection" injection_json t.injection)
+
+let pool_stats_json (ps : Pool.stats) =
+  Json.Obj
+    [ ("domains", Json.Int ps.st_domains);
+      ("chunk", Json.Int ps.st_chunk);
+      ("wall_sec",
+       Json.List (Array.to_list (Array.map (fun s -> Json.Float s) ps.st_wall)));
+      ("items",
+       Json.List (Array.to_list (Array.map (fun n -> Json.Int n) ps.st_items)))
+    ]
+
+let stats_json (rs : Campaign.run_stats) =
+  Json.Obj
+    ([ ("golden_sec", Json.Float rs.golden_sec);
+       ("trials_sec", Json.Float rs.trials_sec);
+       ("wall_sec", Json.Float rs.wall_sec) ]
+     @ opt_field "pool" pool_stats_json rs.pool)
+
+let manifest_record ?git ?technique ?stats ~label ~trials ~seed ~domains
+    ~hw_window ~fault_kind ~(golden : Campaign.golden) () =
+  let git = match git with Some g -> g | None -> git_describe () in
+  Json.Obj
+    ([ ("type", Json.Str "manifest");
+       ("schema", Json.Str schema);
+       ("git", Json.Str git);
+       ("label", Json.Str label);
+       ("trials", Json.Int trials);
+       ("seed", Json.Int seed);
+       ("domains", Json.Int domains);
+       ("hw_window", Json.Int hw_window);
+       ("fault_kind", Json.Str fault_kind) ]
+     @ opt_field "technique" (fun t -> Json.Str t) technique
+     @ [ ("golden",
+          Json.Obj
+            [ ("steps", Json.Int golden.steps);
+              ("cycles", Json.Int golden.cycles);
+              ("false_positives", Json.Int golden.false_positives);
+              ("failing_checks",
+               Json.List
+                 (List.map (fun uid -> Json.Int uid) golden.failing_checks))
+            ]) ]
+     @ opt_field "timings" stats_json stats)
+
+let write ~path ~manifest ~trials =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string manifest);
+      output_char oc '\n';
+      List.iteri
+        (fun index t ->
+          output_string oc (Json.to_string (trial_record ~index t));
+          output_char oc '\n')
+        trials)
+
+(* ----- Reading ----- *)
+
+type view = {
+  v_index : int;
+  v_seed : int;
+  v_at_step : int;
+  v_outcome : string;
+  v_check_uid : int option;
+  v_dup_check : bool option;
+  v_latency : int option;
+  v_steps : int;
+  v_cycles : int;
+}
+
+exception Malformed of string
+
+let require line name = function
+  | Some v -> v
+  | None ->
+    raise (Malformed (Printf.sprintf "line %d: missing field %S" line name))
+
+let view_of_json ~line j =
+  let int_field name = Option.bind (Json.member name j) Json.to_int in
+  let need_int name = require line name (int_field name) in
+  { v_index = need_int "i";
+    v_seed = need_int "seed";
+    v_at_step = need_int "at_step";
+    v_outcome =
+      require line "outcome"
+        (Option.bind (Json.member "outcome" j) Json.to_str);
+    v_check_uid = int_field "check_uid";
+    v_dup_check = Option.bind (Json.member "dup_check" j) Json.to_bool;
+    v_latency = int_field "detect_latency";
+    v_steps = need_int "steps";
+    v_cycles = need_int "cycles" }
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let manifest = ref None in
+      let views = ref [] in
+      let line_no = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           line_no := !line_no + 1;
+           if String.trim line <> "" then begin
+             let j =
+               try Json.parse line
+               with Json.Parse_error msg ->
+                 raise
+                   (Malformed (Printf.sprintf "line %d: %s" !line_no msg))
+             in
+             match Option.bind (Json.member "type" j) Json.to_str with
+             | Some "manifest" ->
+               if !manifest = None then manifest := Some j
+             | Some "trial" ->
+               views := view_of_json ~line:!line_no j :: !views
+             | Some _ | None -> ()  (* forward compatibility: skip *)
+           end
+         done
+       with End_of_file -> ());
+      (!manifest, List.rev !views))

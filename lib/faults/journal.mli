@@ -1,0 +1,72 @@
+(** Campaign trial journal: one JSONL record per trial plus a manifest.
+
+    The journal is the per-trial telemetry the aggregate tables discard
+    (paper §IV: which check fired, at what latency, for which injection)
+    — the input of the [experiments report] subcommand and of detector
+    placement studies à la DETOx.
+
+    File layout: line 1 is the manifest record ([{"type":"manifest",…}]
+    with schema version, config, golden reference data, timings and
+    per-domain breakdown), followed by one [{"type":"trial",…}] record
+    per trial, in deterministic seed order.  Journals are produced by
+    {!write} from a completed campaign, or streamed through
+    {!Campaign.run}'s [on_trial] hook using {!trial_record}. *)
+
+(** Journal schema identifier, bumped on breaking layout changes. *)
+val schema : string
+
+(** [git describe --always --dirty] of the working tree, or ["unknown"]
+    outside a git checkout — pins a journal to the code that wrote it. *)
+val git_describe : unit -> string
+
+(** JSON form of one trial: index, seed, injection site/details, outcome,
+    detecting check (uid + kind), detection latency, steps, cycles. *)
+val trial_record : index:int -> Campaign.trial -> Obs.Json.t
+
+(** JSON form of {!Campaign.run_stats} (phase wall times plus the
+    per-domain pool breakdown) — also used by the bench harness's
+    BENCH_campaign.json. *)
+val stats_json : Campaign.run_stats -> Obs.Json.t
+
+(** The campaign manifest.  [fault_kind] and [technique] are free-form
+    labels; [stats] adds wall/per-domain timings when available. *)
+val manifest_record :
+  ?git:string ->
+  ?technique:string ->
+  ?stats:Campaign.run_stats ->
+  label:string ->
+  trials:int ->
+  seed:int ->
+  domains:int ->
+  hw_window:int ->
+  fault_kind:string ->
+  golden:Campaign.golden ->
+  unit ->
+  Obs.Json.t
+
+(** Write a whole journal (manifest first, then the trials in list
+    order).  Creates/truncates [path]. *)
+val write :
+  path:string -> manifest:Obs.Json.t -> trials:Campaign.trial list -> unit
+
+(** A trial record read back from a journal — the aggregation view the
+    [report] subcommand consumes, decoupled from the in-memory types so
+    reports work across code versions. *)
+type view = {
+  v_index : int;
+  v_seed : int;
+  v_at_step : int;
+  v_outcome : string;            (** {!Classify.name} spelling *)
+  v_check_uid : int option;      (** detecting check, SWDetect only *)
+  v_dup_check : bool option;     (** detector kind, SWDetect only *)
+  v_latency : int option;        (** detection latency, SW/HWDetect *)
+  v_steps : int;
+  v_cycles : int;
+}
+
+exception Malformed of string
+
+(** Parse a journal file into its manifest (if present) and trial views.
+    Raises {!Malformed} on unparseable lines or missing required trial
+    fields; unknown record types are ignored (forward compatibility). *)
+val load : string -> Obs.Json.t option * view list

@@ -18,20 +18,39 @@ let recommended_domains () = max 1 (Domain.recommended_domain_count ())
    trial is much shorter than a run to completion). *)
 let default_chunk ~domains n = max 1 (min 32 (n / (domains * 8)))
 
+type stats = {
+  st_domains : int;
+  st_chunk : int;
+  st_wall : float array;
+  st_items : int array;
+}
+
+let put_stats out stats = match out with None -> () | Some r -> r := Some stats
+
 (** [map ~domains f n] is [\[| f 0; f 1; ...; f (n-1) |\]], computed by
     [domains] workers.  [f] must be safe to call from any domain and must
     not depend on call order.  [domains <= 1] (or [n <= 1]) degenerates to
-    a plain in-order serial loop with no domain spawned. *)
-let map ?chunk ~domains f n =
-  if n = 0 then [||]
+    a plain in-order serial loop with no domain spawned.  [stats] receives
+    the per-worker timing/work record — observation only, the output array
+    never depends on it. *)
+let map ?chunk ?stats ~domains f n =
+  if n = 0 then begin
+    put_stats stats
+      { st_domains = 0; st_chunk = 0; st_wall = [||]; st_items = [||] };
+    [||]
+  end
   else begin
     let domains = max 1 (min domains n) in
     if domains = 1 then begin
+      let t0 = Unix.gettimeofday () in
       let first = f 0 in
       let out = Array.make n first in
       for i = 1 to n - 1 do
         out.(i) <- f i
       done;
+      put_stats stats
+        { st_domains = 1; st_chunk = n;
+          st_wall = [| Unix.gettimeofday () -. t0 |]; st_items = [| n |] };
       out
     end
     else begin
@@ -42,21 +61,30 @@ let map ?chunk ~domains f n =
       in
       let out = Array.make n None in
       let next = Atomic.make 0 in
-      let worker () =
+      let wall = Array.make domains 0.0 in
+      let items = Array.make domains 0 in
+      let worker wid () =
+        let t0 = Unix.gettimeofday () in
+        let done_ = ref 0 in
         let continue_ = ref true in
         while !continue_ do
           let start = Atomic.fetch_and_add next chunk in
           if start >= n then continue_ := false
           else
             for i = start to min (start + chunk) n - 1 do
-              out.(i) <- Some (f i)
+              out.(i) <- Some (f i);
+              done_ := !done_ + 1
             done
-        done
+        done;
+        (* Each worker writes only its own slots; the joins below publish
+           them to the caller. *)
+        wall.(wid) <- Unix.gettimeofday () -. t0;
+        items.(wid) <- !done_
       in
       let helpers =
-        Array.init (domains - 1) (fun _ -> Domain.spawn worker)
+        Array.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))
       in
-      let main_exn = (try worker (); None with e -> Some e) in
+      let main_exn = (try worker 0 (); None with e -> Some e) in
       (* Join everyone before re-raising so no domain outlives the call. *)
       let helper_exn =
         Array.fold_left
@@ -69,6 +97,9 @@ let map ?chunk ~domains f n =
       (match main_exn, helper_exn with
        | Some e, _ | None, Some e -> raise e
        | None, None -> ());
+      put_stats stats
+        { st_domains = domains; st_chunk = chunk; st_wall = wall;
+          st_items = items };
       Array.map
         (function Some v -> v | None -> assert false (* every slot filled *))
         out

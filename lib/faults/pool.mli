@@ -9,11 +9,30 @@
 (** Domains the hardware comfortably supports, always at least 1. *)
 val recommended_domains : unit -> int
 
+(** What one {!map} call actually did — the observability record that
+    makes parallel-overhead regressions diagnosable (DESIGN.md §8):
+    per-worker wall time and work share, plus the chunking parameter.
+    Worker 0 is the calling domain. *)
+type stats = {
+  st_domains : int;        (** workers used, after clamping to [n] *)
+  st_chunk : int;          (** indices claimed per atomic fetch-and-add *)
+  st_wall : float array;   (** per-worker busy wall seconds *)
+  st_items : int array;    (** per-worker indices executed *)
+}
+
 (** [map ~domains f n] is [\[| f 0; f 1; ...; f (n-1) |\]], computed by
     [domains] workers.  [f] must be safe to call from any domain and must
     not depend on call order.  [domains <= 1] (or [n <= 1]) degenerates to
     a plain in-order serial loop with no domain spawned.  [chunk] overrides
     the work-dealing granularity (default: scaled to [n] and [domains]).
     If [f] raises, all workers are joined and one of the exceptions is
-    re-raised. *)
-val map : ?chunk:int -> domains:int -> (int -> 'a) -> int -> 'a array
+    re-raised.  When [stats] is given it receives the run's {!stats}
+    (also on the degenerate serial path); timing is observation-only and
+    does not affect the output. *)
+val map :
+  ?chunk:int ->
+  ?stats:stats option ref ->
+  domains:int ->
+  (int -> 'a) ->
+  int ->
+  'a array

@@ -83,11 +83,15 @@ type config = {
           check whose recovery fails to make it pass is executed once and
           then ignored, so campaigns disable such checks instead of counting
           their failures as detections *)
+  profile : Profile.t option;
+      (** execution profile to fill (opcode mix, block heat, check
+          exec/fire counts).  Observation-only: the run is bit-identical
+          with or without it; [None] costs one pointer test per event. *)
 }
 
 let default_config =
   { fuel = 200_000_000; mode = Detect; on_def = None; fault = None;
-    disabled_checks = Hashtbl.create 1 }
+    disabled_checks = Hashtbl.create 1; profile = None }
 
 (* Internal signalling exceptions. *)
 exception Stop_detected of detection
@@ -113,6 +117,7 @@ type state = {
   compiled : Compiled.t;
   imms : Value.t array;             (** the compiled immediate pool *)
   on_def : (int -> Value.t -> unit) option;  (** hoisted from [config] *)
+  profile : Profile.t option;       (** hoisted from [config] *)
   mem : Memory.t;
   config : config;
   mutable stack : frame list;
@@ -198,6 +203,11 @@ let new_frame (st : state) (cfunc : Compiled.cfunc) ~args ~ret_dest =
        (Printf.sprintf "call to %s: expected %d arguments, got %d"
           cfunc.cf_name
           (List.length cfunc.cf_params) (List.length args)));
+  (match st.profile with
+   | Some p ->
+     Profile.note_block p cfunc.Compiled.cf_name
+       (Array.length cfunc.Compiled.cf_blocks) cfunc.Compiled.cf_entry
+   | None -> ());
   fr
 
 (** Flip a random bit of a random recently-written register of the active
@@ -283,6 +293,11 @@ let goto st (fr : frame) target ~label =
   fr.prev_block <- fr.cblock.Compiled.cb_index;
   fr.cblock <- fr.cfunc.Compiled.cf_blocks.(target);
   fr.idx <- 0;
+  (match st.profile with
+   | Some p ->
+     Profile.note_block p fr.cfunc.Compiled.cf_name
+       (Array.length fr.cfunc.Compiled.cf_blocks) target
+   | None -> ());
   run_phis st fr
 
 (* Cycle accounting with the slack-credit model (see Cost): source
@@ -318,6 +333,7 @@ let instr_cycles st meta =
    handler instead of paying for a trap frame on every step. *)
 let exec_instr st (fr : frame) (ci : Compiled.cinstr) meta =
   tick st ~cycles:(instr_cycles st meta);
+  (match st.profile with Some p -> Profile.note_instr p ci | None -> ());
   match ci with
   | Compiled.CAdd { uid; dest; a; b } ->
     (* Specialization of the dominant binop: the add runs inline on the
@@ -384,10 +400,19 @@ let exec_instr st (fr : frame) (ci : Compiled.cinstr) meta =
   | Compiled.CDup_check { uid; a; b } ->
     let vb = read_code st fr b in
     let va = read_code st fr a in
-    if not (Value.equal va vb) then
+    (match st.profile with Some p -> Profile.note_check_exec p uid | None -> ());
+    if not (Value.equal va vb) then begin
+      (match st.profile with
+       | Some p -> Profile.note_check_fire p uid
+       | None -> ());
       raise (Stop_detected { check_uid = uid; dup_check = true })
+    end
   | Compiled.CValue_check { uid; ck; a } ->
+    (match st.profile with Some p -> Profile.note_check_exec p uid | None -> ());
     if not (Instr.check_passes ck (read_code st fr a)) then begin
+      (match st.profile with
+       | Some p -> Profile.note_check_fire p uid
+       | None -> ());
       match st.config.mode with
       | Detect ->
         if Hashtbl.mem st.config.disabled_checks uid then begin
@@ -431,6 +456,7 @@ let exec_terminator st (fr : frame) =
 let run_compiled ?(config = default_config) compiled ~entry ~args ~mem =
   let st =
     { compiled; imms = compiled.Compiled.imms; on_def = config.on_def;
+      profile = config.profile;
       mem; config; stack = []; steps = 0; cycles = 0;
       valchk_failures = 0; failed_uids = Hashtbl.create 4; injection = None;
       fault_pending = config.fault;

@@ -77,6 +77,10 @@ type config = {
           recovery fails to make it pass is executed once and then ignored,
           so campaigns disable such checks instead of counting their
           failures as detections *)
+  profile : Profile.t option;
+      (** execution profile to fill (opcode mix, block heat, check
+          exec/fire counts); observation-only, the run is bit-identical
+          with or without it *)
 }
 
 val default_config : config

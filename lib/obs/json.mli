@@ -1,0 +1,36 @@
+(** Minimal JSON values: just enough for the observability stack (event
+    sinks, trial journals, metric dumps) without an external dependency.
+
+    Serialization always produces valid JSON: non-finite floats become
+    [null], strings are escaped per RFC 8259.  The parser accepts the
+    subset this repo emits plus standard escapes ([\uXXXX] included), so
+    journals round-trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering — one JSONL record per call. *)
+val to_string : t -> string
+
+exception Parse_error of string
+
+(** Parse one JSON document; raises {!Parse_error} with a position on
+    malformed input.  Numbers without [.], [e] or [E] parse as {!Int}. *)
+val parse : string -> t
+
+(** Field lookup on an {!Obj}; [None] on other constructors or absence. *)
+val member : string -> t -> t option
+
+(** Coercions; [to_float] promotes {!Int}. *)
+val to_int : t -> int option
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

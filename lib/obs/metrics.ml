@@ -1,0 +1,179 @@
+(** Counters, gauges and log2 histograms; see the interface for the
+    determinism contract. *)
+
+let buckets_len = 64
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
+
+type histogram = {
+  counts : int Atomic.t array;  (** [buckets_len] log2 buckets *)
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_max : int Atomic.t;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type registry = {
+  instruments : (string, instrument) Hashtbl.t;
+  mutex : Mutex.t;  (** guards get-or-create, not updates *)
+}
+
+let registry () = { instruments = Hashtbl.create 16; mutex = Mutex.create () }
+let default = registry ()
+
+let intern reg name build select =
+  Mutex.lock reg.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock reg.mutex)
+    (fun () ->
+      match Hashtbl.find_opt reg.instruments name with
+      | Some existing -> select name existing
+      | None ->
+        let fresh = build () in
+        Hashtbl.replace reg.instruments name fresh;
+        select name fresh)
+
+let kind_mismatch name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S already registered with another kind" name)
+
+let counter reg name =
+  intern reg name
+    (fun () -> Counter (Atomic.make 0))
+    (fun name -> function Counter c -> c | _ -> kind_mismatch name)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
+let counter_value c = Atomic.get c
+
+let gauge reg name =
+  intern reg name
+    (fun () -> Gauge (Atomic.make 0.0))
+    (fun name -> function Gauge g -> g | _ -> kind_mismatch name)
+
+let set_gauge g v = Atomic.set g v
+let gauge_value g = Atomic.get g
+
+let histogram reg name =
+  intern reg name
+    (fun () ->
+      Histogram
+        { counts = Array.init buckets_len (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0; h_sum = Atomic.make 0;
+          h_max = Atomic.make 0 })
+    (fun name -> function Histogram h -> h | _ -> kind_mismatch name)
+
+(* Bucket 0: v <= 0; bucket i >= 1: 2^(i-1) <= v < 2^i. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 in
+    let x = ref v in
+    while !x > 0 do
+      b := !b + 1;
+      x := !x lsr 1
+    done;
+    min !b (buckets_len - 1)
+  end
+
+let rec raise_max cell v =
+  let current = Atomic.get cell in
+  if v > current && not (Atomic.compare_and_set cell current v) then
+    raise_max cell v
+
+let observe h v =
+  ignore (Atomic.fetch_and_add h.counts.(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  ignore (Atomic.fetch_and_add h.h_sum (max 0 v));
+  raise_max h.h_max v
+
+let hist_count h = Atomic.get h.h_count
+let hist_sum h = Atomic.get h.h_sum
+let hist_max h = Atomic.get h.h_max
+
+let hist_mean h =
+  let n = hist_count h in
+  if n = 0 then 0.0 else float_of_int (hist_sum h) /. float_of_int n
+
+let bucket_bounds i = if i = 0 then (0, 1) else (1 lsl (i - 1), 1 lsl i)
+
+let hist_quantile h q =
+  let n = hist_count h in
+  if n = 0 then 0
+  else begin
+    let need =
+      int_of_float (ceil (q *. float_of_int n)) |> max 1 |> min n
+    in
+    let acc = ref 0 in
+    let result = ref 0 in
+    (try
+       for i = 0 to buckets_len - 1 do
+         acc := !acc + Atomic.get h.counts.(i);
+         if !acc >= need then begin
+           result := snd (bucket_bounds i);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let hist_buckets h =
+  let out = ref [] in
+  for i = buckets_len - 1 downto 0 do
+    let n = Atomic.get h.counts.(i) in
+    if n > 0 then begin
+      let lo, hi = bucket_bounds i in
+      out := (lo, hi, n) :: !out
+    end
+  done;
+  !out
+
+type span = { sp_hist : histogram; sp_start : float }
+
+let start_span h = { sp_hist = h; sp_start = Unix.gettimeofday () }
+
+let stop_span sp =
+  let elapsed = Unix.gettimeofday () -. sp.sp_start in
+  observe sp.sp_hist (int_of_float (elapsed *. 1e6));
+  elapsed
+
+let time h f =
+  let sp = start_span h in
+  Fun.protect ~finally:(fun () -> ignore (stop_span sp)) f
+
+let to_json reg =
+  Mutex.lock reg.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock reg.mutex)
+    (fun () ->
+      let fields =
+        Hashtbl.fold
+          (fun name instrument acc ->
+            let v =
+              match instrument with
+              | Counter c -> Json.Int (counter_value c)
+              | Gauge g -> Json.Float (gauge_value g)
+              | Histogram h ->
+                Json.Obj
+                  [ ("count", Json.Int (hist_count h));
+                    ("sum", Json.Int (hist_sum h));
+                    ("max", Json.Int (hist_max h));
+                    ("mean", Json.Float (hist_mean h));
+                    ("buckets",
+                     Json.List
+                       (List.map
+                          (fun (lo, hi, n) ->
+                            Json.Obj
+                              [ ("lo", Json.Int lo); ("hi", Json.Int hi);
+                                ("n", Json.Int n) ])
+                          (hist_buckets h))) ]
+            in
+            (name, v) :: acc)
+          reg.instruments []
+      in
+      Json.Obj (List.sort compare fields))

@@ -1,0 +1,70 @@
+(** Metrics registry: counters, gauges and fixed-log2-bucket histograms.
+
+    All instruments are updated with atomics, so campaign worker domains
+    can share them.  Metrics are strictly observation-only — nothing in
+    the experiment pipeline may branch on a metric value, which is what
+    keeps instrumented runs bit-identical to bare ones (the determinism
+    contract, DESIGN.md §8).
+
+    Span timers use {!Unix.gettimeofday}; on the platforms this repo
+    targets it is monotonic enough for coarse campaign phases, and no
+    experiment *result* ever depends on a measured duration. *)
+
+type registry
+
+val registry : unit -> registry
+
+(** Process-wide default registry. *)
+val default : registry
+
+type counter
+
+(** Get-or-create by name (one instrument per name per registry). *)
+val counter : registry -> string -> counter
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : registry -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** Histogram over non-negative integers with fixed log2 buckets:
+    bucket 0 holds values [<= 0], bucket [i >= 1] holds
+    [2^(i-1) <= v < 2^i].  Bucket boundaries are value-independent, so
+    merging and comparing histograms across runs is exact. *)
+type histogram
+
+val histogram : registry -> string -> histogram
+val observe : histogram -> int -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+val hist_max : histogram -> int
+
+(** Mean of observed values; 0 when empty. *)
+val hist_mean : histogram -> float
+
+(** Smallest observed-value upper bound [hi] such that at least
+    [q * count] observations fall in buckets up to [hi] — a bucketed
+    quantile (exact to bucket resolution).  0 when empty. *)
+val hist_quantile : histogram -> float -> int
+
+(** Non-empty buckets as [(lo, hi, count)] with [lo] inclusive and [hi]
+    exclusive; bucket 0 reports [(0, 1, n)]. *)
+val hist_buckets : histogram -> (int * int * int) list
+
+(** Wall-clock span recorded into a histogram in microseconds. *)
+type span
+
+val start_span : histogram -> span
+
+(** Seconds elapsed; also records the span into its histogram. *)
+val stop_span : span -> float
+
+(** [time h f] runs [f ()] inside a span. *)
+val time : histogram -> (unit -> 'a) -> 'a
+
+(** Snapshot of every instrument, for dumps and JSONL sinks. *)
+val to_json : registry -> Json.t

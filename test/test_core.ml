@@ -16,5 +16,7 @@ let () =
       ("workloads", Test_workloads.tests);
       ("codecs", Test_codecs.tests);
       ("api", Test_api.tests);
+      ("report", Test_report.tests);
+      ("obs", Test_obs.tests);
       ("properties", Test_properties.tests);
     ]

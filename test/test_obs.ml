@@ -1,0 +1,277 @@
+(** Observability subsystem tests: JSON codec, metrics, logging sinks,
+    the campaign trial journal, pool stats, and — the contract that
+    matters — determinism of campaigns under full telemetry. *)
+
+open Obs
+
+(* ----- JSON ----- *)
+
+let sample_json =
+  Json.Obj
+    [ ("null", Json.Null);
+      ("t", Json.Bool true);
+      ("f", Json.Bool false);
+      ("int", Json.Int (-42));
+      ("big", Json.Int max_int);
+      ("float", Json.Float 0.1);
+      ("exp", Json.Float 1.5e300);
+      ("str", Json.Str "line\nbreak \"quoted\" \\ tab\t\x01");
+      ("utf8", Json.Str "\xce\xbcops");
+      ("list", Json.List [ Json.Int 1; Json.Str "two"; Json.List [] ]);
+      ("nested", Json.Obj [ ("empty", Json.Obj []) ]) ]
+
+let test_json_roundtrip () =
+  let s = Json.to_string sample_json in
+  Alcotest.(check bool) "roundtrip" true (Json.parse s = sample_json);
+  (* And printing is stable through a second cycle. *)
+  Alcotest.(check string) "stable" s (Json.to_string (Json.parse s))
+
+let test_json_unicode_escapes () =
+  Alcotest.(check bool) "bmp escape" true
+    (Json.parse {|"µs"|} = Json.Str "\xc2\xb5s");
+  (* Surrogate pair: U+1F600 as 😀 -> 4-byte UTF-8. *)
+  Alcotest.(check bool) "surrogate pair" true
+    (Json.parse {|"😀"|} = Json.Str "\xf0\x9f\x98\x80")
+
+let expect_parse_error s =
+  match Json.parse s with
+  | exception Json.Parse_error _ -> ()
+  | j ->
+    Alcotest.failf "expected Parse_error on %S, got %s" s (Json.to_string j)
+
+let test_json_parse_errors () =
+  List.iter expect_parse_error
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 garbage";
+      "{\"a\" 1}"; "[1 2]"; "nul" ]
+
+let test_json_accessors () =
+  let j = Json.parse {|{"a": 3, "b": 2.5, "s": "x", "l": [1], "t": true}|} in
+  Alcotest.(check (option int)) "member int" (Some 3)
+    (Option.bind (Json.member "a" j) Json.to_int);
+  Alcotest.(check (option (float 1e-9))) "int promotes to float" (Some 3.0)
+    (Option.bind (Json.member "a" j) Json.to_float);
+  Alcotest.(check (option (float 1e-9))) "float" (Some 2.5)
+    (Option.bind (Json.member "b" j) Json.to_float);
+  Alcotest.(check (option string)) "str" (Some "x")
+    (Option.bind (Json.member "s" j) Json.to_str);
+  Alcotest.(check (option bool)) "bool" (Some true)
+    (Option.bind (Json.member "t" j) Json.to_bool);
+  Alcotest.(check (option int)) "missing member" None
+    (Option.bind (Json.member "zz" j) Json.to_int);
+  Alcotest.(check bool) "wrong type" true
+    (Option.bind (Json.member "s" j) Json.to_int = None)
+
+(* ----- Metrics ----- *)
+
+let test_metrics_counter () =
+  let r = Metrics.registry () in
+  let c = Metrics.counter r "trials" in
+  Metrics.incr c;
+  Metrics.incr ~by:5 c;
+  Alcotest.(check int) "counted" 6 (Metrics.counter_value c);
+  (* Get-or-create: same name, same instrument. *)
+  Metrics.incr (Metrics.counter r "trials");
+  Alcotest.(check int) "interned" 7 (Metrics.counter_value c)
+
+let test_metrics_histogram_buckets () =
+  let r = Metrics.registry () in
+  let h = Metrics.histogram r "lat" in
+  List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; 1024 ];
+  Alcotest.(check int) "count" 6 (Metrics.hist_count h);
+  Alcotest.(check int) "sum" 1034 (Metrics.hist_sum h);
+  Alcotest.(check int) "max" 1024 (Metrics.hist_max h);
+  (* log2 buckets: 0 -> [0,1), 1 -> [1,2), 2..3 -> [2,4), 4 -> [4,8),
+     1024 -> [1024,2048). *)
+  Alcotest.(check (list (triple int int int))) "buckets"
+    [ (0, 1, 1); (1, 2, 1); (2, 4, 2); (4, 8, 1); (1024, 2048, 1) ]
+    (Metrics.hist_buckets h);
+  Alcotest.(check int) "p50 upper bound" 4 (Metrics.hist_quantile h 0.5);
+  Alcotest.(check int) "p100 upper bound" 2048 (Metrics.hist_quantile h 1.0)
+
+(* ----- Logging ----- *)
+
+let test_log_jsonl_sink_and_level () =
+  let path = Filename.temp_file "softft_log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let log = Log.make ~level:Log.Warn ~sinks:[ Log.jsonl_sink oc ] "test" in
+      Alcotest.(check bool) "warn enabled" true (Log.enabled log Log.Warn);
+      Alcotest.(check bool) "info filtered" false (Log.enabled log Log.Info);
+      Log.info log "dropped below level";
+      Log.warn log ~fields:[ ("n", Json.Int 3) ] "kept";
+      Log.error (Log.child log "sub") "child shares sinks";
+      close_out oc;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      match List.rev_map Json.parse !lines with
+      | [ e1; e2 ] ->
+        let str name j = Option.bind (Json.member name j) Json.to_str in
+        Alcotest.(check (option string)) "level" (Some "warn")
+          (str "level" e1);
+        Alcotest.(check (option string)) "msg" (Some "kept") (str "msg" e1);
+        Alcotest.(check (option int)) "field" (Some 3)
+          (Option.bind (Json.member "n" e1) Json.to_int);
+        Alcotest.(check (option string)) "child component" (Some "test/sub")
+          (str "component" e2)
+      | lines -> Alcotest.failf "expected 2 log lines, got %d" (List.length lines))
+
+(* ----- Pool stats ----- *)
+
+let check_pool_stats ~domains n =
+  let stats = ref None in
+  let out = Faults.Pool.map ~domains ~stats (fun i -> i * i) n in
+  Alcotest.(check int) "results intact" n (Array.length out);
+  match !stats with
+  | None -> Alcotest.fail "no stats reported"
+  | Some (s : Faults.Pool.stats) ->
+    Alcotest.(check int) "workers" s.st_domains (Array.length s.st_wall);
+    Alcotest.(check int) "item slots" s.st_domains (Array.length s.st_items);
+    Alcotest.(check int) "all items accounted" n
+      (Array.fold_left ( + ) 0 s.st_items);
+    Alcotest.(check bool) "chunk positive" true (n = 0 || s.st_chunk > 0)
+
+let test_pool_stats_serial () = check_pool_stats ~domains:1 37
+let test_pool_stats_parallel () = check_pool_stats ~domains:3 37
+let test_pool_stats_empty () = check_pool_stats ~domains:2 0
+
+(* ----- Journal ----- *)
+
+let small_campaign ?profile ?on_trial ?stats_out ~domains () =
+  Faults.Campaign.run ?profile ?on_trial ?stats_out ~domains
+    (Test_faults.array_sum_subject ())
+    ~trials:30 ~seed:2024
+
+let test_journal_write_load () =
+  let path = Filename.temp_file "softft_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let stats = ref None in
+      let summary, trials = small_campaign ~stats_out:stats ~domains:2 () in
+      let manifest =
+        Faults.Journal.manifest_record ~git:"test" ~technique:"none"
+          ?stats:!stats ~label:"array_sum" ~trials:30 ~seed:2024 ~domains:2
+          ~hw_window:Faults.Classify.default_hw_window
+          ~fault_kind:"register_bit"
+          ~golden:summary.Faults.Campaign.golden_info ()
+      in
+      Faults.Journal.write ~path ~manifest ~trials;
+      let loaded_manifest, views = Faults.Journal.load path in
+      (match loaded_manifest with
+       | None -> Alcotest.fail "manifest lost"
+       | Some m ->
+         Alcotest.(check (option string)) "schema" (Some Faults.Journal.schema)
+           (Option.bind (Json.member "schema" m) Json.to_str);
+         Alcotest.(check (option int)) "trials" (Some 30)
+           (Option.bind (Json.member "trials" m) Json.to_int);
+         Alcotest.(check bool) "timings present" true
+           (Json.member "timings" m <> None));
+      Alcotest.(check int) "one view per trial" (List.length trials)
+        (List.length views);
+      List.iteri
+        (fun i (v : Faults.Journal.view) ->
+          let t = List.nth trials i in
+          Alcotest.(check int) "index" i v.v_index;
+          Alcotest.(check int) "seed" t.Faults.Campaign.trial_seed v.v_seed;
+          Alcotest.(check string) "outcome"
+            (Faults.Classify.name t.Faults.Campaign.outcome)
+            v.v_outcome;
+          Alcotest.(check (option int)) "latency"
+            t.Faults.Campaign.detect_latency v.v_latency;
+          Alcotest.(check int) "cycles" t.Faults.Campaign.cycles v.v_cycles)
+        views)
+
+let test_journal_malformed () =
+  let path = Filename.temp_file "softft_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"type\":\"trial\",\"i\":0}\n";
+      close_out oc;
+      match Faults.Journal.load path with
+      | exception Faults.Journal.Malformed msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the line (%s)" msg)
+          true
+          (String.length msg >= 6 && String.sub msg 0 6 = "line 1")
+      | _ -> Alcotest.fail "expected Malformed")
+
+(* ----- Determinism under observability -----
+
+   The whole point of the telemetry design: journaling, profiling and
+   stats collection must be unobservable in the results — bit-identical
+   trial lists with every hook enabled, serial and parallel. *)
+
+let check_observability_inert ~domains () =
+  let bare_summary, bare = small_campaign ~domains:1 () in
+  let profile = Interp.Profile.create () in
+  let journal = ref [] in
+  let stats = ref None in
+  let instr_summary, instrumented =
+    small_campaign ~profile
+      ~on_trial:(fun i t -> journal := (i, t) :: !journal)
+      ~stats_out:stats ~domains ()
+  in
+  Alcotest.(check bool) "trial lists bit-identical" true
+    (Faults.Campaign.trials_equal bare instrumented);
+  Alcotest.(check bool) "summaries identical" true
+    (bare_summary.Faults.Campaign.counts
+     = instr_summary.Faults.Campaign.counts);
+  (* The hooks did observe the campaign. *)
+  Alcotest.(check int) "journal saw every trial" (List.length bare)
+    (List.length !journal);
+  Alcotest.(check bool) "journal in seed order" true
+    (List.rev_map fst !journal = List.init (List.length bare) Fun.id);
+  Alcotest.(check bool) "profile counted instructions" true
+    (Interp.Profile.total_instrs profile > 0);
+  Alcotest.(check bool) "stats reported" true (!stats <> None)
+
+let test_observability_inert_serial () = check_observability_inert ~domains:1 ()
+let test_observability_inert_parallel () =
+  check_observability_inert ~domains:2 ()
+
+let test_profile_merge_deterministic () =
+  (* Same campaign, serial vs. parallel: the merged profiles must agree
+     (merge happens in trial order, not completion order). *)
+  let collect domains =
+    let p = Interp.Profile.create () in
+    let (_ : Faults.Campaign.summary), (_ : Faults.Campaign.trial list) =
+      small_campaign ~profile:p ~domains ()
+    in
+    (Interp.Profile.total_instrs p, Interp.Profile.opcode_rows p,
+     Interp.Profile.check_rows p)
+  in
+  Alcotest.(check bool) "serial = parallel profile" true
+    (collect 1 = collect 4)
+
+let tests =
+  [ Alcotest.test_case "json: roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: unicode escapes" `Quick test_json_unicode_escapes;
+    Alcotest.test_case "json: parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json: accessors" `Quick test_json_accessors;
+    Alcotest.test_case "metrics: counter" `Quick test_metrics_counter;
+    Alcotest.test_case "metrics: histogram buckets" `Quick
+      test_metrics_histogram_buckets;
+    Alcotest.test_case "log: jsonl sink + level" `Quick
+      test_log_jsonl_sink_and_level;
+    Alcotest.test_case "pool: stats serial" `Quick test_pool_stats_serial;
+    Alcotest.test_case "pool: stats parallel" `Quick test_pool_stats_parallel;
+    Alcotest.test_case "pool: stats empty" `Quick test_pool_stats_empty;
+    Alcotest.test_case "journal: write/load roundtrip" `Quick
+      test_journal_write_load;
+    Alcotest.test_case "journal: malformed input" `Quick test_journal_malformed;
+    Alcotest.test_case "determinism: hooks inert (serial)" `Quick
+      test_observability_inert_serial;
+    Alcotest.test_case "determinism: hooks inert (domains=2)" `Quick
+      test_observability_inert_parallel;
+    Alcotest.test_case "determinism: profile merge" `Quick
+      test_profile_merge_deterministic;
+  ]

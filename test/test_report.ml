@@ -1,0 +1,69 @@
+(** Table-rendering unit tests (Softft.Report). *)
+
+module Report = Softft.Report
+
+(* ----- pad / pad_left ----- *)
+
+let test_pad () =
+  Alcotest.(check string) "pads right" "ab  " (Report.pad 4 "ab");
+  Alcotest.(check string) "exact width unchanged" "abcd" (Report.pad 4 "abcd");
+  Alcotest.(check string) "wider than width unchanged" "abcde"
+    (Report.pad 4 "abcde");
+  Alcotest.(check string) "empty string" "   " (Report.pad 3 "");
+  Alcotest.(check string) "zero width" "x" (Report.pad 0 "x")
+
+let test_pad_left () =
+  Alcotest.(check string) "pads left" "  ab" (Report.pad_left 4 "ab");
+  Alcotest.(check string) "exact width unchanged" "abcd"
+    (Report.pad_left 4 "abcd");
+  Alcotest.(check string) "wider than width unchanged" "abcde"
+    (Report.pad_left 4 "abcde");
+  Alcotest.(check string) "empty string" "   " (Report.pad_left 3 "")
+
+(* ----- render ----- *)
+
+let test_render_basic () =
+  let out =
+    Report.render ~header:[ "name"; "n" ] ~rows:[ [ "a"; "10" ]; [ "bb"; "5" ] ]
+  in
+  Alcotest.(check string) "layout"
+    "name   n\n----  --\na     10\nbb     5" out
+
+let test_render_empty_rows () =
+  let out = Report.render ~header:[ "col"; "x" ] ~rows:[] in
+  Alcotest.(check string) "header and separator only" "col  x\n---  -" out
+
+let test_render_ragged_names_row () =
+  (* The error must name the offending row and both widths. *)
+  Alcotest.check_raises "ragged row error"
+    (Invalid_argument "Report.render: row 1 has 2 cells, header has 3")
+    (fun () ->
+      ignore
+        (Report.render ~header:[ "a"; "b"; "c" ]
+           ~rows:[ [ "1"; "2"; "3" ]; [ "1"; "2" ] ]))
+
+let test_render_ragged_wide_row () =
+  Alcotest.check_raises "too-wide row error"
+    (Invalid_argument "Report.render: row 0 has 3 cells, header has 1")
+    (fun () ->
+      ignore (Report.render ~header:[ "a" ] ~rows:[ [ "1"; "2"; "3" ] ]))
+
+let test_render_multibyte_header () =
+  (* Column widths are byte widths: a 3-byte UTF-8 header ("\xce\xbcs" is
+     "(mu)s", 3 bytes) sets the column to 3 bytes, and cells pad to it. *)
+  let out = Report.render ~header:[ "\xce\xbcs"; "n" ] ~rows:[ [ "x"; "2" ] ] in
+  Alcotest.(check string) "byte-width layout"
+    "\xce\xbcs  n\n---  -\nx    2" out
+
+let tests =
+  [ Alcotest.test_case "pad" `Quick test_pad;
+    Alcotest.test_case "pad_left" `Quick test_pad_left;
+    Alcotest.test_case "render: basic" `Quick test_render_basic;
+    Alcotest.test_case "render: empty rows" `Quick test_render_empty_rows;
+    Alcotest.test_case "render: ragged row named" `Quick
+      test_render_ragged_names_row;
+    Alcotest.test_case "render: too-wide row named" `Quick
+      test_render_ragged_wide_row;
+    Alcotest.test_case "render: multi-byte header" `Quick
+      test_render_multibyte_header;
+  ]
