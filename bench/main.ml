@@ -57,7 +57,8 @@ let micro_tests () =
            ~result:
              { Interp.Machine.stop = Interp.Machine.Finished None; steps = 100;
                cycles = 100; valchk_failures = 0; failed_check_uids = [];
-               injection = None }
+               injection = None; recovered = None; rollback_denied = false;
+               checkpoints = 0 }
            ~identical:(fun () -> false)
            ~acceptable:(fun () -> true)));
     (* Figure 10: the static transformation itself. *)
@@ -358,11 +359,25 @@ let () =
           ~domains:!domains (workloads ())
       in
       Softft.Experiments.print_latency rows
+    | "recovery" ->
+      (* Checkpoint-interval sweep: fault-free overhead vs. the fraction of
+         software detections that become transparent recoveries. *)
+      List.iter
+        (fun name ->
+          let w = Workloads.Registry.find name in
+          let rows =
+            Softft.Experiments.recovery ~trials:!default_trials ~seed:!seed
+              ~domains:!domains w
+          in
+          Softft.Experiments.print_recovery w rows)
+        (match !selected_benchmarks with
+         | Some names -> names
+         | None -> [ "jpegdec"; "kmeans" ])
     | cmd ->
       Printf.eprintf
         "unknown command %S (try: micro all fig2 fig10 fig11 fig12 fig13 \
          table1 table2 falsepos headline crossval campaign-perf ablation \
-         latency branchfault sources csv)\n"
+         latency recovery branchfault sources csv)\n"
         cmd;
       exit 1
   in

@@ -109,13 +109,16 @@ let crossval_cmd =
     (Cmd.info "crossval" ~doc)
     Term.(const run_crossval $ trials_arg $ seed_arg $ domains_arg $ quiet_arg)
 
-let run_one name technique_name trials seed domains journal profile_flag quiet
-    log_json =
+let run_one name technique_name trials seed domains checkpoint journal
+    profile_flag quiet log_json =
   let log = logger_of quiet log_json in
   let w = Workloads.Registry.find name in
   let technique = technique_of_string technique_name in
   let p = Softft.protect w technique in
-  let golden = Softft.golden p ~role:Workloads.Workload.Test in
+  let golden =
+    Softft.golden p ~checkpoint_interval:checkpoint
+      ~role:Workloads.Workload.Test
+  in
   Printf.printf "%s / %s\n" w.name (Softft.technique_name technique);
   Printf.printf "  static instrs (orig) : %d\n" p.static_stats.original_instrs;
   Printf.printf "  state variables      : %d\n" p.static_stats.state_vars;
@@ -129,11 +132,11 @@ let run_one name technique_name trials seed domains journal profile_flag quiet
   let stats = ref None in
   let summary, results =
     Softft.campaign p ~role:Workloads.Workload.Test ~trials ~seed ~domains
-      ?profile ~stats_out:stats
+      ~checkpoint_interval:checkpoint ?profile ~stats_out:stats
   in
   List.iter
     (fun outcome ->
-      Printf.printf "  %-12s : %5.1f%%\n"
+      Printf.printf "  %-13s : %5.1f%%\n"
         (Faults.Classify.name outcome)
         (Faults.Campaign.percent summary outcome))
     Faults.Classify.all;
@@ -145,7 +148,7 @@ let run_one name technique_name trials seed domains journal profile_flag quiet
          ?stats:!stats
          ~label:(Printf.sprintf "%s/%s/test" w.name
                    (Softft.technique_name technique))
-         ~trials ~seed ~domains
+         ~trials ~seed ~domains ~checkpoint_interval:checkpoint
          ~hw_window:Faults.Classify.default_hw_window
          ~fault_kind:"register_bit"
          ~golden:summary.Faults.Campaign.golden_info ()
@@ -176,6 +179,14 @@ let journal_arg =
   in
   Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
 
+let checkpoint_arg =
+  let doc =
+    "Enable checkpoint/rollback recovery with a checkpoint every $(docv) \
+     dynamic instructions (0 = off).  Trials whose software check fires \
+     then roll back and replay, reclassifying as Recovered/Unrecoverable."
+  in
+  Arg.(value & opt int 0 & info [ "checkpoint"; "k" ] ~docv:"INTERVAL" ~doc)
+
 let profile_arg =
   let doc =
     "Collect an execution profile over all trials (dynamic opcode mix, hot \
@@ -190,18 +201,25 @@ let one_cmd =
     (Cmd.info "one" ~doc)
     Term.(
       const run_one $ name_arg $ technique_arg $ trials_arg $ seed_arg
-      $ domains_arg $ journal_arg $ profile_arg $ quiet_arg $ log_json_arg)
+      $ domains_arg $ checkpoint_arg $ journal_arg $ profile_arg $ quiet_arg
+      $ log_json_arg)
 
 let run_report path csv =
-  let manifest, views = Faults.Journal.load path in
-  Softft.Experiments.print_journal_report ?manifest views;
-  match csv with
-  | Some out ->
-    let oc = open_out out in
-    output_string oc (Softft.Experiments.journal_check_csv views);
-    close_out oc;
-    Printf.printf "\nper-check CSV written to %s\n" out
-  | None -> ()
+  match Faults.Journal.load path with
+  | exception Faults.Journal.Malformed msg ->
+    (* A journal without a manifest (or with broken lines) is an error the
+       caller should see, not an empty report. *)
+    prerr_endline ("experiments report: " ^ msg);
+    exit 1
+  | manifest, views ->
+    Softft.Experiments.print_journal_report ~manifest views;
+    (match csv with
+     | Some out ->
+       let oc = open_out out in
+       output_string oc (Softft.Experiments.journal_check_csv views);
+       close_out oc;
+       Printf.printf "\nper-check CSV written to %s\n" out
+     | None -> ())
 
 let journal_path_arg =
   let doc = "Trial journal produced by `one --journal'." in

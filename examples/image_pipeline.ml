@@ -53,7 +53,8 @@ let () =
     | Faults.Classify.Usdc_small ->
       interesting := (seed, trial) :: !interesting
     | Faults.Classify.Masked | Faults.Classify.Sw_detect
-    | Faults.Classify.Hw_detect | Faults.Classify.Failure -> ()
+    | Faults.Classify.Hw_detect | Faults.Classify.Failure
+    | Faults.Classify.Recovered | Faults.Classify.Unrecoverable -> ()
   done;
 
   Printf.printf "outcomes over %d injected bit flips:\n" trials;

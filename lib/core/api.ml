@@ -65,9 +65,11 @@ let subject ?label (p : protected) ~role =
 
 (** Fault-free reference run (also yields simulated cycles and the
     false-positive statistics of the inserted value checks).  [profile]
-    attaches an observation-only execution profile to the run. *)
-let golden ?profile (p : protected) ~role =
-  Faults.Campaign.golden_run ?profile (subject p ~role)
+    attaches an observation-only execution profile to the run;
+    [checkpoint_interval] enables rollback checkpointing, whose fault-free
+    overhead then shows up in the cycle count. *)
+let golden ?profile ?checkpoint_interval (p : protected) ~role =
+  Faults.Campaign.golden_run ?profile ?checkpoint_interval (subject p ~role)
 
 (** Runtime overhead of the protected program relative to the unmodified
     one, as a fraction (0.195 = 19.5 %), measured in simulated cycles on
@@ -89,10 +91,10 @@ let overhead ?baseline (p : protected) ~role =
     count; see {!Faults.Campaign.run}).  [profile], [on_trial] and
     [stats_out] are {!Faults.Campaign.run}'s observation-only telemetry
     hooks — any combination leaves results bit-identical. *)
-let campaign ?hw_window ?seed ?(trials = 1000) ?domains ?profile ?on_trial
-    ?stats_out (p : protected) ~role =
-  Faults.Campaign.run ?hw_window ?seed ?domains ?profile ?on_trial ?stats_out
-    (subject p ~role) ~trials
+let campaign ?hw_window ?seed ?(trials = 1000) ?domains ?checkpoint_interval
+    ?profile ?on_trial ?stats_out (p : protected) ~role =
+  Faults.Campaign.run ?hw_window ?seed ?domains ?checkpoint_interval ?profile
+    ?on_trial ?stats_out (subject p ~role) ~trials
 
 (** 95 %-confidence margin of error for a proportion observed over [n]
     fault-injection trials (Leveugle et al., as cited in §IV-C). *)

@@ -53,9 +53,12 @@ val subject :
   Faults.Campaign.subject
 
 (** Fault-free reference run (simulated cycles, output, false positives).
-    [profile] attaches an observation-only execution profile to the run. *)
+    [profile] attaches an observation-only execution profile to the run;
+    [checkpoint_interval] (default 0: off) enables rollback checkpointing,
+    whose fault-free overhead then shows up in the cycle count. *)
 val golden :
   ?profile:Interp.Profile.t ->
+  ?checkpoint_interval:int ->
   protected ->
   role:Workloads.Workload.input_role ->
   Faults.Campaign.golden
@@ -71,7 +74,9 @@ val overhead :
 
 (** Statistical fault injection against the protected program.  [domains]
     fans the trials out over OCaml 5 domains; results are bit-identical
-    for any worker count (see {!Faults.Campaign.run}).  [profile],
+    for any worker count (see {!Faults.Campaign.run}).
+    [checkpoint_interval] (default 0: off) enables checkpoint/rollback
+    recovery in the golden run and every trial (DESIGN.md §9).  [profile],
     [on_trial] and [stats_out] are {!Faults.Campaign.run}'s
     observation-only telemetry hooks. *)
 val campaign :
@@ -79,6 +84,7 @@ val campaign :
   ?seed:int ->
   ?trials:int ->
   ?domains:int ->
+  ?checkpoint_interval:int ->
   ?profile:Interp.Profile.t ->
   ?on_trial:(int -> Faults.Campaign.trial -> unit) ->
   ?stats_out:Faults.Campaign.run_stats option ref ->

@@ -521,6 +521,95 @@ let print_latency rows =
              Report.frac_pct r.lat_within_1000 ])
          rows)
 
+(* ----- Checkpoint/rollback recovery (DESIGN.md §9): what turning the
+   detections into transparent repairs costs, as a function of how often
+   state is checkpointed ----- *)
+
+type recovery_row = {
+  rc_interval : int;        (** checkpoint interval; 0 = recovery off *)
+  rc_overhead : float;      (** fault-free checkpointing overhead vs. the
+                                same protected program without it *)
+  rc_swdetect : float;      (** % of trials still stopping at a check *)
+  rc_recovered : float;     (** % rolled back and replayed to the golden
+                                output *)
+  rc_unrecoverable : float; (** % whose detection outran the checkpoints *)
+  rc_usdc : float;          (** % unacceptable SDCs (recovery-independent) *)
+  rc_mean_replay : float;   (** mean replayed steps over recovered trials *)
+  rc_mean_ckpts : float;    (** mean checkpoints taken per trial *)
+}
+
+(** Sweep the checkpoint interval on one protected workload: the runtime
+    cost of checkpointing more often against the fraction of
+    software-detected faults that become transparent recoveries.  The
+    paper's §IV-D argument — detection latencies are almost always under
+    ~1000 instructions — predicts that an interval around 1000 already
+    recovers nearly every detection while keeping overhead low.  The first
+    returned row is the recovery-off baseline. *)
+let recovery ?(trials = 300) ?(seed = 0x5EC0) ?domains
+    ?(technique = Api.Dup_valchk) ?(intervals = [ 250; 500; 1000; 2000; 4000 ])
+    (w : Workloads.Workload.t) =
+  let role = Workloads.Workload.Test in
+  let p = Api.protect w technique in
+  let base = Api.golden p ~role in
+  let mean = function
+    | [] -> 0.0
+    | l ->
+      float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+  in
+  let row interval =
+    let summary, trial_list =
+      Api.campaign p ~role ~trials ~seed ?domains
+        ~checkpoint_interval:interval
+    in
+    let golden = summary.Campaign.golden_info in
+    { rc_interval = interval;
+      rc_overhead =
+        (float_of_int golden.Campaign.cycles /. float_of_int base.Campaign.cycles)
+        -. 1.0;
+      rc_swdetect = Campaign.percent summary Classify.Sw_detect;
+      rc_recovered = Campaign.percent summary Classify.Recovered;
+      rc_unrecoverable = Campaign.percent summary Classify.Unrecoverable;
+      rc_usdc =
+        Campaign.percent_many summary
+          [ Classify.Usdc_large; Classify.Usdc_small ];
+      rc_mean_replay =
+        mean
+          (List.filter_map
+             (fun (t : Campaign.trial) ->
+               Option.map
+                 (fun (r : Interp.Machine.recovery) -> r.rec_replayed_steps)
+                 t.recovery)
+             trial_list);
+      rc_mean_ckpts =
+        mean (List.map (fun (t : Campaign.trial) -> t.Campaign.checkpoints)
+                trial_list) }
+  in
+  row 0 :: List.map row intervals
+
+let print_recovery w rows =
+  Report.print
+    ~title:
+      (Printf.sprintf
+         "Checkpoint/rollback recovery on %s: interval vs. overhead vs. \
+          recovered fraction (paper argues a ~1000-instruction window \
+          suffices)"
+         w.Workloads.Workload.name)
+    ~header:
+      [ "interval"; "overhead"; "SWDetect%"; "Recovered%"; "Unrecov%";
+        "USDC%"; "mean replay"; "ckpts/trial" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ (if r.rc_interval = 0 then "off" else string_of_int r.rc_interval);
+             Report.pct (100.0 *. r.rc_overhead);
+             Report.pct r.rc_swdetect;
+             Report.pct r.rc_recovered;
+             Report.pct r.rc_unrecoverable;
+             Report.pct r.rc_usdc;
+             Printf.sprintf "%.0f" r.rc_mean_replay;
+             Printf.sprintf "%.1f" r.rc_mean_ckpts ])
+         rows)
+
 (* ----- Branch-target faults (paper §IV-C): the class the paper defers to
    signature-based control-flow checking ----- *)
 
@@ -791,25 +880,68 @@ let journal_check_csv (views : Faults.Journal.view list) =
     (journal_check_rows views);
   Buffer.contents buf
 
-let print_journal_report ?manifest (views : Faults.Journal.view list) =
-  (match manifest with
-   | Some m ->
-     let str name =
-       match Option.bind (Obs.Json.member name m) Obs.Json.to_str with
-       | Some s -> s
-       | None -> "?"
-     in
-     let int name =
-       match Option.bind (Obs.Json.member name m) Obs.Json.to_int with
-       | Some i -> string_of_int i
-       | None -> "?"
-     in
-     Printf.printf
-       "journal: %s  (schema %s, git %s, %s trials, seed %s, %s domains, \
-        fault kind %s)\n"
-       (str "label") (str "schema") (str "git") (int "trials") (int "seed")
-       (int "domains") (str "fault_kind")
-   | None -> Printf.printf "journal: no manifest record found\n");
+(** Recovery aggregation over a v2 journal: how often the rollback path
+    ran, how much work it replayed, what the checkpoints cost.  Empty for
+    v1 journals and recovery-off campaigns. *)
+let journal_recovery_rows (views : Faults.Journal.view list) =
+  let recovered =
+    List.filter_map (fun (v : Faults.Journal.view) -> v.v_recovery) views
+  in
+  let unrecoverable =
+    List.length
+      (List.filter
+         (fun (v : Faults.Journal.view) -> v.v_outcome = "Unrecoverable")
+         views)
+  in
+  if recovered = [] && unrecoverable = 0 then []
+  else begin
+    let replayed =
+      List.sort compare
+        (List.map
+           (fun (r : Faults.Journal.recovery_view) -> r.rv_replayed_steps)
+           recovered)
+    in
+    let rollback_cycles =
+      List.map
+        (fun (r : Faults.Journal.recovery_view) -> r.rv_rollback_cycles)
+        recovered
+    in
+    let ckpts =
+      List.map (fun (v : Faults.Journal.view) -> v.v_checkpoints) views
+    in
+    [ [ "recovered trials"; string_of_int (List.length recovered) ];
+      [ "unrecoverable trials"; string_of_int unrecoverable ];
+      [ "mean replayed steps"; Printf.sprintf "%.0f" (mean_of replayed) ];
+      [ "p50 replayed steps"; string_of_int (nth_pct replayed 50) ];
+      [ "p95 replayed steps"; string_of_int (nth_pct replayed 95) ];
+      [ "mean rollback cycles";
+        Printf.sprintf "%.0f" (mean_of rollback_cycles) ];
+      [ "mean checkpoints/trial"; Printf.sprintf "%.1f" (mean_of ckpts) ] ]
+  end
+
+let print_journal_report ~manifest (views : Faults.Journal.view list) =
+  let m = manifest in
+  let str name =
+    match Option.bind (Obs.Json.member name m) Obs.Json.to_str with
+    | Some s -> s
+    | None -> "?"
+  in
+  let int name =
+    match Option.bind (Obs.Json.member name m) Obs.Json.to_int with
+    | Some i -> string_of_int i
+    | None -> "?"
+  in
+  let checkpoint_interval =
+    match Option.bind (Obs.Json.member "checkpoint_interval" m) Obs.Json.to_int
+    with
+    | Some i -> i
+    | None -> 0   (* v1 manifest: recovery did not exist *)
+  in
+  Printf.printf
+    "journal: %s  (schema %s, git %s, %s trials, seed %s, %s domains, \
+     fault kind %s, checkpoint interval %d)\n"
+    (str "label") (str "schema") (str "git") (int "trials") (int "seed")
+    (int "domains") (str "fault_kind") checkpoint_interval;
   Report.print ~title:"Outcome classification (from journal)"
     ~header:[ "outcome"; "trials"; "share" ]
     ~rows:(journal_outcome_rows views);
@@ -821,7 +953,12 @@ let print_journal_report ?manifest (views : Faults.Journal.view list) =
     ~title:"Per-check firings (SWDetect decomposed by detecting check)"
     ~header:
       [ "check uid"; "kind"; "fires"; "share"; "mean lat"; "p50"; "p95" ]
-    ~rows:(journal_check_rows views)
+    ~rows:(journal_check_rows views);
+  match journal_recovery_rows views with
+  | [] -> ()
+  | rows ->
+    Report.print ~title:"Checkpoint/rollback recovery (journal v2)"
+      ~header:[ "statistic"; "value" ] ~rows
 
 (* ----- Execution-profile report (Interp.Profile) ----- *)
 

@@ -40,12 +40,16 @@ type golden = {
 exception Golden_run_failed of string * string
 
 (** Fault-free reference execution of the subject.  [profile] attaches an
-    execution profile to the run (observation-only). *)
-let golden_run ?profile subject =
+    execution profile to the run (observation-only).  [checkpoint_interval]
+    runs the golden with checkpointing enabled: the output and step count
+    are unchanged (checkpoints retire no instructions), but the cycle count
+    then includes the checkpoint overhead — the fault-free cost a recovery
+    deployment actually pays. *)
+let golden_run ?profile ?(checkpoint_interval = 0) subject =
   let state = subject.fresh_state () in
   let config =
     { Interp.Machine.default_config with mode = Interp.Machine.Record;
-      profile }
+      profile; checkpoint_interval }
   in
   let result =
     Interp.Machine.run_compiled ~config
@@ -77,6 +81,9 @@ type trial = {
           cover (paper Â§IV-D) *)
   steps : int;    (** dynamic instructions the faulted run executed *)
   cycles : int;   (** simulated cycles of the faulted run *)
+  recovery : Interp.Machine.recovery option;
+      (** the checkpoint rollback the trial performed, if any *)
+  checkpoints : int;   (** checkpoints the trial's run took *)
 }
 
 (* Bit-exact trial comparison for the parallel-determinism contract.
@@ -100,6 +107,10 @@ let trial_equal a b =
   && a.detected_by = b.detected_by
   && a.detect_latency = b.detect_latency
   && a.steps = b.steps && a.cycles = b.cycles
+  (* [recovery] holds only ints and a detection record, so structural
+     equality is exact. *)
+  && a.recovery = b.recovery
+  && a.checkpoints = b.checkpoints
 
 let trials_equal a b =
   List.length a = List.length b && List.for_all2 trial_equal a b
@@ -116,8 +127,12 @@ let count summary outcome =
   | Some n -> n
   | None -> 0
 
+(* An empty campaign has no outcome shares, not NaN ones: guard the 0/0. *)
 let percent summary outcome =
-  100.0 *. float_of_int (count summary outcome) /. float_of_int summary.trials
+  if summary.trials <= 0 then 0.0
+  else
+    100.0 *. float_of_int (count summary outcome)
+    /. float_of_int summary.trials
 
 let percent_many summary outcomes =
   List.fold_left (fun acc o -> acc +. percent summary o) 0.0 outcomes
@@ -126,7 +141,8 @@ let percent_many summary outcomes =
     subject program once and share it across all trials (and domains); when
     omitted it is looked up in the per-program compile cache. *)
 let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled ?profile
-    subject ~(golden : golden) ~disabled ~hw_window ~seed =
+    ?(checkpoint_interval = 0) subject ~(golden : golden) ~disabled
+    ~hw_window ~seed =
   let compiled =
     match compiled with
     | Some c -> c
@@ -146,7 +162,7 @@ let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled ?profile
         Some { Interp.Machine.at_step; fault_rng = Rng.split rng;
                kind = fault_kind };
       disabled_checks = disabled;
-      profile }
+      profile; checkpoint_interval }
   in
   let result =
     Interp.Machine.run_compiled ~config compiled ~entry:subject.entry
@@ -167,20 +183,32 @@ let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled ?profile
           (Lazy.force output))
   in
   let detect_latency =
+    (* For recovered runs the latency is measured at the detection that
+       triggered the rollback, not at the (later) end of the replay. *)
     match outcome, result.injection with
-    | (Classify.Sw_detect | Classify.Hw_detect), Some inj ->
-      Some (result.steps - inj.inj_step)
+    | ( ( Classify.Sw_detect | Classify.Hw_detect | Classify.Recovered
+        | Classify.Unrecoverable ),
+        Some inj ) ->
+      (match result.recovered with
+       | Some r -> Some (r.Interp.Machine.rec_detect_step - inj.inj_step)
+       | None -> Some (result.steps - inj.inj_step))
     | _, _ -> None
   in
   let detected_by =
     match result.stop with
     | Interp.Machine.Sw_detected d -> Some d
-    | Interp.Machine.Finished _ | Interp.Machine.Trapped _
-    | Interp.Machine.Out_of_fuel -> None
+    | Interp.Machine.Finished _ ->
+      (* A recovered run finished, but it did detect: report the check
+         whose firing triggered the rollback. *)
+      Option.map
+        (fun r -> r.Interp.Machine.rec_detection)
+        result.recovered
+    | Interp.Machine.Trapped _ | Interp.Machine.Out_of_fuel -> None
   in
   { trial_seed = seed; at_step; outcome; injection = result.injection;
     detected_by; detect_latency; steps = result.steps;
-    cycles = result.cycles }
+    cycles = result.cycles; recovery = result.recovered;
+    checkpoints = result.checkpoints }
 
 (** All trial seeds, derived from the master RNG *before* any trial runs.
     This is the campaign determinism contract: seed assignment depends only
@@ -223,10 +251,13 @@ type run_stats = {
       emission point;
     - [stats_out] receives the campaign's {!run_stats}. *)
 let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
-    ?(fault_kind = Interp.Machine.Register_bit) ?(domains = 1) ?profile
-    ?on_trial ?stats_out subject ~trials =
+    ?(fault_kind = Interp.Machine.Register_bit) ?(domains = 1)
+    ?(checkpoint_interval = 0) ?profile ?on_trial ?stats_out subject ~trials =
   let t_start = Unix.gettimeofday () in
-  let golden = golden_run subject in
+  (* The golden also runs with checkpointing so its cycle count carries the
+     fault-free overhead of the recovery configuration; its output and step
+     count (the fault window) are interval-independent. *)
+  let golden = golden_run ~checkpoint_interval subject in
   let disabled = Hashtbl.create 8 in
   List.iter (fun uid -> Hashtbl.replace disabled uid ()) golden.failing_checks;
   let seeds = derive_seeds ~seed ~trials in
@@ -248,8 +279,8 @@ let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
           if Array.length trial_profiles = 0 then None
           else Some trial_profiles.(i)
         in
-        run_trial ~fault_kind ~compiled ?profile subject ~golden ~disabled
-          ~hw_window ~seed:seeds.(i))
+        run_trial ~fault_kind ~compiled ?profile ~checkpoint_interval subject
+          ~golden ~disabled ~hw_window ~seed:seeds.(i))
       trials
     |> Array.to_list
   in

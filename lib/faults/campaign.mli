@@ -37,8 +37,12 @@ exception Golden_run_failed of string * string
 
 (** Fault-free reference execution; raises {!Golden_run_failed} if the
     subject does not run to completion.  [profile] attaches an execution
-    profile ({!Interp.Profile}) to the run — observation-only. *)
-val golden_run : ?profile:Interp.Profile.t -> subject -> golden
+    profile ({!Interp.Profile}) to the run — observation-only.
+    [checkpoint_interval] (default 0: off) enables rollback checkpointing:
+    output and step count are unchanged, but the cycle count then includes
+    the fault-free checkpoint overhead. *)
+val golden_run :
+  ?profile:Interp.Profile.t -> ?checkpoint_interval:int -> subject -> golden
 
 type trial = {
   trial_seed : int;
@@ -51,8 +55,13 @@ type trial = {
       (** dynamic instructions between the fault and its detection, for
           SWDetect/HWDetect outcomes — the window a recovery scheme must
           cover (paper §IV-D) *)
-  steps : int;    (** dynamic instructions the faulted run executed *)
-  cycles : int;   (** simulated cycles of the faulted run *)
+  steps : int;    (** dynamic instructions the faulted run executed,
+                      including any post-rollback replay *)
+  cycles : int;   (** simulated cycles of the faulted run, including
+                      checkpoint, rollback and replay overhead *)
+  recovery : Interp.Machine.recovery option;
+      (** the checkpoint rollback the trial performed, if any *)
+  checkpoints : int;   (** checkpoints the trial's run took *)
 }
 
 (** Bit-exact trial (list) equality, the parallel-determinism contract's
@@ -69,7 +78,11 @@ type summary = {
 }
 
 val count : summary -> Classify.outcome -> int
+
+(** Share of trials with this outcome, in percent; 0 for an empty campaign
+    (never NaN). *)
 val percent : summary -> Classify.outcome -> float
+
 val percent_many : summary -> Classify.outcome list -> float
 
 (** One fault-injection trial; exposed for custom drivers (the bench
@@ -80,6 +93,7 @@ val run_trial :
   ?fault_kind:Interp.Machine.fault_kind ->
   ?compiled:Interp.Compiled.t ->
   ?profile:Interp.Profile.t ->
+  ?checkpoint_interval:int ->
   subject ->
   golden:golden ->
   disabled:(int, unit) Hashtbl.t ->
@@ -106,7 +120,11 @@ type run_stats = {
     deterministic in [seed].  [fault_kind] selects register bit flips
     (default) or branch-target corruptions.  [domains] (default 1: serial)
     fans trials out over OCaml 5 domains; summaries and trial lists are
-    bit-identical for any worker count.
+    bit-identical for any worker count.  [checkpoint_interval] (default 0:
+    off) enables checkpoint/rollback recovery in the golden run and every
+    trial (DESIGN.md §9); it participates in the same determinism contract
+    — recovery decisions depend only on the trial's own execution, never on
+    scheduling.
 
     Observability hooks, all observation-only (any combination leaves
     results bit-identical): [profile] accumulates every trial's execution
@@ -119,6 +137,7 @@ val run :
   ?seed:int ->
   ?fault_kind:Interp.Machine.fault_kind ->
   ?domains:int ->
+  ?checkpoint_interval:int ->
   ?profile:Interp.Profile.t ->
   ?on_trial:(int -> trial -> unit) ->
   ?stats_out:run_stats option ref ->

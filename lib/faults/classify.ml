@@ -13,9 +13,16 @@ type outcome =
   | Sw_detect         (** caught by an inserted software check *)
   | Hw_detect         (** trap (symptom) within the detection window *)
   | Failure           (** late trap, or infinite loop (fuel exhausted) *)
+  | Recovered         (** check fired, checkpoint rollback replayed cleanly
+                          and the output is bit-identical (DESIGN.md §9) *)
+  | Unrecoverable     (** check fired with recovery enabled, but detection
+                          latency exceeded the checkpoint window — or the
+                          replay still failed to reproduce the golden
+                          output *)
 
 let all =
-  [ Masked; Asdc; Usdc_large; Usdc_small; Sw_detect; Hw_detect; Failure ]
+  [ Masked; Asdc; Usdc_large; Usdc_small; Sw_detect; Hw_detect; Failure;
+    Recovered; Unrecoverable ]
 
 let name = function
   | Masked -> "Masked"
@@ -25,6 +32,20 @@ let name = function
   | Sw_detect -> "SWDetect"
   | Hw_detect -> "HWDetect"
   | Failure -> "Failure"
+  | Recovered -> "Recovered"
+  | Unrecoverable -> "Unrecoverable"
+
+let of_name = function
+  | "Masked" -> Some Masked
+  | "ASDC" -> Some Asdc
+  | "USDC(large)" -> Some Usdc_large
+  | "USDC(small)" -> Some Usdc_small
+  | "SWDetect" -> Some Sw_detect
+  | "HWDetect" -> Some Hw_detect
+  | "Failure" -> Some Failure
+  | "Recovered" -> Some Recovered
+  | "Unrecoverable" -> Some Unrecoverable
+  | _ -> None
 
 (** Paper defaults: a symptom within 1000 dynamic instructions of the flip
     counts as HWDetect (§IV-C). *)
@@ -51,7 +72,10 @@ let large_disturbance (inj : Interp.Machine.injection) =
 let classify ~hw_window ~(result : Interp.Machine.result)
     ~identical ~acceptable =
   match result.stop with
-  | Interp.Machine.Sw_detected _ -> Sw_detect
+  | Interp.Machine.Sw_detected _ ->
+    (* With recovery enabled, a check that still *stops* the run means the
+       rollback was denied: no retained checkpoint predated the fault. *)
+    if result.rollback_denied then Unrecoverable else Sw_detect
   | Interp.Machine.Out_of_fuel -> Failure
   | Interp.Machine.Trapped _ ->
     (match result.injection with
@@ -59,35 +83,47 @@ let classify ~hw_window ~(result : Interp.Machine.result)
      | Some _ -> Failure
      | None -> Failure)
   | Interp.Machine.Finished _ ->
-    if identical () then Masked
-    else if acceptable () then Asdc
-    else begin
-      match result.injection with
-      | Some inj when large_disturbance inj -> Usdc_large
-      | Some _ -> Usdc_small
-      | None -> Usdc_small
-    end
+    (match result.recovered with
+     | Some _ ->
+       (* The run detected, rolled back and replayed to completion: full
+          recovery iff the output is the golden one. *)
+       if identical () then Recovered else Unrecoverable
+     | None ->
+       if identical () then Masked
+       else if acceptable () then Asdc
+       else begin
+         match result.injection with
+         | Some inj when large_disturbance inj -> Usdc_large
+         | Some _ -> Usdc_small
+         | None -> Usdc_small
+       end)
 
 (* Groupings used by the paper's different figures. *)
 
-(** Figure 11 collapses ASDCs into Masked. *)
+(** Figure 11 collapses ASDCs into Masked.  A recovered trial ends with
+    bit-identical output, so it lands in the Masked bucket; an
+    unrecoverable one is still a software detection (the check fired, the
+    system just could not transparently repair). *)
 let fig11_bucket = function
-  | Masked | Asdc -> "Masked"
+  | Masked | Asdc | Recovered -> "Masked"
   | Usdc_large | Usdc_small -> "USDC"
-  | Sw_detect -> "SWDetect"
+  | Sw_detect | Unrecoverable -> "SWDetect"
   | Hw_detect -> "HWDetect"
   | Failure -> "Failure"
 
 let is_sdc = function
   | Asdc | Usdc_large | Usdc_small -> true
-  | Masked | Sw_detect | Hw_detect | Failure -> false
+  | Masked | Sw_detect | Hw_detect | Failure | Recovered | Unrecoverable ->
+    false
 
 let is_usdc = function
   | Usdc_large | Usdc_small -> true
-  | Masked | Asdc | Sw_detect | Hw_detect | Failure -> false
+  | Masked | Asdc | Sw_detect | Hw_detect | Failure | Recovered
+  | Unrecoverable -> false
 
 (** Fault coverage as the paper defines it: Masked + SWDetect + HWDetect
-    (the system continues or can trigger recovery). *)
+    (the system continues or can trigger recovery).  Recovered and
+    Unrecoverable both started as software detections, so both count. *)
 let is_covered = function
-  | Masked | Asdc | Sw_detect | Hw_detect -> true
+  | Masked | Asdc | Sw_detect | Hw_detect | Recovered | Unrecoverable -> true
   | Usdc_large | Usdc_small | Failure -> false

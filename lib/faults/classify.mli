@@ -12,9 +12,19 @@ type outcome =
   | Sw_detect         (** caught by an inserted software check *)
   | Hw_detect         (** trap (symptom) within the detection window *)
   | Failure           (** late trap, or infinite loop (fuel exhausted) *)
+  | Recovered         (** check fired, checkpoint rollback replayed cleanly
+                          and the output is bit-identical (DESIGN.md §9) *)
+  | Unrecoverable     (** check fired with recovery enabled, but detection
+                          latency exceeded the checkpoint window — or the
+                          replay still failed to reproduce the golden
+                          output *)
 
 val all : outcome list
 val name : outcome -> string
+
+(** Inverse of {!name}; [None] for unknown strings (e.g. a journal written
+    by a future schema). *)
+val of_name : string -> outcome option
 
 (** A symptom within this many dynamic instructions of the flip counts as
     HWDetect (paper: 1000). *)

@@ -2,7 +2,11 @@
 
 open Obs
 
-let schema = "softft.journal.v1"
+(* v2 adds the recovery configuration to the manifest
+   ([checkpoint_interval]) and per-trial recovery events; v1 journals are
+   still loadable — every v2 addition is an optional field. *)
+let schema = "softft.journal.v2"
+let schema_v1 = "softft.journal.v1"
 
 let git_describe () =
   try
@@ -43,6 +47,16 @@ let opt_field name f = function
   | None -> []
   | Some v -> [ (name, f v) ]
 
+let recovery_json (r : Interp.Machine.recovery) =
+  Json.Obj
+    [ ("check_uid", Json.Int r.rec_detection.check_uid);
+      ("dup_check", Json.Bool r.rec_detection.dup_check);
+      ("detect_step", Json.Int r.rec_detect_step);
+      ("checkpoint_step", Json.Int r.rec_checkpoint_step);
+      ("replayed_steps", Json.Int r.rec_replayed_steps);
+      ("wasted_cycles", Json.Int r.rec_wasted_cycles);
+      ("rollback_cycles", Json.Int r.rec_rollback_cycles) ]
+
 let trial_record ~index (t : Campaign.trial) =
   Json.Obj
     ([ ("type", Json.Str "trial");
@@ -58,7 +72,12 @@ let trial_record ~index (t : Campaign.trial) =
         | Some (d : Interp.Machine.detection) ->
           [ ("check_uid", Json.Int d.check_uid);
             ("dup_check", Json.Bool d.dup_check) ])
-     @ opt_field "injection" injection_json t.injection)
+     @ opt_field "injection" injection_json t.injection
+     (* v2 recovery telemetry; omitted when checkpointing is off, so a
+        recovery-free v2 trial line is byte-identical to its v1 form. *)
+     @ (if t.checkpoints > 0 then [ ("checkpoints", Json.Int t.checkpoints) ]
+        else [])
+     @ opt_field "recovery" recovery_json t.recovery)
 
 let pool_stats_json (ps : Pool.stats) =
   Json.Obj
@@ -77,8 +96,9 @@ let stats_json (rs : Campaign.run_stats) =
        ("wall_sec", Json.Float rs.wall_sec) ]
      @ opt_field "pool" pool_stats_json rs.pool)
 
-let manifest_record ?git ?technique ?stats ~label ~trials ~seed ~domains
-    ~hw_window ~fault_kind ~(golden : Campaign.golden) () =
+let manifest_record ?git ?technique ?stats ?(checkpoint_interval = 0) ~label
+    ~trials ~seed ~domains ~hw_window ~fault_kind ~(golden : Campaign.golden)
+    () =
   let git = match git with Some g -> g | None -> git_describe () in
   Json.Obj
     ([ ("type", Json.Str "manifest");
@@ -89,7 +109,8 @@ let manifest_record ?git ?technique ?stats ~label ~trials ~seed ~domains
        ("seed", Json.Int seed);
        ("domains", Json.Int domains);
        ("hw_window", Json.Int hw_window);
-       ("fault_kind", Json.Str fault_kind) ]
+       ("fault_kind", Json.Str fault_kind);
+       ("checkpoint_interval", Json.Int checkpoint_interval) ]
      @ opt_field "technique" (fun t -> Json.Str t) technique
      @ [ ("golden",
           Json.Obj
@@ -117,6 +138,15 @@ let write ~path ~manifest ~trials =
 
 (* ----- Reading ----- *)
 
+(** Recovery telemetry read back from a v2 trial record. *)
+type recovery_view = {
+  rv_detect_step : int;
+  rv_checkpoint_step : int;
+  rv_replayed_steps : int;
+  rv_wasted_cycles : int;
+  rv_rollback_cycles : int;
+}
+
 type view = {
   v_index : int;
   v_seed : int;
@@ -127,6 +157,8 @@ type view = {
   v_latency : int option;
   v_steps : int;
   v_cycles : int;
+  v_checkpoints : int;
+  v_recovery : recovery_view option;
 }
 
 exception Malformed of string
@@ -135,6 +167,16 @@ let require line name = function
   | Some v -> v
   | None ->
     raise (Malformed (Printf.sprintf "line %d: missing field %S" line name))
+
+let recovery_view_of_json ~line j =
+  let need_int name =
+    require line name (Option.bind (Json.member name j) Json.to_int)
+  in
+  { rv_detect_step = need_int "detect_step";
+    rv_checkpoint_step = need_int "checkpoint_step";
+    rv_replayed_steps = need_int "replayed_steps";
+    rv_wasted_cycles = need_int "wasted_cycles";
+    rv_rollback_cycles = need_int "rollback_cycles" }
 
 let view_of_json ~line j =
   let int_field name = Option.bind (Json.member name j) Json.to_int in
@@ -149,7 +191,11 @@ let view_of_json ~line j =
     v_dup_check = Option.bind (Json.member "dup_check" j) Json.to_bool;
     v_latency = int_field "detect_latency";
     v_steps = need_int "steps";
-    v_cycles = need_int "cycles" }
+    v_cycles = need_int "cycles";
+    (* v2 fields, absent from v1 journals and recovery-free trials. *)
+    v_checkpoints = Option.value ~default:0 (int_field "checkpoints");
+    v_recovery =
+      Option.map (recovery_view_of_json ~line) (Json.member "recovery" j) }
 
 let load path =
   let ic = open_in path in
@@ -179,4 +225,9 @@ let load path =
            end
          done
        with End_of_file -> ());
-      (!manifest, List.rev !views))
+      match !manifest with
+      | None ->
+        (* An empty or manifest-less file is a broken journal, not an empty
+           campaign: surface it instead of aggregating nothing. *)
+        raise (Malformed (Printf.sprintf "no manifest in %s" path))
+      | Some m -> (m, List.rev !views))

@@ -12,8 +12,13 @@
     {!write} from a completed campaign, or streamed through
     {!Campaign.run}'s [on_trial] hook using {!trial_record}. *)
 
-(** Journal schema identifier, bumped on breaking layout changes. *)
+(** Journal schema identifier, bumped on layout changes.  v2 added the
+    recovery configuration to the manifest ([checkpoint_interval]) and
+    optional per-trial recovery telemetry; v1 journals remain loadable. *)
 val schema : string
+
+(** The previous schema identifier, still accepted by {!load}. *)
+val schema_v1 : string
 
 (** [git describe --always --dirty] of the working tree, or ["unknown"]
     outside a git checkout — pins a journal to the code that wrote it. *)
@@ -29,11 +34,14 @@ val trial_record : index:int -> Campaign.trial -> Obs.Json.t
 val stats_json : Campaign.run_stats -> Obs.Json.t
 
 (** The campaign manifest.  [fault_kind] and [technique] are free-form
-    labels; [stats] adds wall/per-domain timings when available. *)
+    labels; [stats] adds wall/per-domain timings when available;
+    [checkpoint_interval] (default 0: recovery off) records the campaign's
+    recovery configuration. *)
 val manifest_record :
   ?git:string ->
   ?technique:string ->
   ?stats:Campaign.run_stats ->
+  ?checkpoint_interval:int ->
   label:string ->
   trials:int ->
   seed:int ->
@@ -49,6 +57,15 @@ val manifest_record :
 val write :
   path:string -> manifest:Obs.Json.t -> trials:Campaign.trial list -> unit
 
+(** Recovery telemetry read back from a v2 trial record. *)
+type recovery_view = {
+  rv_detect_step : int;
+  rv_checkpoint_step : int;
+  rv_replayed_steps : int;
+  rv_wasted_cycles : int;
+  rv_rollback_cycles : int;
+}
+
 (** A trial record read back from a journal — the aggregation view the
     [report] subcommand consumes, decoupled from the in-memory types so
     reports work across code versions. *)
@@ -57,16 +74,20 @@ type view = {
   v_seed : int;
   v_at_step : int;
   v_outcome : string;            (** {!Classify.name} spelling *)
-  v_check_uid : int option;      (** detecting check, SWDetect only *)
-  v_dup_check : bool option;     (** detector kind, SWDetect only *)
-  v_latency : int option;        (** detection latency, SW/HWDetect *)
+  v_check_uid : int option;      (** detecting check, detections only *)
+  v_dup_check : bool option;     (** detector kind, detections only *)
+  v_latency : int option;        (** detection latency, detections only *)
   v_steps : int;
   v_cycles : int;
+  v_checkpoints : int;           (** 0 for v1 journals / recovery off *)
+  v_recovery : recovery_view option;  (** the trial's rollback, if any *)
 }
 
 exception Malformed of string
 
-(** Parse a journal file into its manifest (if present) and trial views.
-    Raises {!Malformed} on unparseable lines or missing required trial
-    fields; unknown record types are ignored (forward compatibility). *)
-val load : string -> Obs.Json.t option * view list
+(** Parse a journal file into its manifest and trial views.  Raises
+    {!Malformed} on unparseable lines, missing required trial fields, or a
+    file with no manifest record ("no manifest in <path>" — an empty file
+    is a broken journal, not an empty campaign); unknown record types are
+    ignored (forward compatibility), and both v1 and v2 schemas load. *)
+val load : string -> Obs.Json.t * view list

@@ -61,25 +61,41 @@ let map ?chunk ?stats ~domains f n =
       in
       let out = Array.make n None in
       let next = Atomic.make 0 in
+      (* Cooperative cancellation: the first worker whose [f] raises sets
+         this, and every other worker stops at its next chunk boundary
+         instead of pointlessly draining the rest of the index space before
+         the exception can propagate. *)
+      let cancelled = Atomic.make false in
       let wall = Array.make domains 0.0 in
       let items = Array.make domains 0 in
       let worker wid () =
         let t0 = Unix.gettimeofday () in
         let done_ = ref 0 in
-        let continue_ = ref true in
-        while !continue_ do
-          let start = Atomic.fetch_and_add next chunk in
-          if start >= n then continue_ := false
-          else
-            for i = start to min (start + chunk) n - 1 do
-              out.(i) <- Some (f i);
-              done_ := !done_ + 1
-            done
-        done;
-        (* Each worker writes only its own slots; the joins below publish
-           them to the caller. *)
-        wall.(wid) <- Unix.gettimeofday () -. t0;
-        items.(wid) <- !done_
+        Fun.protect
+          ~finally:(fun () ->
+            (* Each worker writes only its own slots; the joins below
+               publish them to the caller (also on the exception path, so
+               a cancelled run still reports what each worker did). *)
+            wall.(wid) <- Unix.gettimeofday () -. t0;
+            items.(wid) <- !done_)
+          (fun () ->
+            try
+              let continue_ = ref true in
+              while !continue_ do
+                if Atomic.get cancelled then continue_ := false
+                else begin
+                  let start = Atomic.fetch_and_add next chunk in
+                  if start >= n then continue_ := false
+                  else
+                    for i = start to min (start + chunk) n - 1 do
+                      out.(i) <- Some (f i);
+                      done_ := !done_ + 1
+                    done
+                end
+              done
+            with e ->
+              Atomic.set cancelled true;
+              raise e)
       in
       let helpers =
         Array.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1)))

@@ -25,8 +25,11 @@ type stats = {
     not depend on call order.  [domains <= 1] (or [n <= 1]) degenerates to
     a plain in-order serial loop with no domain spawned.  [chunk] overrides
     the work-dealing granularity (default: scaled to [n] and [domains]).
-    If [f] raises, all workers are joined and one of the exceptions is
-    re-raised.  When [stats] is given it receives the run's {!stats}
+    If [f] raises, the other workers cooperatively stop at their next chunk
+    boundary (no further chunks are claimed), every domain is joined, and
+    one of the raised exceptions is re-raised — the call neither hangs nor
+    silently drains the remaining index space.  When [stats] is given it
+    receives the run's {!stats}
     (also on the degenerate serial path); timing is observation-only and
     does not affect the output. *)
 val map :

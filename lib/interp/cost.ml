@@ -46,6 +46,21 @@ let slack_gain = 6
 let slack_cost = 20       (* i.e. ~0.3 free shadow slots per source instr *)
 let slack_cap = 160       (* a ~27-instruction scheduling window *)
 
+(* Checkpoint/rollback recovery (DESIGN.md §9).  A checkpoint copies the
+   live register state of every frame and seals the memory undo log; the
+   copy streams at [checkpoint_bandwidth] words per cycle on top of a fixed
+   [checkpoint_base] (pipeline drain + bookkeeping).  A rollback restores
+   the same state in the other direction and additionally pays a full
+   pipeline flush.  The replayed instructions between the restored
+   checkpoint and the detection point are charged at their normal cost by
+   re-execution, so total trial cycles honestly include the wasted work. *)
+let checkpoint_base = 32
+let checkpoint_bandwidth = 4
+let rollback_flush = 64
+
+let checkpoint ~words = checkpoint_base + (words / checkpoint_bandwidth)
+let rollback ~words = rollback_flush + (words / checkpoint_bandwidth)
+
 let instr (ins : Instr.t) =
   match ins.kind with
   | Binop (op, _, _) -> binop op
@@ -84,4 +99,6 @@ let describe () =
     ("Duplication check", "1 cycle");
     ("Value check", "1 cycle (issue slot)");
     ("HWDetect symptom window", "1000 dynamic instructions");
+    ("Checkpoint", "32 cycles + 1 cycle per 4 live-state words");
+    ("Rollback", "64 cycles + 1 cycle per 4 restored words, then replay");
   ]

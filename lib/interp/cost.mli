@@ -31,5 +31,19 @@ val slack_gain : int
 val slack_cost : int
 val slack_cap : int
 
+(** Checkpoint/rollback cost model (DESIGN.md §9): a fixed base plus the
+    live-state words copied, streamed at [checkpoint_bandwidth] words per
+    cycle; a rollback additionally pays a pipeline flush. *)
+
+val checkpoint_base : int
+val checkpoint_bandwidth : int
+val rollback_flush : int
+
+(** Cycles charged for taking a checkpoint of [words] live-state words. *)
+val checkpoint : words:int -> int
+
+(** Cycles charged for restoring a checkpoint of [words] words. *)
+val rollback : words:int -> int
+
 (** Table II analogue: parameter/value pairs describing the machine. *)
 val describe : unit -> (string * string) list

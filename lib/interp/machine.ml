@@ -48,6 +48,21 @@ type stop =
   | Sw_detected of detection
   | Out_of_fuel
 
+(** One rollback-and-replay recovery event (DESIGN.md §9): a software check
+    fired, a retained checkpoint predating the injection was restored, and
+    execution replayed from there.  The step/cycle counters are *not*
+    rewound by the rollback, so the trial's totals honestly charge the
+    wasted segment, the restore itself and the replay. *)
+type recovery = {
+  rec_detection : detection;    (** the check whose firing triggered rollback *)
+  rec_detect_step : int;        (** step count when the check fired *)
+  rec_checkpoint_step : int;    (** step of the restored checkpoint *)
+  rec_replayed_steps : int;     (** detect - checkpoint: work to re-execute *)
+  rec_wasted_cycles : int;      (** cycles spent between checkpoint and
+                                    detection, thrown away by the rollback *)
+  rec_rollback_cycles : int;    (** cost of the state restore itself *)
+}
+
 type result = {
   stop : stop;
   steps : int;
@@ -56,6 +71,12 @@ type result = {
   failed_check_uids : int list;   (** distinct uids of value checks that failed
                                       without stopping the run *)
   injection : injection option;   (** what was actually flipped, if anything *)
+  recovered : recovery option;    (** the rollback this run performed, if any *)
+  rollback_denied : bool;         (** a check fired with recovery enabled, but
+                                      no retained checkpoint predated the
+                                      fault (detection latency exceeded the
+                                      checkpoint window) *)
+  checkpoints : int;              (** checkpoints taken during the run *)
 }
 
 type valchk_mode =
@@ -87,11 +108,16 @@ type config = {
       (** execution profile to fill (opcode mix, block heat, check
           exec/fire counts).  Observation-only: the run is bit-identical
           with or without it; [None] costs one pointer test per event. *)
+  checkpoint_interval : int;
+      (** take a rollback checkpoint every this many dynamic instructions
+          (and once at step 0); 0 disables recovery — the default, and the
+          paper's baseline configuration *)
 }
 
 let default_config =
   { fuel = 200_000_000; mode = Detect; on_def = None; fault = None;
-    disabled_checks = Hashtbl.create 1; profile = None }
+    disabled_checks = Hashtbl.create 1; profile = None;
+    checkpoint_interval = 0 }
 
 (* Internal signalling exceptions. *)
 exception Stop_detected of detection
@@ -133,6 +159,18 @@ type state = {
   mutable branch_fault_armed : Rng.t option;
       (** a pending branch-target corruption waiting for the next branch *)
   mutable slack_credit : int;     (** spare-issue-slot account, see Cost *)
+  (* Checkpoint/rollback recovery state (DESIGN.md §9).  Two checkpoints
+     rotate: one may have been taken between injection and detection (and
+     so captured corrupted state), but with detection latency below the
+     interval the one before it is guaranteed clean. *)
+  mutable next_checkpoint : int;  (** step of the next scheduled checkpoint;
+                                      [max_int] when recovery is disabled, so
+                                      the loop-head check is one compare *)
+  mutable ckpt_cur : Snapshot.t option;   (** most recent checkpoint *)
+  mutable ckpt_prev : Snapshot.t option;  (** the one before it *)
+  mutable ckpt_count : int;
+  mutable recovered : recovery option;
+  mutable rollback_denied : bool;
   phi_vals : Value.t array;       (** scratch for parallel phi copies *)
   phi_set : bool array;
 }
@@ -453,6 +491,114 @@ let exec_terminator st (fr : frame) =
            | None, _ -> ());
           None))
 
+(* ----- Checkpoint / rollback recovery (DESIGN.md §9) ----- *)
+
+let snap_frame (fr : frame) : Snapshot.frame_snap =
+  { fs_cfunc = fr.cfunc;
+    fs_values = Array.copy fr.values;
+    fs_defined = Array.copy fr.defined;
+    fs_recent = Array.copy fr.recent;
+    fs_recent_n = fr.recent_n;
+    fs_recent_pos = fr.recent_pos;
+    fs_block = fr.cblock.Compiled.cb_index;
+    fs_idx = fr.idx;
+    fs_prev_block = fr.prev_block;
+    fs_ret_dest = fr.ret_dest }
+
+(* The arrays are copied again on restore so the snapshot itself stays
+   pristine — a retained checkpoint must survive its own restoration. *)
+let restore_frame (fs : Snapshot.frame_snap) : frame =
+  { cfunc = fs.fs_cfunc;
+    values = Array.copy fs.fs_values;
+    defined = Array.copy fs.fs_defined;
+    recent = Array.copy fs.fs_recent;
+    recent_n = fs.fs_recent_n;
+    recent_pos = fs.fs_recent_pos;
+    cblock = fs.fs_cfunc.Compiled.cf_blocks.(fs.fs_block);
+    idx = fs.fs_idx;
+    prev_block = fs.fs_prev_block;
+    ret_dest = fs.fs_ret_dest }
+
+(* Checkpoints are taken at the interpreter loop head, where [fr.idx] is a
+   consistent resume position (the call-free fast path retires a whole
+   block's worth of [idx] up front, so mid-body state is not resumable).
+   The snapshot may therefore land up to a block length after the scheduled
+   step — deterministically, since the trigger is the step counter. *)
+let take_checkpoint st =
+  let dirty =
+    match st.ckpt_cur with
+    | Some c -> Memory.undo_since st.mem c.Snapshot.sn_mem
+    | None -> Memory.undo_length st.mem
+  in
+  let snap =
+    Snapshot.create ~step:st.steps ~cycles:st.cycles
+      ~frames:(List.map snap_frame st.stack) ~mem:st.mem ~dirty_words:dirty
+  in
+  (* The checkpoint before the previous one is now unreachable: its part of
+     the memory undo journal can be dropped. *)
+  (match st.ckpt_cur with
+   | Some c -> Memory.retire st.mem c.Snapshot.sn_mem
+   | None -> ());
+  st.ckpt_prev <- st.ckpt_cur;
+  st.ckpt_cur <- Some snap;
+  st.ckpt_count <- st.ckpt_count + 1;
+  st.cycles <- st.cycles + Cost.checkpoint ~words:(Snapshot.words snap);
+  st.next_checkpoint <- st.steps + st.config.checkpoint_interval
+
+(** A software check fired: try to roll back to the newest retained
+    checkpoint that predates the injected fault and replay.  Returns false
+    (and records the denial) when recovery is off, already used — one
+    transient fault means one recovery — or no clean checkpoint remains,
+    i.e. the detection latency exceeded the checkpoint window. *)
+let try_recover st (d : detection) =
+  if st.config.checkpoint_interval <= 0 || st.recovered <> None then false
+  else
+    match st.injection with
+    | None ->
+      (* Fault-free run (or the fault never landed): the check fired on the
+         program's own behaviour; replaying would just fire it again. *)
+      st.rollback_denied <- true;
+      false
+    | Some inj ->
+      let clean c = Snapshot.predates c ~inj_step:inj.inj_step in
+      let pick =
+        match st.ckpt_cur with
+        | Some c when clean c -> Some c
+        | _ ->
+          (match st.ckpt_prev with
+           | Some c when clean c -> Some c
+           | _ -> None)
+      in
+      (match pick with
+       | None ->
+         st.rollback_denied <- true;
+         false
+       | Some snap ->
+         let detect_step = st.steps and detect_cycles = st.cycles in
+         Memory.rollback st.mem snap.Snapshot.sn_mem;
+         st.stack <- List.map restore_frame snap.Snapshot.sn_frames;
+         st.slack_credit <- 0;               (* the rollback flushes the pipe *)
+         let rollback_cycles = Cost.rollback ~words:(Snapshot.words snap) in
+         st.cycles <- st.cycles + rollback_cycles;
+         (* The fault was transient: its architectural effects are erased by
+            the restore and the replay runs clean, so nothing is re-armed.
+            Steps/cycles stay monotone — the replayed instructions charge
+            their cost again, which is exactly the recovery overhead. *)
+         st.branch_fault_armed <- None;
+         st.recovered <-
+           Some { rec_detection = d;
+                  rec_detect_step = detect_step;
+                  rec_checkpoint_step = snap.Snapshot.sn_step;
+                  rec_replayed_steps = detect_step - snap.Snapshot.sn_step;
+                  rec_wasted_cycles = detect_cycles - snap.Snapshot.sn_cycles;
+                  rec_rollback_cycles = rollback_cycles };
+         (* Checkpoints taken inside the wasted segment are gone with it;
+            keep checkpointing from the restored one on the usual cadence. *)
+         st.ckpt_prev <- None;
+         st.ckpt_cur <- Some snap;
+         st.next_checkpoint <- st.steps + st.config.checkpoint_interval;
+         true)
+
 let run_compiled ?(config = default_config) compiled ~entry ~args ~mem =
   let st =
     { compiled; imms = compiled.Compiled.imms; on_def = config.on_def;
@@ -464,6 +610,10 @@ let run_compiled ?(config = default_config) compiled ~entry ~args ~mem =
         (match config.fault with Some p -> p.at_step | None -> max_int);
       branch_fault_armed = None;
       slack_credit = 0;
+      next_checkpoint =
+        (if config.checkpoint_interval > 0 then 0 else max_int);
+      ckpt_cur = None; ckpt_prev = None; ckpt_count = 0;
+      recovered = None; rollback_denied = false;
       phi_vals = Array.make (max 1 compiled.Compiled.max_phis) Value.zero;
       phi_set = Array.make (max 1 compiled.Compiled.max_phis) false }
   in
@@ -473,16 +623,16 @@ let run_compiled ?(config = default_config) compiled ~entry ~args ~mem =
       failed_check_uids =
         Hashtbl.fold (fun uid () acc -> uid :: acc) st.failed_uids []
         |> List.sort compare;
-      injection = st.injection }
+      injection = st.injection;
+      recovered = st.recovered; rollback_denied = st.rollback_denied;
+      checkpoints = st.ckpt_count }
   in
-  match
-    let entry_func = Compiled.find_func compiled entry in
-    let fr = new_frame st entry_func ~args ~ret_dest:None in
-    st.stack <- [ fr ];
+  let exec_loop () =
     let result = ref None in
     (* Pattern-matching the condition keeps the loop head a tag test; [=]
        on options would call the polymorphic comparator every step. *)
     while (match !result with None -> true | Some _ -> false) do
+      if st.steps >= st.next_checkpoint then take_checkpoint st;
       if st.steps >= config.fuel then result := Some Out_of_fuel
       else begin
         match st.stack with
@@ -524,9 +674,25 @@ let run_compiled ?(config = default_config) compiled ~entry ~args ~mem =
       end
     done;
     (match !result with Some s -> s | None -> assert false)
+  in
+  (* A software detection is a recovery opportunity before it is a stop:
+     roll back and re-enter the loop when a clean checkpoint exists.
+     [try_recover] permits at most one rollback per run, so this always
+     terminates. *)
+  let rec drive () =
+    match exec_loop () with
+    | stop -> stop
+    | exception Stop_detected d ->
+      if try_recover st d then drive () else Sw_detected d
+  in
+  match
+    let entry_func = Compiled.find_func compiled entry in
+    let fr = new_frame st entry_func ~args ~ret_dest:None in
+    st.stack <- [ fr ];
+    if config.checkpoint_interval > 0 then Memory.enable_undo mem;
+    drive ()
   with
   | stop -> finish stop
-  | exception Stop_detected d -> finish (Sw_detected d)
   | exception Stop_trap t -> finish (Trapped t)
   | exception Opcode.Division_by_zero -> finish (Trapped Division_by_zero)
   | exception Value.Kind_error m -> finish (Trapped (Kind_confusion m))

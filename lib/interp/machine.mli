@@ -42,6 +42,21 @@ type stop =
   | Sw_detected of detection
   | Out_of_fuel
 
+(** One rollback-and-replay recovery event (DESIGN.md §9): a software check
+    fired, a retained checkpoint predating the injection was restored and
+    execution replayed from there.  Step/cycle counters are *not* rewound
+    by a rollback, so the trial's totals honestly charge the wasted
+    segment, the restore itself and the replay. *)
+type recovery = {
+  rec_detection : detection;    (** the check whose firing triggered rollback *)
+  rec_detect_step : int;        (** step count when the check fired *)
+  rec_checkpoint_step : int;    (** step of the restored checkpoint *)
+  rec_replayed_steps : int;     (** detect - checkpoint: work re-executed *)
+  rec_wasted_cycles : int;      (** cycles between checkpoint and detection,
+                                    thrown away by the rollback *)
+  rec_rollback_cycles : int;    (** cost of the state restore itself *)
+}
+
 type result = {
   stop : stop;
   steps : int;
@@ -50,6 +65,12 @@ type result = {
   failed_check_uids : int list; (** distinct uids of value checks that failed
                                     without stopping the run *)
   injection : injection option; (** what was actually injected, if anything *)
+  recovered : recovery option;  (** the rollback this run performed, if any *)
+  rollback_denied : bool;       (** a check fired with recovery enabled, but
+                                    no retained checkpoint predated the fault
+                                    (detection latency exceeded the
+                                    checkpoint window) *)
+  checkpoints : int;            (** checkpoints taken during the run *)
 }
 
 type valchk_mode =
@@ -81,6 +102,13 @@ type config = {
       (** execution profile to fill (opcode mix, block heat, check
           exec/fire counts); observation-only, the run is bit-identical
           with or without it *)
+  checkpoint_interval : int;
+      (** take a rollback checkpoint every this many dynamic instructions
+          (and once at step 0); 0 disables recovery — the default.  When
+          enabled, a run whose software check fires rolls back to the newest
+          checkpoint predating the injected fault and replays; the machine
+          retains the two most recent checkpoints, so recovery succeeds
+          whenever the detection latency is below the interval. *)
 }
 
 val default_config : config

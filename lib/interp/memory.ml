@@ -23,12 +23,27 @@ type t = {
   mutable last : int;               (** index of the most recently hit region;
                                         accesses cluster, so checking it first
                                         skips the binary search almost always *)
+  (* Undo journal for checkpoint/rollback recovery (see Snapshot): when
+     enabled, every store appends (address, previous value) so any earlier
+     memory state can be rebuilt by replaying the log backwards.  Off by
+     default: the only hot-path cost when off is one boolean test per
+     store. *)
+  mutable undo_on : bool;
+  mutable undo_addr : int array;
+  mutable undo_prev : Value.t array;
+  mutable undo_len : int;           (** valid entries in the arrays *)
+  mutable undo_off : int;           (** absolute position of entry 0: marks
+                                        store absolute positions so retiring
+                                        old entries does not invalidate them *)
 }
 
 let guard_gap = 0x10000
 let first_base = 0x40000
 
-let create () = { regions = [||]; next_base = first_base; last = 0 }
+let create () =
+  { regions = [||]; next_base = first_base; last = 0;
+    undo_on = false; undo_addr = [||]; undo_prev = [||]; undo_len = 0;
+    undo_off = 0 }
 
 (** Allocate [size] words; returns the base address. *)
 let alloc t size =
@@ -79,10 +94,90 @@ let load t addr =
   Array.unsafe_get r.cells (addr - r.base)
   [@@inline]
 
+let undo_push t addr prev =
+  let n = t.undo_len in
+  if n = Array.length t.undo_addr then begin
+    let cap = max 64 (2 * n) in
+    let addr' = Array.make cap 0 and prev' = Array.make cap Value.zero in
+    Array.blit t.undo_addr 0 addr' 0 n;
+    Array.blit t.undo_prev 0 prev' 0 n;
+    t.undo_addr <- addr';
+    t.undo_prev <- prev'
+  end;
+  t.undo_addr.(n) <- addr;
+  t.undo_prev.(n) <- prev;
+  t.undo_len <- n + 1
+
 let store t addr v =
   let r = find_region t addr in
-  Array.unsafe_set r.cells (addr - r.base) v
+  let i = addr - r.base in
+  if t.undo_on then undo_push t addr (Array.unsafe_get r.cells i);
+  Array.unsafe_set r.cells i v
   [@@inline]
+
+(* ----- Undo journal: marks and rollback (checkpoint recovery) ----- *)
+
+(** A point in the memory's history: region count, allocation cursor and
+    undo-log position.  Valid as long as the undo log has not been rolled
+    back past it. *)
+type mark = {
+  mk_regions : int;
+  mk_next_base : int;
+  mk_undo : int;
+}
+
+(** Start journaling stores (idempotent).  Only journaled history can be
+    rolled back, so enable before the run's first store. *)
+let enable_undo t = t.undo_on <- true
+
+let undo_enabled t = t.undo_on
+
+(** Total (absolute) undo entries recorded since journaling began. *)
+let undo_length t = t.undo_off + t.undo_len
+
+(** Undo entries recorded since [m] — the dirty-word count a checkpoint at
+    [m] must have preserved (cost accounting). *)
+let undo_since t (m : mark) = t.undo_off + t.undo_len - m.mk_undo
+
+let mark t =
+  { mk_regions = Array.length t.regions; mk_next_base = t.next_base;
+    mk_undo = t.undo_off + t.undo_len }
+
+(** Rewind the memory to [m]: replay the undo log backwards down to the
+    mark (restoring every overwritten cell, oldest value last), drop the
+    regions allocated since, and rewind the allocation cursor.  Requires
+    journaling enabled at [m]'s creation and neither a rollback past [m]
+    nor a {!retire} of [m]'s history since. *)
+let rollback t (m : mark) =
+  if m.mk_undo > t.undo_off + t.undo_len || m.mk_undo < t.undo_off
+     || m.mk_regions > Array.length t.regions then
+    invalid_arg "Memory.rollback: stale mark";
+  for i = t.undo_len - 1 downto m.mk_undo - t.undo_off do
+    let addr = t.undo_addr.(i) in
+    let r = find_region t addr in
+    r.cells.(addr - r.base) <- t.undo_prev.(i)
+  done;
+  t.undo_len <- m.mk_undo - t.undo_off;
+  if Array.length t.regions > m.mk_regions then
+    t.regions <- Array.sub t.regions 0 m.mk_regions;
+  t.next_base <- m.mk_next_base;
+  t.last <- 0
+
+(** Drop undo entries older than [m]: nothing can roll back before it any
+    more.  Called when a checkpoint is superseded, so the journal only ever
+    holds the history the retained checkpoints might need — bounded by a
+    couple of checkpoint intervals' worth of stores, not the whole run. *)
+let retire t (m : mark) =
+  let shift = m.mk_undo - t.undo_off in
+  if shift > 0 then begin
+    let keep = max 0 (t.undo_len - shift) in
+    if keep > 0 then begin
+      Array.blit t.undo_addr shift t.undo_addr 0 keep;
+      Array.blit t.undo_prev shift t.undo_prev 0 keep
+    end;
+    t.undo_len <- keep;
+    t.undo_off <- m.mk_undo
+  end
 
 (** Address extraction from a runtime value.  A float used as an address is a
     program error surfaced as a segfault-style trap; faults never change a

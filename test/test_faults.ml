@@ -42,7 +42,8 @@ let mk_result stop ~steps ~inj_step : Interp.Machine.result =
     injection =
       Some { Interp.Machine.inj_step; inj_kind = Interp.Machine.Register_bit;
              inj_reg = 0; inj_bit = 3;
-             before = Value.of_int 0; after = Value.of_int 8 } }
+             before = Value.of_int 0; after = Value.of_int 8 };
+    recovered = None; rollback_denied = false; checkpoints = 0 }
 
 let classify ?(identical = false) ?(acceptable = false) result =
   Faults.Classify.classify ~hw_window:1000 ~result
@@ -103,7 +104,53 @@ let test_groupings () =
   Alcotest.(check bool) "asdc is not usdc" false (is_usdc Asdc);
   Alcotest.(check bool) "swdetect covered" true (is_covered Sw_detect);
   Alcotest.(check bool) "failure not covered" false (is_covered Failure);
-  Alcotest.(check int) "seven categories" 7 (List.length all)
+  Alcotest.(check int) "nine categories" 9 (List.length all);
+  (* Recovery outcomes: a recovered trial ran to a correct answer (Masked
+     bucket for Fig. 11), an unrecoverable one was still caught by a check
+     (SWDetect bucket); neither is silent corruption, both are covered. *)
+  Alcotest.(check string) "fig11 folds recovered" "Masked"
+    (fig11_bucket Recovered);
+  Alcotest.(check string) "fig11 folds unrecoverable" "SWDetect"
+    (fig11_bucket Unrecoverable);
+  Alcotest.(check bool) "recovered not sdc" false (is_sdc Recovered);
+  Alcotest.(check bool) "recovered covered" true (is_covered Recovered);
+  Alcotest.(check bool) "unrecoverable covered" true (is_covered Unrecoverable);
+  Alcotest.(check bool) "names roundtrip" true
+    (List.for_all (fun o -> of_name (name o) = Some o) all);
+  Alcotest.(check bool) "unknown name" true (of_name "NotAnOutcome" = None)
+
+let mk_recovery ~detect_step : Interp.Machine.recovery =
+  { rec_detection = { check_uid = 7; dup_check = true };
+    rec_detect_step = detect_step; rec_checkpoint_step = detect_step - 40;
+    rec_replayed_steps = 40; rec_wasted_cycles = 55; rec_rollback_cycles = 80 }
+
+let test_classify_recovered () =
+  (* A run that rolled back and finished with the golden output. *)
+  let r =
+    { (mk_result (Interp.Machine.Finished None) ~steps:200 ~inj_step:50) with
+      recovered = Some (mk_recovery ~detect_step:60) }
+  in
+  Alcotest.(check string) "recovered" "Recovered"
+    (Faults.Classify.name (classify ~identical:true r));
+  (* Rolled back but the output still differs: the checkpoint was not
+     clean after all — Unrecoverable, never silent-corruption. *)
+  Alcotest.(check string) "recovery that missed" "Unrecoverable"
+    (Faults.Classify.name (classify r));
+  Alcotest.(check string) "even if acceptable" "Unrecoverable"
+    (Faults.Classify.name (classify ~acceptable:true r))
+
+let test_classify_rollback_denied () =
+  (* Check fired but no clean checkpoint predated the injection: the
+     machine refuses the rollback and the detection stands, downgraded to
+     Unrecoverable (detection latency exceeded the checkpoint window). *)
+  let r =
+    { (mk_result
+         (Interp.Machine.Sw_detected { check_uid = 3; dup_check = false })
+         ~steps:100 ~inj_step:50)
+      with rollback_denied = true }
+  in
+  Alcotest.(check string) "denied rollback" "Unrecoverable"
+    (Faults.Classify.name (classify r))
 
 (* ----- Campaign ----- *)
 
@@ -230,6 +277,133 @@ let test_mean_percent () =
   let b = Faults.Campaign.percent s2 Faults.Classify.Masked in
   Alcotest.(check (float 1e-6)) "mean of two" ((a +. b) /. 2.0) m
 
+(* ----- Edge cases: empty campaigns ----- *)
+
+let test_percent_zero_trials () =
+  (* Regression: percent over an empty campaign used to be 0/0 = NaN,
+     which then poisoned every table it was averaged into. *)
+  let summary, trials =
+    Faults.Campaign.run (array_sum_subject ()) ~trials:0 ~seed:1
+  in
+  Alcotest.(check int) "no trials ran" 0 (List.length trials);
+  List.iter
+    (fun o ->
+      let p = Faults.Campaign.percent summary o in
+      Alcotest.(check bool)
+        (Printf.sprintf "percent %s finite" (Faults.Classify.name o))
+        false (Float.is_nan p);
+      Alcotest.(check (float 1e-9)) "zero" 0.0 p)
+    Faults.Classify.all
+
+let test_mean_percent_empty () =
+  (* Regression: the mean over no summaries must be 0, not NaN. *)
+  let m = Faults.Campaign.mean_percent [] [ Faults.Classify.Masked ] in
+  Alcotest.(check bool) "finite" false (Float.is_nan m);
+  Alcotest.(check (float 1e-9)) "zero" 0.0 m
+
+(* ----- Checkpoint/rollback recovery ----- *)
+
+(* An array_sum subject whose accumulator chain is duplicated: software
+   checks fire, so with checkpointing enabled those trials can recover. *)
+let protected_array_sum () =
+  let s = array_sum_subject () in
+  let (_ : Transform.Duplicate.stats), (_ : (int, unit) Hashtbl.t) =
+    Transform.Duplicate.run s.prog
+  in
+  Ir.Verifier.verify s.prog;
+  s
+
+let test_recovery_reclassifies_swdetect () =
+  let count = Faults.Campaign.count in
+  let plain, _ =
+    Faults.Campaign.run (protected_array_sum ()) ~trials:200 ~seed:5
+  in
+  let recov, trials =
+    Faults.Campaign.run (protected_array_sum ()) ~trials:200 ~seed:5
+      ~checkpoint_interval:200
+  in
+  let sw0 = count plain Faults.Classify.Sw_detect in
+  let recovered = count recov Faults.Classify.Recovered in
+  let unrec = count recov Faults.Classify.Unrecoverable in
+  Alcotest.(check bool) "protection detected something" true (sw0 > 0);
+  (* Every detection either recovers or is explicitly unrecoverable; the
+     paper's claim is that a short window suffices, i.e. the majority
+     recovers. *)
+  Alcotest.(check int)
+    (Printf.sprintf "detections conserved (%d -> %d+%d+%d)" sw0
+       (count recov Faults.Classify.Sw_detect) recovered unrec)
+    sw0
+    (count recov Faults.Classify.Sw_detect + recovered + unrec);
+  Alcotest.(check bool)
+    (Printf.sprintf "majority recovered (%d of %d)" recovered sw0)
+    true
+    (recovered * 2 > sw0);
+  (* Recovery never manufactures silent corruption. *)
+  let usdc s =
+    count s Faults.Classify.Usdc_large + count s Faults.Classify.Usdc_small
+  in
+  Alcotest.(check bool) "usdc not increased" true (usdc recov <= usdc plain);
+  (* Every Recovered trial carries its telemetry and replayed a plausible
+     span: from a checkpoint at or before detection. *)
+  List.iter
+    (fun (t : Faults.Campaign.trial) ->
+      match t.outcome, t.recovery with
+      | Faults.Classify.Recovered, Some r ->
+        Alcotest.(check bool) "replay nonnegative" true
+          (r.Interp.Machine.rec_replayed_steps >= 0);
+        Alcotest.(check bool) "checkpoint before detection" true
+          (r.Interp.Machine.rec_checkpoint_step
+           <= r.Interp.Machine.rec_detect_step);
+        Alcotest.(check bool) "trial took checkpoints" true (t.checkpoints > 0)
+      | Faults.Classify.Recovered, None ->
+        Alcotest.fail "Recovered trial without recovery telemetry"
+      | _ -> ())
+    trials
+
+let test_recovery_overhead_monotone () =
+  (* Fault-free cost: more frequent checkpoints must cost monotonically
+     more cycles, and recovery off must be the cheapest. *)
+  let cycles interval =
+    (Faults.Campaign.golden_run ~checkpoint_interval:interval
+       (array_sum_subject ()))
+      .cycles
+  in
+  let off = cycles 0 and sparse = cycles 200 and dense = cycles 50 in
+  Alcotest.(check bool)
+    (Printf.sprintf "off <= sparse (%d <= %d)" off sparse)
+    true (off <= sparse);
+  Alcotest.(check bool)
+    (Printf.sprintf "sparse < dense (%d < %d)" sparse dense)
+    true (sparse < dense)
+
+let test_recovery_steps_deterministic_and_golden () =
+  (* Checkpointing a fault-free run must not change what it computes. *)
+  let plain = Faults.Campaign.golden_run (array_sum_subject ()) in
+  let ckpt =
+    Faults.Campaign.golden_run ~checkpoint_interval:100 (array_sum_subject ())
+  in
+  Alcotest.(check int) "same steps" plain.steps ckpt.steps;
+  Alcotest.(check bool) "same output" true (plain.output = ckpt.output);
+  Alcotest.(check bool) "checkpoints cost cycles" true
+    (ckpt.cycles > plain.cycles)
+
+let test_recovery_parallel_identical () =
+  (* The determinism contract survives recovery: rollback decisions depend
+     only on the trial's own execution, so worker count stays
+     unobservable. *)
+  let run domains =
+    Faults.Campaign.run (protected_array_sum ()) ~trials:60 ~seed:11 ~domains
+      ~checkpoint_interval:150
+  in
+  let s1, t1 = run 1 in
+  let s4, t4 = run 4 in
+  Alcotest.(check bool) "summaries identical" true
+    (s1.Faults.Campaign.counts = s4.Faults.Campaign.counts);
+  Alcotest.(check bool) "trial lists bit-identical" true
+    (Faults.Campaign.trials_equal t1 t4);
+  Alcotest.(check bool) "some trial recovered" true
+    (Faults.Campaign.count s1 Faults.Classify.Recovered > 0)
+
 let tests =
   [ Alcotest.test_case "classify: masked" `Quick test_classify_masked;
     Alcotest.test_case "classify: asdc" `Quick test_classify_asdc;
@@ -256,4 +430,20 @@ let tests =
       test_derive_seeds_matches_serial;
     Alcotest.test_case "campaign: percent helpers" `Quick test_percent_helpers;
     Alcotest.test_case "campaign: mean percent" `Quick test_mean_percent;
+    Alcotest.test_case "classify: recovered outcomes" `Quick
+      test_classify_recovered;
+    Alcotest.test_case "classify: rollback denied" `Quick
+      test_classify_rollback_denied;
+    Alcotest.test_case "campaign: percent of zero trials" `Quick
+      test_percent_zero_trials;
+    Alcotest.test_case "campaign: mean percent of nothing" `Quick
+      test_mean_percent_empty;
+    Alcotest.test_case "recovery: reclassifies swdetect" `Quick
+      test_recovery_reclassifies_swdetect;
+    Alcotest.test_case "recovery: overhead monotone" `Quick
+      test_recovery_overhead_monotone;
+    Alcotest.test_case "recovery: golden run unchanged" `Quick
+      test_recovery_steps_deterministic_and_golden;
+    Alcotest.test_case "recovery: parallel identical" `Quick
+      test_recovery_parallel_identical;
   ]

@@ -141,6 +141,40 @@ let test_pool_stats_serial () = check_pool_stats ~domains:1 37
 let test_pool_stats_parallel () = check_pool_stats ~domains:3 37
 let test_pool_stats_empty () = check_pool_stats ~domains:2 0
 
+exception Trial_blew_up
+
+let test_pool_cancellation () =
+  (* A worker exception must propagate out of [map] (not hang, not be
+     swallowed), and the other domains must stop claiming chunks instead of
+     draining the whole index space first. *)
+  let n = 1000 in
+  let computed = Atomic.make 0 in
+  let f i =
+    if i = 0 then raise Trial_blew_up
+    else begin
+      Unix.sleepf 0.001;
+      Atomic.incr computed;
+      i
+    end
+  in
+  (match Faults.Pool.map ~domains:4 f n with
+   | (_ : int array) -> Alcotest.fail "expected Trial_blew_up"
+   | exception Trial_blew_up -> ());
+  (* Worker 0 raises on its first index; every other worker finishes at
+     most the chunks already in flight before seeing the flag.  Draining
+     would need all ~1000 slow items. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "cancelled early (%d of %d computed)"
+       (Atomic.get computed) n)
+    true
+    (Atomic.get computed < n / 2)
+
+let test_pool_serial_exception () =
+  (* The degenerate serial path must propagate too. *)
+  match Faults.Pool.map ~domains:1 (fun _ -> raise Trial_blew_up) 5 with
+  | (_ : int array) -> Alcotest.fail "expected Trial_blew_up"
+  | exception Trial_blew_up -> ()
+
 (* ----- Journal ----- *)
 
 let small_campaign ?profile ?on_trial ?stats_out ~domains () =
@@ -163,16 +197,13 @@ let test_journal_write_load () =
           ~golden:summary.Faults.Campaign.golden_info ()
       in
       Faults.Journal.write ~path ~manifest ~trials;
-      let loaded_manifest, views = Faults.Journal.load path in
-      (match loaded_manifest with
-       | None -> Alcotest.fail "manifest lost"
-       | Some m ->
-         Alcotest.(check (option string)) "schema" (Some Faults.Journal.schema)
-           (Option.bind (Json.member "schema" m) Json.to_str);
-         Alcotest.(check (option int)) "trials" (Some 30)
-           (Option.bind (Json.member "trials" m) Json.to_int);
-         Alcotest.(check bool) "timings present" true
-           (Json.member "timings" m <> None));
+      let m, views = Faults.Journal.load path in
+      Alcotest.(check (option string)) "schema" (Some Faults.Journal.schema)
+        (Option.bind (Json.member "schema" m) Json.to_str);
+      Alcotest.(check (option int)) "trials" (Some 30)
+        (Option.bind (Json.member "trials" m) Json.to_int);
+      Alcotest.(check bool) "timings present" true
+        (Json.member "timings" m <> None);
       Alcotest.(check int) "one view per trial" (List.length trials)
         (List.length views);
       List.iteri
@@ -203,6 +234,133 @@ let test_journal_malformed () =
           true
           (String.length msg >= 6 && String.sub msg 0 6 = "line 1")
       | _ -> Alcotest.fail "expected Malformed")
+
+(* Write a valid journal for the campaign and hand its lines to [k]. *)
+let with_journal_lines ?(checkpoint_interval = 0) k =
+  let path = Filename.temp_file "softft_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let subject = Test_faults.protected_array_sum () in
+      let summary, trials =
+        Faults.Campaign.run subject ~trials:40 ~seed:2024 ~domains:2
+          ~checkpoint_interval
+      in
+      let manifest =
+        Faults.Journal.manifest_record ~git:"test" ~technique:"dup"
+          ~checkpoint_interval ~label:"array_sum" ~trials:40 ~seed:2024
+          ~domains:2 ~hw_window:Faults.Classify.default_hw_window
+          ~fault_kind:"register_bit"
+          ~golden:summary.Faults.Campaign.golden_info ()
+      in
+      Faults.Journal.write ~path ~manifest ~trials;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      k path (List.rev !lines) trials)
+
+let rewrite path lines =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+let test_journal_no_manifest () =
+  (* Regression: a journal whose manifest line is missing used to load as
+     an empty report; it must instead fail loudly and name the file. *)
+  with_journal_lines (fun path lines _ ->
+      rewrite path (List.tl lines);
+      match Faults.Journal.load path with
+      | exception Faults.Journal.Malformed msg ->
+        let mentions_path =
+          let needle = Filename.basename path in
+          let hay = msg and n = String.length (Filename.basename path) in
+          let rec scan i =
+            i + n <= String.length hay
+            && (String.sub hay i n = needle || scan (i + 1))
+          in
+          scan 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the file (%s)" msg)
+          true mentions_path
+      | _ -> Alcotest.fail "expected Malformed (no manifest)");
+  (* Same for a journal that is empty outright. *)
+  with_journal_lines (fun path _ _ ->
+      rewrite path [];
+      match Faults.Journal.load path with
+      | exception Faults.Journal.Malformed _ -> ()
+      | _ -> Alcotest.fail "expected Malformed (empty file)")
+
+let test_journal_v1_loads () =
+  (* Backward compatibility: a v1 journal (old schema string, no
+     checkpoint_interval, no recovery fields) must still load, with the
+     v2-only view fields at their defaults. *)
+  with_journal_lines (fun path lines _ ->
+      let v1_of line =
+        (* Rewrite the manifest to its v1 form textually: v2 only *added*
+           fields, so deleting them yields a faithful v1 record. *)
+        match Json.parse line with
+        | Json.Obj fields ->
+          Json.to_string
+            (Json.Obj
+               (List.filter_map
+                  (function
+                    | ("schema", _) ->
+                      Some ("schema", Json.Str Faults.Journal.schema_v1)
+                    | ("checkpoint_interval", _) -> None
+                    | kv -> Some kv)
+                  fields))
+        | _ -> Alcotest.fail "manifest is not an object"
+      in
+      (match lines with
+       | manifest :: trials -> rewrite path (v1_of manifest :: trials)
+       | [] -> Alcotest.fail "journal empty");
+      let m, views = Faults.Journal.load path in
+      Alcotest.(check (option string)) "v1 schema accepted"
+        (Some Faults.Journal.schema_v1)
+        (Option.bind (Json.member "schema" m) Json.to_str);
+      Alcotest.(check int) "all trials load" 40 (List.length views);
+      List.iter
+        (fun (v : Faults.Journal.view) ->
+          Alcotest.(check int) "no checkpoints in v1" 0 v.v_checkpoints;
+          Alcotest.(check bool) "no recovery in v1" true (v.v_recovery = None))
+        views)
+
+let test_journal_v2_recovery_roundtrip () =
+  (* With checkpointing on, recovered trials must journal their telemetry
+     and read back field-for-field. *)
+  with_journal_lines ~checkpoint_interval:150 (fun path _ trials ->
+      let m, views = Faults.Journal.load path in
+      Alcotest.(check (option int)) "manifest records interval" (Some 150)
+        (Option.bind (Json.member "checkpoint_interval" m) Json.to_int);
+      let saw_recovery = ref false in
+      List.iteri
+        (fun i (v : Faults.Journal.view) ->
+          let t = List.nth trials i in
+          Alcotest.(check int) "checkpoints roundtrip"
+            t.Faults.Campaign.checkpoints v.v_checkpoints;
+          match t.Faults.Campaign.recovery, v.v_recovery with
+          | None, None -> ()
+          | Some r, Some rv ->
+            saw_recovery := true;
+            Alcotest.(check int) "detect step"
+              r.Interp.Machine.rec_detect_step rv.Faults.Journal.rv_detect_step;
+            Alcotest.(check int) "checkpoint step"
+              r.Interp.Machine.rec_checkpoint_step rv.rv_checkpoint_step;
+            Alcotest.(check int) "replayed steps"
+              r.Interp.Machine.rec_replayed_steps rv.rv_replayed_steps;
+            Alcotest.(check int) "wasted cycles"
+              r.Interp.Machine.rec_wasted_cycles rv.rv_wasted_cycles;
+            Alcotest.(check int) "rollback cycles"
+              r.Interp.Machine.rec_rollback_cycles rv.rv_rollback_cycles
+          | Some _, None -> Alcotest.fail "recovery lost in journal"
+          | None, Some _ -> Alcotest.fail "journal invented a recovery")
+        views;
+      Alcotest.(check bool) "campaign exercised recovery" true !saw_recovery)
 
 (* ----- Determinism under observability -----
 
@@ -265,9 +423,18 @@ let tests =
     Alcotest.test_case "pool: stats serial" `Quick test_pool_stats_serial;
     Alcotest.test_case "pool: stats parallel" `Quick test_pool_stats_parallel;
     Alcotest.test_case "pool: stats empty" `Quick test_pool_stats_empty;
+    Alcotest.test_case "pool: worker exception cancels" `Quick
+      test_pool_cancellation;
+    Alcotest.test_case "pool: serial exception propagates" `Quick
+      test_pool_serial_exception;
     Alcotest.test_case "journal: write/load roundtrip" `Quick
       test_journal_write_load;
     Alcotest.test_case "journal: malformed input" `Quick test_journal_malformed;
+    Alcotest.test_case "journal: no manifest is an error" `Quick
+      test_journal_no_manifest;
+    Alcotest.test_case "journal: v1 still loads" `Quick test_journal_v1_loads;
+    Alcotest.test_case "journal: v2 recovery roundtrip" `Quick
+      test_journal_v2_recovery_roundtrip;
     Alcotest.test_case "determinism: hooks inert (serial)" `Quick
       test_observability_inert_serial;
     Alcotest.test_case "determinism: hooks inert (domains=2)" `Quick
