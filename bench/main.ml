@@ -14,6 +14,8 @@
       bench/main.exe micro           micro-benchmarks only
       bench/main.exe campaign-perf   campaign throughput, serial vs. parallel
                                      (writes BENCH_campaign.json)
+      bench/main.exe taint           campaign throughput, tracing off vs. on
+                                     (verifies outcomes are bit-identical)
       options: --trials N  --seed N  --benchmarks a,b,c  --domains N  --quick *)
 
 let default_trials = ref 120
@@ -58,7 +60,7 @@ let micro_tests () =
              { Interp.Machine.stop = Interp.Machine.Finished None; steps = 100;
                cycles = 100; valchk_failures = 0; failed_check_uids = [];
                injection = None; recovered = None; rollback_denied = false;
-               checkpoints = 0 }
+               checkpoints = 0; taint = None }
            ~identical:(fun () -> false)
            ~acceptable:(fun () -> true)));
     (* Figure 10: the static transformation itself. *)
@@ -284,6 +286,59 @@ let run_campaign_perf () =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
+(* Tracing-overhead bench: the same campaign with the propagation tracer
+   off and on.  Verifies the observation-only contract (identical outcomes,
+   steps and cycles) and reports what the shadow state costs — the tracer
+   is opt-in, so this cost is paid only by `--taint` campaigns, but it
+   should still stay within a small factor. *)
+let run_taint_bench () =
+  let trials = !default_trials in
+  let dom = !domains in
+  Printf.printf
+    "\n== Propagation-tracing overhead (%d trials/campaign, %d domains) ==\n"
+    trials dom;
+  Printf.printf "%-12s %14s %14s %9s %6s\n" "workload" "plain tr/s"
+    "traced tr/s" "slowdown" "same?";
+  Printf.printf "%s\n" (String.make 60 '-');
+  List.iter
+    (fun name ->
+      let w = Workloads.Registry.find name in
+      let p = Softft.protect w Softft.Dup_valchk in
+      let subject = Softft.subject p ~role:Workloads.Workload.Test in
+      ignore (Faults.Campaign.golden_run subject);
+      let timed taint_trace =
+        let t0 = Unix.gettimeofday () in
+        let summary, trial_list =
+          Faults.Campaign.run ~seed:!seed ~domains:dom ~taint_trace subject
+            ~trials
+        in
+        (Unix.gettimeofday () -. t0, summary, trial_list)
+      in
+      let plain_sec, plain_summary, plain_trials = timed false in
+      let traced_sec, traced_summary, traced_trials = timed true in
+      (* The traced trials differ exactly in their [taint] field; compare
+         everything else bit-exactly. *)
+      let strip (t : Faults.Campaign.trial) =
+        { t with Faults.Campaign.taint = None }
+      in
+      let identical =
+        plain_summary.Faults.Campaign.counts
+          = traced_summary.Faults.Campaign.counts
+        && Faults.Campaign.trials_equal plain_trials
+             (List.map strip traced_trials)
+        && List.for_all
+             (fun (t : Faults.Campaign.trial) -> t.taint <> None)
+             traced_trials
+      in
+      let per_sec sec = float_of_int trials /. max 1e-9 sec in
+      Printf.printf "%-12s %14.1f %14.1f %8.2fx %6s\n" w.name
+        (per_sec plain_sec) (per_sec traced_sec)
+        (traced_sec /. max 1e-9 plain_sec)
+        (if identical then "yes" else "NO"))
+    (match !selected_benchmarks with
+     | Some names -> names
+     | None -> [ "jpegdec"; "kmeans" ])
+
 let () =
   let commands = ref [] in
   let rec parse = function
@@ -323,6 +378,7 @@ let () =
     | "headline" -> Softft.Experiments.print_headline (results ())
     | "crossval" -> run_crossval ()
     | "campaign-perf" -> run_campaign_perf ()
+    | "taint" -> run_taint_bench ()
     | "ablation" ->
       List.iter
         (fun name ->
@@ -376,8 +432,8 @@ let () =
     | cmd ->
       Printf.eprintf
         "unknown command %S (try: micro all fig2 fig10 fig11 fig12 fig13 \
-         table1 table2 falsepos headline crossval campaign-perf ablation \
-         latency recovery branchfault sources csv)\n"
+         table1 table2 falsepos headline crossval campaign-perf taint \
+         ablation latency recovery branchfault sources csv)\n"
         cmd;
       exit 1
   in

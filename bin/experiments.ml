@@ -109,8 +109,8 @@ let crossval_cmd =
     (Cmd.info "crossval" ~doc)
     Term.(const run_crossval $ trials_arg $ seed_arg $ domains_arg $ quiet_arg)
 
-let run_one name technique_name trials seed domains checkpoint journal
-    profile_flag quiet log_json =
+let run_one name technique_name trials seed domains checkpoint taint
+    progress progress_jsonl journal profile_flag quiet log_json =
   let log = logger_of quiet log_json in
   let w = Workloads.Registry.find name in
   let technique = technique_of_string technique_name in
@@ -130,10 +130,24 @@ let run_one name technique_name trials seed domains checkpoint journal
     if profile_flag then Some (Interp.Profile.create ()) else None
   in
   let stats = ref None in
+  let progress_oc = Option.map open_out progress_jsonl in
+  let sinks =
+    (if progress then [ Faults.Progress.stderr_sink () ] else [])
+    @ (match progress_oc with
+       | Some oc -> [ Faults.Progress.jsonl_sink oc ]
+       | None -> [])
+  in
+  let pg =
+    match sinks with
+    | [] -> None
+    | _ :: _ -> Some (Faults.Progress.create ~sinks ~total:trials ())
+  in
   let summary, results =
     Softft.campaign p ~role:Workloads.Workload.Test ~trials ~seed ~domains
-      ~checkpoint_interval:checkpoint ?profile ~stats_out:stats
+      ~checkpoint_interval:checkpoint ~taint_trace:taint ?profile
+      ~stats_out:stats ?progress:pg
   in
+  (match progress_oc with Some oc -> close_out oc | None -> ());
   List.iter
     (fun outcome ->
       Printf.printf "  %-13s : %5.1f%%\n"
@@ -149,7 +163,7 @@ let run_one name technique_name trials seed domains checkpoint journal
          ~label:(Printf.sprintf "%s/%s/test" w.name
                    (Softft.technique_name technique))
          ~trials ~seed ~domains ~checkpoint_interval:checkpoint
-         ~hw_window:Faults.Classify.default_hw_window
+         ~taint_trace:taint ~hw_window:Faults.Classify.default_hw_window
          ~fault_kind:"register_bit"
          ~golden:summary.Faults.Campaign.golden_info ()
      in
@@ -195,13 +209,37 @@ let profile_arg =
   in
   Arg.(value & flag & info [ "profile" ] ~doc)
 
+let taint_arg =
+  let doc =
+    "Trace fault propagation: every trial carries a shadow taint bit per \
+     register and memory word, seeded at the injection, and records a \
+     propagation summary in the journal (schema v3).  Observation-only: \
+     outcomes and costs are bit-identical either way."
+  in
+  Arg.(value & flag & info [ "taint" ] ~doc)
+
+let progress_arg =
+  let doc =
+    "Print a live heartbeat to stderr while the campaign runs: trials \
+     done/total, per-outcome running counts, trials/sec and ETA."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let progress_jsonl_arg =
+  let doc =
+    "Also stream campaign progress snapshots to $(docv) as JSON lines \
+     (one {\"type\":\"progress\",...} record per heartbeat)."
+  in
+  Arg.(value & opt (some string) None & info [ "progress-jsonl" ] ~docv:"FILE" ~doc)
+
 let one_cmd =
   let doc = "Protect one benchmark and run a campaign against it." in
   Cmd.v
     (Cmd.info "one" ~doc)
     Term.(
       const run_one $ name_arg $ technique_arg $ trials_arg $ seed_arg
-      $ domains_arg $ checkpoint_arg $ journal_arg $ profile_arg $ quiet_arg
+      $ domains_arg $ checkpoint_arg $ taint_arg $ progress_arg
+      $ progress_jsonl_arg $ journal_arg $ profile_arg $ quiet_arg
       $ log_json_arg)
 
 let run_report path csv =
@@ -275,6 +313,72 @@ let trace_cmd =
   let doc = "Trace the first values a benchmark's kernel produces." in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run_trace $ name_arg $ limit_arg)
 
+let run_trace_fault name technique_name seed trial_index =
+  let w = Workloads.Registry.find name in
+  let technique = technique_of_string technique_name in
+  let p = Softft.protect w technique in
+  let subject = Softft.subject p ~role:Workloads.Workload.Test in
+  let golden = Faults.Campaign.golden_run subject in
+  let disabled = Hashtbl.create 8 in
+  List.iter
+    (fun uid -> Hashtbl.replace disabled uid ())
+    golden.Faults.Campaign.failing_checks;
+  (* The same seed discipline as a campaign, so `trace-fault --trial I`
+     replays exactly the trial a journal records at index I. *)
+  let seeds = Faults.Campaign.derive_seeds ~seed ~trials:(trial_index + 1) in
+  let t =
+    Faults.Campaign.run_trial ~taint_trace:true subject ~golden ~disabled
+      ~hw_window:Faults.Classify.default_hw_window ~seed:seeds.(trial_index)
+  in
+  Printf.printf "%s / %s  trial %d  (seed %d)\n" w.name
+    (Softft.technique_name technique)
+    trial_index t.Faults.Campaign.trial_seed;
+  (match t.Faults.Campaign.injection with
+   | Some (inj : Interp.Machine.injection) ->
+     Printf.printf "injection : step %d, r%d bit %d  (%s -> %s)\n"
+       inj.inj_step inj.inj_reg inj.inj_bit
+       (Ir.Value.to_string inj.before)
+       (Ir.Value.to_string inj.after)
+   | None -> print_endline "injection : (did not land)");
+  Printf.printf "outcome   : %s  (%d steps, %d cycles)\n"
+    (Faults.Classify.name t.Faults.Campaign.outcome)
+    t.Faults.Campaign.steps t.Faults.Campaign.cycles;
+  match t.Faults.Campaign.taint with
+  | None -> print_endline "no propagation summary recorded"
+  | Some (s : Interp.Taint.summary) ->
+    let dist = function None -> "-" | Some d -> Printf.sprintf "+%d" d in
+    Printf.printf "taint     : reg hwm %d, mem words %d, %d events\n"
+      s.ts_reg_hwm s.ts_mem_words s.ts_events_total;
+    Printf.printf
+      "distances : first store %s, first branch %s, died %s, end %s\n"
+      (dist s.ts_first_store) (dist s.ts_first_branch) (dist s.ts_died_at)
+      (dist s.ts_end_distance);
+    Printf.printf "output    : %s\n"
+      (if s.ts_output_tainted then "TAINTED" else "clean");
+    print_endline "\npropagation (distance from injection, event, site):";
+    List.iter print_endline
+      (Softft.Experiments.render_taint_events p.Softft.prog s);
+    let shown = List.length s.ts_events in
+    if s.ts_events_total > shown then
+      Printf.printf "... %d further events not retained (limit %d)\n"
+        (s.ts_events_total - shown)
+        Interp.Taint.event_limit
+
+let trial_index_arg =
+  let doc = "Campaign trial index to replay (same seed discipline as `one')." in
+  Arg.(value & opt int 0 & info [ "trial"; "i" ] ~docv:"INDEX" ~doc)
+
+let trace_fault_cmd =
+  let doc =
+    "Replay one campaign trial with the fault-propagation tracer and \
+     render how the injected fault flowed through the program."
+  in
+  Cmd.v
+    (Cmd.info "trace-fault" ~doc)
+    Term.(
+      const run_trace_fault $ name_arg $ technique_arg $ seed_arg
+      $ trial_index_arg)
+
 let main_cmd =
   let doc =
     "Reproduction of `Harnessing Soft Computations for Low-budget Fault \
@@ -283,6 +387,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "experiments" ~version:"1.0.0" ~doc)
     [ all_cmd; crossval_cmd; one_cmd; report_cmd; table1_cmd; dump_cmd;
-      trace_cmd ]
+      trace_cmd; trace_fault_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -88,13 +88,17 @@ let overhead ?baseline (p : protected) ~role =
 
 (** Statistical fault injection against the protected program.  [domains]
     fans the trials out over OCaml 5 domains (deterministic for any worker
-    count; see {!Faults.Campaign.run}).  [profile], [on_trial] and
-    [stats_out] are {!Faults.Campaign.run}'s observation-only telemetry
-    hooks — any combination leaves results bit-identical. *)
+    count; see {!Faults.Campaign.run}).  [profile], [on_trial], [stats_out]
+    and [progress] are {!Faults.Campaign.run}'s observation-only telemetry
+    hooks — any combination leaves results bit-identical; [taint_trace]
+    attaches the fault-propagation tracer to every trial (outcomes
+    unchanged, trials gain propagation summaries). *)
 let campaign ?hw_window ?seed ?(trials = 1000) ?domains ?checkpoint_interval
-    ?profile ?on_trial ?stats_out (p : protected) ~role =
-  Faults.Campaign.run ?hw_window ?seed ?domains ?checkpoint_interval ?profile
-    ?on_trial ?stats_out (subject p ~role) ~trials
+    ?taint_trace ?profile ?on_trial ?stats_out ?progress (p : protected)
+    ~role =
+  Faults.Campaign.run ?hw_window ?seed ?domains ?checkpoint_interval
+    ?taint_trace ?profile ?on_trial ?stats_out ?progress (subject p ~role)
+    ~trials
 
 (** 95 %-confidence margin of error for a proportion observed over [n]
     fault-injection trials (Leveugle et al., as cited in §IV-C). *)

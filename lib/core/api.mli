@@ -76,18 +76,23 @@ val overhead :
     fans the trials out over OCaml 5 domains; results are bit-identical
     for any worker count (see {!Faults.Campaign.run}).
     [checkpoint_interval] (default 0: off) enables checkpoint/rollback
-    recovery in the golden run and every trial (DESIGN.md §9).  [profile],
-    [on_trial] and [stats_out] are {!Faults.Campaign.run}'s
-    observation-only telemetry hooks. *)
+    recovery in the golden run and every trial (DESIGN.md §9).
+    [taint_trace] (default false) attaches the fault-propagation tracer
+    to every trial (DESIGN.md §10): outcomes stay bit-identical, trials
+    gain propagation summaries.  [profile], [on_trial], [stats_out] and
+    [progress] are {!Faults.Campaign.run}'s observation-only telemetry
+    hooks. *)
 val campaign :
   ?hw_window:int ->
   ?seed:int ->
   ?trials:int ->
   ?domains:int ->
   ?checkpoint_interval:int ->
+  ?taint_trace:bool ->
   ?profile:Interp.Profile.t ->
   ?on_trial:(int -> Faults.Campaign.trial -> unit) ->
   ?stats_out:Faults.Campaign.run_stats option ref ->
+  ?progress:Faults.Progress.t ->
   protected ->
   role:Workloads.Workload.input_role ->
   Faults.Campaign.summary * Faults.Campaign.trial list

@@ -733,8 +733,8 @@ let to_csv results =
           let p o = Campaign.percent c.summary o in
           Buffer.add_string buf
             (Printf.sprintf "%s,%s,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%d,%d,%d,%d,%d,%d\n"
-               r.workload.Workloads.Workload.name
-               (Api.technique_name c.technique)
+               (Report.csv_field r.workload.Workloads.Workload.name)
+               (Report.csv_field (Api.technique_name c.technique))
                c.summary.trials (p Classify.Masked) (p Classify.Asdc)
                (p Classify.Usdc_large) (p Classify.Usdc_small)
                (p Classify.Sw_detect) (p Classify.Hw_detect)
@@ -867,9 +867,10 @@ let journal_check_csv (views : Faults.Journal.view list) =
      p95_latency\n";
   List.iter
     (fun row ->
-      (* The table rows are already plain numbers plus a % suffix. *)
+      (* The table rows are already plain numbers plus a % suffix;
+         [csv_row] still quotes anything that would break the format. *)
       Buffer.add_string buf
-        (String.concat ","
+        (Report.csv_row
            (List.map
               (fun cell ->
                 match String.index_opt cell '%' with
@@ -919,6 +920,204 @@ let journal_recovery_rows (views : Faults.Journal.view list) =
       [ "mean checkpoints/trial"; Printf.sprintf "%.1f" (mean_of ckpts) ] ]
   end
 
+(* ----- Propagation report (journal v3 taint summaries) ----- *)
+
+(* The (view, taint) pairs of every traced trial in the journal; empty for
+   v1/v2 journals and untraced campaigns, which switches the whole
+   propagation section off. *)
+let journal_taints (views : Faults.Journal.view list) =
+  List.filter_map
+    (fun (v : Faults.Journal.view) ->
+      Option.map (fun t -> (v, t)) v.v_taint)
+    views
+
+let log2_bucket d =
+  if d < 1 then (0, 1)
+  else begin
+    let lo = ref 1 in
+    while d >= !lo * 2 do
+      lo := !lo * 2
+    done;
+    (!lo, !lo * 2)
+  end
+
+(** Latency vs. breadth: how widely taint had spread by the time the trial
+    ended (detection, completion, or death), bucketed by the propagation
+    distance — the "how long does a fault stay catchable, and how big has
+    the blast radius grown" view (paper §IV-D read through the tracer). *)
+let journal_propagation_rows taints =
+  let by_bucket = Hashtbl.create 16 in
+  List.iter
+    (fun ((_ : Faults.Journal.view), (t : Faults.Journal.taint_view)) ->
+      match t.tv_end_distance with
+      | None -> ()
+      | Some d ->
+        let b = log2_bucket d in
+        let l =
+          match Hashtbl.find_opt by_bucket b with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.replace by_bucket b l;
+            l
+        in
+        l := t :: !l)
+    taints;
+  Hashtbl.fold (fun b l acc -> (b, !l) :: acc) by_bucket []
+  |> List.sort compare
+  |> List.map (fun ((lo, hi), ts) ->
+         let n = List.length ts in
+         let mean f = mean_of (List.map f ts) in
+         let tainted_out =
+           List.length
+             (List.filter
+                (fun (t : Faults.Journal.taint_view) -> t.tv_output_tainted)
+                ts)
+         in
+         [ Printf.sprintf "[%d, %d)" lo hi;
+           string_of_int n;
+           Printf.sprintf "%.1f"
+             (mean (fun (t : Faults.Journal.taint_view) -> t.tv_reg_hwm));
+           Printf.sprintf "%.1f"
+             (mean (fun (t : Faults.Journal.taint_view) -> t.tv_mem_words));
+           Report.pct
+             (100.0 *. float_of_int tainted_out /. float_of_int (max 1 n)) ])
+
+(** Per-outcome propagation breadth: how far faults of each fate spread —
+    Masked faults should die narrow, SDCs should reach the output. *)
+let journal_outcome_breadth_rows taints =
+  List.filter_map
+    (fun o ->
+      let name = Classify.name o in
+      let ts =
+        List.filter_map
+          (fun ((v : Faults.Journal.view), t) ->
+            if v.v_outcome = name then Some t else None)
+          taints
+      in
+      match ts with
+      | [] -> None
+      | _ :: _ ->
+        let n = List.length ts in
+        let mem =
+          List.sort compare
+            (List.map
+               (fun (t : Faults.Journal.taint_view) -> t.tv_mem_words)
+               ts)
+        in
+        let tainted_out =
+          List.length
+            (List.filter
+               (fun (t : Faults.Journal.taint_view) -> t.tv_output_tainted)
+               ts)
+        in
+        Some
+          [ name; string_of_int n;
+            Printf.sprintf "%.1f"
+              (mean_of
+                 (List.map
+                    (fun (t : Faults.Journal.taint_view) -> t.tv_reg_hwm)
+                    ts));
+            string_of_int (nth_pct mem 50);
+            string_of_int (nth_pct mem 95);
+            Report.pct
+              (100.0 *. float_of_int tainted_out /. float_of_int n) ])
+    Classify.all
+
+(** Why the Masked trials were masked: did the taint die (overwritten /
+    scrubbed before it could matter), linger in memory the output never
+    read, or even reach the output with a value that happened to match?
+    The tracer is a conservative over-approximation, so the last bucket is
+    exactly the "tainted but value-identical" luck the paper's soft-
+    computation argument predicts. *)
+let journal_masked_attribution_rows taints =
+  let masked =
+    List.filter_map
+      (fun ((v : Faults.Journal.view), t) ->
+        if v.v_outcome = "Masked" then Some t else None)
+      taints
+  in
+  match masked with
+  | [] -> []
+  | _ :: _ ->
+    let died =
+      List.filter_map
+        (fun (t : Faults.Journal.taint_view) -> t.tv_died_at)
+        masked
+    in
+    let latent =
+      List.filter
+        (fun (t : Faults.Journal.taint_view) ->
+          t.tv_died_at = None && not t.tv_output_tainted)
+        masked
+    in
+    let lucky =
+      List.filter
+        (fun (t : Faults.Journal.taint_view) -> t.tv_output_tainted)
+        masked
+    in
+    let died_sorted = List.sort compare died in
+    [ [ "masked trials (traced)"; string_of_int (List.length masked) ];
+      [ "taint died before the end"; string_of_int (List.length died) ];
+      [ "mean death distance"; Printf.sprintf "%.0f" (mean_of died) ];
+      [ "p95 death distance"; string_of_int (nth_pct died_sorted 95) ];
+      [ "latent (alive, output untouched)";
+        string_of_int (List.length latent) ];
+      [ "output tainted, value identical"; string_of_int (List.length lucky) ]
+    ]
+
+let print_journal_propagation taints =
+  Report.print
+    ~title:
+      "Propagation: latency vs. breadth (log2 buckets of distance to \
+       detection-or-end)"
+    ~header:
+      [ "distance bucket"; "trials"; "mean reg hwm"; "mean mem words";
+        "output tainted" ]
+    ~rows:(journal_propagation_rows taints);
+  Report.print ~title:"Propagation breadth by outcome"
+    ~header:
+      [ "outcome"; "trials"; "mean reg hwm"; "p50 mem"; "p95 mem";
+        "output tainted" ]
+    ~rows:(journal_outcome_breadth_rows taints);
+  match journal_masked_attribution_rows taints with
+  | [] -> ()
+  | rows ->
+    Report.print ~title:"Masked-fault attribution (why the fault vanished)"
+      ~header:[ "statistic"; "value" ] ~rows
+
+(* ----- Single-trial propagation rendering (the trace-fault subcommand;
+   the taint analogue of Interp.Trace.render) ----- *)
+
+(** Render one traced trial's propagation events against the static
+    program: one line per retained event with its distance from the
+    injection and the instruction it flowed through. *)
+let render_taint_events prog (s : Interp.Taint.summary) =
+  let instr_text = Hashtbl.create 256 in
+  Ir.Prog.iter_funcs
+    (fun f ->
+      Ir.Func.iter_instrs
+        (fun ins ->
+          Hashtbl.replace instr_text ins.Ir.Instr.uid
+            (String.trim (Format.asprintf "%a" Ir.Printer.pp_instr ins)))
+        f)
+    prog;
+  List.map
+    (fun (e : Interp.Taint.event) ->
+      let site =
+        if e.ev_uid >= 0 then
+          match Hashtbl.find_opt instr_text e.ev_uid with
+          | Some t -> t
+          | None -> Printf.sprintf "#%d" e.ev_uid
+        else if e.ev_addr >= 0 then Printf.sprintf "mem[%d]" e.ev_addr
+        else ""
+      in
+      Printf.sprintf "%+6d  %-7s %s"
+        (e.ev_step - s.ts_inj_step)
+        (Interp.Taint.kind_name e.ev_kind)
+        site)
+    s.ts_events
+
 let print_journal_report ~manifest (views : Faults.Journal.view list) =
   let m = manifest in
   let str name =
@@ -954,11 +1153,14 @@ let print_journal_report ~manifest (views : Faults.Journal.view list) =
     ~header:
       [ "check uid"; "kind"; "fires"; "share"; "mean lat"; "p50"; "p95" ]
     ~rows:(journal_check_rows views);
-  match journal_recovery_rows views with
-  | [] -> ()
-  | rows ->
-    Report.print ~title:"Checkpoint/rollback recovery (journal v2)"
-      ~header:[ "statistic"; "value" ] ~rows
+  (match journal_recovery_rows views with
+   | [] -> ()
+   | rows ->
+     Report.print ~title:"Checkpoint/rollback recovery (journal v2)"
+       ~header:[ "statistic"; "value" ] ~rows);
+  match journal_taints views with
+  | [] -> ()   (* v1/v2 journal or untraced campaign: no section *)
+  | taints -> print_journal_propagation taints
 
 (* ----- Execution-profile report (Interp.Profile) ----- *)
 

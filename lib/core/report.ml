@@ -46,3 +46,24 @@ let print ~title ~header ~rows =
 let pct v = Printf.sprintf "%.1f%%" v
 let pct2 v = Printf.sprintf "%.2f%%" v
 let frac_pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+
+(** RFC 4180 CSV field: quoted only when it contains a comma, quote or
+    line break, with inner quotes doubled — plain numbers pass through
+    unchanged, so well-formed existing exports keep their exact bytes. *)
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  then begin
+    let buf = Buffer.create (String.length s + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+(** One CSV line (no trailing newline) from already-stringified cells. *)
+let csv_row cells = String.concat "," (List.map csv_field cells)

@@ -84,6 +84,9 @@ type trial = {
   recovery : Interp.Machine.recovery option;
       (** the checkpoint rollback the trial performed, if any *)
   checkpoints : int;   (** checkpoints the trial's run took *)
+  taint : Interp.Taint.summary option;
+      (** fault-propagation summary, when the campaign ran with
+          [taint_trace] — [None] otherwise *)
 }
 
 (* Bit-exact trial comparison for the parallel-determinism contract.
@@ -111,6 +114,9 @@ let trial_equal a b =
      equality is exact. *)
   && a.recovery = b.recovery
   && a.checkpoints = b.checkpoints
+  (* [taint] summaries hold ints, bools, int options and event records —
+     no floats — so structural equality is exact here too. *)
+  && a.taint = b.taint
 
 let trials_equal a b =
   List.length a = List.length b && List.for_all2 trial_equal a b
@@ -141,8 +147,8 @@ let percent_many summary outcomes =
     subject program once and share it across all trials (and domains); when
     omitted it is looked up in the per-program compile cache. *)
 let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled ?profile
-    ?(checkpoint_interval = 0) subject ~(golden : golden) ~disabled
-    ~hw_window ~seed =
+    ?(checkpoint_interval = 0) ?(taint_trace = false) subject
+    ~(golden : golden) ~disabled ~hw_window ~seed =
   let compiled =
     match compiled with
     | Some c -> c
@@ -162,7 +168,7 @@ let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled ?profile
         Some { Interp.Machine.at_step; fault_rng = Rng.split rng;
                kind = fault_kind };
       disabled_checks = disabled;
-      profile; checkpoint_interval }
+      profile; checkpoint_interval; taint_trace }
   in
   let result =
     Interp.Machine.run_compiled ~config compiled ~entry:subject.entry
@@ -208,7 +214,7 @@ let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled ?profile
   { trial_seed = seed; at_step; outcome; injection = result.injection;
     detected_by; detect_latency; steps = result.steps;
     cycles = result.cycles; recovery = result.recovered;
-    checkpoints = result.checkpoints }
+    checkpoints = result.checkpoints; taint = result.taint }
 
 (** All trial seeds, derived from the master RNG *before* any trial runs.
     This is the campaign determinism contract: seed assignment depends only
@@ -249,10 +255,21 @@ type run_stats = {
     - [on_trial] receives [(index, trial)] for every trial, in
       deterministic seed order, after the parallel phase — the journal
       emission point;
-    - [stats_out] receives the campaign's {!run_stats}. *)
+    - [stats_out] receives the campaign's {!run_stats};
+    - [progress] receives every trial's outcome as it completes, from
+      whichever worker domain ran it ({!Progress} is thread-safe) — the
+      live-telemetry heartbeat; its final snapshot fires before [run]
+      returns.
+
+    [taint_trace] runs every trial with the fault-propagation tracer
+    attached ({!Interp.Taint}); outcomes, step and cycle counts are
+    bit-identical to an untraced campaign, each trial just additionally
+    carries its propagation summary.  The golden run stays untraced —
+    without an injection there is nothing to seed. *)
 let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
     ?(fault_kind = Interp.Machine.Register_bit) ?(domains = 1)
-    ?(checkpoint_interval = 0) ?profile ?on_trial ?stats_out subject ~trials =
+    ?(checkpoint_interval = 0) ?(taint_trace = false) ?profile ?on_trial
+    ?stats_out ?progress subject ~trials =
   let t_start = Unix.gettimeofday () in
   (* The golden also runs with checkpointing so its cycle count carries the
      fault-free overhead of the recovery configuration; its output and step
@@ -279,11 +296,19 @@ let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
           if Array.length trial_profiles = 0 then None
           else Some trial_profiles.(i)
         in
-        run_trial ~fault_kind ~compiled ?profile ~checkpoint_interval subject
-          ~golden ~disabled ~hw_window ~seed:seeds.(i))
+        let t =
+          run_trial ~fault_kind ~compiled ?profile ~checkpoint_interval
+            ~taint_trace subject ~golden ~disabled ~hw_window
+            ~seed:seeds.(i)
+        in
+        (match progress with
+         | Some pg -> Progress.note pg t.outcome
+         | None -> ());
+        t)
       trials
     |> Array.to_list
   in
+  (match progress with Some pg -> Progress.finish pg | None -> ());
   let t_end = Unix.gettimeofday () in
   (match profile with
    | Some dst ->

@@ -62,6 +62,9 @@ type trial = {
   recovery : Interp.Machine.recovery option;
       (** the checkpoint rollback the trial performed, if any *)
   checkpoints : int;   (** checkpoints the trial's run took *)
+  taint : Interp.Taint.summary option;
+      (** fault-propagation summary, when the campaign ran with
+          [taint_trace] — [None] otherwise *)
 }
 
 (** Bit-exact trial (list) equality, the parallel-determinism contract's
@@ -94,6 +97,7 @@ val run_trial :
   ?compiled:Interp.Compiled.t ->
   ?profile:Interp.Profile.t ->
   ?checkpoint_interval:int ->
+  ?taint_trace:bool ->
   subject ->
   golden:golden ->
   disabled:(int, unit) Hashtbl.t ->
@@ -131,16 +135,25 @@ type run_stats = {
     profile (merged in trial order); [on_trial] is called with
     [(index, trial)] for each trial in deterministic seed order after the
     parallel phase — the journal emission point; [stats_out] receives the
-    campaign's {!run_stats}. *)
+    campaign's {!run_stats}; [progress] receives every trial's outcome as
+    it completes, from whichever worker domain ran it (the {!Progress}
+    heartbeat — its final snapshot fires before [run] returns).
+
+    [taint_trace] (default false) attaches the fault-propagation tracer
+    ({!Interp.Taint}) to every trial: outcomes, step and cycle counts stay
+    bit-identical, each trial just additionally carries [Some] propagation
+    summary.  The golden run stays untraced. *)
 val run :
   ?hw_window:int ->
   ?seed:int ->
   ?fault_kind:Interp.Machine.fault_kind ->
   ?domains:int ->
   ?checkpoint_interval:int ->
+  ?taint_trace:bool ->
   ?profile:Interp.Profile.t ->
   ?on_trial:(int -> trial -> unit) ->
   ?stats_out:run_stats option ref ->
+  ?progress:Progress.t ->
   subject ->
   trials:int ->
   summary * trial list

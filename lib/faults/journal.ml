@@ -3,10 +3,14 @@
 open Obs
 
 (* v2 adds the recovery configuration to the manifest
-   ([checkpoint_interval]) and per-trial recovery events; v1 journals are
-   still loadable — every v2 addition is an optional field. *)
+   ([checkpoint_interval]) and per-trial recovery events; v3 adds the
+   fault-propagation summary ([taint]) per trial.  Every addition is an
+   optional field, so v1 and v2 journals are still loadable — and v3 is
+   emitted only when tracing was actually on, keeping untraced journals
+   byte-identical to their v2 form. *)
 let schema = "softft.journal.v2"
 let schema_v1 = "softft.journal.v1"
+let schema_v3 = "softft.journal.v3"
 
 let git_describe () =
   try
@@ -57,6 +61,32 @@ let recovery_json (r : Interp.Machine.recovery) =
       ("wasted_cycles", Json.Int r.rec_wasted_cycles);
       ("rollback_cycles", Json.Int r.rec_rollback_cycles) ]
 
+(* Propagation events go to the wire as generic {!Obs.Trace} spans, so
+   readers aggregate them without knowing the tracer's event vocabulary. *)
+let span_of_event (e : Interp.Taint.event) =
+  Trace.span ~step:e.ev_step
+    (Interp.Taint.kind_name e.ev_kind)
+    ~attrs:
+      ((if e.ev_uid >= 0 then [ ("uid", Json.Int e.ev_uid) ] else [])
+       @ (if e.ev_addr >= 0 then [ ("addr", Json.Int e.ev_addr) ] else []))
+
+let taint_json (s : Interp.Taint.summary) =
+  Json.Obj
+    ([ ("seeded", Json.Bool s.ts_seeded);
+       ("inj_step", Json.Int s.ts_inj_step);
+       ("reg_hwm", Json.Int s.ts_reg_hwm);
+       ("mem_words", Json.Int s.ts_mem_words) ]
+     @ opt_field "first_store" (fun d -> Json.Int d) s.ts_first_store
+     @ opt_field "first_branch" (fun d -> Json.Int d) s.ts_first_branch
+     @ opt_field "died_at" (fun d -> Json.Int d) s.ts_died_at
+     @ opt_field "end_distance" (fun d -> Json.Int d) s.ts_end_distance
+     @ [ ("output_tainted", Json.Bool s.ts_output_tainted);
+         ("events_total", Json.Int s.ts_events_total);
+         ("spans",
+          Json.List
+            (List.map (fun e -> Trace.to_json (span_of_event e)) s.ts_events))
+       ])
+
 let trial_record ~index (t : Campaign.trial) =
   Json.Obj
     ([ ("type", Json.Str "trial");
@@ -77,7 +107,10 @@ let trial_record ~index (t : Campaign.trial) =
         recovery-free v2 trial line is byte-identical to its v1 form. *)
      @ (if t.checkpoints > 0 then [ ("checkpoints", Json.Int t.checkpoints) ]
         else [])
-     @ opt_field "recovery" recovery_json t.recovery)
+     @ opt_field "recovery" recovery_json t.recovery
+     (* v3 propagation telemetry; absent without [taint_trace], so an
+        untraced v3-era trial line is byte-identical to its v2 form. *)
+     @ opt_field "taint" taint_json t.taint)
 
 let pool_stats_json (ps : Pool.stats) =
   Json.Obj
@@ -96,13 +129,15 @@ let stats_json (rs : Campaign.run_stats) =
        ("wall_sec", Json.Float rs.wall_sec) ]
      @ opt_field "pool" pool_stats_json rs.pool)
 
-let manifest_record ?git ?technique ?stats ?(checkpoint_interval = 0) ~label
-    ~trials ~seed ~domains ~hw_window ~fault_kind ~(golden : Campaign.golden)
-    () =
+let manifest_record ?git ?technique ?stats ?(checkpoint_interval = 0)
+    ?(taint_trace = false) ~label ~trials ~seed ~domains ~hw_window
+    ~fault_kind ~(golden : Campaign.golden) () =
   let git = match git with Some g -> g | None -> git_describe () in
   Json.Obj
     ([ ("type", Json.Str "manifest");
-       ("schema", Json.Str schema);
+       (* The schema only advances to v3 when the campaign actually traced:
+          an untraced manifest stays byte-identical to its v2 form. *)
+       ("schema", Json.Str (if taint_trace then schema_v3 else schema));
        ("git", Json.Str git);
        ("label", Json.Str label);
        ("trials", Json.Int trials);
@@ -111,6 +146,7 @@ let manifest_record ?git ?technique ?stats ?(checkpoint_interval = 0) ~label
        ("hw_window", Json.Int hw_window);
        ("fault_kind", Json.Str fault_kind);
        ("checkpoint_interval", Json.Int checkpoint_interval) ]
+     @ (if taint_trace then [ ("taint_trace", Json.Bool true) ] else [])
      @ opt_field "technique" (fun t -> Json.Str t) technique
      @ [ ("golden",
           Json.Obj
@@ -147,6 +183,20 @@ type recovery_view = {
   rv_rollback_cycles : int;
 }
 
+(** Propagation telemetry read back from a v3 trial record. *)
+type taint_view = {
+  tv_seeded : bool;
+  tv_reg_hwm : int;
+  tv_mem_words : int;
+  tv_first_store : int option;
+  tv_first_branch : int option;
+  tv_died_at : int option;
+  tv_end_distance : int option;
+  tv_output_tainted : bool;
+  tv_events_total : int;
+  tv_spans : Trace.span list;
+}
+
 type view = {
   v_index : int;
   v_seed : int;
@@ -159,6 +209,7 @@ type view = {
   v_cycles : int;
   v_checkpoints : int;
   v_recovery : recovery_view option;
+  v_taint : taint_view option;
 }
 
 exception Malformed of string
@@ -178,6 +229,24 @@ let recovery_view_of_json ~line j =
     rv_wasted_cycles = need_int "wasted_cycles";
     rv_rollback_cycles = need_int "rollback_cycles" }
 
+let taint_view_of_json ~line j =
+  let int_field name = Option.bind (Json.member name j) Json.to_int in
+  let bool_field name = Option.bind (Json.member name j) Json.to_bool in
+  { tv_seeded = require line "seeded" (bool_field "seeded");
+    tv_reg_hwm = require line "reg_hwm" (int_field "reg_hwm");
+    tv_mem_words = require line "mem_words" (int_field "mem_words");
+    tv_first_store = int_field "first_store";
+    tv_first_branch = int_field "first_branch";
+    tv_died_at = int_field "died_at";
+    tv_end_distance = int_field "end_distance";
+    tv_output_tainted =
+      require line "output_tainted" (bool_field "output_tainted");
+    tv_events_total = Option.value ~default:0 (int_field "events_total");
+    tv_spans =
+      (match Json.member "spans" j with
+       | Some (Json.List items) -> List.filter_map Trace.of_json items
+       | Some _ | None -> []) }
+
 let view_of_json ~line j =
   let int_field name = Option.bind (Json.member name j) Json.to_int in
   let need_int name = require line name (int_field name) in
@@ -195,15 +264,21 @@ let view_of_json ~line j =
     (* v2 fields, absent from v1 journals and recovery-free trials. *)
     v_checkpoints = Option.value ~default:0 (int_field "checkpoints");
     v_recovery =
-      Option.map (recovery_view_of_json ~line) (Json.member "recovery" j) }
+      Option.map (recovery_view_of_json ~line) (Json.member "recovery" j);
+    (* v3 field, absent from v1/v2 journals and untraced campaigns. *)
+    v_taint =
+      Option.map (taint_view_of_json ~line) (Json.member "taint" j) }
 
-let load path =
+(* Streaming reader: one line is parsed, folded, and dropped before the
+   next is read, so a multi-gigabyte journal aggregates in constant memory
+   — span-heavy v3 journals made the load-everything approach untenable. *)
+let fold path ~init ~f =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let manifest = ref None in
-      let views = ref [] in
+      let acc = ref init in
       let line_no = ref 0 in
       (try
          while true do
@@ -220,7 +295,7 @@ let load path =
              | Some "manifest" ->
                if !manifest = None then manifest := Some j
              | Some "trial" ->
-               views := view_of_json ~line:!line_no j :: !views
+               acc := f !acc (view_of_json ~line:!line_no j)
              | Some _ | None -> ()  (* forward compatibility: skip *)
            end
          done
@@ -230,4 +305,8 @@ let load path =
         (* An empty or manifest-less file is a broken journal, not an empty
            campaign: surface it instead of aggregating nothing. *)
         raise (Malformed (Printf.sprintf "no manifest in %s" path))
-      | Some m -> (m, List.rev !views))
+      | Some m -> (m, !acc))
+
+let load path =
+  let manifest, rev = fold path ~init:[] ~f:(fun acc v -> v :: acc) in
+  (manifest, List.rev rev)

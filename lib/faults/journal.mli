@@ -14,19 +14,31 @@
 
 (** Journal schema identifier, bumped on layout changes.  v2 added the
     recovery configuration to the manifest ([checkpoint_interval]) and
-    optional per-trial recovery telemetry; v1 journals remain loadable. *)
+    optional per-trial recovery telemetry; v1 journals remain loadable.
+    This is the identifier of an *untraced* journal — campaigns run with
+    [taint_trace] stamp {!schema_v3} instead. *)
 val schema : string
 
 (** The previous schema identifier, still accepted by {!load}. *)
 val schema_v1 : string
+
+(** Schema identifier of a propagation-traced journal (per-trial [taint]
+    summaries with {!Obs.Trace} spans); stamped only when the campaign
+    actually traced, so untraced journals stay byte-identical to v2. *)
+val schema_v3 : string
 
 (** [git describe --always --dirty] of the working tree, or ["unknown"]
     outside a git checkout — pins a journal to the code that wrote it. *)
 val git_describe : unit -> string
 
 (** JSON form of one trial: index, seed, injection site/details, outcome,
-    detecting check (uid + kind), detection latency, steps, cycles. *)
+    detecting check (uid + kind), detection latency, steps, cycles, and —
+    for traced campaigns — the propagation summary under ["taint"]. *)
 val trial_record : index:int -> Campaign.trial -> Obs.Json.t
+
+(** JSON form of a propagation summary: scalar fields plus the retained
+    events as {!Obs.Trace} spans under ["spans"]. *)
+val taint_json : Interp.Taint.summary -> Obs.Json.t
 
 (** JSON form of {!Campaign.run_stats} (phase wall times plus the
     per-domain pool breakdown) — also used by the bench harness's
@@ -36,12 +48,15 @@ val stats_json : Campaign.run_stats -> Obs.Json.t
 (** The campaign manifest.  [fault_kind] and [technique] are free-form
     labels; [stats] adds wall/per-domain timings when available;
     [checkpoint_interval] (default 0: recovery off) records the campaign's
-    recovery configuration. *)
+    recovery configuration; [taint_trace] (default false) stamps the
+    manifest {!schema_v3} and records that trials carry propagation
+    summaries. *)
 val manifest_record :
   ?git:string ->
   ?technique:string ->
   ?stats:Campaign.run_stats ->
   ?checkpoint_interval:int ->
+  ?taint_trace:bool ->
   label:string ->
   trials:int ->
   seed:int ->
@@ -66,6 +81,22 @@ type recovery_view = {
   rv_rollback_cycles : int;
 }
 
+(** Propagation telemetry read back from a v3 trial record.  Distances
+    ([tv_first_store], [tv_first_branch], [tv_died_at], [tv_end_distance])
+    are dynamic instructions from the injection. *)
+type taint_view = {
+  tv_seeded : bool;
+  tv_reg_hwm : int;
+  tv_mem_words : int;
+  tv_first_store : int option;
+  tv_first_branch : int option;
+  tv_died_at : int option;
+  tv_end_distance : int option;
+  tv_output_tainted : bool;
+  tv_events_total : int;
+  tv_spans : Obs.Trace.span list;  (** first retained propagation events *)
+}
+
 (** A trial record read back from a journal — the aggregation view the
     [report] subcommand consumes, decoupled from the in-memory types so
     reports work across code versions. *)
@@ -81,13 +112,21 @@ type view = {
   v_cycles : int;
   v_checkpoints : int;           (** 0 for v1 journals / recovery off *)
   v_recovery : recovery_view option;  (** the trial's rollback, if any *)
+  v_taint : taint_view option;   (** propagation summary, v3 traced only *)
 }
 
 exception Malformed of string
 
-(** Parse a journal file into its manifest and trial views.  Raises
-    {!Malformed} on unparseable lines, missing required trial fields, or a
-    file with no manifest record ("no manifest in <path>" — an empty file
-    is a broken journal, not an empty campaign); unknown record types are
-    ignored (forward compatibility), and both v1 and v2 schemas load. *)
+(** Stream a journal: fold [f] over every trial view in file order,
+    returning the manifest and the final accumulator.  One line is parsed
+    and dropped before the next is read, so arbitrarily large journals
+    aggregate in constant memory.  Raises {!Malformed} on unparseable
+    lines, missing required trial fields, or a file with no manifest
+    record ("no manifest in <path>" — an empty file is a broken journal,
+    not an empty campaign); unknown record types are ignored (forward
+    compatibility), and v1, v2 and v3 schemas all load. *)
+val fold : string -> init:'a -> f:('a -> view -> 'a) -> Obs.Json.t * 'a
+
+(** Parse a whole journal into its manifest and trial views — a thin
+    wrapper over {!fold}; same errors and compatibility. *)
 val load : string -> Obs.Json.t * view list

@@ -33,7 +33,16 @@ let put_stats out stats = match out with None -> () | Some r -> r := Some stats
     a plain in-order serial loop with no domain spawned.  [stats] receives
     the per-worker timing/work record — observation only, the output array
     never depends on it. *)
-let map ?chunk ?stats ~domains f n =
+let map ?chunk ?stats ?progress ~domains f n =
+  (* Global completed-trial counter behind [?progress]; shared across
+     workers so the hook sees one monotone 1..n sequence regardless of how
+     chunks interleave. *)
+  let completed = Atomic.make 0 in
+  let notify () =
+    match progress with
+    | None -> ()
+    | Some p -> p (Atomic.fetch_and_add completed 1 + 1)
+  in
   if n = 0 then begin
     put_stats stats
       { st_domains = 0; st_chunk = 0; st_wall = [||]; st_items = [||] };
@@ -45,8 +54,10 @@ let map ?chunk ?stats ~domains f n =
       let t0 = Unix.gettimeofday () in
       let first = f 0 in
       let out = Array.make n first in
+      notify ();
       for i = 1 to n - 1 do
-        out.(i) <- f i
+        out.(i) <- f i;
+        notify ()
       done;
       put_stats stats
         { st_domains = 1; st_chunk = n;
@@ -89,7 +100,8 @@ let map ?chunk ?stats ~domains f n =
                   else
                     for i = start to min (start + chunk) n - 1 do
                       out.(i) <- Some (f i);
-                      done_ := !done_ + 1
+                      done_ := !done_ + 1;
+                      notify ()
                     done
                 end
               done

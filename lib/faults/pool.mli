@@ -31,10 +31,14 @@ type stats = {
     silently drains the remaining index space.  When [stats] is given it
     receives the run's {!stats}
     (also on the degenerate serial path); timing is observation-only and
-    does not affect the output. *)
+    does not affect the output.  [progress] is called once per completed
+    index with the global completed count (a monotone [1..n] sequence); it
+    runs on whichever worker domain finished the index, so it must be
+    thread-safe, and — like [stats] — never affects the output. *)
 val map :
   ?chunk:int ->
   ?stats:stats option ref ->
+  ?progress:(int -> unit) ->
   domains:int ->
   (int -> 'a) ->
   int ->

@@ -1,0 +1,143 @@
+(** Live campaign telemetry: a heartbeat for long fault campaigns.
+
+    A {!t} counts completed trials and their outcomes from any worker
+    domain (atomics only on the hot path) and periodically emits a
+    {!snapshot} to its sinks — a human heartbeat line on stderr, a JSONL
+    progress stream, or a custom sink.  Strictly observation-only: campaign
+    results are bit-identical with or without a progress instance attached
+    (the determinism contract of {!Campaign.run}); only the *emission
+    moments* depend on wall-clock timing, never the counts' final value. *)
+
+open Obs
+
+(** One point-in-time progress report. *)
+type snapshot = {
+  pg_done : int;
+  pg_total : int;
+  pg_counts : (Classify.outcome * int) list;  (** running outcome counts,
+                                                  in {!Classify.all} order *)
+  pg_elapsed : float;     (** seconds since the instance was created *)
+  pg_rate : float;        (** trials per second so far *)
+  pg_eta : float;         (** estimated seconds to completion; 0 when done
+                              or no rate is measurable yet *)
+  pg_final : bool;        (** emitted by {!finish} *)
+}
+
+type sink = snapshot -> unit
+
+type t = {
+  total : int;
+  t0 : float;
+  interval : float;
+  counts : int Atomic.t array;   (** indexed in {!Classify.all} order *)
+  completed : int Atomic.t;
+  sinks : sink list;
+  lock : Mutex.t;                (** serializes sink emission *)
+  mutable last_emit : float;
+}
+
+let outcome_index =
+  let tbl = Hashtbl.create 16 in
+  List.iteri (fun i o -> Hashtbl.replace tbl o i) Classify.all;
+  fun o -> try Hashtbl.find tbl o with Not_found -> 0
+
+let create ?(interval = 0.5) ?(sinks = []) ~total () =
+  { total = max 0 total;
+    t0 = Unix.gettimeofday ();
+    interval = max 0.0 interval;
+    counts = Array.init (List.length Classify.all) (fun _ -> Atomic.make 0);
+    completed = Atomic.make 0;
+    sinks;
+    lock = Mutex.create ();
+    last_emit = 0.0 }
+
+let snapshot ?(final = false) t =
+  let done_ = Atomic.get t.completed in
+  let elapsed = Unix.gettimeofday () -. t.t0 in
+  let rate = if elapsed > 0.0 then float_of_int done_ /. elapsed else 0.0 in
+  let eta =
+    if rate > 0.0 && done_ < t.total then
+      float_of_int (t.total - done_) /. rate
+    else 0.0
+  in
+  { pg_done = done_;
+    pg_total = t.total;
+    pg_counts =
+      List.mapi (fun i o -> (o, Atomic.get t.counts.(i))) Classify.all;
+    pg_elapsed = elapsed;
+    pg_rate = rate;
+    pg_eta = eta;
+    pg_final = final }
+
+let emit t snap = List.iter (fun sink -> sink snap) t.sinks
+
+(** Record one completed trial.  Safe to call from any domain; the sinks
+    fire at most once per [interval] (whichever worker happens to cross the
+    deadline emits — the others skip with a failed try-lock instead of
+    queueing). *)
+let note t outcome =
+  Atomic.incr t.counts.(outcome_index outcome);
+  ignore (Atomic.fetch_and_add t.completed 1);
+  if t.sinks <> [] && Mutex.try_lock t.lock then
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        let now = Unix.gettimeofday () in
+        if now -. t.last_emit >= t.interval then begin
+          t.last_emit <- now;
+          emit t (snapshot t)
+        end)
+
+(** Emit the final snapshot unconditionally (blocking on the lock, so it
+    never loses the race against a concurrent heartbeat). *)
+let finish t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      t.last_emit <- Unix.gettimeofday ();
+      emit t (snapshot ~final:true t))
+
+let nonzero_counts snap = List.filter (fun (_, n) -> n > 0) snap.pg_counts
+
+let stderr_sink () : sink =
+ fun snap ->
+  let counts =
+    nonzero_counts snap
+    |> List.map (fun (o, n) -> Printf.sprintf "%s:%d" (Classify.name o) n)
+    |> String.concat " "
+  in
+  if snap.pg_final then
+    Printf.eprintf "[campaign] %d/%d done in %.1fs  %.1f trials/s  %s\n%!"
+      snap.pg_done snap.pg_total snap.pg_elapsed snap.pg_rate counts
+  else
+    Printf.eprintf
+      "[campaign] %d/%d (%.1f%%)  %.1f trials/s  ETA %.1fs  %s\n%!"
+      snap.pg_done snap.pg_total
+      (if snap.pg_total > 0 then
+         100.0 *. float_of_int snap.pg_done /. float_of_int snap.pg_total
+       else 0.0)
+      snap.pg_rate snap.pg_eta counts
+
+let snapshot_json snap =
+  Json.Obj
+    [ ("type", Json.Str "progress");
+      ("done", Json.Int snap.pg_done);
+      ("total", Json.Int snap.pg_total);
+      ("elapsed_sec", Json.Float snap.pg_elapsed);
+      ("trials_per_sec", Json.Float snap.pg_rate);
+      ("eta_sec", Json.Float snap.pg_eta);
+      ("final", Json.Bool snap.pg_final);
+      ("counts",
+       Json.Obj
+         (List.map
+            (fun (o, n) -> (Classify.name o, Json.Int n))
+            (nonzero_counts snap))) ]
+
+(* Sinks are already serialized by the instance lock, so the channel needs
+   no mutex of its own. *)
+let jsonl_sink oc : sink =
+ fun snap ->
+  output_string oc (Json.to_string (snapshot_json snap));
+  output_char oc '\n';
+  flush oc

@@ -53,7 +53,7 @@ type cinstr =
   | CSelect of { uid : int; dest : int; c : code; a : code; b : code }
   | CConst of { dest : int; v : Value.t }
   | CLoad of { uid : int; dest : int; a : code }
-  | CStore of { a : code; v : code }
+  | CStore of { uid : int; a : code; v : code }
   | CAlloc of { dest : int; n : code }
   | CCall of { name : string; callee : int;  (** -1: not in the program *)
                args : Instr.operand list; dest : Instr.reg option }
@@ -137,7 +137,7 @@ let compile_instr ~func_index ~pool (ins : Instr.t) =
     CSelect { uid = ins.uid; dest; c = imm c; a = imm a; b = imm b }
   | Instr.Const v -> CConst { dest; v }
   | Instr.Load a -> CLoad { uid = ins.uid; dest; a = imm a }
-  | Instr.Store (a, v) -> CStore { a = imm a; v = imm v }
+  | Instr.Store (a, v) -> CStore { uid = ins.uid; a = imm a; v = imm v }
   | Instr.Alloc n -> CAlloc { dest; n = imm n }
   | Instr.Call (name, args) ->
     CCall { name;

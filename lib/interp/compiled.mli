@@ -44,7 +44,7 @@ type cinstr =
   | CSelect of { uid : int; dest : int; c : code; a : code; b : code }
   | CConst of { dest : int; v : Ir.Value.t }
   | CLoad of { uid : int; dest : int; a : code }
-  | CStore of { a : code; v : code }
+  | CStore of { uid : int; a : code; v : code }
   | CAlloc of { dest : int; n : code }
   | CCall of { name : string; callee : int;  (** -1: not in the program *)
                args : Ir.Instr.operand list; dest : Ir.Instr.reg option }

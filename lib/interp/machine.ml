@@ -77,6 +77,8 @@ type result = {
                                       fault (detection latency exceeded the
                                       checkpoint window) *)
   checkpoints : int;              (** checkpoints taken during the run *)
+  taint : Taint.summary option;   (** propagation summary; [Some] iff the
+                                      run was configured with [taint_trace] *)
 }
 
 type valchk_mode =
@@ -112,12 +114,17 @@ type config = {
       (** take a rollback checkpoint every this many dynamic instructions
           (and once at step 0); 0 disables recovery — the default, and the
           paper's baseline configuration *)
+  taint_trace : bool;
+      (** carry shadow taint state ({!Taint}) seeded at the injection site
+          and propagated through every value-producing instruction, load
+          and store; observation-only — execution, costs and outcomes are
+          bit-identical with tracing on or off (DESIGN.md §10) *)
 }
 
 let default_config =
   { fuel = 200_000_000; mode = Detect; on_def = None; fault = None;
     disabled_checks = Hashtbl.create 1; profile = None;
-    checkpoint_interval = 0 }
+    checkpoint_interval = 0; taint_trace = false }
 
 (* Internal signalling exceptions. *)
 exception Stop_detected of detection
@@ -137,6 +144,8 @@ type frame = {
   mutable prev_block : int;       (** index of the block we came from;
                                       -1 on function entry *)
   ret_dest : Instr.reg option;    (** caller register receiving the result *)
+  taint : Taint.regs;             (** shadow register taint; the shared
+                                      {!Taint.no_regs} when tracing is off *)
 }
 
 type state = {
@@ -144,6 +153,8 @@ type state = {
   imms : Value.t array;             (** the compiled immediate pool *)
   on_def : (int -> Value.t -> unit) option;  (** hoisted from [config] *)
   profile : Profile.t option;       (** hoisted from [config] *)
+  trace : Taint.t option;           (** taint tracer; [Some] iff
+                                        [config.taint_trace] *)
   mem : Memory.t;
   config : config;
   mutable stack : frame list;
@@ -233,7 +244,11 @@ let new_frame (st : state) (cfunc : Compiled.cfunc) ~args ~ret_dest =
     { cfunc; values; defined;
       recent = Array.make arch_registers 0; recent_n = 0; recent_pos = 0;
       cblock = cfunc.cf_blocks.(cfunc.cf_entry); idx = 0;
-      prev_block = -1; ret_dest }
+      prev_block = -1; ret_dest;
+      taint =
+        (match st.trace with
+         | Some _ -> Taint.fresh_regs st.compiled.Compiled.next_reg
+         | None -> Taint.no_regs) }
   in
   (try List.iter2 (fun r v -> write fr r v) cfunc.cf_params args
    with Invalid_argument _ ->
@@ -266,7 +281,10 @@ let inject_fault st (plan : fault_plan) =
          fr.values.(reg) <- after;
          st.injection <-
            Some { inj_step = st.steps; inj_kind = Register_bit; inj_reg = reg;
-                  inj_bit = bit; before; after }
+                  inj_bit = bit; before; after };
+         (match st.trace with
+          | Some tr -> Taint.seed tr fr.taint ~reg ~step:st.steps
+          | None -> ())
        end)
 
 let tick st ~cycles =
@@ -309,6 +327,31 @@ let run_phis st (fr : frame) =
     for i = 0 to n - 1 do
       if st.phi_set.(i) then write fr phis.(i).Compiled.cp_dest st.phi_vals.(i)
     done;
+    (* Shadow taint follows the same parallel-copy discipline: all source
+       taints are read before any destination bit changes, so a phi whose
+       source is another phi's destination sees the pre-batch state. *)
+    (match st.trace with
+     | Some tr ->
+       let taints = Array.make (max n 1) false in
+       for i = 0 to n - 1 do
+         if st.phi_set.(i) then begin
+           let phi = phis.(i) in
+           let preds = phi.Compiled.cp_preds in
+           let m = Array.length preds in
+           let j = ref 0 in
+           while !j < m && preds.(!j) <> pred do incr j done;
+           taints.(i) <-
+             (match phi.Compiled.cp_ops.(!j) with
+              | Instr.Imm _ -> false
+              | Instr.Reg r -> Taint.reg_tainted fr.taint r)
+         end
+       done;
+       for i = 0 to n - 1 do
+         if st.phi_set.(i) then
+           Taint.set_reg tr fr.taint phis.(i).Compiled.cp_dest taints.(i)
+             ~step:st.steps
+       done
+     | None -> ());
     for _ = 1 to n do tick st ~cycles:Cost.phi done
   end
 
@@ -323,6 +366,9 @@ let goto st (fr : frame) target ~label =
       st.injection <-
         Some { inj_step = st.steps; inj_kind = Branch_target; inj_reg = -1;
                inj_bit = -1; before = Value.zero; after = Value.zero };
+      (match st.trace with
+       | Some tr -> Taint.seed_control tr ~step:st.steps
+       | None -> ());
       corrupted
   in
   if target < 0 then
@@ -360,6 +406,65 @@ let instr_cycles st meta =
   else Compiled.meta_cost meta
   [@@inline]
 
+(* Raw operand access for the taint tracer.  Deliberately NOT {!read_code}:
+   that refreshes the recent-register ring, which fault targeting observes —
+   the tracer must leave it untouched or tracing would change which register
+   a later fault hits. *)
+let code_value st (fr : frame) code =
+  if code >= 0 then Array.unsafe_get fr.values code
+  else Array.unsafe_get st.imms (lnot code)
+  [@@inline]
+
+(* Shadow-taint transfer for one executed instruction (DESIGN.md §10).
+   Runs after the instruction's architectural effects, so register values
+   (used to recompute addresses and select arms) are those the instruction
+   itself saw; values never change between execution and this step. *)
+let taint_step st tr (fr : frame) (ci : Compiled.cinstr) =
+  let step = st.steps in
+  let rt code = Taint.reg_tainted fr.taint code in
+  match ci with
+  | Compiled.CAdd { uid; dest; a; b }
+  | Compiled.CSub { uid; dest; a; b }
+  | Compiled.CBinop { uid; dest; a; b; _ } ->
+    Taint.def tr fr.taint ~dest ~tainted:(rt a || rt b) ~uid ~step
+  | Compiled.CUnop { uid; dest; a; _ } ->
+    Taint.def tr fr.taint ~dest ~tainted:(rt a) ~uid ~step
+  | Compiled.CIcmp { dest; a; b; _ } | Compiled.CFcmp { dest; a; b; _ } ->
+    Taint.def tr fr.taint ~dest ~tainted:(rt a || rt b) ~uid:(-1) ~step
+  | Compiled.CSelect { uid; dest; c; a; b } ->
+    (* Only the taken arm was read; taint mirrors the dynamic data flow
+       (plus the condition, which selected the value). *)
+    let chosen = if Value.truthy (code_value st fr c) then a else b in
+    Taint.def tr fr.taint ~dest ~tainted:(rt c || rt chosen) ~uid ~step
+  | Compiled.CConst { dest; _ } | Compiled.CAlloc { dest; _ } ->
+    Taint.set_reg tr fr.taint dest false ~step
+  | Compiled.CLoad { uid; dest; a } ->
+    let addr = Memory.addr_of_value (code_value st fr a) in
+    Taint.load tr fr.taint ~dest ~addr ~addr_tainted:(rt a) ~uid ~step
+  | Compiled.CStore { uid; a; v } ->
+    let addr = Memory.addr_of_value (code_value st fr a) in
+    Taint.store tr ~addr ~tainted:(rt v || rt a) ~uid ~step
+  | Compiled.CCall { args; _ } ->
+    (* The callee frame was just pushed; argument taint flows to its
+       parameters (the frame starts all-clean, so only true bits are set). *)
+    (match st.stack with
+     | callee :: _ when callee != fr ->
+       (try
+          List.iter2
+            (fun p op ->
+              match op with
+              | Instr.Imm _ -> ()
+              | Instr.Reg r ->
+                if Taint.reg_tainted fr.taint r then
+                  Taint.set_reg tr callee.taint p true ~step)
+            callee.cfunc.Compiled.cf_params args
+        with Invalid_argument _ -> ())
+     | _ -> ())
+  | Compiled.CDup_check { uid; a; b } ->
+    if rt a || rt b then Taint.check tr ~uid ~step
+  | Compiled.CValue_check { uid; a; _ } ->
+    if rt a then Taint.check tr ~uid ~step
+
 (* The executor walks {!Compiled.cinstr} micro-ops: flat records with
    integer-coded operands, so one instruction costs one block load instead
    of a chase through kind, operand and destination AST nodes.  Two-operand
@@ -372,7 +477,7 @@ let instr_cycles st meta =
 let exec_instr st (fr : frame) (ci : Compiled.cinstr) meta =
   tick st ~cycles:(instr_cycles st meta);
   (match st.profile with Some p -> Profile.note_instr p ci | None -> ());
-  match ci with
+  (match ci with
   | Compiled.CAdd { uid; dest; a; b } ->
     (* Specialization of the dominant binop: the add runs inline on the
        unboxed payloads instead of through [Opcode.eval_binop]'s dispatch. *)
@@ -420,7 +525,7 @@ let exec_instr st (fr : frame) (ci : Compiled.cinstr) meta =
     let v = Memory.load st.mem addr in
     if dest >= 0 then write fr dest v;
     (match st.on_def with Some f -> f uid v | None -> ())
-  | Compiled.CStore { a; v } ->
+  | Compiled.CStore { a; v; _ } ->
     let addr = Memory.addr_of_value (read_code st fr a) in
     Memory.store st.mem addr (read_code st fr v)
   | Compiled.CAlloc { dest; n } ->
@@ -443,6 +548,13 @@ let exec_instr st (fr : frame) (ci : Compiled.cinstr) meta =
       (match st.profile with
        | Some p -> Profile.note_check_fire p uid
        | None -> ());
+      (* The raise skips the post-instruction taint step; record the
+         tainted-check event here so the detection shows in the trace. *)
+      (match st.trace with
+       | Some tr
+         when Taint.reg_tainted fr.taint a || Taint.reg_tainted fr.taint b ->
+         Taint.check tr ~uid ~step:st.steps
+       | _ -> ());
       raise (Stop_detected { check_uid = uid; dup_check = true })
     end
   | Compiled.CValue_check { uid; ck; a } ->
@@ -457,11 +569,20 @@ let exec_instr st (fr : frame) (ci : Compiled.cinstr) meta =
           st.valchk_failures <- st.valchk_failures + 1;
           Hashtbl.replace st.failed_uids uid ()
         end
-        else raise (Stop_detected { check_uid = uid; dup_check = false })
+        else begin
+          (match st.trace with
+           | Some tr when Taint.reg_tainted fr.taint a ->
+             Taint.check tr ~uid ~step:st.steps
+           | _ -> ());
+          raise (Stop_detected { check_uid = uid; dup_check = false })
+        end
       | Record ->
         st.valchk_failures <- st.valchk_failures + 1;
         Hashtbl.replace st.failed_uids uid ()
-    end
+    end);
+  (match st.trace with
+   | Some tr -> taint_step st tr fr ci
+   | None -> ())
 
 (** Execute the terminator; returns [Some v] when the whole program returns. *)
 let exec_terminator st (fr : frame) =
@@ -473,22 +594,57 @@ let exec_terminator st (fr : frame) =
   | Compiled.Cbr (c, t1, l1, t2, l2) ->
     tick st ~cycles:Cost.br;
     let cond = Value.truthy (read st fr c) in
+    (match st.trace with
+     | Some tr ->
+       (match c with
+        | Instr.Reg r when Taint.reg_tainted fr.taint r ->
+          Taint.branch tr ~step:st.steps
+        | Instr.Reg _ | Instr.Imm _ -> ())
+     | None -> ());
     if cond then goto st fr t1 ~label:l1 else goto st fr t2 ~label:l2;
     None
   | Compiled.Cret op ->
     tick st ~cycles:Cost.ret;
     let v = Option.map (read st fr) op in
+    let ret_tainted =
+      match st.trace with
+      | Some _ ->
+        (match op with
+         | Some (Instr.Reg r) -> Taint.reg_tainted fr.taint r
+         | Some (Instr.Imm _) | None -> false)
+      | None -> false
+    in
     (match st.stack with
      | [] -> assert false
      | _self :: rest ->
        st.stack <- rest;
        (match rest with
-        | [] -> Some v         (* program finished *)
+        | [] ->
+          (match st.trace with
+           | Some tr ->
+             Taint.set_ret tr ret_tainted;
+             Taint.drop_frame tr fr.taint;
+             (* A tainted return value escaped through the output — that is
+                propagation, not death, so the death check is skipped. *)
+             if not ret_tainted then Taint.death_check tr ~step:st.steps
+           | None -> ());
+          Some v         (* program finished *)
         | caller :: _ ->
           (match fr.ret_dest, v with
            | Some r, Some value -> write caller r value
            | Some r, None -> write caller r Value.zero
            | None, _ -> ());
+          (match st.trace with
+           | Some tr ->
+             (* The dying frame's taint leaves first, then the returned
+                value's taint (if any) lands in the caller's destination;
+                only then can the taint set be pronounced dead. *)
+             Taint.drop_frame tr fr.taint;
+             (match fr.ret_dest with
+              | Some r -> Taint.set_reg tr caller.taint r ret_tainted ~step:st.steps
+              | None -> ());
+             Taint.death_check tr ~step:st.steps
+           | None -> ());
           None))
 
 (* ----- Checkpoint / rollback recovery (DESIGN.md §9) ----- *)
@@ -506,8 +662,11 @@ let snap_frame (fr : frame) : Snapshot.frame_snap =
     fs_ret_dest = fr.ret_dest }
 
 (* The arrays are copied again on restore so the snapshot itself stays
-   pristine — a retained checkpoint must survive its own restoration. *)
-let restore_frame (fs : Snapshot.frame_snap) : frame =
+   pristine — a retained checkpoint must survive its own restoration.
+   Shadow taint is not snapshotted: the restored state predates the fault,
+   so the frames come back with fresh all-clean shadow registers (the
+   tracer's counters are cleared by {!Taint.rollback} alongside). *)
+let restore_frame st (fs : Snapshot.frame_snap) : frame =
   { cfunc = fs.fs_cfunc;
     values = Array.copy fs.fs_values;
     defined = Array.copy fs.fs_defined;
@@ -517,7 +676,11 @@ let restore_frame (fs : Snapshot.frame_snap) : frame =
     cblock = fs.fs_cfunc.Compiled.cf_blocks.(fs.fs_block);
     idx = fs.fs_idx;
     prev_block = fs.fs_prev_block;
-    ret_dest = fs.fs_ret_dest }
+    ret_dest = fs.fs_ret_dest;
+    taint =
+      (match st.trace with
+       | Some _ -> Taint.fresh_regs (Array.length fs.fs_values)
+       | None -> Taint.no_regs) }
 
 (* Checkpoints are taken at the interpreter loop head, where [fr.idx] is a
    consistent resume position (the call-free fast path retires a whole
@@ -576,8 +739,13 @@ let try_recover st (d : detection) =
        | Some snap ->
          let detect_step = st.steps and detect_cycles = st.cycles in
          Memory.rollback st.mem snap.Snapshot.sn_mem;
-         st.stack <- List.map restore_frame snap.Snapshot.sn_frames;
+         st.stack <- List.map (restore_frame st) snap.Snapshot.sn_frames;
          st.slack_credit <- 0;               (* the rollback flushes the pipe *)
+         (* The restore erased the transient fault's architectural effects;
+            the shadow taint dies with them. *)
+         (match st.trace with
+          | Some tr -> Taint.rollback tr ~step:st.steps
+          | None -> ());
          let rollback_cycles = Cost.rollback ~words:(Snapshot.words snap) in
          st.cycles <- st.cycles + rollback_cycles;
          (* The fault was transient: its architectural effects are erased by
@@ -603,6 +771,7 @@ let run_compiled ?(config = default_config) compiled ~entry ~args ~mem =
   let st =
     { compiled; imms = compiled.Compiled.imms; on_def = config.on_def;
       profile = config.profile;
+      trace = (if config.taint_trace then Some (Taint.create ()) else None);
       mem; config; stack = []; steps = 0; cycles = 0;
       valchk_failures = 0; failed_uids = Hashtbl.create 4; injection = None;
       fault_pending = config.fault;
@@ -625,7 +794,8 @@ let run_compiled ?(config = default_config) compiled ~entry ~args ~mem =
         |> List.sort compare;
       injection = st.injection;
       recovered = st.recovered; rollback_denied = st.rollback_denied;
-      checkpoints = st.ckpt_count }
+      checkpoints = st.ckpt_count;
+      taint = Option.map (fun tr -> Taint.summarize tr ~end_step:st.steps) st.trace }
   in
   let exec_loop () =
     let result = ref None in

@@ -71,6 +71,8 @@ type result = {
                                     (detection latency exceeded the
                                     checkpoint window) *)
   checkpoints : int;            (** checkpoints taken during the run *)
+  taint : Taint.summary option; (** propagation summary; [Some] iff the run
+                                    was configured with [taint_trace] *)
 }
 
 type valchk_mode =
@@ -109,6 +111,11 @@ type config = {
           checkpoint predating the injected fault and replays; the machine
           retains the two most recent checkpoints, so recovery succeeds
           whenever the detection latency is below the interval. *)
+  taint_trace : bool;
+      (** carry shadow taint state ({!Taint}) seeded at the injection site
+          and propagated through every value-producing instruction, load and
+          store (DESIGN.md §10); observation-only — execution, costs and
+          outcomes are bit-identical with tracing on or off *)
 }
 
 val default_config : config

@@ -1,0 +1,221 @@
+(** Shadow taint state for fault-propagation tracing (DESIGN.md §10).
+
+    When [Machine.config.taint_trace] is on, the interpreter carries one
+    shadow bit per register slot (per frame) and per memory word.  The bit
+    is seeded at the injection site and propagated through every
+    value-producing instruction, load and store, so a trial can answer the
+    question the outcome alone cannot: *where did the corruption go?*
+
+    The tracer is strictly observation-only.  It never reads machine state
+    through the accessors that refresh the recent-register ring (fault
+    targeting depends on that ring), never allocates on the hot path when
+    tracing is off, and never influences values, costs or control flow —
+    execution is bit-identical with tracing on or off, at any domain
+    count. *)
+
+(** Per-frame shadow register file: one bit per register slot plus the
+    count of set bits (so dropping a frame on return is O(1)). *)
+type regs = { bits : bool array; mutable n : int }
+
+(** Shared placeholder for frames of untraced runs; never written. *)
+let no_regs = { bits = [||]; n = 0 }
+
+let fresh_regs size = { bits = Array.make size false; n = 0 }
+
+type event_kind =
+  | Seed      (** the injection landed; taint born *)
+  | Def       (** a value-producing instruction consumed taint *)
+  | Load      (** a load read a tainted word (or used a tainted address) *)
+  | Store     (** a tainted value (or address) reached memory *)
+  | Branch    (** a conditional branched on a tainted condition *)
+  | Check     (** a software check inspected a tainted operand *)
+  | Died      (** the last tainted register/word was overwritten *)
+
+let kind_name = function
+  | Seed -> "seed"
+  | Def -> "def"
+  | Load -> "load"
+  | Store -> "store"
+  | Branch -> "branch"
+  | Check -> "check"
+  | Died -> "died"
+
+type event = {
+  ev_kind : event_kind;
+  ev_step : int;   (** absolute dynamic step of the event *)
+  ev_uid : int;    (** static instruction uid; -1 when not applicable *)
+  ev_addr : int;   (** memory word address; -1 for non-memory events *)
+}
+
+(** Only the first [event_limit] events are retained verbatim (a long USDC
+    run touches millions); the total is still counted. *)
+let event_limit = 64
+
+type t = {
+  mutable seeded : bool;
+  mutable inj_step : int;
+  mutable regs_cur : int;   (** tainted registers across all live frames *)
+  mutable regs_hwm : int;
+  mem : (int, unit) Hashtbl.t;    (** currently tainted memory words *)
+  seen : (int, unit) Hashtbl.t;   (** words ever tainted *)
+  mutable mem_ever : int;
+  mutable first_store : int option;    (** absolute steps; distances are
+                                           computed by {!summarize} *)
+  mutable first_branch : int option;
+  mutable died_at : int option;
+  mutable ret_tainted : bool;
+  mutable events_rev : event list;
+  mutable events_n : int;
+  mutable events_total : int;
+}
+
+let create () =
+  { seeded = false; inj_step = 0; regs_cur = 0; regs_hwm = 0;
+    mem = Hashtbl.create 64; seen = Hashtbl.create 64; mem_ever = 0;
+    first_store = None; first_branch = None; died_at = None;
+    ret_tainted = false; events_rev = []; events_n = 0; events_total = 0 }
+
+let note_event tr kind ~step ~uid ~addr =
+  tr.events_total <- tr.events_total + 1;
+  if tr.events_n < event_limit then begin
+    tr.events_rev <-
+      { ev_kind = kind; ev_step = step; ev_uid = uid; ev_addr = addr }
+      :: tr.events_rev;
+    tr.events_n <- tr.events_n + 1
+  end
+
+let alive tr = tr.regs_cur > 0 || Hashtbl.length tr.mem > 0
+
+(* Taint cannot revive once every carrier is gone (a clean value cannot
+   become tainted), so the first death is the only one. *)
+let death_check tr ~step =
+  if tr.seeded && tr.died_at = None && not (alive tr) then begin
+    tr.died_at <- Some step;
+    note_event tr Died ~step ~uid:(-1) ~addr:(-1)
+  end
+
+let reg_tainted (regs : regs) r = r >= 0 && Array.unsafe_get regs.bits r
+
+(** Set register [r]'s taint bit, maintaining the global count, high-water
+    mark and death detection.  [r < 0] (no destination) is a no-op. *)
+let set_reg tr (regs : regs) r tainted ~step =
+  if r >= 0 then begin
+    let cur = Array.unsafe_get regs.bits r in
+    if tainted then begin
+      if not cur then begin
+        Array.unsafe_set regs.bits r true;
+        regs.n <- regs.n + 1;
+        tr.regs_cur <- tr.regs_cur + 1;
+        if tr.regs_cur > tr.regs_hwm then tr.regs_hwm <- tr.regs_cur
+      end
+    end
+    else if cur then begin
+      Array.unsafe_set regs.bits r false;
+      regs.n <- regs.n - 1;
+      tr.regs_cur <- tr.regs_cur - 1;
+      death_check tr ~step
+    end
+  end
+
+let def tr regs ~dest ~tainted ~uid ~step =
+  set_reg tr regs dest tainted ~step;
+  if tainted then note_event tr Def ~step ~uid ~addr:(-1)
+
+let mem_tainted tr addr = Hashtbl.mem tr.mem addr
+
+let set_mem tr addr tainted ~step =
+  if tainted then begin
+    if not (Hashtbl.mem tr.mem addr) then Hashtbl.replace tr.mem addr ();
+    if not (Hashtbl.mem tr.seen addr) then begin
+      Hashtbl.replace tr.seen addr ();
+      tr.mem_ever <- tr.mem_ever + 1
+    end
+  end
+  else if Hashtbl.mem tr.mem addr then begin
+    (* An untainted store over a tainted word scrubs it. *)
+    Hashtbl.remove tr.mem addr;
+    death_check tr ~step
+  end
+
+let load tr regs ~dest ~addr ~addr_tainted ~uid ~step =
+  let tainted = addr_tainted || mem_tainted tr addr in
+  set_reg tr regs dest tainted ~step;
+  if tainted then note_event tr Load ~step ~uid ~addr
+
+let store tr ~addr ~tainted ~uid ~step =
+  set_mem tr addr tainted ~step;
+  if tainted then begin
+    (match tr.first_store with
+     | None -> tr.first_store <- Some step
+     | Some _ -> ());
+    note_event tr Store ~step ~uid ~addr
+  end
+
+let branch tr ~step =
+  (match tr.first_branch with
+   | None -> tr.first_branch <- Some step
+   | Some _ -> ());
+  note_event tr Branch ~step ~uid:(-1) ~addr:(-1)
+
+let check tr ~uid ~step = note_event tr Check ~step ~uid ~addr:(-1)
+
+let seed tr regs ~reg ~step =
+  tr.seeded <- true;
+  tr.inj_step <- step;
+  note_event tr Seed ~step ~uid:(-1) ~addr:(-1);
+  if reg >= 0 then set_reg tr regs reg true ~step
+
+(* A branch-target corruption touches no register, so it seeds no data
+   taint: the tracer records the seed and the immediate death of the (empty)
+   taint set.  Data-flow tracing deliberately does not model implicit
+   (control-dependence) flows; see DESIGN.md §10. *)
+let seed_control tr ~step =
+  tr.seeded <- true;
+  tr.inj_step <- step;
+  note_event tr Seed ~step ~uid:(-1) ~addr:(-1);
+  death_check tr ~step
+
+(** The returning frame's taint leaves the machine; the caller accounts the
+    return value separately ([set_reg] on the caller's destination), then
+    runs {!death_check}. *)
+let drop_frame tr (regs : regs) =
+  if regs.n > 0 then tr.regs_cur <- tr.regs_cur - regs.n
+
+let set_ret tr tainted = tr.ret_tainted <- tainted
+
+(** A checkpoint rollback erases the transient fault's architectural
+    effects: all shadow state is cleared (the machine replaces the frames'
+    shadow registers with fresh ones) and the death is recorded at the
+    rollback step. *)
+let rollback tr ~step =
+  tr.regs_cur <- 0;
+  Hashtbl.reset tr.mem;
+  death_check tr ~step
+
+type summary = {
+  ts_seeded : bool;
+  ts_inj_step : int;
+  ts_reg_hwm : int;
+  ts_mem_words : int;
+  ts_first_store : int option;
+  ts_first_branch : int option;
+  ts_died_at : int option;
+  ts_end_distance : int option;
+  ts_output_tainted : bool;
+  ts_events : event list;
+  ts_events_total : int;
+}
+
+let summarize tr ~end_step =
+  let dist s = s - tr.inj_step in
+  { ts_seeded = tr.seeded;
+    ts_inj_step = (if tr.seeded then tr.inj_step else 0);
+    ts_reg_hwm = tr.regs_hwm;
+    ts_mem_words = tr.mem_ever;
+    ts_first_store = Option.map dist tr.first_store;
+    ts_first_branch = Option.map dist tr.first_branch;
+    ts_died_at = Option.map dist tr.died_at;
+    ts_end_distance = (if tr.seeded then Some (end_step - tr.inj_step) else None);
+    ts_output_tainted = tr.ret_tainted || Hashtbl.length tr.mem > 0;
+    ts_events = List.rev tr.events_rev;
+    ts_events_total = tr.events_total }

@@ -1,0 +1,119 @@
+(** Shadow taint state for fault-propagation tracing (DESIGN.md §10).
+
+    One shadow bit per register slot (per frame) and per memory word,
+    seeded at the injection site and propagated by {!Machine} through
+    every value-producing instruction, load and store when
+    [config.taint_trace] is on.  Strictly observation-only: the tracer
+    never touches the recent-register ring or any other state the fault
+    model observes, so execution, costs and outcomes are bit-identical
+    with tracing on or off, at any domain count. *)
+
+(** Per-frame shadow register file: one bit per register slot plus the
+    count of set bits (so dropping a frame on return is O(1)). *)
+type regs = { bits : bool array; mutable n : int }
+
+(** Shared empty placeholder for frames of untraced runs; never written. *)
+val no_regs : regs
+
+val fresh_regs : int -> regs
+
+type event_kind =
+  | Seed      (** the injection landed; taint born *)
+  | Def       (** a value-producing instruction consumed taint *)
+  | Load      (** a load read a tainted word (or used a tainted address) *)
+  | Store     (** a tainted value (or address) reached memory *)
+  | Branch    (** a conditional branched on a tainted condition *)
+  | Check     (** a software check inspected a tainted operand *)
+  | Died      (** the last tainted register/word was overwritten *)
+
+val kind_name : event_kind -> string
+
+type event = {
+  ev_kind : event_kind;
+  ev_step : int;   (** absolute dynamic step of the event *)
+  ev_uid : int;    (** static instruction uid; -1 when not applicable *)
+  ev_addr : int;   (** memory word address; -1 for non-memory events *)
+}
+
+(** How many events {!summary.ts_events} retains verbatim (64); the total
+    is still counted in {!summary.ts_events_total}. *)
+val event_limit : int
+
+(** One run's tracer state.  Single-run, single-domain: campaigns create
+    one per trial. *)
+type t
+
+val create : unit -> t
+
+val reg_tainted : regs -> int -> bool
+val mem_tainted : t -> int -> bool
+
+(** [set_reg t regs r tainted ~step] sets register [r]'s shadow bit,
+    maintaining the global tainted-register count, the high-water mark and
+    death detection.  [r < 0] (no destination) is a no-op. *)
+val set_reg : t -> regs -> int -> bool -> step:int -> unit
+
+(** {!set_reg} plus a [Def] propagation event when [tainted]. *)
+val def : t -> regs -> dest:int -> tainted:bool -> uid:int -> step:int -> unit
+
+(** Taint flow through a load: destination becomes tainted iff the address
+    register or the addressed word is tainted. *)
+val load :
+  t -> regs -> dest:int -> addr:int -> addr_tainted:bool -> uid:int ->
+  step:int -> unit
+
+(** Taint flow through a store: the word becomes tainted iff the stored
+    value or the address is; an untainted store scrubs a tainted word. *)
+val store : t -> addr:int -> tainted:bool -> uid:int -> step:int -> unit
+
+(** A conditional branched on a tainted condition. *)
+val branch : t -> step:int -> unit
+
+(** A software check inspected a tainted operand. *)
+val check : t -> uid:int -> step:int -> unit
+
+(** Seed taint at the injection site: the flipped register of the active
+    frame.  [reg < 0] records the seed without tainting a register. *)
+val seed : t -> regs -> reg:int -> step:int -> unit
+
+(** Seed for a branch-target corruption: no register is touched, so no
+    data taint is born (implicit control flows are not modelled; DESIGN.md
+    §10) — the seed and the immediate death are recorded. *)
+val seed_control : t -> step:int -> unit
+
+(** The returning frame's shadow registers leave the machine.  The caller
+    accounts the returned value separately ({!set_reg} on its destination)
+    and then runs {!death_check}. *)
+val drop_frame : t -> regs -> unit
+
+(** Record whether the program's final return value was tainted. *)
+val set_ret : t -> bool -> unit
+
+(** Record the death of the taint set if it is empty (idempotent). *)
+val death_check : t -> step:int -> unit
+
+(** A checkpoint rollback erased the transient fault: clear all shadow
+    state and record the death at the rollback step.  The machine replaces
+    the frames' shadow registers with fresh ones alongside. *)
+val rollback : t -> step:int -> unit
+
+(** Per-trial propagation summary, the journal payload.  All [*_store],
+    [*_branch], [died_at] and [end_distance] fields are dynamic-instruction
+    distances from the injection step. *)
+type summary = {
+  ts_seeded : bool;            (** the fault actually landed *)
+  ts_inj_step : int;           (** absolute seed step; 0 when unseeded *)
+  ts_reg_hwm : int;            (** tainted-register high-water mark *)
+  ts_mem_words : int;          (** distinct memory words ever tainted *)
+  ts_first_store : int option;   (** distance to the first tainted store *)
+  ts_first_branch : int option;  (** distance to the first tainted branch *)
+  ts_died_at : int option;       (** distance at which taint died, if it did *)
+  ts_end_distance : int option;  (** distance from seed to detection-or-end *)
+  ts_output_tainted : bool;    (** taint reached the program output: the
+                                   returned value, or memory words still
+                                   tainted when the run stopped *)
+  ts_events : event list;      (** first {!event_limit} events, in order *)
+  ts_events_total : int;
+}
+
+val summarize : t -> end_step:int -> summary

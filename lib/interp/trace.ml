@@ -13,17 +13,24 @@ type event = {
 
 (** [first_values prog ~entry ~args ~mem ~limit] runs the program and
     returns the first [limit] values produced by value-producing
-    instructions, along with the machine result. *)
-let first_values ?(limit = 100) prog ~entry ~args ~mem =
+    instructions, along with the machine result.  [config] is the base
+    machine configuration to extend (default {!Machine.default_config}):
+    profiling, checkpointing, fault plans etc. are honoured, and a caller
+    [on_def] hook is chained after the tracing one rather than dropped. *)
+let first_values ?config ?(limit = 100) prog ~entry ~args ~mem =
+  let base =
+    match config with Some c -> c | None -> Machine.default_config
+  in
   let events = ref [] in
   let count = ref 0 in
   let on_def uid value =
     if !count < limit then begin
       events := { ordinal = !count; uid; value } :: !events;
       incr count
-    end
+    end;
+    match base.Machine.on_def with Some f -> f uid value | None -> ()
   in
-  let config = { Machine.default_config with on_def = Some on_def } in
+  let config = { base with Machine.on_def = Some on_def } in
   let result = Machine.run ~config prog ~entry ~args ~mem in
   (List.rev !events, result)
 

@@ -1,0 +1,44 @@
+(** Trace spans: the journal representation of propagation events.
+
+    A span is one named point event on a run's dynamic-step timeline plus
+    free-form JSON attributes.  The observability layer knows nothing about
+    the interpreter; producers (the fault tracer via [Faults.Journal])
+    convert their domain events into spans, and consumers read the
+    attributes back generically — so journals stay loadable across code
+    versions that add attributes. *)
+
+type span = {
+  sp_name : string;                    (** event kind, e.g. ["store"] *)
+  sp_step : int;                       (** dynamic instruction step *)
+  sp_attrs : (string * Json.t) list;   (** extra fields, flattened *)
+}
+
+let span ?(attrs = []) ~step name =
+  { sp_name = name; sp_step = step; sp_attrs = attrs }
+
+(* Attributes are flattened into the span object itself (not nested), so a
+   span line reads naturally in a JSONL journal; [name]/[step] are reserved
+   keys and shadow same-named attributes on the wire. *)
+let to_json s =
+  Json.Obj
+    (("name", Json.Str s.sp_name)
+     :: ("step", Json.Int s.sp_step)
+     :: List.filter (fun (k, _) -> k <> "name" && k <> "step") s.sp_attrs)
+
+let of_json j =
+  match
+    ( Option.bind (Json.member "name" j) Json.to_str,
+      Option.bind (Json.member "step" j) Json.to_int )
+  with
+  | Some name, Some step ->
+    let attrs =
+      match j with
+      | Json.Obj fields ->
+        List.filter (fun (k, _) -> k <> "name" && k <> "step") fields
+      | _ -> []
+    in
+    Some { sp_name = name; sp_step = step; sp_attrs = attrs }
+  | _, _ -> None
+
+let attr s key = List.assoc_opt key s.sp_attrs
+let attr_int s key = Option.bind (attr s key) Json.to_int

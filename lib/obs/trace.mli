@@ -1,0 +1,28 @@
+(** Trace spans: the journal representation of propagation events.
+
+    One named point event on a run's dynamic-step timeline plus free-form
+    JSON attributes.  Producers convert domain events (e.g. the fault
+    tracer's taint events) into spans; consumers read attributes back
+    generically, so journals stay loadable across code versions. *)
+
+type span = {
+  sp_name : string;                    (** event kind, e.g. ["store"] *)
+  sp_step : int;                       (** dynamic instruction step *)
+  sp_attrs : (string * Json.t) list;   (** extra fields, flattened *)
+}
+
+val span : ?attrs:(string * Json.t) list -> step:int -> string -> span
+
+(** Spans serialize flat: [{"name":…,"step":…,<attrs>…}].  [name] and
+    [step] are reserved keys; same-named attributes are dropped on the
+    wire. *)
+val to_json : span -> Json.t
+
+(** Inverse of {!to_json}; [None] when [name] or [step] is missing —
+    unknown extra fields become attributes (forward compatibility). *)
+val of_json : Json.t -> span option
+
+(** Attribute lookup; [None] when absent. *)
+val attr : span -> string -> Json.t option
+
+val attr_int : span -> string -> int option

@@ -13,6 +13,7 @@ let () =
       ("transform", Test_transform.tests);
       ("optimizer", Test_optimizer.tests);
       ("faults", Test_faults.tests);
+      ("taint", Test_taint.tests);
       ("workloads", Test_workloads.tests);
       ("codecs", Test_codecs.tests);
       ("api", Test_api.tests);

@@ -43,7 +43,7 @@ let mk_result stop ~steps ~inj_step : Interp.Machine.result =
       Some { Interp.Machine.inj_step; inj_kind = Interp.Machine.Register_bit;
              inj_reg = 0; inj_bit = 3;
              before = Value.of_int 0; after = Value.of_int 8 };
-    recovered = None; rollback_denied = false; checkpoints = 0 }
+    recovered = None; rollback_denied = false; checkpoints = 0; taint = None }
 
 let classify ?(identical = false) ?(acceptable = false) result =
   Faults.Classify.classify ~hw_window:1000 ~result

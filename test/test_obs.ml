@@ -236,7 +236,7 @@ let test_journal_malformed () =
       | _ -> Alcotest.fail "expected Malformed")
 
 (* Write a valid journal for the campaign and hand its lines to [k]. *)
-let with_journal_lines ?(checkpoint_interval = 0) k =
+let with_journal_lines ?(checkpoint_interval = 0) ?(taint_trace = false) k =
   let path = Filename.temp_file "softft_journal" ".jsonl" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
@@ -244,12 +244,12 @@ let with_journal_lines ?(checkpoint_interval = 0) k =
       let subject = Test_faults.protected_array_sum () in
       let summary, trials =
         Faults.Campaign.run subject ~trials:40 ~seed:2024 ~domains:2
-          ~checkpoint_interval
+          ~checkpoint_interval ~taint_trace
       in
       let manifest =
         Faults.Journal.manifest_record ~git:"test" ~technique:"dup"
-          ~checkpoint_interval ~label:"array_sum" ~trials:40 ~seed:2024
-          ~domains:2 ~hw_window:Faults.Classify.default_hw_window
+          ~checkpoint_interval ~taint_trace ~label:"array_sum" ~trials:40
+          ~seed:2024 ~domains:2 ~hw_window:Faults.Classify.default_hw_window
           ~fault_kind:"register_bit"
           ~golden:summary.Faults.Campaign.golden_info ()
       in
@@ -362,6 +362,94 @@ let test_journal_v2_recovery_roundtrip () =
         views;
       Alcotest.(check bool) "campaign exercised recovery" true !saw_recovery)
 
+let test_journal_v3_taint_roundtrip () =
+  (* A traced campaign journals its propagation summaries, stamped v3, and
+     they read back field-for-field — including the events as spans. *)
+  with_journal_lines ~taint_trace:true (fun path _ trials ->
+      let m, views = Faults.Journal.load path in
+      Alcotest.(check (option string)) "schema is v3"
+        (Some Faults.Journal.schema_v3)
+        (Option.bind (Json.member "schema" m) Json.to_str);
+      Alcotest.(check (option bool)) "manifest flags tracing" (Some true)
+        (Option.bind (Json.member "taint_trace" m) Json.to_bool);
+      List.iteri
+        (fun i (v : Faults.Journal.view) ->
+          let t = List.nth trials i in
+          match t.Faults.Campaign.taint, v.v_taint with
+          | Some s, Some tv ->
+            Alcotest.(check bool) "seeded" s.Interp.Taint.ts_seeded
+              tv.Faults.Journal.tv_seeded;
+            Alcotest.(check int) "reg hwm" s.ts_reg_hwm tv.tv_reg_hwm;
+            Alcotest.(check int) "mem words" s.ts_mem_words tv.tv_mem_words;
+            Alcotest.(check (option int)) "first store" s.ts_first_store
+              tv.tv_first_store;
+            Alcotest.(check (option int)) "first branch" s.ts_first_branch
+              tv.tv_first_branch;
+            Alcotest.(check (option int)) "died at" s.ts_died_at
+              tv.tv_died_at;
+            Alcotest.(check (option int)) "end distance" s.ts_end_distance
+              tv.tv_end_distance;
+            Alcotest.(check bool) "output tainted" s.ts_output_tainted
+              tv.tv_output_tainted;
+            Alcotest.(check int) "events total" s.ts_events_total
+              tv.tv_events_total;
+            Alcotest.(check int) "span per retained event"
+              (List.length s.ts_events)
+              (List.length tv.tv_spans);
+            List.iter2
+              (fun (e : Interp.Taint.event) (sp : Trace.span) ->
+                Alcotest.(check string) "span name"
+                  (Interp.Taint.kind_name e.ev_kind)
+                  sp.Trace.sp_name;
+                Alcotest.(check int) "span step" e.ev_step sp.Trace.sp_step;
+                if e.ev_uid >= 0 then
+                  Alcotest.(check (option int)) "span uid" (Some e.ev_uid)
+                    (Trace.attr_int sp "uid"))
+              s.ts_events tv.tv_spans
+          | None, _ -> Alcotest.fail "traced trial lost its summary"
+          | Some _, None -> Alcotest.fail "summary lost in the journal")
+        views)
+
+let test_journal_untraced_stays_v2 () =
+  (* The byte-identity contract: with tracing off, a v3-era journal is
+     exactly a v2 journal — same schema string, and no taint field (not
+     even an empty one) anywhere in the file. *)
+  with_journal_lines ~taint_trace:false (fun _ lines _ ->
+      (match lines with
+       | manifest :: _ ->
+         Alcotest.(check (option string)) "schema stays v2"
+           (Some Faults.Journal.schema)
+           (Option.bind
+              (Json.member "schema" (Json.parse manifest))
+              Json.to_str)
+       | [] -> Alcotest.fail "journal empty");
+      let contains_taint line =
+        let needle = "taint" and hay = line in
+        let n = String.length needle in
+        let rec scan i =
+          i + n <= String.length hay
+          && (String.sub hay i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) "no taint bytes anywhere" false
+        (List.exists contains_taint lines))
+
+let test_journal_fold_streams () =
+  (* fold is the primitive and load its wrapper: both agree, and fold
+     visits the trials in file order. *)
+  with_journal_lines ~taint_trace:true (fun path _ _ ->
+      let m_load, views = Faults.Journal.load path in
+      let m_fold, (count, rev_indices) =
+        Faults.Journal.fold path ~init:(0, []) ~f:(fun (n, acc) v ->
+            (n + 1, v.Faults.Journal.v_index :: acc))
+      in
+      Alcotest.(check bool) "same manifest" true (m_load = m_fold);
+      Alcotest.(check int) "same trial count" (List.length views) count;
+      Alcotest.(check (list int)) "file order"
+        (List.map (fun (v : Faults.Journal.view) -> v.v_index) views)
+        (List.rev rev_indices))
+
 (* ----- Determinism under observability -----
 
    The whole point of the telemetry design: journaling, profiling and
@@ -435,6 +523,12 @@ let tests =
     Alcotest.test_case "journal: v1 still loads" `Quick test_journal_v1_loads;
     Alcotest.test_case "journal: v2 recovery roundtrip" `Quick
       test_journal_v2_recovery_roundtrip;
+    Alcotest.test_case "journal: v3 taint roundtrip" `Quick
+      test_journal_v3_taint_roundtrip;
+    Alcotest.test_case "journal: untraced stays v2" `Quick
+      test_journal_untraced_stays_v2;
+    Alcotest.test_case "journal: fold streams" `Quick
+      test_journal_fold_streams;
     Alcotest.test_case "determinism: hooks inert (serial)" `Quick
       test_observability_inert_serial;
     Alcotest.test_case "determinism: hooks inert (domains=2)" `Quick

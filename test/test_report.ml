@@ -55,8 +55,33 @@ let test_render_multibyte_header () =
   Alcotest.(check string) "byte-width layout"
     "\xce\xbcs  n\n---  -\nx    2" out
 
+(* ----- csv_field / csv_row (RFC 4180 quoting) ----- *)
+
+let test_csv_field_plain () =
+  (* Plain fields pass through byte-identically — existing CSV exports must
+     not change shape. *)
+  Alcotest.(check string) "number untouched" "12.50" (Report.csv_field "12.50");
+  Alcotest.(check string) "word untouched" "kmeans" (Report.csv_field "kmeans");
+  Alcotest.(check string) "empty untouched" "" (Report.csv_field "")
+
+let test_csv_field_quoted () =
+  Alcotest.(check string) "comma quoted" "\"a,b\"" (Report.csv_field "a,b");
+  Alcotest.(check string) "quote doubled" "\"he said \"\"hi\"\"\""
+    (Report.csv_field "he said \"hi\"");
+  Alcotest.(check string) "newline quoted" "\"a\nb\"" (Report.csv_field "a\nb");
+  Alcotest.(check string) "CR quoted" "\"a\rb\"" (Report.csv_field "a\rb")
+
+let test_csv_row () =
+  Alcotest.(check string) "mixed row" "plain,\"with,comma\",3"
+    (Report.csv_row [ "plain"; "with,comma"; "3" ])
+
 let tests =
   [ Alcotest.test_case "pad" `Quick test_pad;
+    Alcotest.test_case "csv_field: plain passthrough" `Quick
+      test_csv_field_plain;
+    Alcotest.test_case "csv_field: RFC 4180 quoting" `Quick
+      test_csv_field_quoted;
+    Alcotest.test_case "csv_row" `Quick test_csv_row;
     Alcotest.test_case "pad_left" `Quick test_pad_left;
     Alcotest.test_case "render: basic" `Quick test_render_basic;
     Alcotest.test_case "render: empty rows" `Quick test_render_empty_rows;
