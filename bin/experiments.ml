@@ -242,6 +242,131 @@ let one_cmd =
       $ progress_jsonl_arg $ journal_arg $ profile_arg $ quiet_arg
       $ log_json_arg)
 
+let run_coverage name technique_name dynamic csv regs_csv journal =
+  let w = Workloads.Registry.find name in
+  let technique = technique_of_string technique_name in
+  let p = Softft.protect w technique in
+  let exec_counts =
+    if not dynamic then None
+    else begin
+      (* Weight exposure by real block execution counts from a golden run. *)
+      let prof = Interp.Profile.create () in
+      let (_ : Faults.Campaign.golden) =
+        Softft.golden ~profile:prof p ~role:Workloads.Workload.Test
+      in
+      Some (Interp.Profile.func_block_counts prof)
+    end
+  in
+  let cov = Analysis.Coverage.analyze ?exec_counts p.Softft.prog in
+  let label =
+    Printf.sprintf "%s/%s" w.name (Softft.technique_name technique)
+  in
+  Softft.Experiments.print_coverage ~label cov;
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "written: %s\n" path
+  in
+  (match csv with
+   | Some out -> write_file out (Softft.Experiments.coverage_csv cov)
+   | None -> ());
+  (match regs_csv with
+   | Some out -> write_file out (Softft.Experiments.coverage_reg_csv cov)
+   | None -> ());
+  match journal with
+  | None -> ()
+  | Some path ->
+    (match Faults.Journal.load path with
+     | exception Faults.Journal.Malformed msg ->
+       prerr_endline ("experiments coverage: " ^ msg);
+       exit 1
+     | _manifest, views ->
+       Softft.Experiments.print_coverage_vs_journal cov views)
+
+let dynamic_arg =
+  let doc =
+    "Weight register exposure by dynamic block execution counts from a \
+     fault-free golden run (default: static weight 1 per block)."
+  in
+  Arg.(value & flag & info [ "dynamic" ] ~doc)
+
+let coverage_csv_arg =
+  let doc = "Export the per-instruction classification to $(docv) as CSV." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let regs_csv_arg =
+  let doc = "Export the per-register exposure table to $(docv) as CSV." in
+  Arg.(value & opt (some string) None & info [ "regs-csv" ] ~docv:"FILE" ~doc)
+
+let coverage_journal_arg =
+  let doc =
+    "Validate the static prediction against a trial journal (produced by \
+     `one --journal' for the same benchmark and technique): buckets every \
+     injected trial by the protection status of the register it hit."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let coverage_cmd =
+  let doc =
+    "Static protection-coverage analysis: classify every instruction and \
+     register of a protected benchmark and estimate the SDC-prone fraction \
+     without running a campaign."
+  in
+  Cmd.v
+    (Cmd.info "coverage" ~doc)
+    Term.(
+      const run_coverage $ name_arg $ technique_arg $ dynamic_arg
+      $ coverage_csv_arg $ regs_csv_arg $ coverage_journal_arg)
+
+(* Every pipeline configuration the lint must hold for; mirrors the
+   property suite in test/test_lint.ml. *)
+let lint_configurations =
+  [ ("original", Softft.Original, true, true);
+    ("dup", Softft.Dup_only, true, true);
+    ("dupval", Softft.Dup_valchk, true, true);
+    ("dupval-no-opt1", Softft.Dup_valchk, false, true);
+    ("dupval-no-opt2", Softft.Dup_valchk, true, false);
+    ("full", Softft.Full_dup, true, true);
+    ("cfc", Softft.Cfc_only, true, true);
+    ("dupvalcfc", Softft.Dup_valchk_cfc, true, true) ]
+
+let run_lint benchmarks =
+  let workloads = resolve_benchmarks benchmarks in
+  let failures = ref 0 in
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      List.iter
+        (fun (config, technique, opt1, opt2) ->
+          match Softft.protect ~lint:true ~opt1 ~opt2 w technique with
+          | (_ : Softft.protected) ->
+            Printf.printf "ok   %-10s %s\n" w.name config
+          | exception Analysis.Lint.Error issues ->
+            incr failures;
+            Printf.printf "FAIL %-10s %s\n" w.name config;
+            List.iter
+              (fun issue ->
+                Format.printf "  %a@." Analysis.Lint.pp_issue issue)
+              issues
+          | exception Ir.Verifier.Invalid err ->
+            incr failures;
+            Format.printf "FAIL %-10s %s@.  verifier: %a@." w.name config
+              Ir.Verifier.pp_error err)
+        lint_configurations)
+    workloads;
+  if !failures > 0 then begin
+    Printf.printf "\n%d configuration(s) failed the lint\n" !failures;
+    exit 1
+  end
+  else print_endline "\nall configurations lint-clean"
+
+let lint_cmd =
+  let doc =
+    "Run the transform-invariant lint over every pipeline configuration \
+     of the selected benchmarks; exits nonzero on any violation."
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run_lint $ benchmarks_arg)
+
 let run_report path csv =
   match Faults.Journal.load path with
   | exception Faults.Journal.Malformed msg ->
@@ -386,7 +511,7 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "experiments" ~version:"1.0.0" ~doc)
-    [ all_cmd; crossval_cmd; one_cmd; report_cmd; table1_cmd; dump_cmd;
-      trace_cmd; trace_fault_cmd ]
+    [ all_cmd; crossval_cmd; one_cmd; coverage_cmd; lint_cmd; report_cmd;
+      table1_cmd; dump_cmd; trace_cmd; trace_fault_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

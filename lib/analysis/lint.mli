@@ -1,0 +1,73 @@
+(** Transform-invariant lint: the dominance-based and provenance-based
+    checks {!Ir.Verifier} defers to its dominator-analysis consumers.
+
+    The structural verifier proves a program is well-formed SSA; this lint
+    proves a *protected* program still respects the invariants the
+    protection passes rely on:
+
+    - {b Reachability}: every block is reachable from the entry (the
+      verifier checks this too; here unreachable blocks additionally
+      suppress the dominance diagnostics they would otherwise drown in).
+    - {b Dominance}: every use is dominated by its definition — body and
+      terminator uses on the use site, phi uses on the exit of the
+      incoming predecessor.
+    - {b Separation} (sphere of replication): registers defined by
+      [Duplicated] instructions never flow into [From_source] computation,
+      value checks or terminators; only duplicate instructions and
+      [Dup_check] comparisons may consume shadow values.
+    - {b Chain coverage}: duplicated chains end in a comparison.  Under
+      [Selective] every shadow register must reach a [Dup_check] through
+      shadow data flow, and every duplicated state variable must be
+      compared in the latch block before the loop's back edge.  Under
+      [Full] every store/call operand and branch/return operand that has a
+      shadow must be guarded by a [Dup_check] before the value escapes.
+    - {b Check shape}: every [Value_check] constant is internally
+      consistent (ordered, kind-homogeneous ranges; distinct doubles) and,
+      when a value profile is supplied, matches the recorded shape for the
+      checked instruction. *)
+
+type rule =
+  | Reachability
+  | Dominance
+  | Separation
+  | Chain_coverage
+  | Check_shape
+
+(** What duplication discipline the program under lint claims to follow:
+    [Selective] for state-variable producer-chain duplication
+    ({!Transform.Duplicate}), [Full] for the SWIFT-style baseline
+    ({!Transform.Full_dup}), [Any] when unknown — [Any] still runs every
+    provenance-independent rule, but skips the coverage placement rules
+    that differ between the two disciplines. *)
+type expectation = Any | Selective | Full
+
+type issue = {
+  rule : rule;
+  func : string;
+  block : string;
+  message : string;
+}
+
+exception Error of issue list
+
+val rule_name : rule -> string
+val pp_issue : Format.formatter -> issue -> unit
+
+(** [check prog] returns every invariant violation, in function/block
+    order; an empty list means the program is lint-clean.  [expect]
+    (default [Any]) selects the duplication-discipline rules; [profile]
+    enables the value-check/profile consistency comparison for
+    instructions the profile knows. *)
+val check :
+  ?expect:expectation ->
+  ?profile:(int -> Ir.Instr.check_kind option) ->
+  Ir.Prog.t ->
+  issue list
+
+(** Like {!check}, but raises {!Error} with the issues when any are
+    found — the form the transformation pipeline runs after each stage. *)
+val run :
+  ?expect:expectation ->
+  ?profile:(int -> Ir.Instr.check_kind option) ->
+  Ir.Prog.t ->
+  unit

@@ -43,7 +43,8 @@ let block_use_def (b : Ir.Block.t) =
   (uses, defs)
 
 (* Registers a predecessor must keep live for [succ]'s phis on the edge
-   from [pred_label]. *)
+   from [pred_label].  Several phis may read the same predecessor register;
+   dedupe so callers that count edge uses see each register once. *)
 let phi_edge_uses (succ : Ir.Block.t) ~pred_label =
   List.filter_map
     (fun (phi : Ir.Instr.phi) ->
@@ -51,6 +52,7 @@ let phi_edge_uses (succ : Ir.Block.t) ~pred_label =
       | Some (Ir.Instr.Reg r) -> Some r
       | Some (Ir.Instr.Imm _) | None -> None)
     succ.phis
+  |> List.sort_uniq compare
 
 let compute (cfg : Cfg.t) =
   let n = Cfg.n_blocks cfg in

@@ -36,9 +36,12 @@ type protected = {
 
 (** Build a fresh program for [w] and apply [technique].  For [Dup_valchk]
     the program is first value-profiled on the training input (the paper's
-    offline step); [params] tunes the check-derivation heuristics. *)
-let protect ?params ?opt1 ?opt2 ?(profile_role = Workloads.Workload.Train)
-    (w : Workloads.Workload.t) technique =
+    offline step); [params] tunes the check-derivation heuristics.  [lint]
+    runs the transform-invariant lint ({!Analysis.Lint}) after every
+    pipeline stage, raising on any violated invariant. *)
+let protect ?params ?opt1 ?opt2 ?lint
+    ?(profile_role = Workloads.Workload.Train) (w : Workloads.Workload.t)
+    technique =
   let prog = w.build () in
   let profile =
     match technique with
@@ -48,7 +51,7 @@ let protect ?params ?opt1 ?opt2 ?(profile_role = Workloads.Workload.Train)
     | Original | Dup_only | Full_dup | Cfc_only -> None
   in
   let static_stats =
-    Transform.Pipeline.protect ?profile ?opt1 ?opt2 prog technique
+    Transform.Pipeline.protect ?profile ?opt1 ?opt2 ?lint prog technique
   in
   { workload = w; technique; prog; static_stats;
     profile_false_positive_info = None }

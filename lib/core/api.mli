@@ -35,11 +35,14 @@ type protected = {
     the training input (the paper's offline step); [params] tunes the
     check-derivation heuristics, [opt1]/[opt2] toggle the interaction
     optimizations (ablation), and [profile_role] supports the §V
-    cross-validation study. *)
+    cross-validation study.  [lint] (default false) runs the
+    transform-invariant lint ({!Analysis.Lint}) after every pipeline
+    stage, raising [Analysis.Lint.Error] on any violated invariant. *)
 val protect :
   ?params:Profiling.Value_profile.params ->
   ?opt1:bool ->
   ?opt2:bool ->
+  ?lint:bool ->
   ?profile_role:Workloads.Workload.input_role ->
   Workloads.Workload.t ->
   technique ->

@@ -1191,3 +1191,169 @@ let print_profile ?(block_limit = 12) (p : Interp.Profile.t) =
            (fun (uid, ex, fired) ->
              [ string_of_int uid; string_of_int ex; string_of_int fired ])
            rows)
+
+(* ----- Static protection-coverage report (Analysis.Coverage): what the
+   transformation promises on paper, next to what a fault campaign
+   actually measured ----- *)
+
+let coverage_statuses =
+  [ Analysis.Coverage.Dup_checked; Analysis.Coverage.Value_checked;
+    Analysis.Coverage.Dup_unchecked; Analysis.Coverage.Shadow;
+    Analysis.Coverage.Check; Analysis.Coverage.Unprotected ]
+
+let coverage_status_rows (cov : Analysis.Coverage.t) =
+  let total = max 1 cov.total_instrs in
+  List.map
+    (fun st ->
+      let n =
+        match List.assoc_opt st cov.by_status with Some n -> n | None -> 0
+      in
+      [ Analysis.Coverage.status_name st;
+        string_of_int n;
+        Report.pct (100.0 *. float_of_int n /. float_of_int total) ])
+    coverage_statuses
+
+let coverage_reg_rows ?(limit = 12) (cov : Analysis.Coverage.t) =
+  List.map
+    (fun (r : Analysis.Coverage.reg_row) ->
+      [ r.r_func;
+        Printf.sprintf "r%d" r.r_reg;
+        Analysis.Coverage.status_name r.r_status;
+        Printf.sprintf "%.0f" r.r_exposure;
+        Report.pct
+          (100.0 *. r.r_exposure /. Float.max 1.0 cov.exposure_total) ])
+    (Analysis.Coverage.ranked_regs ~limit cov)
+
+let print_coverage ~label (cov : Analysis.Coverage.t) =
+  Report.print
+    ~title:(Printf.sprintf "%s: protection status by instruction" label)
+    ~header:[ "status"; "instrs"; "share" ]
+    ~rows:(coverage_status_rows cov);
+  Report.print
+    ~title:
+      (Printf.sprintf "%s: most vulnerable register slots (%s exposure)"
+         label
+         (if cov.dynamic_weights then "dynamic" else "static"))
+    ~header:[ "function"; "register"; "status"; "exposure"; "share" ]
+    ~rows:(coverage_reg_rows cov);
+  Printf.printf
+    "\npredicted SDC-prone fraction: %s  (unprotected exposure %.0f of \
+     %.0f)\n"
+    (Report.frac_pct cov.sdc_prone_fraction)
+    cov.exposure_unprotected cov.exposure_total
+
+(** Per-instruction CSV of the coverage classification. *)
+let coverage_csv (cov : Analysis.Coverage.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "func,block,uid,kind,status\n";
+  List.iter
+    (fun (r : Analysis.Coverage.instr_row) ->
+      Buffer.add_string buf
+        (Report.csv_row
+           [ r.i_func; r.i_block; string_of_int r.i_uid; r.i_desc;
+             Analysis.Coverage.status_name r.i_status ]);
+      Buffer.add_char buf '\n')
+    cov.instrs;
+  Buffer.contents buf
+
+(** Per-register CSV: protection status and liveness exposure. *)
+let coverage_reg_csv (cov : Analysis.Coverage.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "func,reg,status,exposure\n";
+  List.iter
+    (fun (r : Analysis.Coverage.reg_row) ->
+      Buffer.add_string buf
+        (Report.csv_row
+           [ r.r_func; string_of_int r.r_reg;
+             Analysis.Coverage.status_name r.r_status;
+             Printf.sprintf "%.1f" r.r_exposure ]);
+      Buffer.add_char buf '\n')
+    (Analysis.Coverage.ranked_regs cov);
+  Buffer.contents buf
+
+(* A journal outcome spells silent corruption when the output differed
+   without any detector firing (ASDC keeps the corruption silent even
+   though the quality stays acceptable). *)
+let outcome_is_sdc = function
+  | "ASDC" | "USDC(large)" | "USDC(small)" -> true
+  | _ -> false
+
+let outcome_is_detected = function
+  | "SWDetect" | "Recovered" | "Unrecoverable" -> true
+  | _ -> false
+
+(** Join the static classification with a campaign journal: bucket every
+    injected trial by the protection status of the register it hit and
+    measure each bucket's outcome mix.  The validation the analyzer
+    exists for: unprotected slots must show a higher measured SDC rate
+    than checked ones. *)
+let coverage_vs_journal_rows (cov : Analysis.Coverage.t)
+    (views : Faults.Journal.view list) =
+  let status_of_reg = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Analysis.Coverage.reg_row) ->
+      if not (Hashtbl.mem status_of_reg r.r_reg) then
+        Hashtbl.replace status_of_reg r.r_reg r.r_status)
+    cov.regs;
+  let bucket_of (v : Faults.Journal.view) =
+    Option.map
+      (fun reg ->
+        match Hashtbl.find_opt status_of_reg reg with
+        | Some st -> Analysis.Coverage.status_name st
+        | None -> "(unmapped)")
+      v.v_inj_reg
+  in
+  let row_of name =
+    let hits =
+      List.filter (fun v -> bucket_of v = Some name) views
+    in
+    match hits with
+    | [] -> None
+    | _ :: _ ->
+      let n = List.length hits in
+      let count pred =
+        List.length
+          (List.filter
+             (fun (v : Faults.Journal.view) -> pred v.v_outcome)
+             hits)
+      in
+      let sdc = count outcome_is_sdc in
+      let detected = count outcome_is_detected in
+      let masked = count (fun o -> o = "Masked") in
+      Some
+        [ name; string_of_int n;
+          string_of_int sdc;
+          Report.pct (100.0 *. float_of_int sdc /. float_of_int n);
+          Report.pct (100.0 *. float_of_int detected /. float_of_int n);
+          Report.pct (100.0 *. float_of_int masked /. float_of_int n) ]
+  in
+  List.filter_map row_of
+    (List.map Analysis.Coverage.status_name coverage_statuses
+     @ [ "(unmapped)" ])
+
+let print_coverage_vs_journal (cov : Analysis.Coverage.t)
+    (views : Faults.Journal.view list) =
+  Report.print
+    ~title:"Static prediction vs. injected outcomes (by register hit)"
+    ~header:
+      [ "status of hit reg"; "trials"; "SDC"; "SDC rate"; "detected";
+        "masked" ]
+    ~rows:(coverage_vs_journal_rows cov views);
+  let injected =
+    List.filter
+      (fun (v : Faults.Journal.view) -> v.v_inj_reg <> None)
+      views
+  in
+  let n = max 1 (List.length injected) in
+  let sdc =
+    List.length
+      (List.filter
+         (fun (v : Faults.Journal.view) -> outcome_is_sdc v.v_outcome)
+         injected)
+  in
+  Printf.printf
+    "\nstatic SDC-prone fraction %s vs. measured SDC rate %s over %d \
+     injected trials\n"
+    (Report.frac_pct cov.sdc_prone_fraction)
+    (Report.pct (100.0 *. float_of_int sdc /. float_of_int n))
+    (List.length injected)

@@ -210,6 +210,7 @@ type view = {
   v_checkpoints : int;
   v_recovery : recovery_view option;
   v_taint : taint_view option;
+  v_inj_reg : int option;
 }
 
 exception Malformed of string
@@ -267,7 +268,12 @@ let view_of_json ~line j =
       Option.map (recovery_view_of_json ~line) (Json.member "recovery" j);
     (* v3 field, absent from v1/v2 journals and untraced campaigns. *)
     v_taint =
-      Option.map (taint_view_of_json ~line) (Json.member "taint" j) }
+      Option.map (taint_view_of_json ~line) (Json.member "taint" j);
+    (* The injected register, from the nested injection record; absent
+       when the trial's fault window closed before any injection. *)
+    v_inj_reg =
+      Option.bind (Json.member "injection" j) (fun inj ->
+          Option.bind (Json.member "reg" inj) Json.to_int) }
 
 (* Streaming reader: one line is parsed, folded, and dropped before the
    next is read, so a multi-gigabyte journal aggregates in constant memory

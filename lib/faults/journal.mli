@@ -113,6 +113,7 @@ type view = {
   v_checkpoints : int;           (** 0 for v1 journals / recovery off *)
   v_recovery : recovery_view option;  (** the trial's rollback, if any *)
   v_taint : taint_view option;   (** propagation summary, v3 traced only *)
+  v_inj_reg : int option;        (** injected register, injections only *)
 }
 
 exception Malformed of string

@@ -116,6 +116,9 @@ let hot_blocks ?(limit = 10) t =
   in
   List.filteri (fun i _ -> i < limit) sorted
 
+let func_block_counts t func =
+  Option.map Array.copy (Hashtbl.find_opt t.block_counts func)
+
 let check_rows t =
   let uids = Hashtbl.create 8 in
   Hashtbl.iter (fun uid _ -> Hashtbl.replace uids uid ()) t.check_exec;

@@ -45,3 +45,8 @@ val hot_blocks : ?limit:int -> t -> (string * int * int) list
 (** [(check_uid, executed, fired)] for every check that executed,
     by uid. *)
 val check_rows : t -> (int * int * int) list
+
+(** Per-block execution counts of [func], indexed in block layout order
+    (the node ids of [Analysis.Cfg]); [None] if the function never ran.
+    Returns a copy — mutating it does not touch the profile. *)
+val func_block_counts : t -> string -> int array option

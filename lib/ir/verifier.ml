@@ -2,10 +2,12 @@
 
     Run after construction and after every transformation pass; catching a
     malformed program here is vastly cheaper than debugging an interpreter
-    run.  Checks: branch targets exist, phi incoming edges exactly match CFG
-    predecessors, SSA single assignment, every used register has a definition
-    somewhere in the function (full dominance checking lives with the
-    dominator analysis consumers), uid uniqueness across the program. *)
+    run.  Checks: branch targets exist, every block is reachable from the
+    entry, phi incoming edges exactly match CFG predecessors, SSA single
+    assignment, every used register has a definition somewhere in the
+    function (full dominance checking is [Analysis.Lint], which this module
+    cannot depend on; the transformation pipeline runs both), uid
+    uniqueness across the program. *)
 
 type error = {
   func : string;
@@ -36,6 +38,23 @@ let verify_func (f : Func.t) ~seen_uid ~check_uid =
   (* Entry exists and has no phis (nothing can jump to it in our builder). *)
   if not (Func.mem_block f f.entry) then
     fail ~func:fname ~block:f.entry "missing entry block";
+  (* Every block is reachable from the entry; transformation passes assume
+     it (unreachable blocks would also make dominance vacuous), and
+     [Transform.Dce] prunes the blocks constant folding strands. *)
+  let reachable = Hashtbl.create 16 in
+  let rec dfs label =
+    if not (Hashtbl.mem reachable label) then begin
+      Hashtbl.replace reachable label ();
+      List.iter dfs (Block.successors (Func.find_block f label))
+    end
+  in
+  dfs f.entry;
+  Func.iter_blocks
+    (fun b ->
+      if not (Hashtbl.mem reachable b.Block.label) then
+        fail ~func:fname ~block:b.Block.label
+          "block unreachable from entry %S" f.entry)
+    f;
   (* Single assignment + defs set. *)
   let defined = Hashtbl.create 64 in
   List.iter

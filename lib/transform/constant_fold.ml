@@ -12,7 +12,8 @@ open Ir
     - algebraic identities (x+0, x*1, x*0, x-0, x&0, x|0, x^0, shifts by 0),
     - selects with a constant condition,
     - conditional branches on a constant condition into jumps (the dead
-      edge is removed from successor phis).
+      edge is removed from successor phis, and blocks left unreachable are
+      pruned so the verifier's reachability invariant survives the pass).
 
     Folded instructions become dead and are left for {!Dce}. *)
 
@@ -20,6 +21,7 @@ type stats = {
   mutable folded : int;
   mutable identities : int;
   mutable branches_resolved : int;
+  mutable unreachable_blocks : int;
 }
 
 (* Registers known to hold an immediate value. *)
@@ -160,9 +162,50 @@ let run_func (f : Func.t) ~stats =
           | None -> b.term <- Instr.Br (c, if_true, if_false))))
     f
 
+(** Remove the blocks of [f] that are unreachable from the entry (resolving
+    a branch strands the arm not taken), stripping their labels from
+    surviving phis.  Shared with {!Dce.run} so either pass leaves the
+    verifier's reachability invariant intact.  Returns how many blocks were
+    removed. *)
+let prune_unreachable (f : Func.t) =
+  let reachable = Hashtbl.create 16 in
+  let rec dfs label =
+    if not (Hashtbl.mem reachable label) then begin
+      Hashtbl.replace reachable label ();
+      List.iter dfs (Block.successors (Func.find_block f label))
+    end
+  in
+  dfs f.entry;
+  let live (b : Block.t) = Hashtbl.mem reachable b.label in
+  if List.for_all live f.blocks then 0
+  else begin
+    let dead = List.filter (fun b -> not (live b)) f.blocks in
+    f.blocks <- List.filter live f.blocks;
+    List.iter (fun (b : Block.t) -> Hashtbl.remove f.index b.label) dead;
+    List.iter
+      (fun (b : Block.t) ->
+        List.iter
+          (fun (phi : Instr.phi) ->
+            phi.incoming <-
+              List.filter (fun (lbl, _) -> Hashtbl.mem reachable lbl)
+                phi.incoming)
+          b.phis)
+      f.blocks;
+    List.length dead
+  end
+
 (** Fold constants across the program; returns statistics.  Run {!Dce}
     afterwards to drop the dead remains. *)
 let run (prog : Prog.t) =
-  let stats = { folded = 0; identities = 0; branches_resolved = 0 } in
+  let stats =
+    { folded = 0; identities = 0; branches_resolved = 0;
+      unreachable_blocks = 0 }
+  in
   List.iter (fun f -> run_func f ~stats) prog.funcs;
+  if stats.branches_resolved > 0 then
+    List.iter
+      (fun f ->
+        stats.unreachable_blocks <-
+          stats.unreachable_blocks + prune_unreachable f)
+      prog.funcs;
   stats

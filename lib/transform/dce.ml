@@ -5,11 +5,17 @@ open Ir
     Removes value-producing instructions (and phis) whose results are never
     used, iterating to a fixed point so whole dead chains disappear.
     Side-effecting instructions — stores, calls, allocations, and the
-    protection checks — are always live, as are terminator operands. *)
+    protection checks — are always live, as are terminator operands.
+
+    Also prunes blocks unreachable from the entry (constant folding strands
+    them when it resolves a conditional branch), stripping their edges from
+    surviving phis, so the verifier's reachability invariant holds after
+    {!optimize}. *)
 
 type stats = {
   mutable removed_instrs : int;
   mutable removed_phis : int;
+  mutable removed_blocks : int;
 }
 
 let collect_uses (f : Func.t) =
@@ -66,9 +72,14 @@ let sweep_func (f : Func.t) ~stats =
       f
   done
 
-(** Remove dead code across the program. *)
+(** Remove unreachable blocks and dead code across the program. *)
 let run (prog : Prog.t) =
-  let stats = { removed_instrs = 0; removed_phis = 0 } in
+  let stats = { removed_instrs = 0; removed_phis = 0; removed_blocks = 0 } in
+  List.iter
+    (fun f ->
+      stats.removed_blocks <-
+        stats.removed_blocks + Constant_fold.prune_unreachable f)
+    prog.funcs;
   List.iter (fun f -> sweep_func f ~stats) prog.funcs;
   stats
 

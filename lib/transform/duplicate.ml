@@ -119,8 +119,11 @@ and clone_instr ctx (b : Block.t) (ins : Instr.t) orig_reg =
 
 let protect_state_var ctx (sv : State_vars.state_var) =
   ctx.stats.state_vars <- ctx.stats.state_vars + 1;
-  (* Clone the phi (and hence its whole producer web). *)
-  let (_ : Instr.operand) = shadow_reg ctx sv.phi.phi_dest in
+  (* The back-edge walks below clone the producer web on demand — chains
+     that pass through the header phi clone it through recursion.  Cloning
+     the phi eagerly instead would strand an orphan shadow (duplication
+     cost, no detection) whenever every back-edge chain terminates
+     immediately, e.g. on a load. *)
   (* Compare original vs shadow where the back edge leaves the body. *)
   List.iter
     (fun (latch_lbl, op) ->

@@ -47,17 +47,26 @@ let state_var_fraction s = fraction ~of_:s.original_instrs s.state_vars
     expected-value check shapes (required only by [Dup_valchk]).  [opt1]
     and [opt2] toggle the paper's two interaction optimizations (both on
     by default; exposed for the ablation study).  The transformed program
-    is re-verified before returning. *)
-let protect ?profile ?(opt1 = true) ?(opt2 = true) (prog : Prog.t) technique =
+    is re-verified before returning; with [lint] on, the transform-invariant
+    lint ({!Analysis.Lint}) additionally runs after every stage, with the
+    duplication discipline the stage just established and the value profile
+    wired into its check-shape rule. *)
+let protect ?profile ?(opt1 = true) ?(opt2 = true) ?(lint = false)
+    (prog : Prog.t) technique =
   let original_instrs = Prog.instr_count prog in
+  let stage expect =
+    if lint then Analysis.Lint.run ~expect ?profile prog
+  in
   let stats =
     match technique with
     | Original ->
+      stage Analysis.Lint.Any;
       { technique; original_instrs; state_vars = State_vars.count_prog prog;
         duplicated_instrs = 0; dup_checks = 0; value_checks = 0;
         suppressed_by_opt1 = 0 }
     | Dup_only ->
       let d, (_ : (int, unit) Hashtbl.t) = Duplicate.run prog in
+      stage Analysis.Lint.Selective;
       { technique; original_instrs; state_vars = d.state_vars;
         duplicated_instrs = d.cloned_instrs + d.cloned_phis;
         dup_checks = d.dup_checks; value_checks = 0; suppressed_by_opt1 = 0 }
@@ -71,10 +80,12 @@ let protect ?profile ?(opt1 = true) ?(opt2 = true) (prog : Prog.t) technique =
       let d, opt2_checked =
         if opt2 then Duplicate.run ~profile prog else Duplicate.run prog
       in
+      stage Analysis.Lint.Selective;
       let v =
         Value_checks.run ~use_opt1:opt1 prog ~profile
           ~already_checked:opt2_checked
       in
+      stage Analysis.Lint.Selective;
       { technique; original_instrs; state_vars = d.state_vars;
         duplicated_instrs = d.cloned_instrs + d.cloned_phis;
         dup_checks = d.dup_checks;
@@ -82,11 +93,13 @@ let protect ?profile ?(opt1 = true) ?(opt2 = true) (prog : Prog.t) technique =
         suppressed_by_opt1 = v.suppressed_by_opt1 }
     | Full_dup ->
       let f = Full_dup.run prog in
+      stage Analysis.Lint.Full;
       { technique; original_instrs; state_vars = State_vars.count_prog prog;
         duplicated_instrs = f.cloned_instrs + f.cloned_phis;
         dup_checks = f.dup_checks; value_checks = 0; suppressed_by_opt1 = 0 }
     | Cfc_only ->
       let c = Cfc.run prog in
+      stage Analysis.Lint.Any;
       { technique; original_instrs; state_vars = State_vars.count_prog prog;
         duplicated_instrs = 0; dup_checks = 0;
         value_checks = c.signature_checks; suppressed_by_opt1 = 0 }
@@ -100,11 +113,14 @@ let protect ?profile ?(opt1 = true) ?(opt2 = true) (prog : Prog.t) technique =
       let d, opt2_checked =
         if opt2 then Duplicate.run ~profile prog else Duplicate.run prog
       in
+      stage Analysis.Lint.Selective;
       let v =
         Value_checks.run ~use_opt1:opt1 prog ~profile
           ~already_checked:opt2_checked
       in
+      stage Analysis.Lint.Selective;
       let c = Cfc.run prog in
+      stage Analysis.Lint.Selective;
       { technique; original_instrs; state_vars = d.state_vars;
         duplicated_instrs = d.cloned_instrs + d.cloned_phis;
         dup_checks = d.dup_checks;
@@ -113,3 +129,10 @@ let protect ?profile ?(opt1 = true) ?(opt2 = true) (prog : Prog.t) technique =
   in
   Verifier.verify prog;
   stats
+
+(** The lint expectation matching each technique's duplication discipline,
+    for callers that lint a finished program on their own. *)
+let lint_expectation = function
+  | Original | Cfc_only -> Analysis.Lint.Any
+  | Dup_only | Dup_valchk | Dup_valchk_cfc -> Analysis.Lint.Selective
+  | Full_dup -> Analysis.Lint.Full

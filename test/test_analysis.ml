@@ -176,6 +176,117 @@ let test_producer_chain_handles_cycles () =
         sv.back_edges)
     svs
 
+(* An irreducible CFG: the cycle a <-> b has two entry points, so neither
+   node dominates the other and no back edge targets a dominator.  Natural
+   loop detection must find nothing while dominators stay well-defined. *)
+let irreducible_prog () =
+  Parser.parse
+    "func @main(%r0) {\n\
+     entry:\n\
+    \  br %r0, a, b\n\
+     a:\n\
+    \  jmp b\n\
+     b:\n\
+    \  br %r0, a, exit\n\
+     exit:\n\
+    \  ret %r0\n\
+     }\n"
+
+let test_irreducible_no_natural_loops () =
+  let cfg = cfg_of (irreducible_prog ()) in
+  let loops = Analysis.Loops.compute cfg in
+  Alcotest.(check int) "no natural loops" 0 (List.length loops.loops)
+
+let test_irreducible_dominators () =
+  let cfg = cfg_of (irreducible_prog ()) in
+  let dom = Analysis.Dom.compute cfg in
+  let a = Analysis.Cfg.index cfg "a" and b = Analysis.Cfg.index cfg "b" in
+  let exit = Analysis.Cfg.index cfg "exit" in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) "entry dominates" true
+        (Analysis.Dom.dominates dom cfg.entry n))
+    [ a; b; exit ];
+  (* Both cycle nodes are reachable around the other: no mutual dominance,
+     and each one's immediate dominator collapses to the entry. *)
+  Alcotest.(check bool) "a !dom b" false (Analysis.Dom.dominates dom a b);
+  Alcotest.(check bool) "b !dom a" false (Analysis.Dom.dominates dom b a);
+  Alcotest.(check (option int)) "idom a = entry" (Some cfg.entry)
+    (Analysis.Dom.idom dom a);
+  Alcotest.(check (option int)) "idom b = entry" (Some cfg.entry)
+    (Analysis.Dom.idom dom b);
+  Alcotest.(check (option int)) "idom exit = b" (Some b)
+    (Analysis.Dom.idom dom exit)
+
+(* A self-loop: the header is its own latch. *)
+let self_loop_prog () =
+  Parser.parse
+    "func @main(%r0) {\n\
+     entry:\n\
+    \  jmp loop\n\
+     loop:\n\
+    \  %r1 = phi [entry: 0], [loop: %r2]    ; #0\n\
+    \  %r2 = add %r1, 1    ; #1\n\
+    \  %r3 = icmp slt %r2, %r0    ; #2\n\
+    \  br %r3, loop, exit\n\
+     exit:\n\
+    \  ret %r2\n\
+     }\n"
+
+let test_self_loop () =
+  let cfg = cfg_of (self_loop_prog ()) in
+  let loops = Analysis.Loops.compute cfg in
+  Alcotest.(check int) "one loop" 1 (List.length loops.loops);
+  let l = List.hd loops.loops in
+  let node = Analysis.Cfg.index cfg "loop" in
+  Alcotest.(check int) "header is the self-loop block" node l.header;
+  Alcotest.(check (list int)) "header is its own latch" [ node ] l.latches;
+  Alcotest.(check (list int)) "body is just the header" [ node ] l.body;
+  Alcotest.(check int) "depth 1" 1 l.depth;
+  Alcotest.(check bool) "is_header" true (Analysis.Loops.is_header loops node);
+  Alcotest.(check int) "one header phi (the accumulator)" 1
+    (List.length (Analysis.Loops.header_phis loops))
+
+(* ----- liveness phi-edge exactness ----- *)
+
+let test_liveness_phi_edge_dedupe () =
+  (* Two phis in c both read %r1 on the edge from a: the predecessor's
+     live-out must list the register exactly once. *)
+  let prog =
+    Parser.parse
+      "func @main(%r0) {\n\
+       entry:\n\
+      \  %r1 = add %r0, 1    ; #0\n\
+      \  br %r0, a, b\n\
+       a:\n\
+      \  jmp c\n\
+       b:\n\
+      \  jmp c\n\
+       c:\n\
+      \  %r2 = phi [a: %r1], [b: 0]    ; #1\n\
+      \  %r3 = phi [a: %r1], [b: 1]    ; #2\n\
+      \  %r4 = add %r2, %r3    ; #3\n\
+      \  ret %r4\n\
+       }\n"
+  in
+  let f = Prog.find_func prog "main" in
+  let r1 =
+    match (Func.find_block f "entry").body.(0).dest with
+    | Some r -> r
+    | None -> Alcotest.fail "entry add has a dest"
+  in
+  Alcotest.(check int) "edge uses deduped" 1
+    (List.length
+       (Analysis.Liveness.phi_edge_uses (Func.find_block f "c")
+          ~pred_label:"a"));
+  let live = Analysis.Liveness.compute (cfg_of prog) in
+  Alcotest.(check (list int)) "live out of a = exactly [r1]" [ r1 ]
+    (Analysis.Liveness.live_out live "a");
+  Alcotest.(check (list int)) "live out of b = [] (imm incomings)" []
+    (Analysis.Liveness.live_out live "b");
+  Alcotest.(check (list int)) "nothing live into c (phi defs at entry)" []
+    (Analysis.Liveness.live_in live "c")
+
 let tests =
   [ Alcotest.test_case "cfg: structure" `Quick test_cfg_structure;
     Alcotest.test_case "cfg: rpo entry first" `Quick test_rpo_starts_at_entry;
@@ -189,4 +300,12 @@ let tests =
       test_producer_chain_stops_at_loads;
     Alcotest.test_case "usedef: chain handles phi cycles" `Quick
       test_producer_chain_handles_cycles;
+    Alcotest.test_case "loops: irreducible cycle has none" `Quick
+      test_irreducible_no_natural_loops;
+    Alcotest.test_case "dom: irreducible cycle" `Quick
+      test_irreducible_dominators;
+    Alcotest.test_case "loops: self-loop header is latch" `Quick
+      test_self_loop;
+    Alcotest.test_case "liveness: phi edge dedupe" `Quick
+      test_liveness_phi_edge_dedupe;
   ]

@@ -7,6 +7,8 @@ let () =
       ("ir-edit", Test_ir_edit.tests);
       ("parser", Test_parser.tests);
       ("analysis", Test_analysis.tests);
+      ("lint", Test_lint.tests);
+      ("coverage", Test_coverage.tests);
       ("interp", Test_interp.tests);
       ("fidelity", Test_fidelity.tests);
       ("profiling", Test_profiling.tests);
