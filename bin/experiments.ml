@@ -18,14 +18,35 @@ let benchmarks_arg =
   let doc = "Comma-separated benchmark subset (default: all 13)." in
   Arg.(value & opt (some string) None & info [ "benchmarks"; "b" ] ~docv:"NAMES" ~doc)
 
+(* [--domains] accepts a positive integer or the word "auto"; "auto"
+   resolves to {!Faults.Pool.recommended_domains} at parse time, so every
+   downstream consumer (campaigns, run_stats, journal manifests) sees the
+   resolved count, never the sentinel. *)
+let domains_conv =
+  let parse s =
+    match String.lowercase_ascii (String.trim s) with
+    | "auto" -> Ok (Faults.Pool.recommended_domains ())
+    | s ->
+      (match int_of_string_opt s with
+       | Some n when n >= 1 -> Ok n
+       | Some _ -> Error (`Msg "DOMAINS must be a positive integer or \"auto\"")
+       | None ->
+         Error
+           (`Msg
+              (Printf.sprintf
+                 "invalid domain count %S (expected an integer or \"auto\")" s)))
+  in
+  Cmdliner.Arg.conv (parse, Format.pp_print_int)
+
 let domains_arg =
   let doc =
-    "Worker domains per campaign (default: the recommended domain count of \
-     this machine; 1 = serial).  Results are bit-identical for any value."
+    "Worker domains per campaign: a positive integer, or $(b,auto) for the \
+     recommended domain count of this machine (the default; 1 = serial).  \
+     Results are bit-identical for any value."
   in
   Arg.(
     value
-    & opt int (Faults.Pool.recommended_domains ())
+    & opt domains_conv (Faults.Pool.recommended_domains ())
     & info [ "domains"; "j" ] ~docv:"N" ~doc)
 
 let quiet_arg =

@@ -143,37 +143,12 @@ let percent summary outcome =
 let percent_many summary outcomes =
   List.fold_left (fun acc o -> acc +. percent summary o) 0.0 outcomes
 
-(** Run one fault-injection trial.  [compiled] lets campaigns lower the
-    subject program once and share it across all trials (and domains); when
-    omitted it is looked up in the per-program compile cache. *)
-let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled ?profile
-    ?(checkpoint_interval = 0) ?(taint_trace = false) subject
-    ~(golden : golden) ~disabled ~hw_window ~seed =
-  let compiled =
-    match compiled with
-    | Some c -> c
-    | None -> Interp.Compiled.cached subject.prog
-  in
-  let rng = Rng.create seed in
-  (* Random in time: a dynamic instruction index within the golden window.
-     The fault-free prefix of the run is deterministic, so the flip always
-     lands. *)
-  let at_step = 1 + Rng.int rng (max 1 (golden.steps - 1)) in
-  let state = subject.fresh_state () in
-  let config =
-    { Interp.Machine.default_config with
-      fuel = (golden.steps * 8) + 10_000;
-      mode = Interp.Machine.Detect;
-      fault =
-        Some { Interp.Machine.at_step; fault_rng = Rng.split rng;
-               kind = fault_kind };
-      disabled_checks = disabled;
-      profile; checkpoint_interval; taint_trace }
-  in
-  let result =
-    Interp.Machine.run_compiled ~config compiled ~entry:subject.entry
-      ~args:state.args ~mem:state.mem
-  in
+(* Shared trial epilogue: classify the stopped run against the golden
+   reference and package the trial record.  Identical for from-scratch and
+   snapshot-forked executions — the [result] already carries the full
+   counters either way. *)
+let finish_trial subject ~(golden : golden) ~hw_window ~seed ~at_step
+    ~(state : run_state) (result : Interp.Machine.result) =
   let outcome =
     let output = lazy (
       match result.stop with
@@ -216,6 +191,94 @@ let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled ?profile
     cycles = result.cycles; recovery = result.recovered;
     checkpoints = result.checkpoints; taint = result.taint }
 
+(* Per-trial fault plan, drawn from the trial seed.  The [at_step] draw
+   and the split both happen before execution, so the plan is a pure
+   function of ([seed], golden window) — the determinism anchor for both
+   execution strategies below. *)
+let trial_plan ~fault_kind ~(golden : golden) ~seed =
+  let rng = Rng.create seed in
+  (* Random in time: a dynamic instruction index within the golden window.
+     The fault-free prefix of the run is deterministic, so the flip always
+     lands. *)
+  let at_step = 1 + Rng.int rng (max 1 (golden.steps - 1)) in
+  let fault =
+    { Interp.Machine.at_step; fault_rng = Rng.split rng; kind = fault_kind }
+  in
+  (at_step, fault)
+
+let trial_config ~fault ~disabled ~profile ~checkpoint_interval ~taint_trace
+    ~(golden : golden) =
+  { Interp.Machine.default_config with
+    fuel = (golden.steps * 8) + 10_000;
+    mode = Interp.Machine.Detect;
+    fault = Some fault;
+    disabled_checks = disabled;
+    profile; checkpoint_interval; taint_trace }
+
+(** Run one fault-injection trial.  [compiled] lets campaigns lower the
+    subject program once and share it across all trials (and domains); when
+    omitted it is looked up in the per-program compile cache. *)
+let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled ?profile
+    ?(checkpoint_interval = 0) ?(taint_trace = false) subject
+    ~(golden : golden) ~disabled ~hw_window ~seed =
+  let compiled =
+    match compiled with
+    | Some c -> c
+    | None -> Interp.Compiled.cached subject.prog
+  in
+  let at_step, fault = trial_plan ~fault_kind ~golden ~seed in
+  let state = subject.fresh_state () in
+  let config =
+    trial_config ~fault ~disabled ~profile ~checkpoint_interval ~taint_trace
+      ~golden
+  in
+  let result =
+    Interp.Machine.run_compiled ~config compiled ~entry:subject.entry
+      ~args:state.args ~mem:state.mem
+  in
+  finish_trial subject ~golden ~hw_window ~seed ~at_step ~state result
+
+(* One worker domain's reusable trial context ({!run}'s hot path): the
+   run state is materialized once per domain, its pristine memory image is
+   captured up front, and every trial either resumes from a fork snapshot
+   (which overwrites memory itself) or blits the pristine image back —
+   never reallocating the region arrays.  The arena recycles the machine's
+   frame and phi scratch across the domain's trials. *)
+type worker_ctx = {
+  wc_state : run_state;
+  wc_image0 : Interp.Memory.image;
+  wc_arena : Interp.Machine.arena;
+}
+
+(* The arena/fork trial runner: bit-identical to {!run_trial} by the
+   determinism argument of DESIGN.md §12 — the snapshot restores exactly
+   the state a from-scratch run holds at the fork step, and the arena and
+   image reset are observation-free. *)
+let run_trial_in ~fault_kind ~compiled ~checkpoint_interval ~taint_trace
+    ~(ctx : worker_ctx) ~snaps subject ~(golden : golden) ~disabled
+    ~hw_window ~seed =
+  let at_step, fault = trial_plan ~fault_kind ~golden ~seed in
+  let state = ctx.wc_state in
+  let resume =
+    match snaps with
+    | Some arr -> Interp.Fork.best arr ~at_step
+    | None -> None
+  in
+  (* A resumed run restores memory from its snapshot; a from-scratch run
+     starts from the pristine image. *)
+  (match resume with
+   | Some _ -> ()
+   | None -> Interp.Memory.restore_image state.mem ctx.wc_image0);
+  let config =
+    trial_config ~fault ~disabled ~profile:None ~checkpoint_interval
+      ~taint_trace ~golden
+  in
+  let result =
+    Interp.Machine.run_compiled ~config ~arena:ctx.wc_arena ?resume compiled
+      ~entry:subject.entry ~args:state.args ~mem:state.mem
+  in
+  finish_trial subject ~golden ~hw_window ~seed ~at_step ~state result
+
 (** All trial seeds, derived from the master RNG *before* any trial runs.
     This is the campaign determinism contract: seed assignment depends only
     on ([seed], trial index), never on worker scheduling, so any [~domains]
@@ -224,8 +287,20 @@ let run_trial ?(fault_kind = Interp.Machine.Register_bit) ?compiled ?profile
 let derive_seeds ~seed ~trials =
   let master = Rng.create seed in
   let seeds = Array.make (max trials 0) 0 in
+  let used = Hashtbl.create (max 16 (2 * max trials 0)) in
   for i = 0 to trials - 1 do
-    seeds.(i) <- (Int64.to_int (Rng.bits master) land 0x3FFFFFFF) + i
+    (* The 30-bit draw plus index can collide across indices (birthday
+       bound: a few-percent chance by ~10^4 trials), and two trials with
+       the same seed are the same trial — a silent loss of statistical
+       power.  Dedup deterministically: keep every non-colliding draw
+       as-is (preserving the historical sequence) and push a collision
+       into the next 30-bit band until unique. *)
+    let s = ref ((Int64.to_int (Rng.bits master) land 0x3FFFFFFF) + i) in
+    while Hashtbl.mem used !s do
+      s := !s + 0x40000000
+    done;
+    Hashtbl.add used !s ();
+    seeds.(i) <- !s
   done;
   seeds
 
@@ -233,9 +308,12 @@ let derive_seeds ~seed ~trials =
     time, and how the trial work spread over domains.  Observation-only;
     never feeds back into results. *)
 type run_stats = {
-  golden_sec : float;    (** golden run (and check-disabling setup) *)
+  golden_sec : float;    (** the golden run alone *)
+  setup_sec : float;     (** seed derivation, check disabling, compile
+                             cache and the fork-snapshot capture pass *)
   trials_sec : float;    (** the parallel trial phase *)
   wall_sec : float;      (** whole campaign, entry to exit *)
+  domains : int;         (** worker domains the campaign was asked to use *)
   pool : Pool.stats option;  (** per-domain breakdown of the trial phase *)
 }
 
@@ -268,17 +346,80 @@ type run_stats = {
     without an injection there is nothing to seed. *)
 let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
     ?(fault_kind = Interp.Machine.Register_bit) ?(domains = 1)
-    ?(checkpoint_interval = 0) ?(taint_trace = false) ?profile ?on_trial
-    ?stats_out ?progress subject ~trials =
+    ?(checkpoint_interval = 0) ?(taint_trace = false) ?(fork = true)
+    ?(fork_snapshots = 32) ?fork_stride ?profile ?on_trial ?stats_out
+    ?progress subject ~trials =
   let t_start = Unix.gettimeofday () in
   (* The golden also runs with checkpointing so its cycle count carries the
      fault-free overhead of the recovery configuration; its output and step
      count (the fault window) are interval-independent. *)
   let golden = golden_run ~checkpoint_interval subject in
+  let t_golden = Unix.gettimeofday () in
   let disabled = Hashtbl.create 8 in
   List.iter (fun uid -> Hashtbl.replace disabled uid ()) golden.failing_checks;
   let seeds = derive_seeds ~seed ~trials in
   let compiled = Interp.Compiled.cached subject.prog in
+  (* Golden-prefix snapshot capture (DESIGN.md §12): one extra fault-free
+     pass records resumable snapshots every [stride] steps, so trials skip
+     their fault-free prefix.  Skipped when profiling — a profiled trial
+     must observe its whole execution, not just the post-fork suffix. *)
+  let fork_snaps =
+    if (not fork) || profile <> None || trials = 0 || golden.steps <= 1 then
+      None
+    else begin
+      let stride =
+        match fork_stride with
+        | Some s -> max 1 s
+        | None -> max 1 (golden.steps / max 1 fork_snapshots)
+      in
+      let plan = Interp.Fork.plan ~stride in
+      let state = subject.fresh_state () in
+      let config =
+        { Interp.Machine.default_config with
+          mode = Interp.Machine.Record; checkpoint_interval }
+      in
+      let r =
+        Interp.Machine.run_compiled ~config ~fork_capture:plan compiled
+          ~entry:subject.entry ~args:state.args ~mem:state.mem
+      in
+      (* The capture pass must replay the golden run exactly; anything
+         else (a nondeterministic subject) voids the fork determinism
+         argument, so fall back to from-scratch trials.  A stride larger
+         than the run captures nothing and falls back the same way. *)
+      match r.Interp.Machine.stop with
+      | Interp.Machine.Finished _
+        when r.Interp.Machine.steps = golden.steps
+             && r.Interp.Machine.cycles = golden.cycles ->
+        let snaps = Interp.Fork.finalize plan in
+        if Array.length snaps = 0 then None else Some snaps
+      | _ -> None
+    end
+  in
+  (* Per-domain trial contexts, created lazily on first use and keyed by
+     domain id (ids are unique among live domains, and the table dies with
+     the run, so nothing leaks across campaigns).  The mutex only guards
+     the table; each domain reads and writes its own key. *)
+  let ctx_lock = Mutex.create () in
+  let ctxs : (int, worker_ctx) Hashtbl.t = Hashtbl.create 8 in
+  let get_ctx () =
+    let id = (Domain.self () :> int) in
+    Mutex.lock ctx_lock;
+    let found = Hashtbl.find_opt ctxs id in
+    Mutex.unlock ctx_lock;
+    match found with
+    | Some c -> c
+    | None ->
+      let state = subject.fresh_state () in
+      let c =
+        { wc_state = state;
+          wc_image0 = Interp.Memory.capture state.mem;
+          wc_arena = Interp.Machine.arena () }
+      in
+      Mutex.lock ctx_lock;
+      Hashtbl.replace ctxs id c;
+      Mutex.unlock ctx_lock;
+      c
+  in
   let t_trials = Unix.gettimeofday () in
   (* Each trial profiles into its own instance; the merge below runs in
      trial order on the calling domain, so the aggregate is deterministic
@@ -290,16 +431,17 @@ let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
   in
   let pool_stats = ref None in
   let results =
-    Pool.map ~domains ~stats:pool_stats
+    Pool.map ~domains ~gc:Pool.campaign_gc_tuning ~stats:pool_stats
       (fun i ->
-        let profile =
-          if Array.length trial_profiles = 0 then None
-          else Some trial_profiles.(i)
-        in
         let t =
-          run_trial ~fault_kind ~compiled ?profile ~checkpoint_interval
-            ~taint_trace subject ~golden ~disabled ~hw_window
-            ~seed:seeds.(i)
+          if Array.length trial_profiles = 0 then
+            run_trial_in ~fault_kind ~compiled ~checkpoint_interval
+              ~taint_trace ~ctx:(get_ctx ()) ~snaps:fork_snaps subject
+              ~golden ~disabled ~hw_window ~seed:seeds.(i)
+          else
+            run_trial ~fault_kind ~compiled ~profile:trial_profiles.(i)
+              ~checkpoint_interval ~taint_trace subject ~golden ~disabled
+              ~hw_window ~seed:seeds.(i)
         in
         (match progress with
          | Some pg -> Progress.note pg t.outcome
@@ -321,8 +463,12 @@ let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
    | Some r ->
      r :=
        Some
-         { golden_sec = t_trials -. t_start; trials_sec = t_end -. t_trials;
-           wall_sec = t_end -. t_start; pool = !pool_stats }
+         { golden_sec = t_golden -. t_start;
+           setup_sec = t_trials -. t_golden;
+           trials_sec = t_end -. t_trials;
+           wall_sec = t_end -. t_start;
+           domains = max 1 domains;
+           pool = !pool_stats }
    | None -> ());
   let counts =
     List.map

@@ -109,14 +109,20 @@ val run_trial :
     master generator up front — the campaign determinism contract: seed
     assignment depends only on ([seed], trial index), never on worker
     scheduling.  Matches the sequence the historical serial loop drew one
-    trial at a time. *)
+    trial at a time, except that a colliding draw (the 30-bit draws can
+    repeat across indices) is deterministically bumped into a higher band
+    until unique — every returned seed is distinct, so no two trials are
+    silently the same trial. *)
 val derive_seeds : seed:int -> trials:int -> int array
 
 (** Wall-clock accounting of one {!run}; observation-only. *)
 type run_stats = {
-  golden_sec : float;    (** golden run (and check-disabling setup) *)
+  golden_sec : float;    (** the golden run alone *)
+  setup_sec : float;     (** seed derivation, check disabling, compile
+                             cache and the fork-snapshot capture pass *)
   trials_sec : float;    (** the parallel trial phase *)
   wall_sec : float;      (** whole campaign, entry to exit *)
+  domains : int;         (** worker domains the campaign was asked to use *)
   pool : Pool.stats option;  (** per-domain breakdown of the trial phase *)
 }
 
@@ -142,7 +148,21 @@ type run_stats = {
     [taint_trace] (default false) attaches the fault-propagation tracer
     ({!Interp.Taint}) to every trial: outcomes, step and cycle counts stay
     bit-identical, each trial just additionally carries [Some] propagation
-    summary.  The golden run stays untraced. *)
+    summary.  The golden run stays untraced.
+
+    [fork] (default true) enables golden-prefix snapshot forking
+    (DESIGN.md §12): one extra fault-free pass captures resumable machine
+    snapshots at a fixed step stride, and every trial then starts from the
+    newest snapshot strictly before its injection step instead of
+    re-executing the fault-free prefix.  Trials are bit-identical with
+    forking on or off — outcomes, steps, cycles, everything a {!trial}
+    records.  [fork_snapshots] (default 32) sets how many snapshots the
+    capture pass aims for (stride = golden steps / [fork_snapshots]);
+    [fork_stride] overrides the stride directly.  A stride larger than the
+    golden run captures nothing and the campaign degrades to from-scratch
+    trials; likewise when the capture pass fails to replay the golden run
+    exactly, or when [profile] is set (a profiled trial must observe its
+    whole execution, not just the post-fork suffix). *)
 val run :
   ?hw_window:int ->
   ?seed:int ->
@@ -150,6 +170,9 @@ val run :
   ?domains:int ->
   ?checkpoint_interval:int ->
   ?taint_trace:bool ->
+  ?fork:bool ->
+  ?fork_snapshots:int ->
+  ?fork_stride:int ->
   ?profile:Interp.Profile.t ->
   ?on_trial:(int -> trial -> unit) ->
   ?stats_out:run_stats option ref ->

@@ -125,8 +125,10 @@ let pool_stats_json (ps : Pool.stats) =
 let stats_json (rs : Campaign.run_stats) =
   Json.Obj
     ([ ("golden_sec", Json.Float rs.golden_sec);
+       ("setup_sec", Json.Float rs.setup_sec);
        ("trials_sec", Json.Float rs.trials_sec);
-       ("wall_sec", Json.Float rs.wall_sec) ]
+       ("wall_sec", Json.Float rs.wall_sec);
+       ("domains", Json.Int rs.domains) ]
      @ opt_field "pool" pool_stats_json rs.pool)
 
 let manifest_record ?git ?technique ?stats ?(checkpoint_interval = 0)

@@ -12,11 +12,18 @@
 (** Domains the hardware comfortably supports, always at least 1. *)
 let recommended_domains () = max 1 (Domain.recommended_domain_count ())
 
-(* Contiguous chunks keep per-index dispatch overhead (one atomic
-   fetch-and-add per chunk) negligible against trial runtimes while still
-   load-balancing runs whose lengths vary by outcome (an early SWDetect
-   trial is much shorter than a run to completion). *)
-let default_chunk ~domains n = max 1 (min 32 (n / (domains * 8)))
+(* Ceiling on a guided-self-scheduling claim; with claims decaying toward
+   single items at the tail, the cap only shapes the very first claims of
+   large index spaces. *)
+let guided_cap = 64
+
+(* Size of the next guided claim when [cur] indices are already taken:
+   half an even share of the remaining work.  Early claims are large
+   (amortizing the atomic), tail claims decay to one item, so a straggler
+   (one jpegdec-length trial) bounds the finish-line imbalance by a single
+   item instead of a whole fixed-size chunk. *)
+let guided_size ~domains ~n cur =
+  max 1 (min guided_cap ((n - cur + (2 * domains) - 1) / (2 * domains)))
 
 type stats = {
   st_domains : int;
@@ -27,13 +34,47 @@ type stats = {
 
 let put_stats out stats = match out with None -> () | Some r -> r := Some stats
 
+(** Per-worker GC tuning ({!map}'s [gc]): OCaml 5 minor collections are
+    stop-the-world across *all* domains, so campaign workers that allocate
+    boxed values every step drag each other into frequent global pauses at
+    the 256k-word default minor heap.  A larger per-domain minor heap and a
+    laxer space overhead trade memory for fewer global syncs — the main
+    multi-domain scaling lever for allocation-heavy trial workers. *)
+type gc_tuning = {
+  gc_minor_heap_words : int;   (** per-domain minor heap size, in words *)
+  gc_space_overhead : int;     (** major-GC space/work trade-off, percent *)
+}
+
+(** The tuning fault campaigns use: a 16 MiB (2M-word) minor heap per
+    worker and double the default space overhead. *)
+let campaign_gc_tuning =
+  { gc_minor_heap_words = 1 lsl 21; gc_space_overhead = 200 }
+
+(* Run [f] under a tuning, restoring the caller domain's settings after
+   (spawned workers die with their domain, but worker 0 is the caller). *)
+let with_gc tuning f =
+  match tuning with
+  | None -> f ()
+  | Some t ->
+    let g = Gc.get () in
+    Fun.protect
+      ~finally:(fun () -> Gc.set g)
+      (fun () ->
+        Gc.set
+          { g with
+            Gc.minor_heap_size = t.gc_minor_heap_words;
+            space_overhead = t.gc_space_overhead };
+        f ())
+
 (** [map ~domains f n] is [\[| f 0; f 1; ...; f (n-1) |\]], computed by
     [domains] workers.  [f] must be safe to call from any domain and must
     not depend on call order.  [domains <= 1] (or [n <= 1]) degenerates to
     a plain in-order serial loop with no domain spawned.  [stats] receives
     the per-worker timing/work record — observation only, the output array
-    never depends on it. *)
-let map ?chunk ?stats ?progress ~domains f n =
+    never depends on it.  [chunk] forces fixed-size chunks; by default
+    workers claim guided (decreasing) chunks.  [gc] applies a per-domain
+    GC tuning for the duration of the call. *)
+let map ?chunk ?gc ?stats ?progress ~domains f n =
   (* Global completed-trial counter behind [?progress]; shared across
      workers so the hook sees one monotone 1..n sequence regardless of how
      chunks interleave. *)
@@ -50,25 +91,44 @@ let map ?chunk ?stats ?progress ~domains f n =
   end
   else begin
     let domains = max 1 (min domains n) in
-    if domains = 1 then begin
-      let t0 = Unix.gettimeofday () in
-      let first = f 0 in
-      let out = Array.make n first in
-      notify ();
-      for i = 1 to n - 1 do
-        out.(i) <- f i;
-        notify ()
-      done;
-      put_stats stats
-        { st_domains = 1; st_chunk = n;
-          st_wall = [| Unix.gettimeofday () -. t0 |]; st_items = [| n |] };
-      out
-    end
+    if domains = 1 then
+      with_gc gc (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let first = f 0 in
+        let out = Array.make n first in
+        notify ();
+        for i = 1 to n - 1 do
+          out.(i) <- f i;
+          notify ()
+        done;
+        put_stats stats
+          { st_domains = 1; st_chunk = n;
+            st_wall = [| Unix.gettimeofday () -. t0 |]; st_items = [| n |] };
+        out)
     else begin
+      (* [Some c]: fixed-size chunks of c.  [None]: guided self-scheduling
+         (see {!guided_size}); [st_chunk] then reports the first claim's
+         size. *)
+      let fixed = Option.map (max 1) chunk in
+      let claim next =
+        match fixed with
+        | Some c -> (Atomic.fetch_and_add next c, c)
+        | None ->
+          let rec go () =
+            let cur = Atomic.get next in
+            if cur >= n then (cur, 1)
+            else begin
+              let size = guided_size ~domains ~n cur in
+              if Atomic.compare_and_set next cur (cur + size) then (cur, size)
+              else go ()
+            end
+          in
+          go ()
+      in
       let chunk =
-        match chunk with
-        | Some c -> max 1 c
-        | None -> default_chunk ~domains n
+        match fixed with
+        | Some c -> c
+        | None -> guided_size ~domains ~n 0
       in
       let out = Array.make n None in
       let next = Atomic.make 0 in
@@ -80,6 +140,7 @@ let map ?chunk ?stats ?progress ~domains f n =
       let wall = Array.make domains 0.0 in
       let items = Array.make domains 0 in
       let worker wid () =
+        with_gc gc @@ fun () ->
         let t0 = Unix.gettimeofday () in
         let done_ = ref 0 in
         Fun.protect
@@ -95,10 +156,10 @@ let map ?chunk ?stats ?progress ~domains f n =
               while !continue_ do
                 if Atomic.get cancelled then continue_ := false
                 else begin
-                  let start = Atomic.fetch_and_add next chunk in
+                  let start, size = claim next in
                   if start >= n then continue_ := false
                   else
-                    for i = start to min (start + chunk) n - 1 do
+                    for i = start to min (start + size) n - 1 do
                       out.(i) <- Some (f i);
                       done_ := !done_ + 1;
                       notify ()

@@ -1,0 +1,85 @@
+(** Golden-prefix snapshot forking (DESIGN.md §12).
+
+    Every fault-injection trial executes a fault-free prefix that is
+    bit-identical to the golden run up to its injection step: the seeds,
+    inputs and code are the same, and every value check that fails without
+    a fault is disabled for trials, so the two executions cannot diverge
+    before the flip.  A campaign therefore captures resumable machine
+    snapshots *during one golden pass* — at a fixed step stride — and each
+    trial starts from the newest snapshot strictly before its [at_step]
+    instead of re-executing the prefix.
+
+    A fork snapshot is a deep, immutable copy of everything a resumed run
+    needs: the frame stack (register files, rings, control positions), the
+    full memory image, and the counters a from-scratch run would carry at
+    that step (steps, cycles, slack credit, recorded check failures).
+    When the run checkpoints, snapshots are only taken at checkpoint
+    events, and additionally record the golden checkpoint's footprint so
+    the resumed trial can synthesize the checkpoint it would hold
+    ({!Snapshot.resume}) — keeping rollback targets and costs
+    bit-identical.
+
+    Snapshots are read-only after capture and safe to share across
+    domains: resuming copies out of them, never into them. *)
+
+(** The checkpoint the golden run took at the capture step, recorded so a
+    resumed trial reproduces the checkpoint state a from-scratch run would
+    hold.  Present iff the capture run checkpointed. *)
+type ckpt = {
+  fc_words : int;   (** {!Snapshot.words} of that golden checkpoint *)
+  fc_cycles : int;  (** cycle counter at its creation (before the
+                        checkpoint cost was charged) *)
+  fc_count : int;   (** checkpoints taken in the prefix, inclusive *)
+}
+
+type snap = {
+  fk_step : int;            (** step counter at capture (between instructions) *)
+  fk_cycles : int;          (** cycle counter to resume with (after any
+                                checkpoint cost charged at this step) *)
+  fk_frames : Snapshot.frame_snap list;  (** call stack, innermost first *)
+  fk_mem : Memory.image;    (** deep copy of the whole memory *)
+  fk_valchk_failures : int; (** ignored-check failures so far *)
+  fk_failed_uids : int list;(** distinct uids of those checks, sorted *)
+  fk_slack_credit : int;    (** spare-issue-slot account (see Cost) *)
+  fk_ckpt : ckpt option;    (** [Some] iff the capture run checkpointed *)
+}
+
+(** A capture in progress: {!Machine.run_compiled} appends a snapshot
+    whenever the step counter crosses the next stride boundary (at a loop
+    head — or, when checkpointing, exactly at a checkpoint event, so the
+    capture point is a consistent resume position either way). *)
+type plan = {
+  fp_stride : int;
+  mutable fp_snaps : snap list;   (** newest first during capture *)
+}
+
+let plan ~stride =
+  if stride <= 0 then invalid_arg "Fork.plan: stride must be positive";
+  { fp_stride = stride; fp_snaps = [] }
+
+(** Captured snapshots in ascending step order; a stride larger than the
+    run's step count yields [[||]] (callers then fall back to
+    from-scratch execution). *)
+let finalize plan = Array.of_list (List.rev plan.fp_snaps)
+
+(** Newest snapshot strictly before [at_step], or [None] (run from
+    scratch).  Strictly: the injection lands while executing the
+    instruction that advances the counter *to* [at_step], so a snapshot
+    taken at [at_step] would already be past the from-scratch injection
+    point. *)
+let best snaps ~at_step =
+  let n = Array.length snaps in
+  let lo = ref 0 and hi = ref (n - 1) and found = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if snaps.(mid).fk_step < at_step then begin
+      found := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  if !found < 0 then None else Some snaps.(!found)
+
+(** Memory words the snapshot array pins, for capture budgeting. *)
+let words snaps =
+  Array.fold_left (fun acc s -> acc + Memory.image_words s.fk_mem) 0 snaps

@@ -130,8 +130,11 @@ let default_config =
 exception Stop_detected of detection
 exception Stop_trap of trap
 
+(* Every field an arena reset touches is mutable: pooled frames are reused
+   across calls and trials instead of reallocated (the register-file
+   arrays are the dominant per-call allocation). *)
 type frame = {
-  cfunc : Compiled.cfunc;
+  mutable cfunc : Compiled.cfunc;
   values : Value.t array;
   defined : bool array;
   (** ring of the most recent register writes — the modelled architectural
@@ -143,10 +146,26 @@ type frame = {
   mutable idx : int;              (** next body-instruction index *)
   mutable prev_block : int;       (** index of the block we came from;
                                       -1 on function entry *)
-  ret_dest : Instr.reg option;    (** caller register receiving the result *)
-  taint : Taint.regs;             (** shadow register taint; the shared
+  mutable ret_dest : Instr.reg option; (** caller register receiving the result *)
+  mutable taint : Taint.regs;     (** shadow register taint; the shared
                                       {!Taint.no_regs} when tracing is off *)
 }
+
+(** Reusable per-worker scratch (DESIGN.md §12): recycled frames (register
+    files, defined bits, rings) and the phi scratch arrays, reset between
+    runs instead of reallocated.  One arena serves one worker domain at a
+    time; attach it to every {!run_compiled} call of that worker's trials.
+    Observation-free: results are bit-identical with or without one. *)
+type arena = {
+  mutable ar_frames : frame list;  (** free pool, all [ar_width] registers wide *)
+  mutable ar_width : int;          (** register-file width of the pooled frames;
+                                       a different program drops the pool *)
+  mutable ar_phi_vals : Value.t array;
+  mutable ar_phi_set : bool array;
+}
+
+let arena () =
+  { ar_frames = []; ar_width = -1; ar_phi_vals = [||]; ar_phi_set = [||] }
 
 type state = {
   compiled : Compiled.t;
@@ -184,6 +203,10 @@ type state = {
   mutable rollback_denied : bool;
   phi_vals : Value.t array;       (** scratch for parallel phi copies *)
   phi_set : bool array;
+  arena : arena option;           (** frame pool / scratch source, if any *)
+  fork : Fork.plan option;        (** golden-prefix capture plan, if any *)
+  mutable next_fork : int;        (** step of the next fork capture;
+                                      [max_int] when not capturing *)
 }
 
 (** The modelled architectural register file holds the 16 most recently
@@ -237,30 +260,106 @@ let write (fr : frame) r v =
   Array.unsafe_set fr.values r v
   [@@inline]
 
-let new_frame (st : state) (cfunc : Compiled.cfunc) ~args ~ret_dest =
-  let values = Array.make st.compiled.next_reg Value.zero in
-  let defined = Array.make st.compiled.next_reg false in
-  let fr =
-    { cfunc; values; defined;
-      recent = Array.make arch_registers 0; recent_n = 0; recent_pos = 0;
-      cblock = cfunc.cf_blocks.(cfunc.cf_entry); idx = 0;
-      prev_block = -1; ret_dest;
-      taint =
-        (match st.trace with
-         | Some _ -> Taint.fresh_regs st.compiled.Compiled.next_reg
-         | None -> Taint.no_regs) }
-  in
+let fresh_frame (st : state) (cfunc : Compiled.cfunc) ~ret_dest =
+  { cfunc;
+    values = Array.make st.compiled.next_reg Value.zero;
+    defined = Array.make st.compiled.next_reg false;
+    recent = Array.make arch_registers 0; recent_n = 0; recent_pos = 0;
+    cblock = cfunc.cf_blocks.(cfunc.cf_entry); idx = 0;
+    prev_block = -1; ret_dest;
+    taint =
+      (match st.trace with
+       | Some _ -> Taint.fresh_regs st.compiled.Compiled.next_reg
+       | None -> Taint.no_regs) }
+
+(* Frame allocation goes through the arena when one is attached: a
+   recycled frame is reset in place — clear the defined bits, rewind the
+   ring — instead of reallocating the register file, which is the dominant
+   per-call allocation.  The reset leaves [values] dirty; that is safe
+   because every read is gated on [defined] and the fault targeting ring
+   only ever holds registers that were written or read. *)
+let alloc_frame (st : state) (cfunc : Compiled.cfunc) ~ret_dest =
+  match st.arena with
+  | Some a when a.ar_width = st.compiled.Compiled.next_reg ->
+    (match a.ar_frames with
+     | fr :: rest ->
+       a.ar_frames <- rest;
+       let width = a.ar_width in
+       fr.cfunc <- cfunc;
+       Array.fill fr.defined 0 width false;
+       fr.recent_n <- 0;
+       fr.recent_pos <- 0;
+       fr.cblock <- cfunc.Compiled.cf_blocks.(cfunc.Compiled.cf_entry);
+       fr.idx <- 0;
+       fr.prev_block <- -1;
+       fr.ret_dest <- ret_dest;
+       (match st.trace with
+        | Some _ ->
+          let t = fr.taint in
+          if t != Taint.no_regs && Array.length t.Taint.bits = width
+          then begin
+            Array.fill t.Taint.bits 0 width false;
+            t.Taint.n <- 0
+          end
+          else fr.taint <- Taint.fresh_regs width
+        | None -> fr.taint <- Taint.no_regs);
+       fr
+     | [] -> fresh_frame st cfunc ~ret_dest)
+  | _ -> fresh_frame st cfunc ~ret_dest
+
+(* Return a frame to the arena once it leaves the stack (function return,
+   rollback replacement, end of run).  Snapshots never alias frames —
+   {!snap_frame} copies the arrays — so recycling cannot corrupt retained
+   checkpoints or fork snapshots. *)
+let recycle_frame (st : state) (fr : frame) =
+  match st.arena with
+  | Some a when a.ar_width = Array.length fr.values ->
+    a.ar_frames <- fr :: a.ar_frames
+  | _ -> ()
+
+let note_frame_profile st (cfunc : Compiled.cfunc) =
+  match st.profile with
+  | Some p ->
+    Profile.note_block p cfunc.Compiled.cf_name
+      (Array.length cfunc.Compiled.cf_blocks) cfunc.Compiled.cf_entry
+  | None -> ()
+
+(** Program-entry frame: arguments are already values. *)
+let entry_frame (st : state) (cfunc : Compiled.cfunc) ~args =
+  let fr = alloc_frame st cfunc ~ret_dest:None in
   (try List.iter2 (fun r v -> write fr r v) cfunc.cf_params args
    with Invalid_argument _ ->
      invalid_arg
        (Printf.sprintf "call to %s: expected %d arguments, got %d"
           cfunc.cf_name
           (List.length cfunc.cf_params) (List.length args)));
-  (match st.profile with
-   | Some p ->
-     Profile.note_block p cfunc.Compiled.cf_name
-       (Array.length cfunc.Compiled.cf_blocks) cfunc.Compiled.cf_entry
-   | None -> ());
+  note_frame_profile st cfunc;
+  fr
+
+(** Call frame: arguments are operands of the caller's frame, bound to the
+    callee's parameters left to right with no intermediate argument list
+    (zero-alloc dispatch).  Reads hit the caller, writes the fresh callee —
+    distinct frames even under recursion — so interleaving them preserves
+    the exact ring-update sequence of the historical evaluate-then-bind
+    path. *)
+let call_frame (st : state) (cfunc : Compiled.cfunc) ~(caller : frame) ~args
+    ~ret_dest =
+  let fr = alloc_frame st cfunc ~ret_dest in
+  let rec bind params ops =
+    match params, ops with
+    | [], [] -> ()
+    | p :: ps, op :: rest ->
+      let v = read st caller op in
+      write fr p v;
+      bind ps rest
+    | [], _ :: _ | _ :: _, [] ->
+      invalid_arg
+        (Printf.sprintf "call to %s: expected %d arguments, got %d"
+           cfunc.Compiled.cf_name
+           (List.length cfunc.Compiled.cf_params) (List.length args))
+  in
+  bind cfunc.Compiled.cf_params args;
+  note_frame_profile st cfunc;
   fr
 
 (** Flip a random bit of a random recently-written register of the active
@@ -537,8 +636,7 @@ let exec_instr st (fr : frame) (ci : Compiled.cinstr) meta =
   | Compiled.CCall { name; callee; args; dest } ->
     if callee < 0 then raise (Stop_trap (Unknown_function name));
     let cf = st.compiled.Compiled.funcs.(callee) in
-    let arg_values = List.map (fun op -> read st fr op) args in
-    let callee_frame = new_frame st cf ~args:arg_values ~ret_dest:dest in
+    let callee_frame = call_frame st cf ~caller:fr ~args ~ret_dest:dest in
     st.stack <- callee_frame :: st.stack
   | Compiled.CDup_check { uid; a; b } ->
     let vb = read_code st fr b in
@@ -605,7 +703,9 @@ let exec_terminator st (fr : frame) =
     None
   | Compiled.Cret op ->
     tick st ~cycles:Cost.ret;
-    let v = Option.map (read st fr) op in
+    (* Inline match, not [Option.map]: the partial application would
+       allocate a closure on every return. *)
+    let v = match op with None -> None | Some o -> Some (read st fr o) in
     let ret_tainted =
       match st.trace with
       | Some _ ->
@@ -628,6 +728,7 @@ let exec_terminator st (fr : frame) =
                 propagation, not death, so the death check is skipped. *)
              if not ret_tainted then Taint.death_check tr ~step:st.steps
            | None -> ());
+          recycle_frame st fr;
           Some v         (* program finished *)
         | caller :: _ ->
           (match fr.ret_dest, v with
@@ -645,6 +746,7 @@ let exec_terminator st (fr : frame) =
               | None -> ());
              Taint.death_check tr ~step:st.steps
            | None -> ());
+          recycle_frame st fr;
           None))
 
 (* ----- Checkpoint / rollback recovery (DESIGN.md §9) ----- *)
@@ -662,25 +764,49 @@ let snap_frame (fr : frame) : Snapshot.frame_snap =
     fs_ret_dest = fr.ret_dest }
 
 (* The arrays are copied again on restore so the snapshot itself stays
-   pristine — a retained checkpoint must survive its own restoration.
-   Shadow taint is not snapshotted: the restored state predates the fault,
-   so the frames come back with fresh all-clean shadow registers (the
-   tracer's counters are cleared by {!Taint.rollback} alongside). *)
+   pristine — a retained checkpoint must survive its own restoration (and
+   fork snapshots are shared read-only across worker domains).  Shadow
+   taint is not snapshotted: the restored state predates the fault, so the
+   frames come back with all-clean shadow registers (the tracer's counters
+   are cleared by {!Taint.rollback} alongside).  Goes through the arena
+   pool when one is attached. *)
 let restore_frame st (fs : Snapshot.frame_snap) : frame =
-  { cfunc = fs.fs_cfunc;
-    values = Array.copy fs.fs_values;
-    defined = Array.copy fs.fs_defined;
-    recent = Array.copy fs.fs_recent;
-    recent_n = fs.fs_recent_n;
-    recent_pos = fs.fs_recent_pos;
-    cblock = fs.fs_cfunc.Compiled.cf_blocks.(fs.fs_block);
-    idx = fs.fs_idx;
-    prev_block = fs.fs_prev_block;
-    ret_dest = fs.fs_ret_dest;
-    taint =
-      (match st.trace with
-       | Some _ -> Taint.fresh_regs (Array.length fs.fs_values)
-       | None -> Taint.no_regs) }
+  let fr = alloc_frame st fs.fs_cfunc ~ret_dest:fs.fs_ret_dest in
+  Array.blit fs.fs_values 0 fr.values 0 (Array.length fs.fs_values);
+  Array.blit fs.fs_defined 0 fr.defined 0 (Array.length fs.fs_defined);
+  Array.blit fs.fs_recent 0 fr.recent 0 (Array.length fs.fs_recent);
+  fr.recent_n <- fs.fs_recent_n;
+  fr.recent_pos <- fs.fs_recent_pos;
+  fr.cblock <- fs.fs_cfunc.Compiled.cf_blocks.(fs.fs_block);
+  fr.idx <- fs.fs_idx;
+  fr.prev_block <- fs.fs_prev_block;
+  fr
+
+(* Capture one golden-prefix fork snapshot ({!Fork}): the current loop
+   head is a consistent resume position (same argument as checkpoints:
+   the fast path retires whole blocks, so the head only ever sees block
+   boundaries or slow-path steps).  [ckpt] carries the checkpoint the run
+   took at this very step, when checkpointing is on — captures then
+   coincide with checkpoint events so a resumed trial can synthesize the
+   checkpoint a from-scratch run would hold. *)
+let capture_fork st ~ckpt =
+  match st.fork with
+  | None -> ()
+  | Some plan ->
+    let snap =
+      { Fork.fk_step = st.steps;
+        fk_cycles = st.cycles;
+        fk_frames = List.map snap_frame st.stack;
+        fk_mem = Memory.capture st.mem;
+        fk_valchk_failures = st.valchk_failures;
+        fk_failed_uids =
+          Hashtbl.fold (fun uid () acc -> uid :: acc) st.failed_uids []
+          |> List.sort compare;
+        fk_slack_credit = st.slack_credit;
+        fk_ckpt = ckpt }
+    in
+    plan.Fork.fp_snaps <- snap :: plan.Fork.fp_snaps;
+    st.next_fork <- st.steps + plan.Fork.fp_stride
 
 (* Checkpoints are taken at the interpreter loop head, where [fr.idx] is a
    consistent resume position (the call-free fast path retires a whole
@@ -706,7 +832,18 @@ let take_checkpoint st =
   st.ckpt_cur <- Some snap;
   st.ckpt_count <- st.ckpt_count + 1;
   st.cycles <- st.cycles + Cost.checkpoint ~words:(Snapshot.words snap);
-  st.next_checkpoint <- st.steps + st.config.checkpoint_interval
+  st.next_checkpoint <- st.steps + st.config.checkpoint_interval;
+  (* When a checkpointing golden run is also capturing fork snapshots, the
+     capture happens exactly here, after the checkpoint cost is charged:
+     the snapshot's resume cycles include that cost, and the checkpoint's
+     own pre-cost cycles and footprint ride along so a resumed trial
+     reproduces both the rollback target and its accounting. *)
+  if st.steps >= st.next_fork then
+    capture_fork st
+      ~ckpt:
+        (Some { Fork.fc_words = Snapshot.words snap;
+                fc_cycles = snap.Snapshot.sn_cycles;
+                fc_count = st.ckpt_count })
 
 (** A software check fired: try to roll back to the newest retained
     checkpoint that predates the injected fault and replay.  Returns false
@@ -739,6 +876,9 @@ let try_recover st (d : detection) =
        | Some snap ->
          let detect_step = st.steps and detect_cycles = st.cycles in
          Memory.rollback st.mem snap.Snapshot.sn_mem;
+         (* The wasted segment's frames go back to the pool; the restore
+            below blits the snapshot's private copies into them. *)
+         List.iter (recycle_frame st) st.stack;
          st.stack <- List.map (restore_frame st) snap.Snapshot.sn_frames;
          st.slack_credit <- 0;               (* the rollback flushes the pipe *)
          (* The restore erased the transient fault's architectural effects;
@@ -767,7 +907,28 @@ let try_recover st (d : detection) =
          st.next_checkpoint <- st.steps + st.config.checkpoint_interval;
          true)
 
-let run_compiled ?(config = default_config) compiled ~entry ~args ~mem =
+let run_compiled ?(config = default_config) ?arena ?fork_capture ?resume
+    compiled ~entry ~args ~mem =
+  (* Phi scratch and the frame pool come from the arena when one is
+     attached; a width change (different program) drops the pool. *)
+  let nphi = max 1 compiled.Compiled.max_phis in
+  let phi_vals, phi_set =
+    match arena with
+    | Some a ->
+      if Array.length a.ar_phi_vals < nphi then begin
+        a.ar_phi_vals <- Array.make nphi Value.zero;
+        a.ar_phi_set <- Array.make nphi false
+      end;
+      (a.ar_phi_vals, a.ar_phi_set)
+    | None -> (Array.make nphi Value.zero, Array.make nphi false)
+  in
+  (match arena with
+   | Some a ->
+     if a.ar_width <> compiled.Compiled.next_reg then begin
+       a.ar_frames <- [];
+       a.ar_width <- compiled.Compiled.next_reg
+     end
+   | None -> ());
   let st =
     { compiled; imms = compiled.Compiled.imms; on_def = config.on_def;
       profile = config.profile;
@@ -783,10 +944,19 @@ let run_compiled ?(config = default_config) compiled ~entry ~args ~mem =
         (if config.checkpoint_interval > 0 then 0 else max_int);
       ckpt_cur = None; ckpt_prev = None; ckpt_count = 0;
       recovered = None; rollback_denied = false;
-      phi_vals = Array.make (max 1 compiled.Compiled.max_phis) Value.zero;
-      phi_set = Array.make (max 1 compiled.Compiled.max_phis) false }
+      phi_vals; phi_set;
+      arena; fork = fork_capture;
+      (* The first capture waits one full stride: the step-0 state is the
+         input state the caller already has. *)
+      next_fork =
+        (match fork_capture with
+         | Some p -> p.Fork.fp_stride
+         | None -> max_int) }
   in
   let finish stop =
+    (* Frames still on the stack feed the next trial's allocations. *)
+    List.iter (recycle_frame st) st.stack;
+    st.stack <- [];
     { stop; steps = st.steps; cycles = st.cycles;
       valchk_failures = st.valchk_failures;
       failed_check_uids =
@@ -803,6 +973,12 @@ let run_compiled ?(config = default_config) compiled ~entry ~args ~mem =
        on options would call the polymorphic comparator every step. *)
     while (match !result with None -> true | Some _ -> false) do
       if st.steps >= st.next_checkpoint then take_checkpoint st;
+      (* Fork captures piggyback on checkpoint events when checkpointing
+         is on (see {!take_checkpoint}); otherwise any loop head crossing
+         the stride boundary is a consistent capture point.  [next_fork]
+         is [max_int] outside capture runs, so trials pay one compare. *)
+      if st.steps >= st.next_fork && config.checkpoint_interval = 0 then
+        capture_fork st ~ckpt:None;
       if st.steps >= config.fuel then result := Some Out_of_fuel
       else begin
         match st.stack with
@@ -856,10 +1032,54 @@ let run_compiled ?(config = default_config) compiled ~entry ~args ~mem =
       if try_recover st d then drive () else Sw_detected d
   in
   match
-    let entry_func = Compiled.find_func compiled entry in
-    let fr = new_frame st entry_func ~args ~ret_dest:None in
-    st.stack <- [ fr ];
-    if config.checkpoint_interval > 0 then Memory.enable_undo mem;
+    (match resume with
+     | None ->
+       let entry_func = Compiled.find_func compiled entry in
+       let fr = entry_frame st entry_func ~args in
+       st.stack <- [ fr ];
+       if config.checkpoint_interval > 0 then Memory.enable_undo mem
+     | Some (snap : Fork.snap) ->
+       (* Resume from a golden-prefix fork snapshot: restore the memory
+          image, the frame stack and every counter a from-scratch run
+          would carry at this step.  The injection must land after the
+          fork, or the resumed run would skip the very step the fault
+          targets. *)
+       (match config.fault with
+        | Some p when p.at_step <= snap.Fork.fk_step ->
+          invalid_arg
+            "Machine.run_compiled: resume snapshot does not predate the fault"
+        | Some _ | None -> ());
+       Memory.restore_image mem snap.Fork.fk_mem;
+       st.steps <- snap.Fork.fk_step;
+       st.cycles <- snap.Fork.fk_cycles;
+       st.valchk_failures <- snap.Fork.fk_valchk_failures;
+       List.iter (fun uid -> Hashtbl.replace st.failed_uids uid ())
+         snap.Fork.fk_failed_uids;
+       st.slack_credit <- snap.Fork.fk_slack_credit;
+       st.stack <- List.map (restore_frame st) snap.Fork.fk_frames;
+       if config.checkpoint_interval > 0 then begin
+         Memory.enable_undo mem;
+         match snap.Fork.fk_ckpt with
+         | Some ck ->
+           (* Synthesize the checkpoint the from-scratch run would hold:
+              taken at the fork step, mark at position 0 of the just-reset
+              undo journal (rolling back to it restores state-at-fork,
+              which is the checkpoint's state), golden footprint for
+              bit-identical rollback costs.  [ckpt_prev] is never needed:
+              the injection postdates this checkpoint, so it is always the
+              newest clean one. *)
+           st.ckpt_count <- ck.Fork.fc_count;
+           st.ckpt_cur <-
+             Some
+               (Snapshot.resume ~step:snap.Fork.fk_step
+                  ~cycles:ck.Fork.fc_cycles ~frames:snap.Fork.fk_frames
+                  ~mem ~words:ck.Fork.fc_words);
+           st.next_checkpoint <- snap.Fork.fk_step + config.checkpoint_interval
+         | None ->
+           invalid_arg
+             "Machine.run_compiled: checkpointing run resumed from a \
+              snapshot captured without checkpoint state"
+       end);
     drive ()
   with
   | stop -> finish stop

@@ -135,12 +135,43 @@ val run :
   mem:Memory.t ->
   result
 
+(** Reusable per-worker scratch (DESIGN.md §12): recycled call frames
+    (register files, defined bits, recent rings) and the phi scratch
+    arrays, reset between runs instead of reallocated.  One arena serves
+    one worker domain at a time — attach the same arena to every
+    {!run_compiled} call of that worker's trials.  Strictly
+    observation-free: results are bit-identical with or without one. *)
+type arena
+
+val arena : unit -> arena
+
 (** Like {!run}, against an already-lowered program.  Bit-identical to
     {!run} on the program it was compiled from; safe to call concurrently
     from several domains (the compiled form is read-only, all run state is
-    per-call). *)
+    per-call).
+
+    [arena] recycles frame and scratch allocations across runs (one arena
+    per worker domain; observation-free).
+
+    [fork_capture] (golden runs only) appends a resumable {!Fork.snap} to
+    the plan every time the step counter crosses a stride boundary — at a
+    loop head, or exactly at a checkpoint event when [checkpoint_interval]
+    is on.  Capture is observation-free for the capturing run itself.
+
+    [resume] starts the run from a previously captured fork snapshot
+    instead of the program entry: memory, frames, and the step/cycle/check
+    counters are restored so the run is bit-identical to a from-scratch
+    run — provided the configuration matches the capture run's (same
+    program, same [checkpoint_interval], and a fault landing strictly
+    after the snapshot's step; violations raise [Invalid_argument]).
+    [args] and [entry] are ignored on resume.  Runs that profile or hook
+    [on_def] observe only the post-fork suffix, so campaigns fall back to
+    from-scratch execution for profiled trials. *)
 val run_compiled :
   ?config:config ->
+  ?arena:arena ->
+  ?fork_capture:Fork.plan ->
+  ?resume:Fork.snap ->
   Compiled.t ->
   entry:string ->
   args:Ir.Value.t list ->

@@ -179,6 +179,55 @@ let retire t (m : mark) =
     t.undo_off <- m.mk_undo
   end
 
+(* ----- Whole-image capture and restore (golden-prefix forking) ----- *)
+
+(** A deep, self-contained copy of the memory contents: every region's
+    cells plus the allocation cursor.  Unlike a {!mark} (a position in the
+    undo journal), an image does not depend on the journal's history, so it
+    can restore a *different* [t] — the per-worker trial arenas restore the
+    golden run's captured state into their own memory.  Immutable once
+    captured; safe to share read-only across domains. *)
+type image = {
+  im_regions : region array;
+  im_next_base : int;
+}
+
+let capture t =
+  { im_regions =
+      Array.map (fun r -> { r with cells = Array.copy r.cells }) t.regions;
+    im_next_base = t.next_base }
+
+(** Overwrite [t]'s entire contents with [im], reusing [t]'s existing cell
+    arrays whenever the region layout matches (the steady state of an arena
+    reset: a blit per region, no allocation).  The undo journal is emptied
+    and journaling switched off — the restored state is a fresh starting
+    point with no history; re-enable journaling afterwards if the run
+    checkpoints. *)
+let restore_image t (im : image) =
+  let src = im.im_regions in
+  let n = Array.length src in
+  let old = t.regions in
+  let n_old = Array.length old in
+  let dst = if n_old = n then old else Array.sub src 0 n in
+  for i = 0 to n - 1 do
+    let s = src.(i) in
+    if i < n_old && old.(i).base = s.base && old.(i).size = s.size then begin
+      Array.blit s.cells 0 old.(i).cells 0 (Array.length s.cells);
+      dst.(i) <- old.(i)
+    end
+    else dst.(i) <- { s with cells = Array.copy s.cells }
+  done;
+  t.regions <- dst;
+  t.next_base <- im.im_next_base;
+  t.last <- 0;
+  t.undo_on <- false;
+  t.undo_len <- 0;
+  t.undo_off <- 0
+
+(** Words an image pins (diagnostics / capture budgeting). *)
+let image_words (im : image) =
+  Array.fold_left (fun acc r -> acc + Array.length r.cells) 0 im.im_regions
+
 (** Address extraction from a runtime value.  A float used as an address is a
     program error surfaced as a segfault-style trap; faults never change a
     value's kind, so this can only come from a workload bug. *)

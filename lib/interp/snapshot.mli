@@ -50,6 +50,20 @@ val create :
   dirty_words:int ->
   t
 
+(** Rebuild the checkpoint a golden-prefix-forked run holds at its fork
+    step ({!Fork}): [frames] are the fork snapshot's frame snaps, the
+    {!Memory.mark} is taken on the trial's own just-reset undo journal,
+    and [words] is the footprint the corresponding golden checkpoint
+    recorded — so a later rollback restores the same state and charges the
+    same {!Cost.rollback} as a from-scratch run's checkpoint would. *)
+val resume :
+  step:int ->
+  cycles:int ->
+  frames:frame_snap list ->
+  mem:Memory.t ->
+  words:int ->
+  t
+
 (** Live-state words the checkpoint preserved ({!Cost.checkpoint} input). *)
 val words : t -> int
 

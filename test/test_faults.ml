@@ -258,6 +258,36 @@ let test_derive_seeds_matches_serial () =
   let got = Faults.Campaign.derive_seeds ~seed ~trials in
   Alcotest.(check (array int)) "seed schedule" expected got
 
+let test_derive_seeds_unique () =
+  (* Regression: the raw 30-bit-draw-plus-index schedule collides for
+     these (seed, trials) pairs — (123, 100k) repeats 9 seeds, (1, 65536)
+     repeats 2 — and a repeated seed silently reruns the same trial.  The
+     deduped schedule must be pairwise distinct while keeping every
+     non-colliding draw at its historical value. *)
+  List.iter
+    (fun (seed, trials) ->
+      let seeds = Faults.Campaign.derive_seeds ~seed ~trials in
+      let seen = Hashtbl.create (2 * trials) in
+      let dups = ref 0 in
+      Array.iter
+        (fun s ->
+          if Hashtbl.mem seen s then incr dups;
+          Hashtbl.replace seen s ())
+        seeds;
+      Alcotest.(check int)
+        (Printf.sprintf "no duplicate seeds (seed=%d trials=%d)" seed trials)
+        0 !dups;
+      (* Spot-check the historical prefix survives: short schedules have no
+         collisions, so they must be byte-for-byte the raw draws. *)
+      let master = Rng.create seed in
+      let raw i = (Int64.to_int (Rng.bits master) land 0x3FFFFFFF) + i in
+      let agree = ref true in
+      for i = 0 to min 24 (trials - 1) do
+        if seeds.(i) <> raw i then agree := false
+      done;
+      Alcotest.(check bool) "non-colliding prefix unchanged" true !agree)
+    [ (123, 100_000); (1, 65_536) ]
+
 let test_percent_helpers () =
   let summary, _ = Faults.Campaign.run (array_sum_subject ()) ~trials:50 ~seed:9 in
   let total =
@@ -404,6 +434,74 @@ let test_recovery_parallel_identical () =
   Alcotest.(check bool) "some trial recovered" true
     (Faults.Campaign.count s1 Faults.Classify.Recovered > 0)
 
+(* ----- Golden-prefix snapshot forking ----- *)
+
+(* The fork determinism contract (DESIGN.md §12): the same campaign with
+   snapshot forking on and off must produce bit-identical trial lists —
+   outcomes, steps, cycles, injections, recovery and taint telemetry. *)
+let check_fork_identical ?fork_stride ~checkpoint_interval ~taint_trace
+    subject ~trials ~seed =
+  let run fork =
+    Faults.Campaign.run subject ~trials ~seed ~fork ?fork_stride
+      ~checkpoint_interval ~taint_trace
+  in
+  let s_on, t_on = run true in
+  let s_off, t_off = run false in
+  Alcotest.(check bool) "summaries identical" true
+    (s_on.Faults.Campaign.counts = s_off.Faults.Campaign.counts);
+  Alcotest.(check bool) "trial lists bit-identical" true
+    (Faults.Campaign.trials_equal t_on t_off)
+
+let test_fork_identical_all_workloads () =
+  (* Every registered workload under the paper's main technique. *)
+  List.iter
+    (fun (w : Workloads.Workload.t) ->
+      let p = Softft.protect w Softft.Dup_valchk in
+      let subject = Softft.subject p ~role:Workloads.Workload.Test in
+      check_fork_identical ~checkpoint_interval:0 ~taint_trace:false subject
+        ~trials:6 ~seed:321)
+    Workloads.Registry.all
+
+let test_fork_identical_configs () =
+  (* Deep cross on two workloads: technique x checkpointing x taint
+     tracing, covering the interactions the resume path must reproduce
+     (synthetic checkpoints, shadow-taint seeding after the fork). *)
+  List.iter
+    (fun name ->
+      List.iter
+        (fun technique ->
+          List.iter
+            (fun (checkpoint_interval, taint_trace) ->
+              let w = Workloads.Registry.find name in
+              let p = Softft.protect w technique in
+              let subject = Softft.subject p ~role:Workloads.Workload.Test in
+              check_fork_identical ~checkpoint_interval ~taint_trace subject
+                ~trials:4 ~seed:97)
+            [ (0, false); (0, true); (5_000, false); (5_000, true) ])
+        [ Softft.Original; Softft.Dup_only; Softft.Dup_valchk;
+          Softft.Dup_valchk_cfc ])
+    [ "g721enc"; "kmeans" ]
+
+let test_fork_stride_beyond_run_degrades () =
+  (* A stride past the end of the golden run captures no snapshot at all;
+     the campaign must degrade to from-scratch trials, not fail. *)
+  let subject = array_sum_subject () in
+  let golden = Faults.Campaign.golden_run subject in
+  check_fork_identical ~fork_stride:(golden.steps + 1)
+    ~checkpoint_interval:0 ~taint_trace:false (array_sum_subject ())
+    ~trials:20 ~seed:7
+
+let test_fork_parallel_identical () =
+  (* Forking and domain parallelism compose: snapshots are shared
+     read-only across workers, so worker count stays unobservable. *)
+  let subject = protected_array_sum () in
+  let s1, t1 = Faults.Campaign.run subject ~trials:40 ~seed:19 ~domains:1 in
+  let s4, t4 = Faults.Campaign.run subject ~trials:40 ~seed:19 ~domains:4 in
+  Alcotest.(check bool) "summaries identical" true
+    (s1.Faults.Campaign.counts = s4.Faults.Campaign.counts);
+  Alcotest.(check bool) "trial lists bit-identical" true
+    (Faults.Campaign.trials_equal t1 t4)
+
 let tests =
   [ Alcotest.test_case "classify: masked" `Quick test_classify_masked;
     Alcotest.test_case "classify: asdc" `Quick test_classify_asdc;
@@ -446,4 +544,14 @@ let tests =
       test_recovery_steps_deterministic_and_golden;
     Alcotest.test_case "recovery: parallel identical" `Quick
       test_recovery_parallel_identical;
+    Alcotest.test_case "campaign: derived seeds unique" `Quick
+      test_derive_seeds_unique;
+    Alcotest.test_case "fork: identical on every workload" `Quick
+      test_fork_identical_all_workloads;
+    Alcotest.test_case "fork: identical across configs" `Quick
+      test_fork_identical_configs;
+    Alcotest.test_case "fork: oversized stride degrades" `Quick
+      test_fork_stride_beyond_run_degrades;
+    Alcotest.test_case "fork: parallel identical" `Quick
+      test_fork_parallel_identical;
   ]

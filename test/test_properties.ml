@@ -154,6 +154,47 @@ let prop_flip_bit_changes_exactly_one_bit =
       let diff = Int64.logxor (Value.bits v) (Value.bits flipped) in
       diff = Int64.shift_left 1L bit)
 
+(* Snapshot forking must be unobservable on arbitrary programs, not just
+   the curated workloads: campaigns over random loop programs produce
+   bit-identical trial lists with forking on and off, across random
+   checkpoint/taint configurations and stride choices (including strides
+   past the end of the run, which degrade to from-scratch trials). *)
+let prop_fork_preserves_campaign =
+  QCheck.Test.make ~name:"snapshot forking preserves campaign results"
+    ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = random_program (Rng.create seed) in
+      let subject =
+        {
+          Faults.Campaign.label = "random";
+          prog;
+          entry = "main";
+          fresh_state =
+            (fun () ->
+              {
+                Faults.Campaign.mem = Interp.Memory.create ();
+                args = [];
+                read_output =
+                  (function
+                  | Some v -> [| Value.to_real v |]
+                  | None -> [| nan |]);
+              });
+          metric = Fidelity.Metric.mismatch_spec 0.0;
+        }
+      in
+      let checkpoint_interval = if seed mod 2 = 0 then 0 else 50 + (seed mod 200) in
+      let taint_trace = seed mod 3 = 0 in
+      let fork_stride = if seed mod 5 = 0 then Some (1 + (seed mod 4000)) else None in
+      let run fork =
+        Faults.Campaign.run subject ~trials:8 ~seed:(seed land 0xFFFF) ~fork
+          ?fork_stride ~checkpoint_interval ~taint_trace
+      in
+      let s_on, t_on = run true in
+      let s_off, t_off = run false in
+      s_on.Faults.Campaign.counts = s_off.Faults.Campaign.counts
+      && Faults.Campaign.trials_equal t_on t_off)
+
 let tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_generated_programs_verify;
@@ -163,4 +204,5 @@ let tests =
       prop_transform_only_grows;
       prop_parser_roundtrip;
       prop_flip_bit_changes_exactly_one_bit;
+      prop_fork_preserves_campaign;
     ]
