@@ -16,12 +16,15 @@
                                      (writes BENCH_campaign.json)
       bench/main.exe taint           campaign throughput, tracing off vs. on
                                      (verifies outcomes are bit-identical)
-      options: --trials N  --seed N  --benchmarks a,b,c  --domains N  --quick *)
+      options: --trials N  --seed N  --benchmarks a,b,c  --domains N  --quick
+               --trace-timeline FILE  (campaign-perf: flight-recorder
+                                       Chrome-trace timeline) *)
 
 let default_trials = ref 120
 let seed = ref 0xC0FFEE
 let selected_benchmarks : string list option ref = ref None
 let domains = ref (Faults.Pool.recommended_domains ())
+let trace_timeline : string option ref = ref None
 
 let log =
   lazy (Obs.Log.make ~sinks:[ Obs.Log.stderr_sink () ] "bench")
@@ -356,7 +359,25 @@ let run_campaign_perf () =
   output_string oc (Obs.Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nwrote %s\n" path
+  Printf.printf "\nwrote %s\n" path;
+  (* One extra (untimed) campaign per workload with the flight recorder
+     attached — kept out of the timed repetitions above so the published
+     throughputs never carry the recorder's (tiny) cost. *)
+  match !trace_timeline with
+  | None -> ()
+  | Some tpath ->
+    let r = Obs.Trace.recorder () in
+    let d = min 4 (Faults.Pool.recommended_domains ()) in
+    List.iter
+      (fun (w : Workloads.Workload.t) ->
+        let p = Softft.protect w Softft.Dup_valchk in
+        let subject = Softft.subject p ~role:Workloads.Workload.Test in
+        ignore
+          (Faults.Campaign.run ~seed:!seed ~domains:d ~trace:r subject
+             ~trials))
+      (campaign_perf_workloads ());
+    Obs.Trace.write_chrome r ~path:tpath;
+    Printf.printf "wrote %s\n" tpath
 
 (* Tracing-overhead bench: the same campaign with the propagation tracer
    off and on.  Verifies the observation-only contract (identical outcomes,
@@ -429,6 +450,9 @@ let () =
          match String.lowercase_ascii n with
          | "auto" -> Faults.Pool.recommended_domains ()
          | n -> max 1 (int_of_string n));
+      parse rest
+    | "--trace-timeline" :: path :: rest ->
+      trace_timeline := Some path;
       parse rest
     | "--quick" :: rest ->
       default_trials := 40;

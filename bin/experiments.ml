@@ -131,7 +131,7 @@ let crossval_cmd =
     Term.(const run_crossval $ trials_arg $ seed_arg $ domains_arg $ quiet_arg)
 
 let run_one name technique_name trials seed domains checkpoint taint
-    progress progress_jsonl journal profile_flag quiet log_json =
+    progress progress_jsonl journal timeline profile_flag quiet log_json =
   let log = logger_of quiet log_json in
   let w = Workloads.Registry.find name in
   let technique = technique_of_string technique_name in
@@ -163,10 +163,11 @@ let run_one name technique_name trials seed domains checkpoint taint
     | [] -> None
     | _ :: _ -> Some (Faults.Progress.create ~sinks ~total:trials ())
   in
+  let trace = Option.map (fun _ -> Obs.Trace.recorder ()) timeline in
   let summary, results =
     Softft.campaign p ~role:Workloads.Workload.Test ~trials ~seed ~domains
       ~checkpoint_interval:checkpoint ~taint_trace:taint ?profile
-      ~stats_out:stats ?progress:pg
+      ~stats_out:stats ?progress:pg ?trace
   in
   (match progress_oc with Some oc -> close_out oc | None -> ());
   List.iter
@@ -180,7 +181,7 @@ let run_one name technique_name trials seed domains checkpoint taint
      let manifest =
        Faults.Journal.manifest_record
          ~technique:(Softft.technique_name technique)
-         ?stats:!stats
+         ?stats:!stats ~counts:summary.Faults.Campaign.counts
          ~label:(Printf.sprintf "%s/%s/test" w.name
                    (Softft.technique_name technique))
          ~trials ~seed ~domains ~checkpoint_interval:checkpoint
@@ -188,13 +189,22 @@ let run_one name technique_name trials seed domains checkpoint taint
          ~fault_kind:"register_bit"
          ~golden:summary.Faults.Campaign.golden_info ()
      in
-     Faults.Journal.write ~path ~manifest ~trials:results;
+     Faults.Journal.write ?trace ~path ~manifest ~trials:results ();
      Obs.Log.info log
        ~fields:
          [ ("path", Obs.Json.Str path);
            ("trials", Obs.Json.Int (List.length results)) ]
        "journal written"
    | None -> ());
+  (match timeline, trace with
+   | Some path, Some r ->
+     Obs.Trace.write_chrome r ~path;
+     Obs.Log.info log
+       ~fields:
+         [ ("path", Obs.Json.Str path);
+           ("spans", Obs.Json.Int (List.length (Obs.Trace.durs r))) ]
+       "timeline written"
+   | _, _ -> ());
   match profile with
   | Some prof -> Softft.Experiments.print_profile prof
   | None -> ()
@@ -253,6 +263,17 @@ let progress_jsonl_arg =
   in
   Arg.(value & opt (some string) None & info [ "progress-jsonl" ] ~docv:"FILE" ~doc)
 
+let timeline_arg =
+  let doc =
+    "Record the campaign flight recorder and write a Chrome trace-event \
+     timeline to $(docv) (load it in Perfetto or chrome://tracing): \
+     golden-run/fork-capture/trial-phase spans plus every worker domain's \
+     chunk claims.  Observation-only: results are bit-identical either way."
+  in
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-timeline" ] ~docv:"FILE" ~doc)
+
 let one_cmd =
   let doc = "Protect one benchmark and run a campaign against it." in
   Cmd.v
@@ -260,8 +281,8 @@ let one_cmd =
     Term.(
       const run_one $ name_arg $ technique_arg $ trials_arg $ seed_arg
       $ domains_arg $ checkpoint_arg $ taint_arg $ progress_arg
-      $ progress_jsonl_arg $ journal_arg $ profile_arg $ quiet_arg
-      $ log_json_arg)
+      $ progress_jsonl_arg $ journal_arg $ timeline_arg $ profile_arg
+      $ quiet_arg $ log_json_arg)
 
 let run_coverage name technique_name dynamic csv regs_csv journal =
   let w = Workloads.Registry.find name in
@@ -388,7 +409,35 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run_lint $ benchmarks_arg)
 
-let run_report path csv =
+(* Rebuild the coverage map a journal's campaign corresponds to, from the
+   manifest's label ("workload/technique/role") and pretty technique name —
+   the --strata join needs the per-register protection statuses, which the
+   journal itself does not carry. *)
+let coverage_of_manifest manifest =
+  let pretty_technique =
+    List.find_opt
+      (fun t ->
+        Option.bind (Obs.Json.member "technique" manifest) Obs.Json.to_str
+        = Some (Softft.technique_name t))
+      Softft.extended_techniques
+  in
+  let workload =
+    Option.bind (Obs.Json.member "label" manifest) Obs.Json.to_str
+    |> Option.map (fun label ->
+           match String.index_opt label '/' with
+           | Some i -> String.sub label 0 i
+           | None -> label)
+  in
+  match workload, pretty_technique with
+  | Some name, Some technique ->
+    (try
+       let w = Workloads.Registry.find name in
+       let p = Softft.protect w technique in
+       Some (Analysis.Coverage.analyze p.Softft.prog)
+     with _ -> None)
+  | _, _ -> None
+
+let run_report path strata csv =
   match Faults.Journal.load path with
   | exception Faults.Journal.Malformed msg ->
     (* A journal without a manifest (or with broken lines) is an error the
@@ -397,6 +446,13 @@ let run_report path csv =
     exit 1
   | manifest, views ->
     Softft.Experiments.print_journal_report ~manifest views;
+    (if strata then
+       match coverage_of_manifest manifest with
+       | Some cov -> Softft.Experiments.print_journal_strata cov views
+       | None ->
+         prerr_endline
+           "experiments report: --strata needs a manifest whose label and \
+            technique match a registered workload; skipping strata table");
     (match csv with
      | Some out ->
        let oc = open_out out in
@@ -413,14 +469,70 @@ let csv_arg =
   let doc = "Export the per-check firing table to $(docv) as CSV." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+let strata_arg =
+  let doc =
+    "Join the journal with the static protection-coverage map (the \
+     manifest names the workload and technique) and print per-register \
+     strata — SDC/detected/masked rates with Wilson 95% intervals per \
+     protection status of the register the fault hit."
+  in
+  Arg.(value & flag & info [ "strata" ] ~doc)
+
 let report_cmd =
   let doc =
-    "Aggregate a trial journal: outcome shares, detection-latency \
-     histogram, and per-check firing tables."
+    "Aggregate a trial journal: outcome shares with Wilson 95% intervals, \
+     detection-latency histogram, and per-check firing tables."
   in
   Cmd.v
     (Cmd.info "report" ~doc)
-    Term.(const run_report $ journal_path_arg $ csv_arg)
+    Term.(const run_report $ journal_path_arg $ strata_arg $ csv_arg)
+
+let run_bench_diff old_path new_path tolerance =
+  let load path =
+    match Obs.Json.parse (In_channel.with_open_text path In_channel.input_all)
+    with
+    | j -> j
+    | exception Obs.Json.Parse_error msg ->
+      prerr_endline
+        (Printf.sprintf "experiments bench-diff: %s: %s" path msg);
+      exit 1
+    | exception Sys_error msg ->
+      prerr_endline ("experiments bench-diff: " ^ msg);
+      exit 1
+  in
+  let d =
+    Softft.Experiments.bench_diff ~tolerance_pct:tolerance (load old_path)
+      (load new_path)
+  in
+  Softft.Experiments.print_bench_diff d;
+  if Softft.Experiments.bench_diff_regressions d <> [] then exit 1
+
+let bench_old_arg =
+  let doc = "Baseline BENCH_campaign.json (e.g. the committed one)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD" ~doc)
+
+let bench_new_arg =
+  let doc = "Freshly measured BENCH_campaign.json to compare against OLD." in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc)
+
+let tolerance_arg =
+  let doc =
+    "Regression tolerance in percent: a gated trials/sec metric that drops \
+     more than $(docv) percent flags a regression (nonzero exit)."
+  in
+  Arg.(value & opt float 15.0 & info [ "tolerance" ] ~docv:"PCT" ~doc)
+
+let bench_diff_cmd =
+  let doc =
+    "Compare two BENCH_campaign.json runs per workload (trials/sec and \
+     speedup deltas) and exit nonzero on a throughput regression beyond \
+     the tolerance — but only when both runs report the same host_cores, \
+     so numbers from different machines never fail the gate."
+  in
+  Cmd.v
+    (Cmd.info "bench-diff" ~doc)
+    Term.(
+      const run_bench_diff $ bench_old_arg $ bench_new_arg $ tolerance_arg)
 
 let run_table1 () = Softft.Experiments.print_table1 ()
 
@@ -533,6 +645,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "experiments" ~version:"1.0.0" ~doc)
     [ all_cmd; crossval_cmd; one_cmd; coverage_cmd; lint_cmd; report_cmd;
-      table1_cmd; dump_cmd; trace_cmd; trace_fault_cmd ]
+      bench_diff_cmd; table1_cmd; dump_cmd; trace_cmd; trace_fault_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

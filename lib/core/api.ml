@@ -95,13 +95,15 @@ let overhead ?baseline (p : protected) ~role =
     and [progress] are {!Faults.Campaign.run}'s observation-only telemetry
     hooks — any combination leaves results bit-identical; [taint_trace]
     attaches the fault-propagation tracer to every trial (outcomes
-    unchanged, trials gain propagation summaries). *)
+    unchanged, trials gain propagation summaries); [trace] attaches the
+    campaign flight recorder (phase/worker/chunk duration spans, rendered
+    with {!Obs.Trace.to_chrome}). *)
 let campaign ?hw_window ?seed ?(trials = 1000) ?domains ?checkpoint_interval
-    ?taint_trace ?profile ?on_trial ?stats_out ?progress (p : protected)
-    ~role =
+    ?taint_trace ?profile ?on_trial ?stats_out ?progress ?trace
+    (p : protected) ~role =
   Faults.Campaign.run ?hw_window ?seed ?domains ?checkpoint_interval
-    ?taint_trace ?profile ?on_trial ?stats_out ?progress (subject p ~role)
-    ~trials
+    ?taint_trace ?profile ?on_trial ?stats_out ?progress ?trace
+    (subject p ~role) ~trials
 
 (** 95 %-confidence margin of error for a proportion observed over [n]
     fault-injection trials (Leveugle et al., as cited in §IV-C). *)

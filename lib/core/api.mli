@@ -82,9 +82,9 @@ val overhead :
     recovery in the golden run and every trial (DESIGN.md §9).
     [taint_trace] (default false) attaches the fault-propagation tracer
     to every trial (DESIGN.md §10): outcomes stay bit-identical, trials
-    gain propagation summaries.  [profile], [on_trial], [stats_out] and
-    [progress] are {!Faults.Campaign.run}'s observation-only telemetry
-    hooks. *)
+    gain propagation summaries.  [profile], [on_trial], [stats_out],
+    [progress] and [trace] (the campaign flight recorder) are
+    {!Faults.Campaign.run}'s observation-only telemetry hooks. *)
 val campaign :
   ?hw_window:int ->
   ?seed:int ->
@@ -96,6 +96,7 @@ val campaign :
   ?on_trial:(int -> Faults.Campaign.trial -> unit) ->
   ?stats_out:Faults.Campaign.run_stats option ref ->
   ?progress:Faults.Progress.t ->
+  ?trace:Obs.Trace.recorder ->
   protected ->
   role:Workloads.Workload.input_role ->
   Faults.Campaign.summary * Faults.Campaign.trial list

@@ -757,7 +757,8 @@ let write_csv path results =
    the end-of-campaign summary tables discard ----- *)
 
 let journal_outcome_rows (views : Faults.Journal.view list) =
-  let total = max 1 (List.length views) in
+  let trials = List.length views in
+  let total = max 1 trials in
   List.map
     (fun o ->
       let name = Classify.name o in
@@ -767,8 +768,11 @@ let journal_outcome_rows (views : Faults.Journal.view list) =
              (fun (v : Faults.Journal.view) -> v.v_outcome = name)
              views)
       in
+      let iv = Obs.Stats.wilson ~k:n ~n:trials () in
       [ name; string_of_int n;
-        Report.pct (100.0 *. float_of_int n /. float_of_int total) ])
+        Report.pct (100.0 *. float_of_int n /. float_of_int total);
+        Printf.sprintf "[%.1f, %.1f]"
+          (100.0 *. iv.Obs.Stats.ci_low) (100.0 *. iv.Obs.Stats.ci_high) ])
     Classify.all
 
 (** Detection-latency histogram (log2 buckets) over every trial that
@@ -785,13 +789,27 @@ let journal_latency_rows (views : Faults.Journal.view list) =
     views;
   let total = max 1 (Obs.Metrics.hist_count h) in
   let cumulative = ref 0 in
-  List.map
-    (fun (lo, hi, n) ->
-      cumulative := !cumulative + n;
-      [ Printf.sprintf "[%d, %d)" lo hi;
-        string_of_int n;
-        Report.pct (100.0 *. float_of_int !cumulative /. float_of_int total) ])
-    (Obs.Metrics.hist_buckets h)
+  let bucket_rows =
+    List.map
+      (fun (lo, hi, n) ->
+        cumulative := !cumulative + n;
+        [ Printf.sprintf "[%d, %d)" lo hi;
+          string_of_int n;
+          Report.pct (100.0 *. float_of_int !cumulative /. float_of_int total)
+        ])
+      (Obs.Metrics.hist_buckets h)
+  in
+  (* Interpolated quantiles straight from the histogram; tighter than the
+     bucket upper bounds once log2 buckets get wide. *)
+  let quantile_rows =
+    if Obs.Metrics.hist_count h = 0 then []
+    else
+      List.map
+        (fun (label, q) ->
+          [ label; string_of_int (Obs.Metrics.approx_quantile h q); "" ])
+        [ ("~p50", 0.5); ("~p95", 0.95); ("~p99", 0.99) ]
+  in
+  bucket_rows @ quantile_rows
 
 (* Latencies of the SWDetect trials a given check caught, plus helpers. *)
 let check_groups (views : Faults.Journal.view list) =
@@ -1142,7 +1160,7 @@ let print_journal_report ~manifest (views : Faults.Journal.view list) =
     (str "label") (str "schema") (str "git") (int "trials") (int "seed")
     (int "domains") (str "fault_kind") checkpoint_interval;
   Report.print ~title:"Outcome classification (from journal)"
-    ~header:[ "outcome"; "trials"; "share" ]
+    ~header:[ "outcome"; "trials"; "share"; "95% CI" ]
     ~rows:(journal_outcome_rows views);
   Report.print
     ~title:"Detection latency histogram (log2 buckets, SWDetect + HWDetect)"
@@ -1357,3 +1375,168 @@ let print_coverage_vs_journal (cov : Analysis.Coverage.t)
     (Report.frac_pct cov.sdc_prone_fraction)
     (Report.pct (100.0 *. float_of_int sdc /. float_of_int n))
     (List.length injected)
+
+(* ----- Per-register strata (report --strata): the coverage-map join of
+   print_coverage_vs_journal, but with Wilson 95% intervals on every
+   stratum rate — small strata (a status few registers carry) get wide
+   intervals instead of falsely precise point estimates, which is what an
+   adaptive sampler would allocate further trials by ----- *)
+
+let journal_strata_rows (cov : Analysis.Coverage.t)
+    (views : Faults.Journal.view list) =
+  let status_of_reg = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Analysis.Coverage.reg_row) ->
+      if not (Hashtbl.mem status_of_reg r.r_reg) then
+        Hashtbl.replace status_of_reg r.r_reg r.r_status)
+    cov.regs;
+  let bucket_of (v : Faults.Journal.view) =
+    Option.map
+      (fun reg ->
+        match Hashtbl.find_opt status_of_reg reg with
+        | Some st -> Analysis.Coverage.status_name st
+        | None -> "(unmapped)")
+      v.v_inj_reg
+  in
+  let ci_cell ~k ~n =
+    let iv = Obs.Stats.wilson ~k ~n () in
+    Printf.sprintf "%s [%.1f, %.1f]"
+      (Report.pct (100.0 *. iv.Obs.Stats.ci_estimate))
+      (100.0 *. iv.Obs.Stats.ci_low)
+      (100.0 *. iv.Obs.Stats.ci_high)
+  in
+  List.filter_map
+    (fun name ->
+      let hits = List.filter (fun v -> bucket_of v = Some name) views in
+      match hits with
+      | [] -> None
+      | _ :: _ ->
+        let n = List.length hits in
+        let count pred =
+          List.length
+            (List.filter
+               (fun (v : Faults.Journal.view) -> pred v.v_outcome)
+               hits)
+        in
+        Some
+          [ name; string_of_int n;
+            ci_cell ~k:(count outcome_is_sdc) ~n;
+            ci_cell ~k:(count outcome_is_detected) ~n;
+            ci_cell ~k:(count (fun o -> o = "Masked")) ~n ])
+    (List.map Analysis.Coverage.status_name coverage_statuses
+     @ [ "(unmapped)" ])
+
+let print_journal_strata (cov : Analysis.Coverage.t)
+    (views : Faults.Journal.view list) =
+  Report.print
+    ~title:
+      "Per-register strata (by status of hit register, Wilson 95% \
+       intervals)"
+    ~header:[ "stratum"; "trials"; "SDC"; "detected"; "masked" ]
+    ~rows:(journal_strata_rows cov views)
+
+(* ----- Bench history (bench-diff): compare two BENCH_campaign.json runs
+   per workload and flag throughput regressions beyond a tolerance.  The
+   gate only fires when both files report the same host_cores — numbers
+   from different machines diff informationally but never fail CI ----- *)
+
+type bench_diff_row = {
+  bd_workload : string;
+  bd_metric : string;         (** row label, e.g. ["serial trials/s"] *)
+  bd_old : float;
+  bd_new : float;
+  bd_delta_pct : float;       (** (new - old) / old, percent *)
+  bd_regression : bool;       (** gated metric dropped beyond tolerance *)
+}
+
+type bench_diff = {
+  bd_old_cores : int;         (** -1 when the file carries no host_cores *)
+  bd_new_cores : int;
+  bd_comparable : bool;       (** host_cores present and equal *)
+  bd_tolerance_pct : float;
+  bd_rows : bench_diff_row list;
+}
+
+let bench_workload_map j =
+  match Obs.Json.member "workloads" j with
+  | Some (Obs.Json.List ws) ->
+    List.filter_map
+      (fun w ->
+        Option.map
+          (fun n -> (n, w))
+          (Option.bind (Obs.Json.member "name" w) Obs.Json.to_str))
+      ws
+  | Some _ | None -> []
+
+let bench_diff ?(tolerance_pct = 15.0) old_j new_j =
+  let cores j =
+    Option.value ~default:(-1)
+      (Option.bind (Obs.Json.member "host_cores" j) Obs.Json.to_int)
+  in
+  let old_cores = cores old_j in
+  let new_cores = cores new_j in
+  (* Only throughputs gate (third component); the speedup row is a ratio
+     of the other two and would double-report the same regression. *)
+  let metrics =
+    [ ("serial trials/s", "serial_trials_per_sec", true);
+      ("parallel trials/s", "parallel_trials_per_sec", true);
+      ("parallel speedup", "parallel_speedup", false) ]
+  in
+  let news = bench_workload_map new_j in
+  let rows =
+    List.concat_map
+      (fun (name, oldw) ->
+        match List.assoc_opt name news with
+        | None -> []   (* workload dropped from the suite: nothing to gate *)
+        | Some neww ->
+          List.filter_map
+            (fun (label, field, gated) ->
+              match
+                ( Option.bind (Obs.Json.member field oldw) Obs.Json.to_float,
+                  Option.bind (Obs.Json.member field neww) Obs.Json.to_float )
+              with
+              | Some o, Some n when o > 0.0 ->
+                let delta = 100.0 *. (n -. o) /. o in
+                Some
+                  { bd_workload = name; bd_metric = label; bd_old = o;
+                    bd_new = n; bd_delta_pct = delta;
+                    bd_regression = gated && delta < -.tolerance_pct }
+              | _, _ -> None)
+            metrics)
+      (bench_workload_map old_j)
+  in
+  { bd_old_cores = old_cores; bd_new_cores = new_cores;
+    bd_comparable = old_cores >= 0 && old_cores = new_cores;
+    bd_tolerance_pct = tolerance_pct; bd_rows = rows }
+
+(** Rows that should fail a perf gate: gated metrics that regressed, and
+    only when the two runs came from comparable hosts. *)
+let bench_diff_regressions d =
+  if not d.bd_comparable then []
+  else List.filter (fun r -> r.bd_regression) d.bd_rows
+
+let print_bench_diff d =
+  Report.print ~title:"Bench history (new vs. old)"
+    ~header:[ "workload"; "metric"; "old"; "new"; "delta" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ r.bd_workload; r.bd_metric;
+             Printf.sprintf "%.2f" r.bd_old;
+             Printf.sprintf "%.2f" r.bd_new;
+             Printf.sprintf "%+.1f%%%s" r.bd_delta_pct
+               (if r.bd_regression then "  REGRESSION" else "") ])
+         d.bd_rows);
+  if not d.bd_comparable then
+    Printf.printf
+      "\nhost_cores differ (old %d, new %d): deltas are informational \
+       only, regression gate skipped\n"
+      d.bd_old_cores d.bd_new_cores
+  else
+    match bench_diff_regressions d with
+    | [] ->
+      Printf.printf "\nno regressions beyond %.0f%% tolerance\n"
+        d.bd_tolerance_pct
+    | regs ->
+      Printf.printf "\n%d regression(s) beyond %.0f%% tolerance\n"
+        (List.length regs) d.bd_tolerance_pct

@@ -337,7 +337,11 @@ type run_stats = {
     - [progress] receives every trial's outcome as it completes, from
       whichever worker domain ran it ({!Progress} is thread-safe) — the
       live-telemetry heartbeat; its final snapshot fires before [run]
-      returns.
+      returns;
+    - [trace] attaches a flight recorder ({!Obs.Trace.recorder}): one
+      duration span per campaign phase (golden run, fork capture, trial
+      phase) on track 0, plus {!Pool.map}'s per-worker and per-chunk
+      spans — render with {!Obs.Trace.to_chrome}.
 
     [taint_trace] runs every trial with the fault-propagation tracer
     attached ({!Interp.Taint}); outcomes, step and cycle counts are
@@ -348,12 +352,15 @@ let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
     ?(fault_kind = Interp.Machine.Register_bit) ?(domains = 1)
     ?(checkpoint_interval = 0) ?(taint_trace = false) ?(fork = true)
     ?(fork_snapshots = 32) ?fork_stride ?profile ?on_trial ?stats_out
-    ?progress subject ~trials =
+    ?progress ?trace subject ~trials =
   let t_start = Unix.gettimeofday () in
   (* The golden also runs with checkpointing so its cycle count carries the
      fault-free overhead of the recovery configuration; its output and step
      count (the fault window) are interval-independent. *)
-  let golden = golden_run ~checkpoint_interval subject in
+  let golden =
+    Obs.Trace.with_dur trace ~cat:"campaign" "golden_run" (fun () ->
+      golden_run ~checkpoint_interval subject)
+  in
   let t_golden = Unix.gettimeofday () in
   let disabled = Hashtbl.create 8 in
   List.iter (fun uid -> Hashtbl.replace disabled uid ()) golden.failing_checks;
@@ -366,7 +373,8 @@ let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
   let fork_snaps =
     if (not fork) || profile <> None || trials = 0 || golden.steps <= 1 then
       None
-    else begin
+    else
+      Obs.Trace.with_dur trace ~cat:"campaign" "fork_capture" (fun () ->
       let stride =
         match fork_stride with
         | Some s -> max 1 s
@@ -392,8 +400,7 @@ let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
              && r.Interp.Machine.cycles = golden.cycles ->
         let snaps = Interp.Fork.finalize plan in
         if Array.length snaps = 0 then None else Some snaps
-      | _ -> None
-    end
+      | _ -> None)
   in
   (* Per-domain trial contexts, created lazily on first use and keyed by
      domain id (ids are unique among live domains, and the table dies with
@@ -431,7 +438,10 @@ let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
   in
   let pool_stats = ref None in
   let results =
-    Pool.map ~domains ~gc:Pool.campaign_gc_tuning ~stats:pool_stats
+    Obs.Trace.with_dur trace ~cat:"campaign" "trials"
+      ~args:[ ("trials", Obs.Json.Int trials) ]
+    @@ fun () ->
+    Pool.map ~domains ~gc:Pool.campaign_gc_tuning ~stats:pool_stats ?trace
       (fun i ->
         let t =
           if Array.length trial_profiles = 0 then

@@ -143,7 +143,11 @@ type run_stats = {
     parallel phase — the journal emission point; [stats_out] receives the
     campaign's {!run_stats}; [progress] receives every trial's outcome as
     it completes, from whichever worker domain ran it (the {!Progress}
-    heartbeat — its final snapshot fires before [run] returns).
+    heartbeat — its final snapshot fires before [run] returns); [trace]
+    attaches a flight recorder ({!Obs.Trace.recorder}) that records one
+    duration span per campaign phase (golden run, fork capture, trial
+    phase) on track 0 plus {!Pool.map}'s per-worker/per-chunk spans —
+    render the timeline with {!Obs.Trace.to_chrome}.
 
     [taint_trace] (default false) attaches the fault-propagation tracer
     ({!Interp.Taint}) to every trial: outcomes, step and cycle counts stay
@@ -177,6 +181,7 @@ val run :
   ?on_trial:(int -> trial -> unit) ->
   ?stats_out:run_stats option ref ->
   ?progress:Progress.t ->
+  ?trace:Obs.Trace.recorder ->
   subject ->
   trials:int ->
   summary * trial list

@@ -4,13 +4,16 @@ open Obs
 
 (* v2 adds the recovery configuration to the manifest
    ([checkpoint_interval]) and per-trial recovery events; v3 adds the
-   fault-propagation summary ([taint]) per trial.  Every addition is an
-   optional field, so v1 and v2 journals are still loadable — and v3 is
-   emitted only when tracing was actually on, keeping untraced journals
-   byte-identical to their v2 form. *)
+   fault-propagation summary ([taint]) per trial; v4 adds the final
+   outcome statistics (counts + Wilson 95% intervals) to the manifest.
+   Every addition is an optional field, so v1–v3 journals are still
+   loadable — and each version is stamped only when its feature was
+   actually used, keeping feature-free journals byte-identical to their
+   older forms. *)
 let schema = "softft.journal.v2"
 let schema_v1 = "softft.journal.v1"
 let schema_v3 = "softft.journal.v3"
+let schema_v4 = "softft.journal.v4"
 
 let git_describe () =
   try
@@ -131,15 +134,41 @@ let stats_json (rs : Campaign.run_stats) =
        ("domains", Json.Int rs.domains) ]
      @ opt_field "pool" pool_stats_json rs.pool)
 
-let manifest_record ?git ?technique ?stats ?(checkpoint_interval = 0)
+(* Final per-outcome statistics for the v4 manifest: count, estimate, and
+   Wilson 95% bounds per observed outcome.  Deterministic — counts come
+   from the (scheduling-independent) summary, so the manifest line stays
+   byte-identical at any domain count. *)
+let final_stats_json ~trials counts =
+  Json.Obj
+    (List.filter_map
+       (fun ((o : Classify.outcome), k) ->
+         if k = 0 then None
+         else begin
+           let iv = Stats.wilson ~k ~n:trials () in
+           Some
+             ( Classify.name o,
+               Json.Obj
+                 [ ("n", Json.Int k);
+                   ("est", Json.Float iv.Stats.ci_estimate);
+                   ("lo", Json.Float iv.Stats.ci_low);
+                   ("hi", Json.Float iv.Stats.ci_high) ] )
+         end)
+       counts)
+
+let manifest_record ?git ?technique ?stats ?counts ?(checkpoint_interval = 0)
     ?(taint_trace = false) ~label ~trials ~seed ~domains ~hw_window
     ~fault_kind ~(golden : Campaign.golden) () =
   let git = match git with Some g -> g | None -> git_describe () in
   Json.Obj
     ([ ("type", Json.Str "manifest");
-       (* The schema only advances to v3 when the campaign actually traced:
-          an untraced manifest stays byte-identical to its v2 form. *)
-       ("schema", Json.Str (if taint_trace then schema_v3 else schema));
+       (* The schema only advances when the feature is actually present:
+          v4 needs final stats, v3 needs tracing; a stats-free untraced
+          manifest stays byte-identical to its v2 form. *)
+       ("schema",
+        Json.Str
+          (if counts <> None then schema_v4
+           else if taint_trace then schema_v3
+           else schema));
        ("git", Json.Str git);
        ("label", Json.Str label);
        ("trials", Json.Int trials);
@@ -159,9 +188,13 @@ let manifest_record ?git ?technique ?stats ?(checkpoint_interval = 0)
                Json.List
                  (List.map (fun uid -> Json.Int uid) golden.failing_checks))
             ]) ]
-     @ opt_field "timings" stats_json stats)
+     @ opt_field "timings" stats_json stats
+     @ opt_field "stats" (final_stats_json ~trials) counts)
 
-let write ~path ~manifest ~trials =
+let write ?trace ~path ~manifest ~trials () =
+  Trace.with_dur trace ~cat:"journal" "write"
+    ~args:[ ("trials", Json.Int (List.length trials)) ]
+  @@ fun () ->
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)

@@ -27,6 +27,12 @@ val schema_v1 : string
     actually traced, so untraced journals stay byte-identical to v2. *)
 val schema_v3 : string
 
+(** Schema identifier of a journal whose manifest carries final outcome
+    statistics (per-outcome counts with Wilson 95% intervals under
+    ["stats"]); stamped only when {!manifest_record} was given [counts],
+    so stats-free journals keep their older identifiers. *)
+val schema_v4 : string
+
 (** [git describe --always --dirty] of the working tree, or ["unknown"]
     outside a git checkout — pins a journal to the code that wrote it. *)
 val git_describe : unit -> string
@@ -47,6 +53,9 @@ val stats_json : Campaign.run_stats -> Obs.Json.t
 
 (** The campaign manifest.  [fault_kind] and [technique] are free-form
     labels; [stats] adds wall/per-domain timings when available;
+    [counts] (the campaign summary's final outcome counts) adds the
+    per-outcome ["stats"] object — count plus Wilson 95% interval per
+    observed outcome — and stamps the manifest {!schema_v4};
     [checkpoint_interval] (default 0: recovery off) records the campaign's
     recovery configuration; [taint_trace] (default false) stamps the
     manifest {!schema_v3} and records that trials carry propagation
@@ -55,6 +64,7 @@ val manifest_record :
   ?git:string ->
   ?technique:string ->
   ?stats:Campaign.run_stats ->
+  ?counts:(Classify.outcome * int) list ->
   ?checkpoint_interval:int ->
   ?taint_trace:bool ->
   label:string ->
@@ -68,9 +78,12 @@ val manifest_record :
   Obs.Json.t
 
 (** Write a whole journal (manifest first, then the trials in list
-    order).  Creates/truncates [path]. *)
+    order).  Creates/truncates [path].  [trace] records the write as a
+    [journal/write] duration span on the flight recorder. *)
 val write :
-  path:string -> manifest:Obs.Json.t -> trials:Campaign.trial list -> unit
+  ?trace:Obs.Trace.recorder ->
+  path:string -> manifest:Obs.Json.t -> trials:Campaign.trial list ->
+  unit -> unit
 
 (** Recovery telemetry read back from a v2 trial record. *)
 type recovery_view = {
@@ -125,7 +138,7 @@ exception Malformed of string
     lines, missing required trial fields, or a file with no manifest
     record ("no manifest in <path>" — an empty file is a broken journal,
     not an empty campaign); unknown record types are ignored (forward
-    compatibility), and v1, v2 and v3 schemas all load. *)
+    compatibility), and v1 through v4 schemas all load. *)
 val fold : string -> init:'a -> f:('a -> view -> 'a) -> Obs.Json.t * 'a
 
 (** Parse a whole journal into its manifest and trial views — a thin

@@ -74,7 +74,7 @@ let with_gc tuning f =
     never depends on it.  [chunk] forces fixed-size chunks; by default
     workers claim guided (decreasing) chunks.  [gc] applies a per-domain
     GC tuning for the duration of the call. *)
-let map ?chunk ?gc ?stats ?progress ~domains f n =
+let map ?chunk ?gc ?stats ?progress ?trace ~domains f n =
   (* Global completed-trial counter behind [?progress]; shared across
      workers so the hook sees one monotone 1..n sequence regardless of how
      chunks interleave. *)
@@ -94,13 +94,19 @@ let map ?chunk ?gc ?stats ?progress ~domains f n =
     if domains = 1 then
       with_gc gc (fun () ->
         let t0 = Unix.gettimeofday () in
-        let first = f 0 in
-        let out = Array.make n first in
-        notify ();
-        for i = 1 to n - 1 do
-          out.(i) <- f i;
-          notify ()
-        done;
+        let out =
+          Obs.Trace.with_dur trace ~cat:"pool" "worker"
+            ~args:[ ("items", Obs.Json.Int n) ]
+            (fun () ->
+              let first = f 0 in
+              let out = Array.make n first in
+              notify ();
+              for i = 1 to n - 1 do
+                out.(i) <- f i;
+                notify ()
+              done;
+              out)
+        in
         put_stats stats
           { st_domains = 1; st_chunk = n;
             st_wall = [| Unix.gettimeofday () -. t0 |]; st_items = [| n |] };
@@ -143,8 +149,21 @@ let map ?chunk ?gc ?stats ?progress ~domains f n =
         with_gc gc @@ fun () ->
         let t0 = Unix.gettimeofday () in
         let done_ = ref 0 in
+        (* One flight-recorder span per worker lifetime (track = worker
+           id) plus one per chunk claim: the gaps between chunk spans on
+           a track are exactly the pool's idle/contention time. *)
+        let wspan =
+          Option.map
+            (fun r -> Obs.Trace.begin_dur r ~track:wid ~cat:"pool" "worker")
+            trace
+        in
         Fun.protect
           ~finally:(fun () ->
+            (match trace, wspan with
+             | Some r, Some od ->
+               Obs.Trace.end_dur r od
+                 ~args:[ ("items", Obs.Json.Int !done_) ]
+             | _, _ -> ());
             (* Each worker writes only its own slots; the joins below
                publish them to the caller (also on the exception path, so
                a cancelled run still reports what each worker did). *)
@@ -159,11 +178,17 @@ let map ?chunk ?gc ?stats ?progress ~domains f n =
                   let start, size = claim next in
                   if start >= n then continue_ := false
                   else
-                    for i = start to min (start + size) n - 1 do
-                      out.(i) <- Some (f i);
-                      done_ := !done_ + 1;
-                      notify ()
-                    done
+                    Obs.Trace.with_dur trace ~track:wid ~cat:"pool" "chunk"
+                      ~args:
+                        [ ("start", Obs.Json.Int start);
+                          ("size", Obs.Json.Int (min (start + size) n - start))
+                        ]
+                      (fun () ->
+                        for i = start to min (start + size) n - 1 do
+                          out.(i) <- Some (f i);
+                          done_ := !done_ + 1;
+                          notify ()
+                        done)
                 end
               done
             with e ->

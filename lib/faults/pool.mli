@@ -54,12 +54,17 @@ val campaign_gc_tuning : gc_tuning
     does not affect the output.  [progress] is called once per completed
     index with the global completed count (a monotone [1..n] sequence); it
     runs on whichever worker domain finished the index, so it must be
-    thread-safe, and — like [stats] — never affects the output. *)
+    thread-safe, and — like [stats] — never affects the output.  [trace]
+    attaches a flight recorder: one [pool/worker] duration span per
+    worker lifetime and one [pool/chunk] span per chunk claim, each on
+    the worker's track — the gaps between chunk spans on a track are the
+    pool's idle time.  Also observation-only. *)
 val map :
   ?chunk:int ->
   ?gc:gc_tuning ->
   ?stats:stats option ref ->
   ?progress:(int -> unit) ->
+  ?trace:Obs.Trace.recorder ->
   domains:int ->
   (int -> 'a) ->
   int ->

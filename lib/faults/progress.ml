@@ -17,7 +17,9 @@ type snapshot = {
   pg_counts : (Classify.outcome * int) list;  (** running outcome counts,
                                                   in {!Classify.all} order *)
   pg_elapsed : float;     (** seconds since the instance was created *)
-  pg_rate : float;        (** trials per second so far *)
+  pg_rate : float;        (** all-time trials per second since [create] *)
+  pg_window_rate : float; (** trials per second over the recent-completion
+                              window — the honest instantaneous rate *)
   pg_eta : float;         (** estimated seconds to completion; 0 when done
                               or no rate is measurable yet *)
   pg_final : bool;        (** emitted by {!finish} *)
@@ -25,12 +27,21 @@ type snapshot = {
 
 type sink = snapshot -> unit
 
+(* Completions retained for the windowed rate.  Each completion stamps its
+   wall-clock offset (µs since [t0], word-sized int) at slot [i mod
+   window_size]; readers reconstruct the window from [completed].  The
+   array is written without synchronization — a torn window only skews the
+   *estimate* in a snapshot, never a count, so this stays inside the
+   observation-only contract. *)
+let window_size = 256
+
 type t = {
   total : int;
   t0 : float;
   interval : float;
   counts : int Atomic.t array;   (** indexed in {!Classify.all} order *)
   completed : int Atomic.t;
+  window : int array;            (** µs offsets of recent completions *)
   sinks : sink list;
   lock : Mutex.t;                (** serializes sink emission *)
   mutable last_emit : float;
@@ -47,6 +58,7 @@ let create ?(interval = 0.5) ?(sinks = []) ~total () =
     interval = max 0.0 interval;
     counts = Array.init (List.length Classify.all) (fun _ -> Atomic.make 0);
     completed = Atomic.make 0;
+    window = Array.make window_size 0;
     sinks;
     lock = Mutex.create ();
     last_emit = 0.0 }
@@ -55,9 +67,23 @@ let snapshot ?(final = false) t =
   let done_ = Atomic.get t.completed in
   let elapsed = Unix.gettimeofday () -. t.t0 in
   let rate = if elapsed > 0.0 then float_of_int done_ /. elapsed else 0.0 in
+  (* Rate over the last [min done_ window_size] completions.  The all-time
+     rate divides by elapsed time since [create], which includes the
+     golden-run/fork-capture setup before the first trial finishes — that
+     inflated early ETAs badly on slow workloads.  The window starts at the
+     oldest retained completion's timestamp, so setup never enters it. *)
+  let window_rate =
+    let retained = min done_ window_size in
+    if retained < 2 then rate
+    else begin
+      let oldest_us = t.window.((done_ - retained) mod window_size) in
+      let span = elapsed -. (float_of_int oldest_us /. 1e6) in
+      if span > 0.0 then float_of_int retained /. span else rate
+    end
+  in
   let eta =
-    if rate > 0.0 && done_ < t.total then
-      float_of_int (t.total - done_) /. rate
+    if window_rate > 0.0 && done_ < t.total then
+      float_of_int (t.total - done_) /. window_rate
     else 0.0
   in
   { pg_done = done_;
@@ -66,6 +92,7 @@ let snapshot ?(final = false) t =
       List.mapi (fun i o -> (o, Atomic.get t.counts.(i))) Classify.all;
     pg_elapsed = elapsed;
     pg_rate = rate;
+    pg_window_rate = window_rate;
     pg_eta = eta;
     pg_final = final }
 
@@ -77,7 +104,9 @@ let emit t snap = List.iter (fun sink -> sink snap) t.sinks
     queueing). *)
 let note t outcome =
   Atomic.incr t.counts.(outcome_index outcome);
-  ignore (Atomic.fetch_and_add t.completed 1);
+  let i = Atomic.fetch_and_add t.completed 1 in
+  t.window.(i mod window_size) <-
+    int_of_float ((Unix.gettimeofday () -. t.t0) *. 1e6);
   if t.sinks <> [] && Mutex.try_lock t.lock then
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.lock)
@@ -100,11 +129,17 @@ let finish t =
 
 let nonzero_counts snap = List.filter (fun (_, n) -> n > 0) snap.pg_counts
 
+(* Wilson 95% interval per observed outcome — streamed straight off the
+   counters, so every heartbeat carries its own uncertainty. *)
+let outcome_ci snap (_, k) = Stats.wilson ~k ~n:snap.pg_done ()
+
 let stderr_sink () : sink =
  fun snap ->
   let counts =
     nonzero_counts snap
-    |> List.map (fun (o, n) -> Printf.sprintf "%s:%d" (Classify.name o) n)
+    |> List.map (fun ((o, n) as c) ->
+         Printf.sprintf "%s:%d(%s)" (Classify.name o) n
+           (Stats.pp_pct (outcome_ci snap c)))
     |> String.concat " "
   in
   if snap.pg_final then
@@ -117,7 +152,7 @@ let stderr_sink () : sink =
       (if snap.pg_total > 0 then
          100.0 *. float_of_int snap.pg_done /. float_of_int snap.pg_total
        else 0.0)
-      snap.pg_rate snap.pg_eta counts
+      snap.pg_window_rate snap.pg_eta counts
 
 let snapshot_json snap =
   Json.Obj
@@ -126,12 +161,19 @@ let snapshot_json snap =
       ("total", Json.Int snap.pg_total);
       ("elapsed_sec", Json.Float snap.pg_elapsed);
       ("trials_per_sec", Json.Float snap.pg_rate);
+      ("window_trials_per_sec", Json.Float snap.pg_window_rate);
       ("eta_sec", Json.Float snap.pg_eta);
       ("final", Json.Bool snap.pg_final);
       ("counts",
        Json.Obj
          (List.map
             (fun (o, n) -> (Classify.name o, Json.Int n))
+            (nonzero_counts snap)));
+      ("ci",
+       Json.Obj
+         (List.map
+            (fun ((o, _) as c) ->
+              (Classify.name o, Stats.to_json (outcome_ci snap c)))
             (nonzero_counts snap))) ]
 
 (* Sinks are already serialized by the instance lock, so the channel needs

@@ -12,7 +12,11 @@ type snapshot = {
   pg_counts : (Classify.outcome * int) list;  (** running outcome counts,
                                                   in {!Classify.all} order *)
   pg_elapsed : float;     (** seconds since the instance was created *)
-  pg_rate : float;        (** trials per second so far *)
+  pg_rate : float;        (** all-time trials per second since [create] —
+                              includes setup, so it lags early in a run *)
+  pg_window_rate : float; (** trials per second over a sliding window of
+                              recent completions (the instantaneous rate;
+                              what the ETA is computed from) *)
   pg_eta : float;         (** estimated seconds to completion; 0 when done
                               or no rate is measurable yet *)
   pg_final : bool;        (** emitted by {!finish} *)
@@ -39,8 +43,10 @@ val finish : t -> unit
     [false]. *)
 val snapshot : ?final:bool -> t -> snapshot
 
-(** Human heartbeat line on stderr:
-    [[campaign] 500/1000 (50.0%)  1234.5 trials/s  ETA 0.4s  Masked:300 …] *)
+(** Human heartbeat line on stderr, windowed rate with per-outcome Wilson
+    95% intervals:
+    [[campaign] 500/1000 (50.0%)  1234.5 trials/s  ETA 0.4s
+     Masked:300(60.0%±4.3) …] *)
 val stderr_sink : unit -> sink
 
 (** One [{"type":"progress",…}] JSON line per emission on [oc]; the caller

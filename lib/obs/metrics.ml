@@ -122,6 +122,45 @@ let hist_quantile h q =
     !result
   end
 
+(* Interpolated quantile: find the bucket holding the rank like
+   {!hist_quantile}, then place the rank inside it assuming observations
+   spread uniformly over [lo, hi) — a much better point estimate than the
+   bucket's upper bound once buckets get wide (log2 buckets double), and
+   what the report's latency table prints.  Clamped to the tracked exact
+   max so the tail quantile never overshoots reality. *)
+let approx_quantile h q =
+  let n = hist_count h in
+  if n = 0 then 0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let need =
+      int_of_float (ceil (q *. float_of_int n)) |> max 1 |> min n
+    in
+    let acc = ref 0 in
+    let result = ref (hist_max h) in
+    (try
+       for i = 0 to buckets_len - 1 do
+         let c = Atomic.get h.counts.(i) in
+         if c > 0 then begin
+           let prev = !acc in
+           acc := prev + c;
+           if !acc >= need then begin
+             let lo, hi = bucket_bounds i in
+             let frac =
+               (float_of_int (need - prev) -. 0.5) /. float_of_int c
+             in
+             result :=
+               lo
+               + int_of_float
+                   (Float.round (frac *. float_of_int (hi - lo)));
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    min !result (hist_max h)
+  end
+
 let hist_buckets h =
   let out = ref [] in
   for i = buckets_len - 1 downto 0 do

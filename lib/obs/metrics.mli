@@ -51,6 +51,12 @@ val hist_mean : histogram -> float
     quantile (exact to bucket resolution).  0 when empty. *)
 val hist_quantile : histogram -> float -> int
 
+(** [approx_quantile h q] interpolates the [q]-quantile inside its log2
+    bucket (observations assumed uniform over the bucket), instead of
+    {!hist_quantile}'s upper bound — a tighter point estimate once
+    buckets get wide.  Clamped to the observed max; 0 when empty. *)
+val approx_quantile : histogram -> float -> int
+
 (** Non-empty buckets as [(lo, hi, count)] with [lo] inclusive and [hi]
     exclusive; bucket 0 reports [(0, 1, n)]. *)
 val hist_buckets : histogram -> (int * int * int) list

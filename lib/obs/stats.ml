@@ -1,0 +1,47 @@
+(** Streaming proportion statistics; see the interface for the contract. *)
+
+(* 97.5th percentile of the standard normal — the two-sided 95% z. *)
+let z95 = 1.959963984540054
+
+type interval = {
+  ci_estimate : float;
+  ci_low : float;
+  ci_high : float;
+}
+
+(* Wilson score interval.  Unlike the Wald interval (p ± z·sqrt(pq/n)) it
+   never escapes [0,1], stays informative at p=0 or p=1, and is accurate
+   at the small counts an early campaign heartbeat reports — which is why
+   it is the convergence criterion adaptive sampling can stop on. *)
+let wilson ?(z = z95) ~k ~n () =
+  if n <= 0 then { ci_estimate = 0.0; ci_low = 0.0; ci_high = 1.0 }
+  else begin
+    let k = max 0 (min k n) in
+    let nf = float_of_int n in
+    let p = float_of_int k /. nf in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. nf) in
+    let center = (p +. (z2 /. (2.0 *. nf))) /. denom in
+    let half =
+      z /. denom
+      *. sqrt ((p *. (1.0 -. p) /. nf) +. (z2 /. (4.0 *. nf *. nf)))
+    in
+    { ci_estimate = p;
+      ci_low = Float.max 0.0 (center -. half);
+      ci_high = Float.min 1.0 (center +. half) }
+  end
+
+let width iv = iv.ci_high -. iv.ci_low
+
+let converged ?z ~k ~n ~half_width () =
+  n > 0 && width (wilson ?z ~k ~n ()) <= 2.0 *. half_width
+
+let to_json iv =
+  Json.Obj
+    [ ("est", Json.Float iv.ci_estimate);
+      ("lo", Json.Float iv.ci_low);
+      ("hi", Json.Float iv.ci_high) ]
+
+let pp_pct iv =
+  Printf.sprintf "%.1f%%±%.1f" (100.0 *. iv.ci_estimate)
+    (100.0 *. width iv /. 2.0)

@@ -1,0 +1,45 @@
+(** Streaming proportion statistics for fault campaigns.
+
+    A campaign observes [k] occurrences of an outcome over [n] completed
+    trials; this module turns those two integers into a confidence
+    interval, incrementally — no per-trial state beyond the counters the
+    campaign already keeps ({!Faults.Progress}'s atomics), so the interval
+    can be recomputed at every heartbeat and at campaign end for the
+    journal manifest.  Pure and allocation-light: safe to call from any
+    domain, strictly observation-only (nothing in the experiment pipeline
+    may branch on an interval — the determinism contract, DESIGN.md §8).
+
+    The interval is Wilson's score interval, the standard choice for
+    proportions at small counts: it never leaves [0,1] and stays
+    informative at k=0 and k=n, where the naive Wald interval collapses
+    to a width of zero.  This is the substrate adaptive early stopping
+    (ROADMAP item 5) decides on. *)
+
+(** The two-sided 95% standard-normal quantile (≈1.96), the default [z]. *)
+val z95 : float
+
+type interval = {
+  ci_estimate : float;  (** the point estimate k/n *)
+  ci_low : float;       (** lower confidence bound, clamped to [0,1] *)
+  ci_high : float;      (** upper confidence bound, clamped to [0,1] *)
+}
+
+(** [wilson ~k ~n ()] is the Wilson score interval for [k] successes over
+    [n] trials at confidence level [z] (default {!z95}, i.e. 95%).
+    [n <= 0] yields the vacuous interval [0, 1] with estimate 0; [k] is
+    clamped into [0, n]. *)
+val wilson : ?z:float -> k:int -> n:int -> unit -> interval
+
+(** [ci_high - ci_low]. *)
+val width : interval -> float
+
+(** [converged ~k ~n ~half_width ()] is true when the interval's half
+    width has shrunk to [half_width] or below — the per-stratum stopping
+    rule of adaptive sampling. *)
+val converged : ?z:float -> k:int -> n:int -> half_width:float -> unit -> bool
+
+(** [{"est":…,"lo":…,"hi":…}] — the journal/heartbeat wire form. *)
+val to_json : interval -> Json.t
+
+(** Compact percent rendering, e.g. ["12.5%±2.1"] (half width after ±). *)
+val pp_pct : interval -> string

@@ -177,8 +177,8 @@ let test_pool_serial_exception () =
 
 (* ----- Journal ----- *)
 
-let small_campaign ?profile ?on_trial ?stats_out ~domains () =
-  Faults.Campaign.run ?profile ?on_trial ?stats_out ~domains
+let small_campaign ?profile ?on_trial ?stats_out ?progress ?trace ~domains () =
+  Faults.Campaign.run ?profile ?on_trial ?stats_out ?progress ?trace ~domains
     (Test_faults.array_sum_subject ())
     ~trials:30 ~seed:2024
 
@@ -196,7 +196,7 @@ let test_journal_write_load () =
           ~fault_kind:"register_bit"
           ~golden:summary.Faults.Campaign.golden_info ()
       in
-      Faults.Journal.write ~path ~manifest ~trials;
+      Faults.Journal.write ~path ~manifest ~trials ();
       let m, views = Faults.Journal.load path in
       Alcotest.(check (option string)) "schema" (Some Faults.Journal.schema)
         (Option.bind (Json.member "schema" m) Json.to_str);
@@ -253,7 +253,7 @@ let with_journal_lines ?(checkpoint_interval = 0) ?(taint_trace = false) k =
           ~fault_kind:"register_bit"
           ~golden:summary.Faults.Campaign.golden_info ()
       in
-      Faults.Journal.write ~path ~manifest ~trials;
+      Faults.Journal.write ~path ~manifest ~trials ();
       let ic = open_in path in
       let lines = ref [] in
       (try
@@ -498,6 +498,611 @@ let test_profile_merge_deterministic () =
   Alcotest.(check bool) "serial = parallel profile" true
     (collect 1 = collect 4)
 
+(* ----- Stats: Wilson intervals ----- *)
+
+let test_stats_wilson_edges () =
+  let open Stats in
+  let vac = wilson ~k:0 ~n:0 () in
+  Alcotest.(check (float 0.0)) "vacuous low" 0.0 vac.ci_low;
+  Alcotest.(check (float 0.0)) "vacuous high" 1.0 vac.ci_high;
+  Alcotest.(check (float 0.0)) "vacuous width" 1.0 (width vac);
+  let zero = wilson ~k:0 ~n:20 () in
+  Alcotest.(check (float 0.0)) "k=0 estimate" 0.0 zero.ci_estimate;
+  Alcotest.(check (float 0.0)) "k=0 low" 0.0 zero.ci_low;
+  Alcotest.(check bool) "k=0 high informative" true
+    (zero.ci_high > 0.0 && zero.ci_high < 1.0);
+  let full = wilson ~k:20 ~n:20 () in
+  Alcotest.(check (float 0.0)) "k=n estimate" 1.0 full.ci_estimate;
+  Alcotest.(check (float 0.0)) "k=n high" 1.0 full.ci_high;
+  Alcotest.(check bool) "k=n low informative" true
+    (full.ci_low > 0.0 && full.ci_low < 1.0);
+  Alcotest.(check bool) "k clamps into [0,n]" true
+    (wilson ~k:50 ~n:20 () = full && wilson ~k:(-3) ~n:20 () = zero);
+  Alcotest.(check bool) "width shrinks with n" true
+    (width (wilson ~k:100 ~n:1000 ()) < width (wilson ~k:10 ~n:100 ()));
+  Alcotest.(check bool) "narrower z narrows the interval" true
+    (width (wilson ~z:1.0 ~k:10 ~n:100 ()) < width (wilson ~k:10 ~n:100 ()));
+  Alcotest.(check bool) "converged at depth" true
+    (converged ~k:5000 ~n:10_000 ~half_width:0.02 ());
+  Alcotest.(check bool) "not converged when shallow" false
+    (converged ~k:5 ~n:10 ~half_width:0.02 ())
+
+let test_stats_wilson_json_pp () =
+  let iv = Stats.wilson ~k:25 ~n:200 () in
+  let j = Stats.to_json iv in
+  let f name = Option.bind (Json.member name j) Json.to_float in
+  Alcotest.(check (option (float 1e-12))) "est" (Some iv.Stats.ci_estimate)
+    (f "est");
+  Alcotest.(check (option (float 1e-12))) "lo" (Some iv.Stats.ci_low) (f "lo");
+  Alcotest.(check (option (float 1e-12))) "hi" (Some iv.Stats.ci_high)
+    (f "hi");
+  let s = Stats.pp_pct iv in
+  Alcotest.(check bool)
+    (Printf.sprintf "pp_pct looks like a percent (%s)" s)
+    true
+    (String.contains s '%'
+     && String.length s > 2
+     && String.sub s 0 4 = "12.5")
+
+let prop_wilson_bounds =
+  QCheck.Test.make ~name:"wilson interval brackets k/n inside [0,1]"
+    ~count:500
+    QCheck.(pair (int_range 0 500) (int_range 1 500))
+    (fun (a, b) ->
+      let n = max a b and k = min a b in
+      let iv = Stats.wilson ~k ~n () in
+      let est = float_of_int k /. float_of_int n in
+      iv.Stats.ci_estimate = est
+      && 0.0 <= iv.ci_low
+      && iv.ci_low <= est
+      && est <= iv.ci_high
+      && iv.ci_high <= 1.0
+      && (n < 2 || iv.ci_low < iv.ci_high))
+
+(* ----- Trace: point-span round trip ----- *)
+
+let test_span_collision_prefixing () =
+  (* Attributes named like the reserved wire keys must survive the trip —
+     under a prefix on the wire, restored verbatim on the way back. *)
+  let s =
+    Trace.span ~step:9 "store"
+      ~attrs:
+        [ ("name", Json.Str "shadow"); ("step", Json.Int 7);
+          ("attr.name", Json.Str "pre-escaped"); ("uid", Json.Int 3) ]
+  in
+  (match Trace.to_json s with
+   | Json.Obj fields ->
+     let keys = List.map fst fields in
+     Alcotest.(check (list string)) "wire keys escape collisions"
+       [ "name"; "step"; "attr.name"; "attr.step"; "attr.attr.name"; "uid" ]
+       keys
+   | _ -> Alcotest.fail "span did not serialize to an object");
+  Alcotest.(check bool) "round trip is exact" true
+    (Trace.of_json (Trace.to_json s) = Some s)
+
+let span_attr_keys =
+  [| "name"; "step"; "attr.name"; "attr.step"; "attr.attr.x"; "uid"; "k";
+     "value" |]
+
+let prop_span_roundtrip =
+  QCheck.Test.make ~name:"span serialization round-trips totally" ~count:300
+    QCheck.(
+      pair (int_range 0 10_000)
+        (small_list (pair (int_range 0 7) small_int)))
+    (fun (step, raw) ->
+      let attrs =
+        List.fold_left
+          (fun acc (ki, v) ->
+            let k = span_attr_keys.(ki) in
+            if List.mem_assoc k acc then acc else acc @ [ (k, Json.Int v) ])
+          [] raw
+      in
+      let s = Trace.span ~step ~attrs "ev" in
+      Trace.of_json (Trace.to_json s) = Some s)
+
+(* ----- Trace: the flight recorder ----- *)
+
+let test_trace_recorder_durs () =
+  let r = Trace.recorder () in
+  Trace.with_dur (Some r) ~cat:"campaign" "outer" (fun () ->
+      Trace.with_dur (Some r)
+        ~args:[ ("start", Json.Int 0) ]
+        ~track:2 ~cat:"pool" "chunk"
+        (fun () -> Unix.sleepf 0.002));
+  match Trace.durs r with
+  | [ outer; chunk ] ->
+    Alcotest.(check string) "outer name" "outer" outer.Trace.du_name;
+    Alcotest.(check string) "outer cat" "campaign" outer.du_cat;
+    Alcotest.(check int) "outer on caller track" 0 outer.du_track;
+    Alcotest.(check string) "chunk name" "chunk" chunk.du_name;
+    Alcotest.(check int) "chunk track" 2 chunk.du_track;
+    Alcotest.(check (option int)) "chunk args survive" (Some 0)
+      (Option.bind (List.assoc_opt "start" chunk.du_args) Json.to_int);
+    (* Ascending start order, and the nested span sits inside the outer. *)
+    Alcotest.(check bool) "sorted by start" true
+      (outer.du_start_us <= chunk.du_start_us);
+    Alcotest.(check bool) "nested span is shorter" true
+      (chunk.du_dur_us <= outer.du_dur_us && chunk.du_dur_us >= 0.0)
+  | ds -> Alcotest.failf "expected 2 spans, got %d" (List.length ds)
+
+let test_trace_with_dur_none_and_raise () =
+  (* [None] is a bare call... *)
+  Alcotest.(check int) "uninstrumented call" 42
+    (Trace.with_dur None ~cat:"x" "y" (fun () -> 42));
+  (* ...and a raising body still records its span before propagating. *)
+  let r = Trace.recorder () in
+  (match
+     Trace.with_dur (Some r) ~cat:"campaign" "boom" (fun () ->
+         raise Trial_blew_up)
+   with
+   | () -> Alcotest.fail "expected Trial_blew_up"
+   | exception Trial_blew_up -> ());
+  match Trace.durs r with
+  | [ d ] -> Alcotest.(check string) "span recorded on raise" "boom" d.du_name
+  | ds -> Alcotest.failf "expected 1 span, got %d" (List.length ds)
+
+let test_trace_chrome_format () =
+  let r = Trace.recorder () in
+  Trace.with_dur (Some r) ~cat:"campaign" "golden_run" (fun () -> ());
+  Trace.with_dur (Some r) ~track:3 ~cat:"pool" "worker"
+    ~args:[ ("items", Json.Int 7) ]
+    (fun () -> ());
+  let j = Trace.to_chrome r in
+  let events =
+    match Json.member "traceEvents" j with
+    | Some (Json.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents list"
+  in
+  let ph e = Option.bind (Json.member "ph" e) Json.to_str in
+  let metadata = List.filter (fun e -> ph e = Some "M") events in
+  let spans = List.filter (fun e -> ph e = Some "X") events in
+  Alcotest.(check int) "one thread_name record per track" 2
+    (List.length metadata);
+  let track_label e =
+    Option.bind (Json.member "args" e) (fun a ->
+        Option.bind (Json.member "name" a) Json.to_str)
+  in
+  Alcotest.(check (list (option string))) "tracks labelled as domains"
+    [ Some "domain 0 (caller)"; Some "domain 3" ]
+    (List.map track_label metadata);
+  Alcotest.(check int) "one complete event per span" 2 (List.length spans);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "ts/dur are numbers" true
+        (Option.bind (Json.member "ts" e) Json.to_float <> None
+         && Option.bind (Json.member "dur" e) Json.to_float <> None);
+      Alcotest.(check (option int)) "single process" (Some 1)
+        (Option.bind (Json.member "pid" e) Json.to_int))
+    spans;
+  (* args only where given, and tid carries the worker track. *)
+  let worker =
+    List.find
+      (fun e ->
+        Option.bind (Json.member "name" e) Json.to_str = Some "worker")
+      spans
+  in
+  Alcotest.(check (option int)) "worker tid" (Some 3)
+    (Option.bind (Json.member "tid" worker) Json.to_int);
+  Alcotest.(check (option int)) "worker args" (Some 7)
+    (Option.bind (Json.member "args" worker) (fun a ->
+         Option.bind (Json.member "items" a) Json.to_int));
+  (* write_chrome emits exactly the same JSON, parseable from disk. *)
+  let path = Filename.temp_file "softft_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.write_chrome r ~path;
+      let ic = open_in path in
+      let line = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "file carries the same JSON" (Json.to_string j)
+        line;
+      Alcotest.(check bool) "and parses back" true
+        (match Json.parse line with Json.Obj _ -> true | _ -> false))
+
+(* ----- Metrics: interpolated quantiles ----- *)
+
+let test_metrics_approx_quantile () =
+  let r = Metrics.registry () in
+  let empty = Metrics.histogram r "empty" in
+  Alcotest.(check int) "empty histogram" 0 (Metrics.approx_quantile empty 0.5);
+  let zeros = Metrics.histogram r "zeros" in
+  List.iter (Metrics.observe zeros) [ 0; 0; 0 ];
+  Alcotest.(check int) "all-zero observations" 0
+    (Metrics.approx_quantile zeros 0.9);
+  (* One observation of 1000 sits in bucket [512,1024): the interpolated
+     mid-bucket estimate beats hist_quantile's upper bound. *)
+  let one = Metrics.histogram r "one" in
+  Metrics.observe one 1000;
+  Alcotest.(check int) "interpolates inside the bucket" 768
+    (Metrics.approx_quantile one 0.5);
+  Alcotest.(check bool) "tighter than the bucket bound" true
+    (Metrics.approx_quantile one 0.5 < Metrics.hist_quantile one 0.5);
+  (* Uniform 1..100: monotone in q, clamped to the observed max, and q is
+     clamped into [0,1]. *)
+  let u = Metrics.histogram r "uniform" in
+  for v = 1 to 100 do
+    Metrics.observe u v
+  done;
+  let qs = [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+  let estimates = List.map (Metrics.approx_quantile u) qs in
+  Alcotest.(check bool) "monotone in q" true
+    (List.sort compare estimates = estimates);
+  let p50 = Metrics.approx_quantile u 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 lands in its bucket (%d)" p50)
+    true
+    (p50 >= 32 && p50 <= 64);
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) "never exceeds the max" true
+        (Metrics.approx_quantile u q <= Metrics.hist_max u))
+    qs;
+  Alcotest.(check int) "q clamps low" (Metrics.approx_quantile u 0.0)
+    (Metrics.approx_quantile u (-3.0));
+  Alcotest.(check int) "q clamps high" (Metrics.approx_quantile u 1.0)
+    (Metrics.approx_quantile u 2.0)
+
+(* ----- Progress: exact counts under parallelism, windowed rate ----- *)
+
+let all_outcomes = Array.of_list Faults.Classify.all
+
+let prop_progress_counts_exact =
+  (* Outcome accounting is exact — not approximate — whatever the domain
+     count: every note lands in exactly one counter. *)
+  QCheck.Test.make ~name:"progress counts are exact at 1/2/4 domains"
+    ~count:30
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_range 0 8))
+    (fun picks ->
+      let outcomes =
+        Array.of_list (List.map (fun i -> all_outcomes.(i)) picks)
+      in
+      let n = Array.length outcomes in
+      List.for_all
+        (fun domains ->
+          let pg = Faults.Progress.create ~interval:1e9 ~total:n () in
+          let (_ : int array) =
+            Faults.Pool.map ~domains
+              (fun i ->
+                Faults.Progress.note pg outcomes.(i);
+                i)
+              n
+          in
+          let snap = Faults.Progress.snapshot ~final:true pg in
+          snap.pg_done = n
+          && snap.pg_done <= snap.pg_total
+          && List.for_all
+               (fun (o, got) ->
+                 let expected =
+                   Array.fold_left
+                     (fun acc o' -> if o' = o then acc + 1 else acc)
+                     0 outcomes
+                 in
+                 got = expected)
+               snap.pg_counts)
+        [ 1; 2; 4 ])
+
+let test_progress_window_rate () =
+  let pg = Faults.Progress.create ~interval:1e9 ~total:100 () in
+  for _ = 1 to 50 do
+    Faults.Progress.note pg Faults.Classify.Masked
+  done;
+  let snap = Faults.Progress.snapshot pg in
+  Alcotest.(check bool) "windowed rate measurable" true
+    (snap.pg_window_rate > 0.0);
+  Alcotest.(check bool) "eta finite and non-negative" true
+    (snap.pg_eta >= 0.0 && Float.is_finite snap.pg_eta);
+  let j = Faults.Progress.snapshot_json snap in
+  Alcotest.(check bool) "json carries both rates" true
+    (Option.bind (Json.member "trials_per_sec" j) Json.to_float <> None
+     && Option.bind (Json.member "window_trials_per_sec" j) Json.to_float
+        <> None);
+  (* Per-outcome Wilson interval rides along on the heartbeat. *)
+  let ci =
+    Option.bind (Json.member "ci" j) (fun ci ->
+        Option.bind (Json.member "Masked" ci) (fun m ->
+            Option.bind (Json.member "est" m) Json.to_float))
+  in
+  Alcotest.(check (option (float 1e-9))) "ci estimate" (Some 1.0) ci
+
+let test_progress_heartbeat_jsonl () =
+  (* Every heartbeat line a real parallel campaign emits must parse, stay
+     within bounds, and grow monotonically. *)
+  let path = Filename.temp_file "softft_progress" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let pg =
+        Faults.Progress.create ~interval:0.0
+          ~sinks:[ Faults.Progress.jsonl_sink oc ]
+          ~total:30 ()
+      in
+      let (_ : Faults.Campaign.summary), (_ : Faults.Campaign.trial list) =
+        small_campaign ~progress:pg ~domains:2 ()
+      in
+      close_out oc;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check bool) "per-trial emission plus final" true
+        (List.length lines >= 31);
+      let last_done = ref 0 in
+      List.iter
+        (fun line ->
+          let j = Json.parse line in
+          let int name = Option.bind (Json.member name j) Json.to_int in
+          Alcotest.(check (option string)) "self-describing" (Some "progress")
+            (Option.bind (Json.member "type" j) Json.to_str);
+          match int "done", int "total" with
+          | Some d, Some t ->
+            Alcotest.(check bool) "done within total" true (d <= t);
+            Alcotest.(check bool) "done monotone" true (d >= !last_done);
+            last_done := d;
+            (* Counts are read under the emission lock: they sum to done. *)
+            let counted =
+              match Json.member "counts" j with
+              | Some (Json.Obj fields) ->
+                List.fold_left
+                  (fun acc (_, v) ->
+                    acc + Option.value ~default:0 (Json.to_int v))
+                  0 fields
+              | _ -> 0
+            in
+            Alcotest.(check int) "counts sum to done" d counted
+          | _ -> Alcotest.fail "heartbeat missing done/total")
+        lines;
+      match List.rev lines with
+      | last :: _ ->
+        Alcotest.(check (option bool)) "last line is final" (Some true)
+          (Option.bind (Json.member "final" (Json.parse last)) Json.to_bool);
+        Alcotest.(check int) "campaign completed" 30 !last_done
+      | [] -> Alcotest.fail "no heartbeat lines")
+
+(* ----- Determinism: the flight recorder and statistics are inert ----- *)
+
+let check_flight_recorder_inert ~domains () =
+  let bare_summary, bare = small_campaign ~domains:1 () in
+  let r = Obs.Trace.recorder () in
+  let pg = Faults.Progress.create ~interval:1e9 ~total:30 () in
+  let traced_summary, traced =
+    small_campaign ~progress:pg ~trace:r ~domains ()
+  in
+  Alcotest.(check bool) "trials bit-identical under tracing" true
+    (Faults.Campaign.trials_equal bare traced);
+  Alcotest.(check bool) "counts identical" true
+    (bare_summary.Faults.Campaign.counts
+     = traced_summary.Faults.Campaign.counts);
+  (* The recorder did see the campaign's phases. *)
+  let names =
+    List.sort_uniq compare
+      (List.map (fun d -> d.Trace.du_name) (Trace.durs r))
+  in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) (phase ^ " span recorded") true
+        (List.mem phase names))
+    [ "golden_run"; "trials"; "worker" ]
+
+let test_flight_recorder_inert_serial () =
+  check_flight_recorder_inert ~domains:1 ()
+
+let test_flight_recorder_inert_parallel () =
+  check_flight_recorder_inert ~domains:4 ()
+
+let test_journal_bytes_trace_invariant () =
+  (* The strongest form of the contract: one manifest, two journal writes —
+     serial bare trials vs. parallel traced trials — and the files must be
+     byte-identical. *)
+  let _, bare = small_campaign ~domains:1 () in
+  let r = Obs.Trace.recorder () in
+  let summary, traced = small_campaign ~trace:r ~domains:4 () in
+  let manifest =
+    Faults.Journal.manifest_record ~git:"test" ~technique:"none"
+      ~label:"array_sum" ~trials:30 ~seed:2024 ~domains:0
+      ~hw_window:Faults.Classify.default_hw_window ~fault_kind:"register_bit"
+      ~golden:summary.Faults.Campaign.golden_info ()
+  in
+  let write ?trace trials =
+    let path = Filename.temp_file "softft_journal" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Faults.Journal.write ?trace ~path ~manifest ~trials ();
+        In_channel.with_open_bin path In_channel.input_all)
+  in
+  Alcotest.(check bool) "journal bytes identical" true
+    (write bare = write ~trace:r traced)
+
+(* ----- Journal: v4 final statistics ----- *)
+
+let test_journal_v4_stats () =
+  let path = Filename.temp_file "softft_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let summary, trials = small_campaign ~domains:2 () in
+      let manifest =
+        Faults.Journal.manifest_record ~git:"test" ~technique:"none"
+          ~counts:summary.Faults.Campaign.counts ~label:"array_sum" ~trials:30
+          ~seed:2024 ~domains:2 ~hw_window:Faults.Classify.default_hw_window
+          ~fault_kind:"register_bit"
+          ~golden:summary.Faults.Campaign.golden_info ()
+      in
+      Faults.Journal.write ~path ~manifest ~trials ();
+      let m, views = Faults.Journal.load path in
+      Alcotest.(check (option string)) "stamped v4"
+        (Some Faults.Journal.schema_v4)
+        (Option.bind (Json.member "schema" m) Json.to_str);
+      Alcotest.(check int) "v4 trials load" 30 (List.length views);
+      let stats =
+        match Json.member "stats" m with
+        | Some (Json.Obj fields) -> fields
+        | _ -> Alcotest.fail "manifest has no stats object"
+      in
+      (* One entry per observed outcome, none for unobserved ones, and the
+         entries agree with the summary and with Wilson at n=30. *)
+      let total = ref 0 in
+      List.iter
+        (fun ((o : Faults.Classify.outcome), k) ->
+          let entry = List.assoc_opt (Faults.Classify.name o) stats in
+          if k = 0 then
+            Alcotest.(check bool) "unobserved outcome absent" true
+              (entry = None)
+          else begin
+            total := !total + k;
+            match entry with
+            | None -> Alcotest.failf "missing stats for %s"
+                        (Faults.Classify.name o)
+            | Some e ->
+              let iv = Stats.wilson ~k ~n:30 () in
+              Alcotest.(check (option int)) "n" (Some k)
+                (Option.bind (Json.member "n" e) Json.to_int);
+              Alcotest.(check (option (float 1e-12))) "est"
+                (Some iv.Stats.ci_estimate)
+                (Option.bind (Json.member "est" e) Json.to_float);
+              Alcotest.(check (option (float 1e-12))) "lo"
+                (Some iv.Stats.ci_low)
+                (Option.bind (Json.member "lo" e) Json.to_float);
+              Alcotest.(check (option (float 1e-12))) "hi"
+                (Some iv.Stats.ci_high)
+                (Option.bind (Json.member "hi" e) Json.to_float)
+          end)
+        summary.Faults.Campaign.counts;
+      Alcotest.(check int) "stats cover every trial" 30 !total)
+
+let test_journal_v4_outranks_v3 () =
+  (* counts + taint tracing: the manifest carries both and stamps the
+     newest schema. *)
+  let subject = Test_faults.protected_array_sum () in
+  let summary, _ =
+    Faults.Campaign.run subject ~trials:20 ~seed:7 ~taint_trace:true
+  in
+  let m =
+    Faults.Journal.manifest_record ~git:"test" ~technique:"dup"
+      ~counts:summary.Faults.Campaign.counts ~taint_trace:true
+      ~label:"array_sum" ~trials:20 ~seed:7 ~domains:1
+      ~hw_window:Faults.Classify.default_hw_window ~fault_kind:"register_bit"
+      ~golden:summary.Faults.Campaign.golden_info ()
+  in
+  Alcotest.(check (option string)) "v4 outranks v3"
+    (Some Faults.Journal.schema_v4)
+    (Option.bind (Json.member "schema" m) Json.to_str);
+  Alcotest.(check (option bool)) "taint flag kept" (Some true)
+    (Option.bind (Json.member "taint_trace" m) Json.to_bool)
+
+(* ----- Bench history: bench-diff ----- *)
+
+let bench_file ?cores ~serial ~parallel ~speedup () =
+  Json.Obj
+    ([ ("schema", Json.Str "softft.bench_campaign.v3");
+       ("trials", Json.Int 600) ]
+     @ (match cores with
+        | Some c -> [ ("host_cores", Json.Int c) ]
+        | None -> [])
+     @ [ ("workloads",
+          Json.List
+            [ Json.Obj
+                [ ("name", Json.Str "kmeans");
+                  ("serial_trials_per_sec", Json.Float serial);
+                  ("parallel_trials_per_sec", Json.Float parallel);
+                  ("parallel_speedup", Json.Float speedup) ] ]) ])
+
+let test_bench_diff_regression () =
+  let old_j = bench_file ~cores:4 ~serial:100.0 ~parallel:300.0 ~speedup:3.0 () in
+  let new_j = bench_file ~cores:4 ~serial:80.0 ~parallel:310.0 ~speedup:3.9 () in
+  let d = Softft.Experiments.bench_diff old_j new_j in
+  Alcotest.(check bool) "comparable hosts" true d.bd_comparable;
+  Alcotest.(check int) "all three metrics compared" 3 (List.length d.bd_rows);
+  (match Softft.Experiments.bench_diff_regressions d with
+   | [ r ] ->
+     Alcotest.(check string) "serial throughput flagged" "serial trials/s"
+       r.Softft.Experiments.bd_metric;
+     Alcotest.(check (float 0.01)) "delta" (-20.0) r.bd_delta_pct
+   | rs -> Alcotest.failf "expected 1 regression, got %d" (List.length rs));
+  (* The same drop within tolerance is not a regression... *)
+  let mild = bench_file ~cores:4 ~serial:90.0 ~parallel:300.0 ~speedup:3.33 () in
+  Alcotest.(check int) "10%% drop tolerated" 0
+    (List.length
+       (Softft.Experiments.bench_diff_regressions
+          (Softft.Experiments.bench_diff old_j mild)));
+  (* ...until the tolerance tightens. *)
+  Alcotest.(check int) "tolerance is a parameter" 1
+    (List.length
+       (Softft.Experiments.bench_diff_regressions
+          (Softft.Experiments.bench_diff ~tolerance_pct:5.0 old_j mild)))
+
+let test_bench_diff_speedup_not_gated () =
+  (* The speedup row is informational — a ratio of the gated throughputs —
+     so even a large drop must not double-report. *)
+  let old_j = bench_file ~cores:4 ~serial:100.0 ~parallel:300.0 ~speedup:3.0 () in
+  let new_j = bench_file ~cores:4 ~serial:100.0 ~parallel:300.0 ~speedup:1.0 () in
+  let d = Softft.Experiments.bench_diff old_j new_j in
+  let speedup_row =
+    List.find
+      (fun r -> r.Softft.Experiments.bd_metric = "parallel speedup")
+      d.bd_rows
+  in
+  Alcotest.(check (float 0.01)) "drop visible" (-66.67)
+    speedup_row.bd_delta_pct;
+  Alcotest.(check int) "but never gating" 0
+    (List.length (Softft.Experiments.bench_diff_regressions d))
+
+let test_bench_diff_incomparable_hosts () =
+  let old_j = bench_file ~cores:4 ~serial:100.0 ~parallel:300.0 ~speedup:3.0 () in
+  let new_j = bench_file ~cores:8 ~serial:50.0 ~parallel:150.0 ~speedup:3.0 () in
+  let d = Softft.Experiments.bench_diff old_j new_j in
+  Alcotest.(check bool) "hosts differ" false d.bd_comparable;
+  Alcotest.(check bool) "rows still rendered for the human" true
+    (List.exists (fun r -> r.Softft.Experiments.bd_regression) d.bd_rows);
+  Alcotest.(check int) "gate stands down" 0
+    (List.length (Softft.Experiments.bench_diff_regressions d));
+  (* A file with no host_cores at all can never arm the gate either. *)
+  let anon = bench_file ~serial:100.0 ~parallel:300.0 ~speedup:3.0 () in
+  let d2 = Softft.Experiments.bench_diff anon anon in
+  Alcotest.(check int) "missing cores read as -1" (-1) d2.bd_old_cores;
+  Alcotest.(check bool) "and never compare" false d2.bd_comparable
+
+let test_bench_diff_workload_churn () =
+  (* Dropped or added workloads produce no rows (nothing to compare), and
+     a genuinely improved run reports zero regressions. *)
+  let old_j = bench_file ~cores:4 ~serial:100.0 ~parallel:300.0 ~speedup:3.0 () in
+  let renamed =
+    match bench_file ~cores:4 ~serial:100.0 ~parallel:300.0 ~speedup:3.0 () with
+    | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (function
+             | ("workloads", Json.List [ Json.Obj w ]) ->
+               ( "workloads",
+                 Json.List
+                   [ Json.Obj
+                       (List.map
+                          (function
+                            | ("name", _) -> ("name", Json.Str "other")
+                            | kv -> kv)
+                          w) ] )
+             | kv -> kv)
+           fields)
+    | _ -> assert false
+  in
+  let d = Softft.Experiments.bench_diff old_j renamed in
+  Alcotest.(check int) "no shared workloads, no rows" 0
+    (List.length d.bd_rows);
+  let better = bench_file ~cores:4 ~serial:140.0 ~parallel:420.0 ~speedup:3.0 () in
+  let d2 = Softft.Experiments.bench_diff old_j better in
+  Alcotest.(check int) "improvements never gate" 0
+    (List.length (Softft.Experiments.bench_diff_regressions d2));
+  Alcotest.(check bool) "improvement deltas positive" true
+    (List.for_all
+       (fun r -> r.Softft.Experiments.bd_delta_pct >= 0.0)
+       d2.bd_rows)
+
 let tests =
   [ Alcotest.test_case "json: roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json: unicode escapes" `Quick test_json_unicode_escapes;
@@ -535,4 +1140,38 @@ let tests =
       test_observability_inert_parallel;
     Alcotest.test_case "determinism: profile merge" `Quick
       test_profile_merge_deterministic;
+    Alcotest.test_case "stats: wilson edges" `Quick test_stats_wilson_edges;
+    Alcotest.test_case "stats: wilson json + pp" `Quick
+      test_stats_wilson_json_pp;
+    Alcotest.test_case "trace: span collision prefixing" `Quick
+      test_span_collision_prefixing;
+    Alcotest.test_case "trace: recorder spans" `Quick test_trace_recorder_durs;
+    Alcotest.test_case "trace: with_dur inert + raise" `Quick
+      test_trace_with_dur_none_and_raise;
+    Alcotest.test_case "trace: chrome format" `Quick test_trace_chrome_format;
+    Alcotest.test_case "metrics: approx quantile" `Quick
+      test_metrics_approx_quantile;
+    Alcotest.test_case "progress: windowed rate" `Quick
+      test_progress_window_rate;
+    Alcotest.test_case "progress: heartbeat jsonl" `Quick
+      test_progress_heartbeat_jsonl;
+    Alcotest.test_case "determinism: flight recorder inert (serial)" `Quick
+      test_flight_recorder_inert_serial;
+    Alcotest.test_case "determinism: flight recorder inert (domains=4)" `Quick
+      test_flight_recorder_inert_parallel;
+    Alcotest.test_case "determinism: journal bytes trace-invariant" `Quick
+      test_journal_bytes_trace_invariant;
+    Alcotest.test_case "journal: v4 final stats" `Quick test_journal_v4_stats;
+    Alcotest.test_case "journal: v4 outranks v3" `Quick
+      test_journal_v4_outranks_v3;
+    Alcotest.test_case "bench-diff: regression gate" `Quick
+      test_bench_diff_regression;
+    Alcotest.test_case "bench-diff: speedup not gated" `Quick
+      test_bench_diff_speedup_not_gated;
+    Alcotest.test_case "bench-diff: incomparable hosts" `Quick
+      test_bench_diff_incomparable_hosts;
+    Alcotest.test_case "bench-diff: workload churn" `Quick
+      test_bench_diff_workload_churn;
   ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_wilson_bounds; prop_span_roundtrip; prop_progress_counts_exact ]
