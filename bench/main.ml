@@ -379,6 +379,111 @@ let run_campaign_perf () =
     Obs.Trace.write_chrome r ~path:tpath;
     Printf.printf "wrote %s\n" tpath
 
+(* ----- Adaptive-campaign bench: trials to a target SDC half-width -----
+
+   Per workload, one adaptive stratified campaign (DESIGN.md §14) against
+   the dup+valchk variant: how many trials it needed, versus the
+   fixed-size uniform design guaranteeing the same target (the savings
+   headline) and the oracle sequential-uniform lower bound — plus a
+   serial-vs-parallel bit-identity check, the same determinism contract
+   campaign-perf enforces.  Results merge into BENCH_campaign.json under
+   an "adaptive" key, so one artifact carries both perf trajectories. *)
+let run_adaptive_bench () =
+  (* --quick keeps CI minutes-scale: a looser target converges in a few
+     pilot rounds while still exercising every scheduler phase. *)
+  let ci = if !default_trials <= 40 then 0.05 else 0.01 in
+  let dom = max 2 !domains in
+  let names =
+    match !selected_benchmarks with
+    | Some names -> names
+    | None -> [ "kmeans"; "jpegdec" ]
+  in
+  Printf.printf
+    "\n== Adaptive stratified campaigns (target SDC half-width %.3f) ==\n"
+    ci;
+  Printf.printf "%-12s %7s %8s %8s %8s %7s %6s\n" "workload" "strata"
+    "trials" "planned" "oracle" "saved" "same?";
+  Printf.printf "%s\n" (String.make 64 '-');
+  let rows =
+    List.map
+      (fun name ->
+        let w = Workloads.Registry.find name in
+        let p = Softft.protect w Softft.Dup_valchk in
+        let cov = Analysis.Coverage.analyze p.Softft.prog in
+        let groups = Analysis.Strata.reg_groups p.Softft.prog cov in
+        let priors = Analysis.Strata.priors cov in
+        let subject = Softft.subject p ~role:Workloads.Workload.Test in
+        let run d =
+          let t0 = Unix.gettimeofday () in
+          let _, trial_list, ad =
+            Faults.Campaign.run_adaptive ~seed:!seed ~domains:d ~groups
+              ~group_names:Analysis.Strata.group_names ~priors ~ci subject
+          in
+          (Unix.gettimeofday () -. t0, trial_list, ad)
+        in
+        let wall, trials1, ad = run 1 in
+        let _, trials_n, _ = run dom in
+        let same = Faults.Campaign.trials_equal trials1 trials_n in
+        let saved =
+          float_of_int ad.Faults.Campaign.ad_equiv_uniform
+          /. float_of_int (max 1 ad.ad_trials)
+        in
+        Printf.printf "%-12s %7d %8d %8d %8d %6.1fx %6s\n" w.name
+          (Array.length ad.ad_strata)
+          ad.ad_trials ad.ad_equiv_uniform ad.ad_oracle_uniform saved
+          (if same then "yes" else "NO");
+        (w.name, wall, ad, same))
+      names
+  in
+  let adaptive_json =
+    Obs.Json.Obj
+      [ ("ci_target", Obs.Json.Float ci);
+        ("seed", Obs.Json.Int !seed);
+        ("technique", Obs.Json.Str "dup_valchk");
+        ("workloads",
+         Obs.Json.List
+           (List.map
+              (fun (name, wall, (ad : Faults.Campaign.adaptive), same) ->
+                Obs.Json.Obj
+                  [ ("name", Obs.Json.Str name);
+                    ("strata", Obs.Json.Int (Array.length ad.ad_strata));
+                    ("trials", Obs.Json.Int ad.ad_trials);
+                    ("planned_uniform_trials",
+                     Obs.Json.Int ad.ad_equiv_uniform);
+                    ("oracle_uniform_trials",
+                     Obs.Json.Int ad.ad_oracle_uniform);
+                    ("trials_saved_factor",
+                     Obs.Json.Float
+                       (float_of_int ad.ad_equiv_uniform
+                        /. float_of_int (max 1 ad.ad_trials)));
+                    ("sdc", Obs.Stats.to_json ad.ad_sdc);
+                    ("wall_sec", Obs.Json.Float wall);
+                    ("bit_identical", Obs.Json.Bool same) ])
+              rows)) ]
+  in
+  let path = "BENCH_campaign.json" in
+  (* Merge, don't clobber: campaign-perf owns the file's top-level perf
+     fields; the adaptive section rides along under its own key. *)
+  let base =
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      match Obs.Json.parse s with
+      | Obs.Json.Obj fields ->
+        List.filter (fun (k, _) -> k <> "adaptive") fields
+      | _ | (exception Obs.Json.Parse_error _) -> []
+    end
+    else []
+  in
+  let json = Obs.Json.Obj (base @ [ ("adaptive", adaptive_json) ]) in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (adaptive section)\n" path
+
 (* Tracing-overhead bench: the same campaign with the propagation tracer
    off and on.  Verifies the observation-only contract (identical outcomes,
    steps and cycles) and reports what the shadow state costs — the tracer
@@ -477,6 +582,7 @@ let () =
     | "headline" -> Softft.Experiments.print_headline (results ())
     | "crossval" -> run_crossval ()
     | "campaign-perf" -> run_campaign_perf ()
+    | "adaptive" -> run_adaptive_bench ()
     | "taint" -> run_taint_bench ()
     | "ablation" ->
       List.iter
@@ -531,8 +637,8 @@ let () =
     | cmd ->
       Printf.eprintf
         "unknown command %S (try: micro all fig2 fig10 fig11 fig12 fig13 \
-         table1 table2 falsepos headline crossval campaign-perf taint \
-         ablation latency recovery branchfault sources csv)\n"
+         table1 table2 falsepos headline crossval campaign-perf adaptive \
+         taint ablation latency recovery branchfault sources csv)\n"
         cmd;
       exit 1
   in

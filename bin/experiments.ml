@@ -284,6 +284,174 @@ let one_cmd =
       $ progress_jsonl_arg $ journal_arg $ timeline_arg $ profile_arg
       $ quiet_arg $ log_json_arg)
 
+(* `campaign` generalizes `one`: the uniform path is the same
+   [Softft.campaign] call (trials and journals are bit-identical to
+   `one`'s at any --domains), and --adaptive switches to the stratified
+   scheduler of DESIGN.md §14 — static-coverage × ring-residency strata,
+   Neyman allocation, per-stratum early stopping, mass-reweighted
+   whole-program rates. *)
+let run_campaign name technique_name adaptive ci trials max_trials bands
+    seed domains checkpoint progress progress_jsonl journal timeline quiet
+    log_json =
+  let log = logger_of quiet log_json in
+  let w = Workloads.Registry.find name in
+  let technique = technique_of_string technique_name in
+  let p = Softft.protect w technique in
+  Printf.printf "%s / %s%s\n" w.name
+    (Softft.technique_name technique)
+    (if adaptive then
+       Printf.sprintf "  (adaptive, target SDC half-width %.4f)" ci
+     else "");
+  let stats = ref None in
+  let progress_oc = Option.map open_out progress_jsonl in
+  let sinks =
+    (if progress then [ Faults.Progress.stderr_sink () ] else [])
+    @ (match progress_oc with
+       | Some oc -> [ Faults.Progress.jsonl_sink oc ]
+       | None -> [])
+  in
+  let trace = Option.map (fun _ -> Obs.Trace.recorder ()) timeline in
+  let summary, results, adaptive_out =
+    if not adaptive then begin
+      let pg =
+        match sinks with
+        | [] -> None
+        | _ :: _ -> Some (Faults.Progress.create ~sinks ~total:trials ())
+      in
+      let summary, results =
+        Softft.campaign p ~role:Workloads.Workload.Test ~trials ~seed
+          ~domains ~checkpoint_interval:checkpoint ~stats_out:stats
+          ?progress:pg ?trace
+      in
+      (summary, results, None)
+    end
+    else begin
+      let cov = Analysis.Coverage.analyze p.Softft.prog in
+      let groups = Analysis.Strata.reg_groups p.Softft.prog cov in
+      let priors = Analysis.Strata.priors cov in
+      let subj = Softft.subject p ~role:Workloads.Workload.Test in
+      let progress_for =
+        match sinks with
+        | [] -> None
+        | _ :: _ ->
+          Some
+            (fun ~nstrata ~total ->
+              Faults.Progress.create ~sinks ~strata:nstrata ~total ())
+      in
+      let summary, results, ad =
+        Faults.Campaign.run_adaptive ~seed ~domains
+          ~checkpoint_interval:checkpoint ~stats_out:stats ?progress_for
+          ?trace ~bands ~max_trials ~groups
+          ~group_names:Analysis.Strata.group_names ~priors ~ci subj
+      in
+      (summary, results, Some ad)
+    end
+  in
+  (match progress_oc with Some oc -> close_out oc | None -> ());
+  List.iter
+    (fun outcome ->
+      Printf.printf "  %-13s : %5.1f%%\n"
+        (Faults.Classify.name outcome)
+        (Faults.Campaign.percent summary outcome))
+    Faults.Classify.all;
+  (match adaptive_out with
+   | Some (ad : Faults.Campaign.adaptive) ->
+     Printf.printf "  strata               : %d (+ empty-ring mass %.4f)\n"
+       (Array.length ad.ad_strata) ad.ad_mass_empty;
+     Array.iter
+       (fun (ss : Faults.Campaign.stratum_stats) ->
+         let s = ss.ss_stratum in
+         let k =
+           List.fold_left
+             (fun acc (o, n) ->
+               if Faults.Classify.is_sdc o then acc + n else acc)
+             0 ss.ss_counts
+         in
+         Printf.printf
+           "    #%d %-13s band %d [%d,%d)  mass %.4f  trials %4d  SDC %s\n"
+           s.Faults.Campaign.st_id s.st_group_name s.st_band s.st_lo
+           s.st_hi s.st_mass ss.ss_trials
+           (Obs.Stats.pp_pct (Obs.Stats.wilson ~k ~n:ss.ss_trials ())))
+       ad.ad_strata;
+     Printf.printf "  SDC rate (reweighted): %.4f [%.4f, %.4f]\n"
+       ad.ad_sdc.Obs.Stats.ci_estimate ad.ad_sdc.ci_low ad.ad_sdc.ci_high;
+     Printf.printf
+       "  trials               : %d (planned uniform: %d, %.1fx saved; \
+        oracle uniform: %d)\n"
+       ad.ad_trials ad.ad_equiv_uniform
+       (float_of_int ad.ad_equiv_uniform
+        /. float_of_int (max 1 ad.ad_trials))
+       ad.ad_oracle_uniform
+   | None -> ());
+  (match journal with
+   | Some path ->
+     let manifest =
+       Faults.Journal.manifest_record
+         ~technique:(Softft.technique_name technique)
+         ?stats:!stats ~counts:summary.Faults.Campaign.counts
+         ?adaptive:adaptive_out
+         ~label:(Printf.sprintf "%s/%s/test" w.name
+                   (Softft.technique_name technique))
+         ~trials:summary.Faults.Campaign.trials ~seed ~domains
+         ~checkpoint_interval:checkpoint
+         ~hw_window:Faults.Classify.default_hw_window
+         ~fault_kind:"register_bit"
+         ~golden:summary.Faults.Campaign.golden_info ()
+     in
+     Faults.Journal.write ?trace ~path ~manifest ~trials:results ();
+     Obs.Log.info log
+       ~fields:
+         [ ("path", Obs.Json.Str path);
+           ("trials", Obs.Json.Int (List.length results)) ]
+       "journal written"
+   | None -> ());
+  match timeline, trace with
+  | Some path, Some r ->
+    Obs.Trace.write_chrome r ~path;
+    Obs.Log.info log
+      ~fields:
+        [ ("path", Obs.Json.Str path);
+          ("spans", Obs.Json.Int (List.length (Obs.Trace.durs r))) ]
+      "timeline written"
+  | _, _ -> ()
+
+let adaptive_arg =
+  let doc =
+    "Adaptive stratified campaign (DESIGN.md §14): partition the injection \
+     space by static protection coverage and ring residency, allocate \
+     trials Neyman-style, stop each stratum once its Wilson interval is \
+     tight, and reweight by stratum mass into unbiased whole-program rates."
+  in
+  Arg.(value & flag & info [ "adaptive" ] ~doc)
+
+let ci_arg =
+  let doc =
+    "Target half-width of the whole-program SDC 95% interval — the \
+     adaptive stopping rule (implies nothing in uniform mode)."
+  in
+  Arg.(value & opt float 0.01 & info [ "ci" ] ~docv:"HALF_WIDTH" ~doc)
+
+let max_trials_arg =
+  let doc = "Adaptive trial budget cap." in
+  Arg.(value & opt int 100_000 & info [ "max-trials" ] ~docv:"N" ~doc)
+
+let bands_arg =
+  let doc = "Residency bands per protection group (adaptive strata)." in
+  Arg.(value & opt int 3 & info [ "bands" ] ~docv:"N" ~doc)
+
+let campaign_cmd =
+  let doc =
+    "Run a fault campaign: uniform sampling by default, or --adaptive \
+     stratified sampling with per-stratum early stopping."
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc)
+    Term.(
+      const run_campaign $ name_arg $ technique_arg $ adaptive_arg $ ci_arg
+      $ trials_arg $ max_trials_arg $ bands_arg $ seed_arg $ domains_arg
+      $ checkpoint_arg $ progress_arg $ progress_jsonl_arg $ journal_arg
+      $ timeline_arg $ quiet_arg $ log_json_arg)
+
 let run_coverage name technique_name dynamic csv regs_csv journal =
   let w = Workloads.Registry.find name in
   let technique = technique_of_string technique_name in
@@ -487,7 +655,7 @@ let report_cmd =
     (Cmd.info "report" ~doc)
     Term.(const run_report $ journal_path_arg $ strata_arg $ csv_arg)
 
-let run_bench_diff old_path new_path tolerance =
+let run_bench_diff old_path new_path tolerance require_same_host =
   let load path =
     match Obs.Json.parse (In_channel.with_open_text path In_channel.input_all)
     with
@@ -505,6 +673,20 @@ let run_bench_diff old_path new_path tolerance =
       (load new_path)
   in
   Softft.Experiments.print_bench_diff d;
+  (* The gate standing down must never be silent: a mismatched host means
+     the deltas carry no pass/fail information, so say so on stderr (the
+     table goes to stdout and is easy to redirect away) — and let CI turn
+     the mismatch itself into a failure. *)
+  (match Softft.Experiments.bench_diff_host_warning d with
+   | Some warning ->
+     prerr_endline ("experiments bench-diff: " ^ warning);
+     if require_same_host then begin
+       prerr_endline
+         "experiments bench-diff: --require-same-host: host mismatch is an \
+          error";
+       exit 1
+     end
+   | None -> ());
   if Softft.Experiments.bench_diff_regressions d <> [] then exit 1
 
 let bench_old_arg =
@@ -522,17 +704,26 @@ let tolerance_arg =
   in
   Arg.(value & opt float 15.0 & info [ "tolerance" ] ~docv:"PCT" ~doc)
 
+let require_same_host_arg =
+  let doc =
+    "Treat a host_cores mismatch between the two runs as an error (exit 1) \
+     instead of a warned stand-down of the regression gate."
+  in
+  Arg.(value & flag & info [ "require-same-host" ] ~doc)
+
 let bench_diff_cmd =
   let doc =
     "Compare two BENCH_campaign.json runs per workload (trials/sec and \
      speedup deltas) and exit nonzero on a throughput regression beyond \
      the tolerance — but only when both runs report the same host_cores, \
-     so numbers from different machines never fail the gate."
+     so numbers from different machines never fail the gate (a mismatch is \
+     warned on stderr; $(b,--require-same-host) makes it fatal)."
   in
   Cmd.v
     (Cmd.info "bench-diff" ~doc)
     Term.(
-      const run_bench_diff $ bench_old_arg $ bench_new_arg $ tolerance_arg)
+      const run_bench_diff $ bench_old_arg $ bench_new_arg $ tolerance_arg
+      $ require_same_host_arg)
 
 let run_table1 () = Softft.Experiments.print_table1 ()
 
@@ -644,7 +835,8 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "experiments" ~version:"1.0.0" ~doc)
-    [ all_cmd; crossval_cmd; one_cmd; coverage_cmd; lint_cmd; report_cmd;
-      bench_diff_cmd; table1_cmd; dump_cmd; trace_cmd; trace_fault_cmd ]
+    [ all_cmd; crossval_cmd; one_cmd; campaign_cmd; coverage_cmd; lint_cmd;
+      report_cmd; bench_diff_cmd; table1_cmd; dump_cmd; trace_cmd;
+      trace_fault_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -72,7 +72,7 @@ let () =
       let config =
         { Interp.Machine.default_config with
           fuel = (golden.steps * 8) + 10_000;
-          fault = Some (Interp.Machine.register_fault ~at_step ~fault_rng:(Rng.split rng));
+          fault = Some (Interp.Machine.register_fault ~at_step ~fault_rng:(Rng.split rng) ());
           disabled_checks = disabled }
       in
       let result =

@@ -1,0 +1,74 @@
+(** Protection-group partition of a program's registers, the static half
+    of adaptive stratified fault campaigns (DESIGN.md §14).
+
+    {!Coverage} classifies every register slot by how a fault striking it
+    would be handled; this module collapses those six statuses into the
+    three campaign-facing protection groups — the strata a stratified
+    injection campaign samples independently — and attaches a static
+    SDC-proneness prior per group, so the adaptive allocator has a
+    variance guess before any trial has run. *)
+
+type group =
+  | Dup_checked     (** duplication machinery: faults detected by compares *)
+  | Value_checked   (** guarded by learned value checks: probabilistic *)
+  | Unprotected     (** faults can propagate silently — the SDC-prone group *)
+
+let ngroups = 3
+
+let group_index = function
+  | Dup_checked -> 0
+  | Value_checked -> 1
+  | Unprotected -> 2
+
+let group_name = function
+  | Dup_checked -> "dup-checked"
+  | Value_checked -> "value-checked"
+  | Unprotected -> "unprotected"
+
+let group_names = Array.init ngroups (fun _ -> "")
+
+let () =
+  List.iter
+    (fun g -> group_names.(group_index g) <- group_name g)
+    [ Dup_checked; Value_checked; Unprotected ]
+
+(* Shadow registers and check inputs behave like duplication machinery: a
+   fault there makes the comparison disagree and is flagged, never a
+   silent corruption.  Dup_unchecked paid for a shadow chain that reaches
+   no compare, so for fault outcomes it is unprotected. *)
+let of_status = function
+  | Coverage.Dup_checked | Coverage.Shadow | Coverage.Check -> Dup_checked
+  | Coverage.Value_checked -> Value_checked
+  | Coverage.Dup_unchecked | Coverage.Unprotected -> Unprotected
+
+(** [reg_groups prog cov] maps every program register code to its group
+    index ([registers are numbered program-wide]); registers the coverage
+    analysis never classified (never live, or padding below [next_reg])
+    default to [Unprotected] — the conservative choice. *)
+let reg_groups (prog : Ir.Prog.t) (cov : Coverage.t) =
+  let n = max 1 prog.Ir.Prog.next_reg in
+  let groups = Array.make n (group_index Unprotected) in
+  let seen = Array.make n false in
+  List.iter
+    (fun (r : Coverage.reg_row) ->
+      let reg = r.Coverage.r_reg in
+      if reg >= 0 && reg < n && not seen.(reg) then begin
+        seen.(reg) <- true;
+        groups.(reg) <- group_index (of_status r.Coverage.r_status)
+      end)
+    cov.Coverage.regs;
+  groups
+
+(** Static SDC-proneness prior per group, indexed by {!group_index}: the
+    analyzer's exposure-weighted SDC-prone fraction seeds the unprotected
+    group, duplication and value checking get small fixed guesses (their
+    residual SDC rates are low but nonzero — value checks are
+    probabilistic, compares have windows).  Only a Neyman-allocation
+    seed; real counts take over within one pilot round. *)
+let priors (cov : Coverage.t) =
+  let p = Array.make ngroups 0.0 in
+  p.(group_index Dup_checked) <- 0.01;
+  p.(group_index Value_checked) <- 0.05;
+  p.(group_index Unprotected)
+  <- Float.max 0.1 (Float.min 1.0 cov.Coverage.sdc_prone_fraction);
+  p

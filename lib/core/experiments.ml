@@ -756,7 +756,14 @@ let write_csv path results =
    Faults.Journal) into the paper-style per-check and latency views that
    the end-of-campaign summary tables discard ----- *)
 
-let journal_outcome_rows (views : Faults.Journal.view list) =
+(* [stats] is the manifest's final-stats object (["stats"], journal v4+).
+   The CI column renders only from it: a pre-v4 journal carries no final
+   intervals, and recomputing them from replayed views would silently
+   report confidence the journal never recorded — those rows degrade to
+   "—" instead.  Outcomes the manifest omits were unobserved (k = 0), so
+   their interval is recomputed from the zero count, which is exactly what
+   the writer would have stamped. *)
+let journal_outcome_rows ?stats (views : Faults.Journal.view list) =
   let trials = List.length views in
   let total = max 1 trials in
   List.map
@@ -768,11 +775,30 @@ let journal_outcome_rows (views : Faults.Journal.view list) =
              (fun (v : Faults.Journal.view) -> v.v_outcome = name)
              views)
       in
-      let iv = Obs.Stats.wilson ~k:n ~n:trials () in
+      let ci =
+        match stats with
+        | None -> "\xe2\x80\x94"   (* — : pre-v4 journal, no final stats *)
+        | Some stats ->
+          let iv =
+            match Obs.Json.member name stats with
+            | Some entry ->
+              let f field =
+                Option.bind (Obs.Json.member field entry) Obs.Json.to_float
+              in
+              (match (f "lo", f "hi") with
+               | Some lo, Some hi -> (lo, hi)
+               | _ ->
+                 let iv = Obs.Stats.wilson ~k:n ~n:trials () in
+                 (iv.Obs.Stats.ci_low, iv.Obs.Stats.ci_high))
+            | None ->
+              let iv = Obs.Stats.wilson ~k:n ~n:trials () in
+              (iv.Obs.Stats.ci_low, iv.Obs.Stats.ci_high)
+          in
+          Printf.sprintf "[%.1f, %.1f]" (100.0 *. fst iv) (100.0 *. snd iv)
+      in
       [ name; string_of_int n;
         Report.pct (100.0 *. float_of_int n /. float_of_int total);
-        Printf.sprintf "[%.1f, %.1f]"
-          (100.0 *. iv.Obs.Stats.ci_low) (100.0 *. iv.Obs.Stats.ci_high) ])
+        ci ])
     Classify.all
 
 (** Detection-latency histogram (log2 buckets) over every trial that
@@ -1136,6 +1162,77 @@ let render_taint_events prog (s : Interp.Taint.summary) =
         site)
     s.ts_events
 
+(* ----- Adaptive stratification section (journal v5): the manifest's
+   "adaptive" object rendered as a per-stratum table plus the combined
+   reweighted SDC interval and the equivalent-uniform price of the same
+   precision — the savings headline ----- *)
+
+let print_journal_adaptive ad =
+  let strata =
+    match Option.bind (Obs.Json.member "strata" ad) Obs.Json.to_list with
+    | Some l -> l
+    | None -> []
+  in
+  let rows =
+    List.map
+      (fun s ->
+        let i name =
+          Option.value ~default:0
+            (Option.bind (Obs.Json.member name s) Obs.Json.to_int)
+        in
+        let n = i "trials" in
+        let sdc_k =
+          match Obs.Json.member "counts" s with
+          | Some counts ->
+            List.fold_left
+              (fun acc name ->
+                acc
+                + Option.value ~default:0
+                    (Option.bind (Obs.Json.member name counts)
+                       Obs.Json.to_int))
+              0
+              [ "ASDC"; "USDC(large)"; "USDC(small)" ]
+          | None -> 0
+        in
+        [ string_of_int (i "id");
+          Option.value ~default:"?"
+            (Option.bind (Obs.Json.member "group_name" s) Obs.Json.to_str);
+          Printf.sprintf "[%d,%d)" (i "lo") (i "hi");
+          Printf.sprintf "%.4f"
+            (Option.value ~default:0.0
+               (Option.bind (Obs.Json.member "mass" s) Obs.Json.to_float));
+          string_of_int n;
+          Obs.Stats.pp_pct (Obs.Stats.wilson ~k:sdc_k ~n ()) ])
+      strata
+  in
+  Report.print ~title:"Adaptive stratification (journal v5)"
+    ~header:[ "stratum"; "group"; "steps"; "mass"; "trials"; "SDC" ]
+    ~rows;
+  let flt name j =
+    Option.value ~default:0.0
+      (Option.bind (Obs.Json.member name j) Obs.Json.to_float)
+  in
+  (match Obs.Json.member "sdc" ad with
+   | Some s ->
+     Printf.printf
+       "  combined SDC rate      : %.4f [%.4f, %.4f]  (target half-width \
+        %.4f)\n"
+       (flt "est" s) (flt "lo" s) (flt "hi" s) (flt "ci_target" ad)
+   | None -> ());
+  let int name =
+    Option.bind (Obs.Json.member name ad) Obs.Json.to_int
+  in
+  match int "trials", int "equivalent_uniform_trials" with
+  | Some t, Some e when t > 0 ->
+    Printf.printf
+      "  trials used            : %d (planned uniform: %d, %.1fx saved%s)\n"
+      t e
+      (float_of_int e /. float_of_int t)
+      (match int "oracle_uniform_trials" with
+       | Some o -> Printf.sprintf "; oracle uniform: %d" o
+       | None -> "")
+  | _, _ -> ()
+
 let print_journal_report ~manifest (views : Faults.Journal.view list) =
   let m = manifest in
   let str name =
@@ -1161,7 +1258,10 @@ let print_journal_report ~manifest (views : Faults.Journal.view list) =
     (int "domains") (str "fault_kind") checkpoint_interval;
   Report.print ~title:"Outcome classification (from journal)"
     ~header:[ "outcome"; "trials"; "share"; "95% CI" ]
-    ~rows:(journal_outcome_rows views);
+    ~rows:(journal_outcome_rows ?stats:(Obs.Json.member "stats" m) views);
+  (match Obs.Json.member "adaptive" m with
+   | Some ad -> print_journal_adaptive ad
+   | None -> ());
   Report.print
     ~title:"Detection latency histogram (log2 buckets, SWDetect + HWDetect)"
     ~header:[ "latency bucket"; "detections"; "cumulative" ]
@@ -1514,6 +1614,20 @@ let bench_diff ?(tolerance_pct = 15.0) old_j new_j =
 let bench_diff_regressions d =
   if not d.bd_comparable then []
   else List.filter (fun r -> r.bd_regression) d.bd_rows
+
+(* The one-line stand-down warning a driver must surface on stderr when
+   the hosts are incomparable — the gate silently passing used to be
+   indistinguishable from the gate passing. [None] when comparable. *)
+let bench_diff_host_warning d =
+  if d.bd_comparable then None
+  else
+    let cores c = if c < 0 then "unknown" else string_of_int c in
+    Some
+      (Printf.sprintf
+         "WARNING: bench-diff regression gate SKIPPED — host_cores differ \
+          (old %s, new %s); deltas are informational only (use \
+          --require-same-host to fail instead)"
+         (cores d.bd_old_cores) (cores d.bd_new_cores))
 
 let print_bench_diff d =
   Report.print ~title:"Bench history (new vs. old)"

@@ -65,6 +65,9 @@ type trial = {
   taint : Interp.Taint.summary option;
       (** fault-propagation summary, when the campaign ran with
           [taint_trace] — [None] otherwise *)
+  stratum : int option;
+      (** the stratum this trial sampled ({!run_adaptive}); [None] on the
+          uniform path *)
 }
 
 (** Bit-exact trial (list) equality, the parallel-determinism contract's
@@ -185,6 +188,135 @@ val run :
   subject ->
   trials:int ->
   summary * trial list
+
+(** {1 Adaptive stratified campaigns (DESIGN.md §14)} *)
+
+(** One stratum of the (injection step × ring slot) sampling space: the
+    ring slots whose register belongs to protection group [st_group],
+    restricted to injection steps in the residency band
+    [[st_lo, st_hi)].  [st_mass] is the probability a single *uniform*
+    fault draw lands in this stratum — the reweighting factor that makes
+    stratified estimates unbiased; [st_prior] the static SDC-proneness
+    guess that seeds the variance estimate before any trial has run. *)
+type stratum = {
+  st_id : int;
+  st_group : int;
+  st_group_name : string;
+  st_band : int;
+  st_lo : int;      (** first injection step of the band (inclusive) *)
+  st_hi : int;      (** one past the last injection step (exclusive) *)
+  st_mass : float;
+  st_prior : float;
+}
+
+(** The full partition: the register→group map, the measured cumulative
+    ring-occupancy weights ({!Interp.Machine.ring_obs}), the injection
+    window, the strata, and the exactly known share of empty-ring steps
+    (a uniform draw there injects nothing — Masked by construction). *)
+type strata_plan = {
+  sp_groups : int array;
+  sp_cum : float array array;
+  sp_window : int;
+  sp_strata : stratum array;
+  sp_mass_empty : float;
+}
+
+(** [build_strata ~groups ~group_names ~priors ~bands ~window cum]
+    partitions the injection space into (group × residency band) strata
+    from the measured cumulative weights.  Pure; exposed for property
+    tests.  Invariant: Σ [st_mass] + [sp_mass_empty] = 1 (up to float
+    rounding), zero-mass strata are dropped, ids are dense from 0. *)
+val build_strata :
+  groups:int array ->
+  group_names:string array ->
+  priors:float array ->
+  bands:int ->
+  window:int ->
+  float array array ->
+  strata_plan
+
+(** Inverse-CDF draw of an injection step inside a stratum from
+    [u ∈ [0,1)]; pure, exposed for property tests.  Returned steps always
+    lie in [[st_lo, st_hi)] and carry positive group weight. *)
+val sample_at_step : strata_plan -> stratum -> u:float -> int
+
+(** One stratum's final tally. *)
+type stratum_stats = {
+  ss_stratum : stratum;
+  ss_trials : int;
+  ss_counts : (Classify.outcome * int) list;
+}
+
+(** Everything {!run_adaptive} knows beyond a uniform summary: the target,
+    the per-stratum tallies, the mass-reweighted whole-program intervals
+    (per outcome and for the SDC aggregate), and the uniform price of the
+    same precision, from two angles:
+
+    - [ad_equiv_uniform] — the savings headline: the trials a *fixed-size*
+      uniform campaign must plan to guarantee the target half width.
+      Fixed-size is the right baseline because stopping on an interim
+      interval is exactly what this scheduler adds; without it the design
+      must assume worst-case variance p = 0.5 (the repo's standing
+      margin-of-error convention).
+    - [ad_oracle_uniform] — the honest lower bound reported next to the
+      headline: uniform trials that would match the *achieved* width at
+      the *observed* rate, i.e. a sequential uniform campaign with oracle
+      foresight.  Near-zero rates make this small (the Wilson interval at
+      k = 0 tightens like 1/n), so adaptive campaigns chiefly buy
+      guaranteed precision and per-stratum rates, not oracle-beating
+      totals, on heavily protected subjects. *)
+type adaptive = {
+  ad_ci_target : float;
+  ad_strata : stratum_stats array;
+  ad_mass_empty : float;
+  ad_trials : int;
+  ad_outcomes : (Classify.outcome * Obs.Stats.interval) list;
+  ad_sdc : Obs.Stats.interval;
+  ad_equiv_uniform : int;
+  ad_oracle_uniform : int;
+}
+
+(** Adaptive stratified campaign: Neyman-style variance-proportional
+    allocation over protection-group × residency-band strata with
+    per-stratum early stopping on the Wilson interval of the SDC rate.
+    Stops when the mass-reweighted whole-program SDC half width reaches
+    [ci], or at [max_trials].  Register-bit faults only.
+
+    Deterministic in ([seed], subject, [groups]): per-stratum seed
+    streams are split from the master up front, allocation depends only
+    on deterministic counts, and batches are built serially — any
+    [~domains] produces bit-identical trials, like {!run}.
+
+    [groups] maps program register codes to protection groups (from
+    [Analysis.Strata], but any partition works); [group_names] labels
+    them; [priors] gives each group's static SDC-proneness guess.
+    [bands] (default 3) residency bands per group; [round0] (default 32)
+    pilot trials per stratum.  [progress_for] builds the heartbeat once
+    the stratum count is known (create it with [~strata:nstrata] to get
+    per-stratum counters); other hooks are as in {!run}, all
+    observation-only. *)
+val run_adaptive :
+  ?hw_window:int ->
+  ?seed:int ->
+  ?domains:int ->
+  ?checkpoint_interval:int ->
+  ?taint_trace:bool ->
+  ?fork:bool ->
+  ?fork_snapshots:int ->
+  ?fork_stride:int ->
+  ?on_trial:(int -> trial -> unit) ->
+  ?stats_out:run_stats option ref ->
+  ?progress_for:(nstrata:int -> total:int -> Progress.t) ->
+  ?trace:Obs.Trace.recorder ->
+  ?bands:int ->
+  ?max_trials:int ->
+  ?round0:int ->
+  groups:int array ->
+  group_names:string array ->
+  priors:float array ->
+  ci:float ->
+  subject ->
+  summary * trial list * adaptive
 
 (** Mean of per-subject percentages, the paper's cross-benchmark average. *)
 val mean_percent : summary list -> Classify.outcome list -> float

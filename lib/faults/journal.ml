@@ -5,8 +5,10 @@ open Obs
 (* v2 adds the recovery configuration to the manifest
    ([checkpoint_interval]) and per-trial recovery events; v3 adds the
    fault-propagation summary ([taint]) per trial; v4 adds the final
-   outcome statistics (counts + Wilson 95% intervals) to the manifest.
-   Every addition is an optional field, so v1–v3 journals are still
+   outcome statistics (counts + Wilson 95% intervals) to the manifest;
+   v5 adds the adaptive-stratification section (strata, reweighted
+   intervals, equivalent-uniform trials) and a per-trial stratum id.
+   Every addition is an optional field, so v1–v4 journals are still
    loadable — and each version is stamped only when its feature was
    actually used, keeping feature-free journals byte-identical to their
    older forms. *)
@@ -14,6 +16,7 @@ let schema = "softft.journal.v2"
 let schema_v1 = "softft.journal.v1"
 let schema_v3 = "softft.journal.v3"
 let schema_v4 = "softft.journal.v4"
+let schema_v5 = "softft.journal.v5"
 
 let git_describe () =
   try
@@ -113,7 +116,10 @@ let trial_record ~index (t : Campaign.trial) =
      @ opt_field "recovery" recovery_json t.recovery
      (* v3 propagation telemetry; absent without [taint_trace], so an
         untraced v3-era trial line is byte-identical to its v2 form. *)
-     @ opt_field "taint" taint_json t.taint)
+     @ opt_field "taint" taint_json t.taint
+     (* v5 stratum tag; absent on the uniform path, so a uniform trial
+        line is byte-identical to its v4 form. *)
+     @ opt_field "stratum" (fun s -> Json.Int s) t.stratum)
 
 let pool_stats_json (ps : Pool.stats) =
   Json.Obj
@@ -155,18 +161,64 @@ let final_stats_json ~trials counts =
          end)
        counts)
 
-let manifest_record ?git ?technique ?stats ?counts ?(checkpoint_interval = 0)
-    ?(taint_trace = false) ~label ~trials ~seed ~domains ~hw_window
-    ~fault_kind ~(golden : Campaign.golden) () =
+(* The v5 adaptive section: stratum definitions and tallies, the
+   mass-reweighted whole-program intervals, and the equivalent-uniform
+   price of the same precision.  Deterministic — everything derives from
+   the (scheduling-independent) campaign counts. *)
+let adaptive_json (a : Campaign.adaptive) =
+  let stratum_json (ss : Campaign.stratum_stats) =
+    let s = ss.Campaign.ss_stratum in
+    Json.Obj
+      [ ("id", Json.Int s.Campaign.st_id);
+        ("group", Json.Int s.Campaign.st_group);
+        ("group_name", Json.Str s.Campaign.st_group_name);
+        ("band", Json.Int s.Campaign.st_band);
+        ("lo", Json.Int s.Campaign.st_lo);
+        ("hi", Json.Int s.Campaign.st_hi);
+        ("mass", Json.Float s.Campaign.st_mass);
+        ("prior", Json.Float s.Campaign.st_prior);
+        ("trials", Json.Int ss.Campaign.ss_trials);
+        ("counts",
+         Json.Obj
+           (List.filter_map
+              (fun ((o : Classify.outcome), k) ->
+                if k = 0 then None
+                else Some (Classify.name o, Json.Int k))
+              ss.Campaign.ss_counts)) ]
+  in
+  Json.Obj
+    [ ("ci_target", Json.Float a.Campaign.ad_ci_target);
+      ("trials", Json.Int a.Campaign.ad_trials);
+      ("equivalent_uniform_trials", Json.Int a.Campaign.ad_equiv_uniform);
+      ("oracle_uniform_trials", Json.Int a.Campaign.ad_oracle_uniform);
+      ("mass_empty", Json.Float a.Campaign.ad_mass_empty);
+      ("sdc", Stats.to_json a.Campaign.ad_sdc);
+      ("outcomes",
+       Json.Obj
+         (List.filter_map
+            (fun ((o : Classify.outcome), iv) ->
+              if iv.Stats.ci_estimate = 0.0 && iv.Stats.ci_high = 0.0 then
+                None
+              else Some (Classify.name o, Stats.to_json iv))
+            a.Campaign.ad_outcomes));
+      ("strata",
+       Json.List (Array.to_list (Array.map stratum_json a.Campaign.ad_strata)))
+    ]
+
+let manifest_record ?git ?technique ?stats ?counts ?adaptive
+    ?(checkpoint_interval = 0) ?(taint_trace = false) ~label ~trials ~seed
+    ~domains ~hw_window ~fault_kind ~(golden : Campaign.golden) () =
   let git = match git with Some g -> g | None -> git_describe () in
   Json.Obj
     ([ ("type", Json.Str "manifest");
        (* The schema only advances when the feature is actually present:
-          v4 needs final stats, v3 needs tracing; a stats-free untraced
-          manifest stays byte-identical to its v2 form. *)
+          v5 needs the adaptive section, v4 final stats, v3 tracing; a
+          stats-free untraced manifest stays byte-identical to its v2
+          form. *)
        ("schema",
         Json.Str
-          (if counts <> None then schema_v4
+          (if adaptive <> None then schema_v5
+           else if counts <> None then schema_v4
            else if taint_trace then schema_v3
            else schema));
        ("git", Json.Str git);
@@ -189,7 +241,8 @@ let manifest_record ?git ?technique ?stats ?counts ?(checkpoint_interval = 0)
                  (List.map (fun uid -> Json.Int uid) golden.failing_checks))
             ]) ]
      @ opt_field "timings" stats_json stats
-     @ opt_field "stats" (final_stats_json ~trials) counts)
+     @ opt_field "stats" (final_stats_json ~trials) counts
+     @ opt_field "adaptive" adaptive_json adaptive)
 
 let write ?trace ~path ~manifest ~trials () =
   Trace.with_dur trace ~cat:"journal" "write"
@@ -246,6 +299,7 @@ type view = {
   v_recovery : recovery_view option;
   v_taint : taint_view option;
   v_inj_reg : int option;
+  v_stratum : int option;
 }
 
 exception Malformed of string
@@ -308,7 +362,9 @@ let view_of_json ~line j =
        when the trial's fault window closed before any injection. *)
     v_inj_reg =
       Option.bind (Json.member "injection" j) (fun inj ->
-          Option.bind (Json.member "reg" inj) Json.to_int) }
+          Option.bind (Json.member "reg" inj) Json.to_int);
+    (* v5 field, absent from older journals and uniform campaigns. *)
+    v_stratum = int_field "stratum" }
 
 (* Streaming reader: one line is parsed, folded, and dropped before the
    next is read, so a multi-gigabyte journal aggregates in constant memory

@@ -33,6 +33,13 @@ val schema_v3 : string
     so stats-free journals keep their older identifiers. *)
 val schema_v4 : string
 
+(** Schema identifier of an adaptive stratified journal: the manifest
+    carries the ["adaptive"] section (stratum definitions and tallies,
+    mass-reweighted intervals, equivalent-uniform trials) and each trial
+    a ["stratum"] id; stamped only when {!manifest_record} was given
+    [adaptive], so uniform journals keep their older identifiers. *)
+val schema_v5 : string
+
 (** [git describe --always --dirty] of the working tree, or ["unknown"]
     outside a git checkout — pins a journal to the code that wrote it. *)
 val git_describe : unit -> string
@@ -59,12 +66,14 @@ val stats_json : Campaign.run_stats -> Obs.Json.t
     [checkpoint_interval] (default 0: recovery off) records the campaign's
     recovery configuration; [taint_trace] (default false) stamps the
     manifest {!schema_v3} and records that trials carry propagation
-    summaries. *)
+    summaries; [adaptive] (a {!Campaign.adaptive} result) adds the
+    ["adaptive"] section and stamps {!schema_v5}. *)
 val manifest_record :
   ?git:string ->
   ?technique:string ->
   ?stats:Campaign.run_stats ->
   ?counts:(Classify.outcome * int) list ->
+  ?adaptive:Campaign.adaptive ->
   ?checkpoint_interval:int ->
   ?taint_trace:bool ->
   label:string ->
@@ -127,6 +136,7 @@ type view = {
   v_recovery : recovery_view option;  (** the trial's rollback, if any *)
   v_taint : taint_view option;   (** propagation summary, v3 traced only *)
   v_inj_reg : int option;        (** injected register, injections only *)
+  v_stratum : int option;        (** stratum id, v5 adaptive trials only *)
 }
 
 exception Malformed of string
@@ -138,7 +148,7 @@ exception Malformed of string
     lines, missing required trial fields, or a file with no manifest
     record ("no manifest in <path>" — an empty file is a broken journal,
     not an empty campaign); unknown record types are ignored (forward
-    compatibility), and v1 through v4 schemas all load. *)
+    compatibility), and v1 through v5 schemas all load. *)
 val fold : string -> init:'a -> f:('a -> view -> 'a) -> Obs.Json.t * 'a
 
 (** Parse a whole journal into its manifest and trial views — a thin

@@ -22,6 +22,8 @@ type snapshot = {
                               window — the honest instantaneous rate *)
   pg_eta : float;         (** estimated seconds to completion; 0 when done
                               or no rate is measurable yet *)
+  pg_strata : int array;  (** per-stratum completed trials (adaptive
+                              campaigns only; [[||]] otherwise) *)
   pg_final : bool;        (** emitted by {!finish} *)
 }
 
@@ -40,6 +42,7 @@ type t = {
   t0 : float;
   interval : float;
   counts : int Atomic.t array;   (** indexed in {!Classify.all} order *)
+  strata : int Atomic.t array;   (** per-stratum completions (adaptive) *)
   completed : int Atomic.t;
   window : int array;            (** µs offsets of recent completions *)
   sinks : sink list;
@@ -52,11 +55,12 @@ let outcome_index =
   List.iteri (fun i o -> Hashtbl.replace tbl o i) Classify.all;
   fun o -> try Hashtbl.find tbl o with Not_found -> 0
 
-let create ?(interval = 0.5) ?(sinks = []) ~total () =
+let create ?(interval = 0.5) ?(sinks = []) ?(strata = 0) ~total () =
   { total = max 0 total;
     t0 = Unix.gettimeofday ();
     interval = max 0.0 interval;
     counts = Array.init (List.length Classify.all) (fun _ -> Atomic.make 0);
+    strata = Array.init (max 0 strata) (fun _ -> Atomic.make 0);
     completed = Atomic.make 0;
     window = Array.make window_size 0;
     sinks;
@@ -73,12 +77,21 @@ let snapshot ?(final = false) t =
      inflated early ETAs badly on slow workloads.  The window starts at the
      oldest retained completion's timestamp, so setup never enters it. *)
   let window_rate =
-    let retained = min done_ window_size in
+    (* Retain one slot fewer than the ring holds: once [done_ >=
+       window_size] the slot of completion [done_ - window_size] is the
+       very next write target, so an in-flight completion may be
+       overwriting it while we read — the classic torn read right at the
+       wrap boundary. *)
+    let retained = min done_ (window_size - 1) in
     if retained < 2 then rate
     else begin
       let oldest_us = t.window.((done_ - retained) mod window_size) in
       let span = elapsed -. (float_of_int oldest_us /. 1e6) in
-      if span > 0.0 then float_of_int retained /. span else rate
+      (* A torn slot or sub-µs span would yield an [inf] rate (and a
+         non-finite JSONL heartbeat); fall back to the all-time rate on a
+         degenerate window and clamp the divisor to a µs floor. *)
+      if span <= 0.0 then rate
+      else float_of_int retained /. Float.max span 1e-6
     end
   in
   let eta =
@@ -94,20 +107,38 @@ let snapshot ?(final = false) t =
     pg_rate = rate;
     pg_window_rate = window_rate;
     pg_eta = eta;
+    pg_strata = Array.map Atomic.get t.strata;
     pg_final = final }
 
 let emit t snap = List.iter (fun sink -> sink snap) t.sinks
 
-(** Record one completed trial.  Safe to call from any domain; the sinks
-    fire at most once per [interval] (whichever worker happens to cross the
-    deadline emits — the others skip with a failed try-lock instead of
-    queueing). *)
-let note t outcome =
+(** Record one completed trial.  Safe to call from any domain; with a
+    nonzero [interval] the sinks fire at most once per [interval]
+    (whichever worker happens to cross the deadline emits — the others
+    skip with a failed try-lock instead of queueing), while [interval = 0]
+    emits once per completion. *)
+let note ?stratum t outcome =
   Atomic.incr t.counts.(outcome_index outcome);
+  (match stratum with
+   | Some s when s >= 0 && s < Array.length t.strata ->
+     Atomic.incr t.strata.(s)
+   | Some _ | None -> ());
   let i = Atomic.fetch_and_add t.completed 1 in
   t.window.(i mod window_size) <-
     int_of_float ((Unix.gettimeofday () -. t.t0) *. 1e6);
-  if t.sinks <> [] && Mutex.try_lock t.lock then
+  (* interval = 0 promises one emission per completed trial (the
+     per-trial JSONL contract tests and drivers rely on), so it must
+     queue on the lock; a rate-limited heartbeat instead skips on
+     contention — a concurrent emitter is already writing a snapshot at
+     least as fresh as ours. *)
+  let acquired () =
+    if t.interval <= 0.0 then begin
+      Mutex.lock t.lock;
+      true
+    end
+    else Mutex.try_lock t.lock
+  in
+  if t.sinks <> [] && acquired () then
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.lock)
       (fun () ->
@@ -155,26 +186,35 @@ let stderr_sink () : sink =
       snap.pg_window_rate snap.pg_eta counts
 
 let snapshot_json snap =
+  let strata =
+    if Array.length snap.pg_strata = 0 then []
+    else
+      [ ("strata",
+         Json.List
+           (Array.to_list (Array.map (fun n -> Json.Int n) snap.pg_strata)))
+      ]
+  in
   Json.Obj
-    [ ("type", Json.Str "progress");
-      ("done", Json.Int snap.pg_done);
-      ("total", Json.Int snap.pg_total);
-      ("elapsed_sec", Json.Float snap.pg_elapsed);
-      ("trials_per_sec", Json.Float snap.pg_rate);
-      ("window_trials_per_sec", Json.Float snap.pg_window_rate);
-      ("eta_sec", Json.Float snap.pg_eta);
-      ("final", Json.Bool snap.pg_final);
-      ("counts",
-       Json.Obj
-         (List.map
-            (fun (o, n) -> (Classify.name o, Json.Int n))
-            (nonzero_counts snap)));
-      ("ci",
-       Json.Obj
-         (List.map
-            (fun ((o, _) as c) ->
-              (Classify.name o, Stats.to_json (outcome_ci snap c)))
-            (nonzero_counts snap))) ]
+    ([ ("type", Json.Str "progress");
+       ("done", Json.Int snap.pg_done);
+       ("total", Json.Int snap.pg_total);
+       ("elapsed_sec", Json.Float snap.pg_elapsed);
+       ("trials_per_sec", Json.Float snap.pg_rate);
+       ("window_trials_per_sec", Json.Float snap.pg_window_rate);
+       ("eta_sec", Json.Float snap.pg_eta);
+       ("final", Json.Bool snap.pg_final) ]
+     @ strata
+     @ [ ("counts",
+          Json.Obj
+            (List.map
+               (fun (o, n) -> (Classify.name o, Json.Int n))
+               (nonzero_counts snap)));
+         ("ci",
+          Json.Obj
+            (List.map
+               (fun ((o, _) as c) ->
+                 (Classify.name o, Stats.to_json (outcome_ci snap c)))
+               (nonzero_counts snap))) ])
 
 (* Sinks are already serialized by the instance lock, so the channel needs
    no mutex of its own. *)

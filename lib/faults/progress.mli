@@ -19,6 +19,9 @@ type snapshot = {
                               what the ETA is computed from) *)
   pg_eta : float;         (** estimated seconds to completion; 0 when done
                               or no rate is measurable yet *)
+  pg_strata : int array;  (** per-stratum completed trials, indexed by
+                              stratum id — [[||]] unless [create] was given
+                              [~strata] (adaptive campaigns) *)
   pg_final : bool;        (** emitted by {!finish} *)
 }
 
@@ -28,13 +31,17 @@ type t
 
 (** [create ~total ()] starts the clock.  [interval] (default 0.5 s)
     rate-limits sink emission; 0 emits on every completed trial (useful in
-    tests).  Sinks run serialized under the instance's lock, on whichever
-    worker domain crossed the emission deadline. *)
-val create : ?interval:float -> ?sinks:sink list -> total:int -> unit -> t
+    tests).  [strata] (default 0) sizes the per-stratum completion
+    counters for adaptive campaigns.  Sinks run serialized under the
+    instance's lock, on whichever worker domain crossed the emission
+    deadline. *)
+val create :
+  ?interval:float -> ?sinks:sink list -> ?strata:int -> total:int -> unit -> t
 
 (** Record one completed trial and possibly emit a heartbeat.  Safe to call
-    concurrently from any domain. *)
-val note : t -> Classify.outcome -> unit
+    concurrently from any domain.  [stratum] additionally bumps that
+    stratum's counter (ignored when out of range or strata are off). *)
+val note : ?stratum:int -> t -> Classify.outcome -> unit
 
 (** Emit the final snapshot ([pg_final = true]) unconditionally. *)
 val finish : t -> unit

@@ -90,9 +90,33 @@ type fault_plan = {
   at_step : int;
   fault_rng : Rng.t;
   kind : fault_kind;
+  restrict : (int array * int) option;
+      (** stratified campaigns: (register→group map, target group); the
+          register draw is uniform over the ring slots whose register maps
+          to the target group, i.e. the uniform model conditioned on the
+          stratum.  [None] (uniform campaigns) keeps the historical draw
+          bit-identical. *)
 }
 
-let register_fault ~at_step ~fault_rng = { at_step; fault_rng; kind = Register_bit }
+let register_fault ?restrict ~at_step ~fault_rng () =
+  { at_step; fault_rng; kind = Register_bit; restrict }
+
+(** Ring-occupancy observation (adaptive campaigns, DESIGN.md §14): an
+    instrumented golden replay that records, at every step's fault point,
+    what share of the architectural ring each stratum group holds.
+    [ro_cum.(g).(t)] accumulates [Σ_{t'≤t} L_{t'}^g / L_{t'}] where
+    [L_t^g] counts ring slots whose register maps to group [g] — exactly
+    the probability weight a uniform (step, slot) draw puts on group [g]
+    at step [t], so stratum masses and per-stratum step CDFs read straight
+    off these arrays.  Arrays must be zeroed and sized [steps + 1]. *)
+type ring_obs = {
+  ro_groups : int array;        (** program register code → group id *)
+  ro_cum : float array array;   (** one cumulative array per group *)
+}
+
+let ring_obs ~groups ~ngroups ~steps =
+  { ro_groups = groups;
+    ro_cum = Array.init (max 1 ngroups) (fun _ -> Array.make (steps + 1) 0.0) }
 
 type config = {
   fuel : int;
@@ -119,12 +143,17 @@ type config = {
           and propagated through every value-producing instruction, load
           and store; observation-only — execution, costs and outcomes are
           bit-identical with tracing on or off (DESIGN.md §10) *)
+  obs : ring_obs option;
+      (** record per-step ring occupancy by stratum group into the given
+          arrays (mass-measurement replay of a golden run); incompatible
+          with [fault].  Execution, costs and outcomes are bit-identical
+          with or without it — only the arrays are filled. *)
 }
 
 let default_config =
   { fuel = 200_000_000; mode = Detect; on_def = None; fault = None;
     disabled_checks = Hashtbl.create 1; profile = None;
-    checkpoint_interval = 0; taint_trace = false }
+    checkpoint_interval = 0; taint_trace = false; obs = None }
 
 (* Internal signalling exceptions. *)
 exception Stop_detected of detection
@@ -203,6 +232,7 @@ type state = {
   mutable rollback_denied : bool;
   phi_vals : Value.t array;       (** scratch for parallel phi copies *)
   phi_set : bool array;
+  obs : ring_obs option;          (** ring-occupancy recording, if any *)
   arena : arena option;           (** frame pool / scratch source, if any *)
   fork : Fork.plan option;        (** golden-prefix capture plan, if any *)
   mutable next_fork : int;        (** step of the next fork capture;
@@ -372,31 +402,81 @@ let inject_fault st (plan : fault_plan) =
      | [] -> ()
      | fr :: _ ->
        if fr.recent_n > 0 then begin
-         let nth = Rng.int plan.fault_rng fr.recent_n in
-         let reg = fr.recent.(nth) in
-         let bit = Rng.int plan.fault_rng 64 in
-         let before = fr.values.(reg) in
-         let after = Value.flip_bit before bit in
-         fr.values.(reg) <- after;
-         st.injection <-
-           Some { inj_step = st.steps; inj_kind = Register_bit; inj_reg = reg;
-                  inj_bit = bit; before; after };
-         (match st.trace with
-          | Some tr -> Taint.seed tr fr.taint ~reg ~step:st.steps
-          | None -> ())
+         (* Restricted draws (stratified campaigns) pick uniformly among
+            the ring slots whose register belongs to the target group —
+            the uniform draw conditioned on the stratum.  A step is only
+            ever targeted when the golden replay saw a candidate there, so
+            the no-candidate branch is a safety net (no injection: the
+            trial degenerates to a golden replay). *)
+         let nth =
+           match plan.restrict with
+           | None -> Rng.int plan.fault_rng fr.recent_n
+           | Some (groups, target) ->
+             let candidates = ref 0 in
+             for i = 0 to fr.recent_n - 1 do
+               if groups.(fr.recent.(i)) = target then incr candidates
+             done;
+             if !candidates = 0 then -1
+             else begin
+               let pick = Rng.int plan.fault_rng !candidates in
+               let nth = ref (-1) in
+               let seen = ref 0 in
+               for i = 0 to fr.recent_n - 1 do
+                 if !nth < 0 && groups.(fr.recent.(i)) = target then begin
+                   if !seen = pick then nth := i;
+                   incr seen
+                 end
+               done;
+               !nth
+             end
+         in
+         if nth >= 0 then begin
+           let reg = fr.recent.(nth) in
+           let bit = Rng.int plan.fault_rng 64 in
+           let before = fr.values.(reg) in
+           let after = Value.flip_bit before bit in
+           fr.values.(reg) <- after;
+           st.injection <-
+             Some { inj_step = st.steps; inj_kind = Register_bit;
+                    inj_reg = reg; inj_bit = bit; before; after };
+           (match st.trace with
+            | Some tr -> Taint.seed tr fr.taint ~reg ~step:st.steps
+            | None -> ())
+         end
        end)
+
+(* The rare branch of {!tick}, out of line so the hot loop pays a single
+   compare per step.  Reached when the pending fault's step arrived — or,
+   in a mass-measurement replay ([st.obs]), on every step ([fault_at] is
+   pinned to 0): the replay accumulates the ring's per-group occupancy at
+   exactly the point {!inject_fault} would sample it. *)
+let slow_tick st =
+  match st.obs with
+  | Some o ->
+    let t = st.steps in
+    if t >= 1 && t < Array.length o.ro_cum.(0) then begin
+      Array.iter (fun c -> c.(t) <- c.(t - 1)) o.ro_cum;
+      match st.stack with
+      | fr :: _ when fr.recent_n > 0 ->
+        let inv = 1.0 /. float_of_int fr.recent_n in
+        for i = 0 to fr.recent_n - 1 do
+          let c = o.ro_cum.(o.ro_groups.(fr.recent.(i))) in
+          c.(t) <- c.(t) +. inv
+        done
+      | _ -> ()
+    end
+  | None ->
+    st.fault_at <- max_int;
+    (match st.fault_pending with
+     | Some plan ->
+       st.fault_pending <- None;
+       inject_fault st plan
+     | None -> ())
 
 let tick st ~cycles =
   st.steps <- st.steps + 1;
   st.cycles <- st.cycles + cycles;
-  if st.steps >= st.fault_at then begin
-    st.fault_at <- max_int;
-    match st.fault_pending with
-    | Some plan ->
-      st.fault_pending <- None;
-      inject_fault st plan
-    | None -> ()
-  end
+  if st.steps >= st.fault_at then slow_tick st
   [@@inline]
 
 (** Evaluate the phi batch of a block on entry from [fr.prev_block]:
@@ -937,7 +1017,11 @@ let run_compiled ?(config = default_config) ?arena ?fork_capture ?resume
       valchk_failures = 0; failed_uids = Hashtbl.create 4; injection = None;
       fault_pending = config.fault;
       fault_at =
-        (match config.fault with Some p -> p.at_step | None -> max_int);
+        (match config.fault, config.obs with
+         | Some p, _ -> p.at_step
+         | None, Some _ -> 0     (* observe the ring at every step *)
+         | None, None -> max_int);
+      obs = config.obs;
       branch_fault_armed = None;
       slack_credit = 0;
       next_checkpoint =

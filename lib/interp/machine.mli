@@ -84,9 +84,34 @@ type fault_plan = {
   at_step : int;
   fault_rng : Rng.t;
   kind : fault_kind;
+  restrict : (int array * int) option;
+      (** stratified campaigns: (register→group map, target group).  The
+          register draw becomes uniform over the ring slots whose register
+          maps to the target group — the historical uniform draw
+          conditioned on the stratum.  [None] keeps the uniform draw
+          bit-identical to previous releases. *)
 }
 
-val register_fault : at_step:int -> fault_rng:Rng.t -> fault_plan
+val register_fault :
+  ?restrict:int array * int ->
+  at_step:int -> fault_rng:Rng.t -> unit -> fault_plan
+
+(** Ring-occupancy observation for adaptive campaigns (DESIGN.md §14):
+    attach to a golden replay via [config.obs] and the machine fills
+    [ro_cum.(g).(t)] with [Σ_{t'≤t} L_{t'}^g / L_{t'}], where [L_t^g]
+    counts architectural-ring slots whose register maps to group [g] at
+    step [t]'s fault point (and [L_t] is the occupied ring size) — the
+    exact probability weight a uniform (step, slot) fault draw puts on
+    group [g] at step [t].  Stratum masses and per-stratum step CDFs read
+    straight off the cumulative arrays. *)
+type ring_obs = {
+  ro_groups : int array;        (** program register code → group id *)
+  ro_cum : float array array;   (** one cumulative array per group,
+                                    length [steps + 1], index = step *)
+}
+
+(** Fresh zeroed observation arrays for a golden run of [steps] steps. *)
+val ring_obs : groups:int array -> ngroups:int -> steps:int -> ring_obs
 
 type config = {
   fuel : int;
@@ -116,6 +141,11 @@ type config = {
           and propagated through every value-producing instruction, load and
           store (DESIGN.md §10); observation-only — execution, costs and
           outcomes are bit-identical with tracing on or off *)
+  obs : ring_obs option;
+      (** fill the given {!ring_obs} arrays during the run (one
+          mass-measurement replay of the golden run per adaptive campaign);
+          incompatible with [fault].  Observation-only: execution, costs
+          and outcomes are bit-identical with or without it. *)
 }
 
 val default_config : config

@@ -26,15 +26,78 @@ let wilson ?(z = z95) ~k ~n () =
       z /. denom
       *. sqrt ((p *. (1.0 -. p) /. nf) +. (z2 /. (4.0 *. nf *. nf)))
     in
+    (* At k = 0 (and symmetrically k = n) [center] and [half] are equal
+       in exact arithmetic, but the sqrt can round [center -. half] a ulp
+       above zero, leaving a "lower bound" strictly above the estimate —
+       clamp both bounds to bracket [p], which the Wilson interval always
+       does mathematically. *)
     { ci_estimate = p;
-      ci_low = Float.max 0.0 (center -. half);
-      ci_high = Float.min 1.0 (center +. half) }
+      ci_low = Float.max 0.0 (Float.min p (center -. half));
+      ci_high = Float.min 1.0 (Float.max p (center +. half)) }
   end
 
 let width iv = iv.ci_high -. iv.ci_low
 
 let converged ?z ~k ~n ~half_width () =
   n > 0 && width (wilson ?z ~k ~n ()) <= 2.0 *. half_width
+
+(* ----- Stratified estimation (adaptive campaigns, DESIGN.md §14) ----- *)
+
+type stratum_obs = { so_mass : float; so_k : int; so_n : int }
+
+(* Mass-weighted recombination.  The estimate is the unbiasedness identity
+   p = Σ_s m_s·p_s; the half width combines the per-stratum Wilson half
+   widths in quadrature (strata are sampled independently), so if every
+   sampled stratum satisfies h_s ≤ τ then the combined half width is at
+   most τ·sqrt(Σ m_s²) ≤ τ·Σ m_s ≤ τ — per-stratum early stopping can
+   never widen the whole-program interval past the requested target.
+   Unsampled strata (n = 0) contribute their vacuous [0,1] interval, i.e.
+   a half width of m_s/2. *)
+let stratified ?(z = z95) strata =
+  let est, var =
+    List.fold_left
+      (fun (est, var) s ->
+        let m = Float.max 0.0 s.so_mass in
+        if m = 0.0 then (est, var)
+        else begin
+          let w = wilson ~z ~k:s.so_k ~n:s.so_n () in
+          let h = width w /. 2.0 in
+          (est +. (m *. w.ci_estimate), var +. ((m *. h) *. (m *. h)))
+        end)
+      (0.0, 0.0) strata
+  in
+  let half = sqrt var in
+  { ci_estimate = est;
+    ci_low = Float.max 0.0 (est -. half);
+    ci_high = Float.min 1.0 (est +. half) }
+
+(* Wilson half width at a continuous proportion [p] over [n] trials. *)
+let wilson_half ~z ~p n =
+  let nf = float_of_int n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. nf) in
+  z /. denom *. sqrt ((p *. (1.0 -. p) /. nf) +. (z2 /. (4.0 *. nf *. nf)))
+
+(* Smallest uniform-sampling trial count whose Wilson interval at rate [p]
+   is as tight as [half_width] — monotone in n, so plain doubling plus
+   bisection.  This prices an adaptive campaign in the only currency a
+   uniform campaign understands. *)
+let equivalent_uniform_trials ?(z = z95) ~p ~half_width () =
+  let p = Float.max 0.0 (Float.min 1.0 p) in
+  let h = Float.max 1e-9 half_width in
+  if wilson_half ~z ~p 1 <= h then 1
+  else begin
+    let hi = ref 1 in
+    while wilson_half ~z ~p !hi > h && !hi < max_int / 4 do
+      hi := !hi * 2
+    done;
+    let lo = ref (!hi / 2) in
+    while !hi - !lo > 1 do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if wilson_half ~z ~p mid <= h then hi := mid else lo := mid
+    done;
+    !hi
+  end
 
 let to_json iv =
   Json.Obj

@@ -38,6 +38,30 @@ val width : interval -> float
     rule of adaptive sampling. *)
 val converged : ?z:float -> k:int -> n:int -> half_width:float -> unit -> bool
 
+(** One stratum's observations for {!stratified}: [so_mass] is the
+    stratum's share of the whole sampling space (the probability a single
+    uniform draw lands in it; masses should sum to ≤ 1), [so_k]/[so_n] the
+    outcome count and trials sampled inside it. *)
+type stratum_obs = { so_mass : float; so_k : int; so_n : int }
+
+(** Mass-weighted recombination of independently sampled strata into one
+    whole-program interval: estimate [Σ m_s·k_s/n_s] (the unbiased
+    post-stratified rate), half width [sqrt (Σ (m_s·h_s)²)] with [h_s] the
+    per-stratum Wilson half width (quadrature — strata are independent).
+    Consequence: if every stratum has [h_s ≤ τ] then the combined half
+    width is at most [τ·sqrt (Σ m_s²) ≤ τ], so per-stratum early stopping
+    never violates a whole-program convergence target.  Unsampled strata
+    ([so_n = 0]) contribute their vacuous [0,1] interval; zero-mass strata
+    contribute nothing. *)
+val stratified : ?z:float -> stratum_obs list -> interval
+
+(** Smallest number of *uniform* trials whose Wilson interval at observed
+    rate [p] would be as tight as [half_width] — what an adaptive
+    campaign's convergence would have cost without stratification (the
+    "equivalent uniform trials" a report prices savings against). *)
+val equivalent_uniform_trials :
+  ?z:float -> p:float -> half_width:float -> unit -> int
+
 (** [{"est":…,"lo":…,"hi":…}] — the journal/heartbeat wire form. *)
 val to_json : interval -> Json.t
 

@@ -502,6 +502,112 @@ let test_fork_parallel_identical () =
   Alcotest.(check bool) "trial lists bit-identical" true
     (Faults.Campaign.trials_equal t1 t4)
 
+(* ----- Adaptive stratified campaigns (DESIGN.md §14) ----- *)
+
+(* The stratification inputs for a protected subject, from the static
+   coverage analysis — the same wiring `experiments campaign --adaptive`
+   uses. *)
+let strata_inputs (subject : Faults.Campaign.subject) =
+  let cov = Analysis.Coverage.analyze subject.prog in
+  ( Analysis.Strata.reg_groups subject.prog cov,
+    Analysis.Strata.group_names,
+    Analysis.Strata.priors cov )
+
+let run_adaptive ?(ci = 0.08) ?(seed = 41) ?(domains = 1) subject =
+  let groups, group_names, priors = strata_inputs subject in
+  Faults.Campaign.run_adaptive ~seed ~domains ~groups ~group_names ~priors
+    ~ci subject
+
+let test_adaptive_deterministic () =
+  (* The contract the journal depends on: for a fixed (seed, config,
+     coverage map), the trial list is bit-identical across reruns and
+     across worker counts — allocation, stream splitting and batching
+     must all be schedule-independent. *)
+  let _, t1, _ = run_adaptive (protected_array_sum ()) in
+  let _, t2, _ = run_adaptive (protected_array_sum ()) in
+  Alcotest.(check bool) "rerun bit-identical" true
+    (Faults.Campaign.trials_equal t1 t2);
+  let _, t4, _ = run_adaptive ~domains:4 (protected_array_sum ()) in
+  Alcotest.(check bool) "1 vs 4 domains bit-identical" true
+    (Faults.Campaign.trials_equal t1 t4)
+
+let test_adaptive_accounting () =
+  (* Masses partition the injection space (they sum with the empty-ring
+     share to 1 — the unbiasedness precondition), and every executed
+     trial is tallied in exactly one stratum. *)
+  let _, trials, ad = run_adaptive (protected_array_sum ()) in
+  let mass_sum =
+    Array.fold_left
+      (fun acc (ss : Faults.Campaign.stratum_stats) ->
+        acc +. ss.ss_stratum.st_mass)
+      ad.Faults.Campaign.ad_mass_empty ad.ad_strata
+  in
+  Alcotest.(check (float 1e-9)) "masses sum to 1" 1.0 mass_sum;
+  Alcotest.(check int) "trials tallied once"
+    (List.length trials)
+    (Array.fold_left (fun acc ss -> acc + ss.Faults.Campaign.ss_trials)
+       0 ad.ad_strata);
+  Alcotest.(check int) "ad_trials matches" (List.length trials) ad.ad_trials;
+  List.iter
+    (fun (t : Faults.Campaign.trial) ->
+      match t.stratum with
+      | Some s ->
+        Alcotest.(check bool) "stratum id in range" true
+          (s >= 0 && s < Array.length ad.ad_strata)
+      | None -> Alcotest.fail "adaptive trial missing its stratum tag")
+    trials
+
+let test_adaptive_converges_to_target () =
+  (* When the run stops by convergence (not the trial budget), the
+     combined SDC half width must be at or under the target — the
+     quadrature lemma, on a real campaign. *)
+  let ci = 0.08 in
+  let _, _, ad = run_adaptive ~ci (protected_array_sum ()) in
+  let half =
+    (ad.Faults.Campaign.ad_sdc.Obs.Stats.ci_high
+     -. ad.ad_sdc.Obs.Stats.ci_low)
+    /. 2.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "combined half width %.4f <= %.4f" half ci)
+    true (half <= ci +. 1e-9)
+
+let test_adaptive_agrees_with_uniform () =
+  (* Reweighting sanity on a real subject: the stratified whole-program
+     SDC interval and a plain uniform campaign's interval must overlap —
+     they estimate the same quantity. *)
+  let subject = protected_array_sum () in
+  let summary, _ = Faults.Campaign.run subject ~trials:400 ~seed:6 in
+  let k =
+    List.fold_left
+      (fun acc o -> acc + Faults.Campaign.count summary o)
+      0
+      [ Faults.Classify.Asdc; Faults.Classify.Usdc_large;
+        Faults.Classify.Usdc_small ]
+  in
+  let uniform = Obs.Stats.wilson ~k ~n:summary.trials () in
+  let _, _, ad = run_adaptive subject in
+  let sdc = ad.Faults.Campaign.ad_sdc in
+  Alcotest.(check bool)
+    (Printf.sprintf "intervals overlap ([%.3f,%.3f] vs [%.3f,%.3f])"
+       sdc.Obs.Stats.ci_low sdc.ci_high uniform.Obs.Stats.ci_low
+       uniform.ci_high)
+    true
+    (sdc.Obs.Stats.ci_low <= uniform.Obs.Stats.ci_high
+     && uniform.Obs.Stats.ci_low <= sdc.Obs.Stats.ci_high)
+
+let test_trial_equal_sees_stratum () =
+  (* The bit-identity oracle must not ignore the stratum tag: two trials
+     differing only there are different records. *)
+  let _, trials, _ = run_adaptive (protected_array_sum ()) in
+  match trials with
+  | t :: _ ->
+    Alcotest.(check bool) "same trial equal" true
+      (Faults.Campaign.trials_equal [ t ] [ t ]);
+    Alcotest.(check bool) "stratum difference detected" false
+      (Faults.Campaign.trials_equal [ t ] [ { t with stratum = None } ])
+  | [] -> Alcotest.fail "adaptive campaign ran no trials"
+
 let tests =
   [ Alcotest.test_case "classify: masked" `Quick test_classify_masked;
     Alcotest.test_case "classify: asdc" `Quick test_classify_asdc;
@@ -554,4 +660,14 @@ let tests =
       test_fork_stride_beyond_run_degrades;
     Alcotest.test_case "fork: parallel identical" `Quick
       test_fork_parallel_identical;
+    Alcotest.test_case "adaptive: deterministic across reruns and domains"
+      `Quick test_adaptive_deterministic;
+    Alcotest.test_case "adaptive: masses and tallies account for everything"
+      `Quick test_adaptive_accounting;
+    Alcotest.test_case "adaptive: converges to the target half width" `Quick
+      test_adaptive_converges_to_target;
+    Alcotest.test_case "adaptive: agrees with a uniform campaign" `Quick
+      test_adaptive_agrees_with_uniform;
+    Alcotest.test_case "adaptive: trial equality sees the stratum tag" `Quick
+      test_trial_equal_sees_stratum;
   ]

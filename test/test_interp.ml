@@ -143,7 +143,7 @@ let test_injection_records_flip () =
   let prog = sum_prog () in
   let config =
     { Interp.Machine.default_config with
-      fault = Some (Interp.Machine.register_fault ~at_step:50 ~fault_rng:(Rng.create 7)) }
+      fault = Some (Interp.Machine.register_fault ~at_step:50 ~fault_rng:(Rng.create 7) ()) }
   in
   let r = run_main ~config prog [ Value.of_int 100 ] in
   match r.injection with
@@ -158,7 +158,7 @@ let test_injection_deterministic_per_seed () =
     let prog = sum_prog () in
     let config =
       { Interp.Machine.default_config with
-        fault = Some (Interp.Machine.register_fault ~at_step:40 ~fault_rng:(Rng.create seed)) }
+        fault = Some (Interp.Machine.register_fault ~at_step:40 ~fault_rng:(Rng.create seed) ()) }
     in
     let r = run_main ~config prog [ Value.of_int 200 ] in
     Format.asprintf "%a/%d" Interp.Machine.pp_stop r.stop r.steps
@@ -180,7 +180,7 @@ let test_injection_can_corrupt_result () =
     let config =
       { Interp.Machine.default_config with
         fuel = 100_000;
-        fault = Some (Interp.Machine.register_fault ~at_step:100 ~fault_rng:(Rng.create seed)) }
+        fault = Some (Interp.Machine.register_fault ~at_step:100 ~fault_rng:(Rng.create seed) ()) }
     in
     match (run_main ~config (sum_prog ()) [ Value.of_int 100 ]).stop with
     | Interp.Machine.Finished (Some v) ->

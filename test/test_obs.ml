@@ -1103,6 +1103,253 @@ let test_bench_diff_workload_churn () =
        (fun r -> r.Softft.Experiments.bd_delta_pct >= 0.0)
        d2.bd_rows)
 
+let test_bench_diff_host_warning () =
+  (* The stand-down must be loud: incomparable hosts produce the one-line
+     stderr warning (pointing at --require-same-host, the CI escape
+     hatch), comparable hosts none at all. *)
+  let at cores = bench_file ~cores ~serial:100.0 ~parallel:300.0 ~speedup:3.0 in
+  let warning d = Softft.Experiments.bench_diff_host_warning d in
+  (match warning (Softft.Experiments.bench_diff (at 4 ()) (at 8 ())) with
+   | None -> Alcotest.fail "host mismatch produced no warning"
+   | Some msg ->
+     let contains needle =
+       let n = String.length needle in
+       let rec scan i =
+         i + n <= String.length msg
+         && (String.sub msg i n = needle || scan (i + 1))
+       in
+       scan 0
+     in
+     Alcotest.(check bool) "warning says the gate is skipped" true
+       (contains "SKIPPED");
+     Alcotest.(check bool) "warning names both core counts" true
+       (contains "old 4" && contains "new 8");
+     Alcotest.(check bool) "warning points at --require-same-host" true
+       (contains "--require-same-host"));
+  (* A file with no host_cores stands the gate down the same way. *)
+  let anon = bench_file ~serial:100.0 ~parallel:300.0 ~speedup:3.0 () in
+  Alcotest.(check bool) "missing cores warn too" true
+    (warning (Softft.Experiments.bench_diff (at 4 ()) anon) <> None);
+  Alcotest.(check (option string)) "comparable hosts stay silent" None
+    (warning (Softft.Experiments.bench_diff (at 4 ()) (at 4 ())))
+
+(* ----- Journal reports: the CI column degrades on pre-v4 journals ----- *)
+
+let with_stdout_silenced f =
+  (* print_journal_report writes its tables to stdout; the test only cares
+     that rendering succeeds, so park stdout on /dev/null for the call. *)
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 null Unix.stdout;
+  Unix.close null;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+let test_journal_report_pre_v4_ci_degrades () =
+  (* Regression: aggregating a pre-v4 journal used to recompute intervals
+     the journal never recorded.  The CI column must instead degrade to
+     "—" — and the whole report must still render. *)
+  with_journal_lines (fun path lines _ ->
+      let v2_of line =
+        match Json.parse line with
+        | Json.Obj fields ->
+          Json.to_string
+            (Json.Obj
+               (List.filter_map
+                  (function
+                    | ("schema", _) ->
+                      Some ("schema", Json.Str Faults.Journal.schema)
+                    | ("stats", _) | ("counts", _) -> None
+                    | kv -> Some kv)
+                  fields))
+        | _ -> Alcotest.fail "manifest is not an object"
+      in
+      (match lines with
+       | manifest :: trials -> rewrite path (v2_of manifest :: trials)
+       | [] -> Alcotest.fail "journal empty");
+      let m, views = Faults.Journal.load path in
+      Alcotest.(check bool) "fixture carries no stats" true
+        (Json.member "stats" m = None);
+      let rows =
+        Softft.Experiments.journal_outcome_rows
+          ?stats:(Json.member "stats" m) views
+      in
+      List.iter
+        (fun row ->
+          match List.rev row with
+          | ci :: _ ->
+            Alcotest.(check string) "CI cell degrades to an em dash"
+              "\xe2\x80\x94" ci
+          | [] -> Alcotest.fail "empty report row")
+        rows;
+      (* And the full report renders without raising — the exit-0 path. *)
+      with_stdout_silenced (fun () ->
+          Softft.Experiments.print_journal_report ~manifest:m views));
+  (* Control: a current journal (v4 stats present) renders real
+     intervals, so the dash is genuinely the degraded path. *)
+  let stats = ref None in
+  let summary, trials = small_campaign ~stats_out:stats ~domains:1 () in
+  let m =
+    Faults.Journal.manifest_record ~git:"test" ~technique:"none"
+      ?stats:!stats ~counts:summary.Faults.Campaign.counts ~label:"array_sum"
+      ~trials:30 ~seed:2024 ~domains:1
+      ~hw_window:Faults.Classify.default_hw_window ~fault_kind:"register_bit"
+      ~golden:summary.Faults.Campaign.golden_info ()
+  in
+  let path = Filename.temp_file "softft_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Faults.Journal.write ~path ~manifest:m ~trials ();
+      let m, views = Faults.Journal.load path in
+      let rows =
+        Softft.Experiments.journal_outcome_rows
+          ?stats:(Json.member "stats" m) views
+      in
+      List.iter
+        (fun row ->
+          match List.rev row with
+          | ci :: _ ->
+            Alcotest.(check bool) "CI cell is an interval" true
+              (String.length ci > 0 && ci.[0] = '[')
+          | [] -> Alcotest.fail "empty report row")
+        rows)
+
+(* ----- Progress: ring-boundary regression, per-stratum counters ----- *)
+
+let test_progress_ring_boundary () =
+  (* Regression: crossing the 256-entry completion ring used to read a
+     stale slot as the window start, yielding an inf/negative windowed
+     rate.  March straight across the boundary and check every snapshot
+     stays finite — serial first, then under 2 and 4 domains. *)
+  let check_snap tag (snap : Faults.Progress.snapshot) =
+    Alcotest.(check bool) (tag ^ ": window rate finite") true
+      (Float.is_finite snap.pg_window_rate);
+    Alcotest.(check bool) (tag ^ ": window rate non-negative") true
+      (snap.pg_window_rate >= 0.0);
+    Alcotest.(check bool) (tag ^ ": eta finite, non-negative") true
+      (Float.is_finite snap.pg_eta && snap.pg_eta >= 0.0)
+  in
+  let total = 600 in
+  let pg = Faults.Progress.create ~interval:1e9 ~total () in
+  for i = 1 to total do
+    Faults.Progress.note pg Faults.Classify.Masked;
+    (* Snapshot at every step around both ring crossings (256, 512) and a
+       few in the steady state past them. *)
+    if (i >= 254 && i <= 260) || (i >= 510 && i <= 516) || i mod 97 = 0 then
+      check_snap (Printf.sprintf "serial @%d" i) (Faults.Progress.snapshot pg)
+  done;
+  check_snap "serial final" (Faults.Progress.snapshot ~final:true pg);
+  List.iter
+    (fun domains ->
+      let pg = Faults.Progress.create ~interval:1e9 ~total () in
+      let (_ : int array) =
+        Faults.Pool.map ~domains
+          (fun i ->
+            Faults.Progress.note pg Faults.Classify.Masked;
+            if i mod 61 = 0 then
+              check_snap
+                (Printf.sprintf "domains=%d" domains)
+                (Faults.Progress.snapshot pg);
+            i)
+          total
+      in
+      let snap = Faults.Progress.snapshot ~final:true pg in
+      check_snap (Printf.sprintf "domains=%d final" domains) snap;
+      Alcotest.(check int)
+        (Printf.sprintf "domains=%d: every note counted" domains)
+        total snap.pg_done)
+    [ 1; 2; 4 ]
+
+let test_progress_strata_counters () =
+  (* Adaptive campaigns tag completions with a stratum id; the heartbeat
+     keeps per-stratum tallies.  Out-of-range ids and untagged notes must
+     count toward done without touching the stratum counters. *)
+  let pg = Faults.Progress.create ~interval:1e9 ~strata:3 ~total:20 () in
+  for _ = 1 to 5 do
+    Faults.Progress.note ~stratum:0 pg Faults.Classify.Masked
+  done;
+  for _ = 1 to 3 do
+    Faults.Progress.note ~stratum:2 pg Faults.Classify.Asdc
+  done;
+  Faults.Progress.note ~stratum:7 pg Faults.Classify.Masked;
+  Faults.Progress.note ~stratum:(-1) pg Faults.Classify.Masked;
+  Faults.Progress.note pg Faults.Classify.Masked;
+  let snap = Faults.Progress.snapshot pg in
+  Alcotest.(check int) "done counts every note" 11 snap.pg_done;
+  Alcotest.(check (array int)) "per-stratum tallies" [| 5; 0; 3 |]
+    snap.pg_strata;
+  (* Without ~strata the counters stay absent, not sized-but-zero. *)
+  let bare = Faults.Progress.create ~interval:1e9 ~total:5 () in
+  Faults.Progress.note ~stratum:0 bare Faults.Classify.Masked;
+  Alcotest.(check (array int)) "no strata configured" [||]
+    (Faults.Progress.snapshot bare).pg_strata
+
+(* ----- Journal: v5 adaptive roundtrip ----- *)
+
+let test_journal_v5_adaptive_roundtrip () =
+  (* An adaptive campaign journals its stratum definitions, tallies and
+     the savings headline, stamps v5, and each trial carries its stratum
+     tag — all of which must read back. *)
+  let subject = Test_faults.protected_array_sum () in
+  let cov = Analysis.Coverage.analyze subject.Faults.Campaign.prog in
+  let groups =
+    Analysis.Strata.reg_groups subject.Faults.Campaign.prog cov
+  in
+  let summary, trials, ad =
+    Faults.Campaign.run_adaptive ~seed:23 ~domains:2 ~groups
+      ~group_names:Analysis.Strata.group_names
+      ~priors:(Analysis.Strata.priors cov) ~ci:0.1 subject
+  in
+  let manifest =
+    Faults.Journal.manifest_record ~git:"test" ~technique:"dup"
+      ~counts:summary.Faults.Campaign.counts ~adaptive:ad
+      ~label:"array_sum" ~trials:summary.trials ~seed:23 ~domains:2
+      ~hw_window:Faults.Classify.default_hw_window ~fault_kind:"register_bit"
+      ~golden:summary.Faults.Campaign.golden_info ()
+  in
+  Alcotest.(check (option string)) "adaptive outranks v4"
+    (Some Faults.Journal.schema_v5)
+    (Option.bind (Json.member "schema" manifest) Json.to_str);
+  let path = Filename.temp_file "softft_journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Faults.Journal.write ~path ~manifest ~trials ();
+      let m, views = Faults.Journal.load path in
+      let section =
+        match Json.member "adaptive" m with
+        | Some s -> s
+        | None -> Alcotest.fail "manifest lost its adaptive section"
+      in
+      Alcotest.(check (option (float 1e-9))) "ci target" (Some 0.1)
+        (Option.bind (Json.member "ci_target" section) Json.to_float);
+      Alcotest.(check (option int)) "trial total" (Some ad.ad_trials)
+        (Option.bind (Json.member "trials" section) Json.to_int);
+      Alcotest.(check (option int)) "savings headline"
+        (Some ad.ad_equiv_uniform)
+        (Option.bind
+           (Json.member "equivalent_uniform_trials" section)
+           Json.to_int);
+      (match Json.member "strata" section with
+       | Some (Json.List ss) ->
+         Alcotest.(check int) "one record per stratum"
+           (Array.length ad.ad_strata) (List.length ss)
+       | _ -> Alcotest.fail "adaptive section has no strata list");
+      Alcotest.(check int) "every trial loads"
+        (List.length trials) (List.length views);
+      List.iteri
+        (fun i (v : Faults.Journal.view) ->
+          let t = List.nth trials i in
+          Alcotest.(check (option int)) "stratum tag roundtrips"
+            t.Faults.Campaign.stratum v.v_stratum)
+        views)
+
 let tests =
   [ Alcotest.test_case "json: roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "json: unicode escapes" `Quick test_json_unicode_escapes;
@@ -1172,6 +1419,16 @@ let tests =
       test_bench_diff_incomparable_hosts;
     Alcotest.test_case "bench-diff: workload churn" `Quick
       test_bench_diff_workload_churn;
+    Alcotest.test_case "bench-diff: host mismatch warning" `Quick
+      test_bench_diff_host_warning;
+    Alcotest.test_case "report: pre-v4 CI column degrades" `Quick
+      test_journal_report_pre_v4_ci_degrades;
+    Alcotest.test_case "progress: ring-boundary rate stays finite" `Quick
+      test_progress_ring_boundary;
+    Alcotest.test_case "progress: per-stratum counters" `Quick
+      test_progress_strata_counters;
+    Alcotest.test_case "journal: v5 adaptive roundtrip" `Quick
+      test_journal_v5_adaptive_roundtrip;
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_wilson_bounds; prop_span_roundtrip; prop_progress_counts_exact ]

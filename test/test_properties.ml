@@ -195,6 +195,134 @@ let prop_fork_preserves_campaign =
       s_on.Faults.Campaign.counts = s_off.Faults.Campaign.counts
       && Faults.Campaign.trials_equal t_on t_off)
 
+(* ----- Adaptive stratified estimation (DESIGN.md §14) ----- *)
+
+(* Census identity: stratify a synthetic finite population by anything at
+   all, observe each stratum exhaustively, and the mass-reweighted rate
+   must equal the plain pooled rate a uniform census would report — the
+   unbiasedness that makes per-stratum sampling legitimate. *)
+let prop_stratified_census_matches_uniform =
+  QCheck.Test.make
+    ~name:"stratified reweighting reproduces the uniform rate" ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 8)
+        (pair (int_range 1 50) (int_range 0 50)))
+    (fun strata ->
+      let strata = List.map (fun (n, k) -> (n, min k n)) strata in
+      let total = List.fold_left (fun acc (n, _) -> acc + n) 0 strata in
+      let sdc = List.fold_left (fun acc (_, k) -> acc + k) 0 strata in
+      let obs =
+        List.map
+          (fun (n, k) ->
+            { Obs.Stats.so_mass = float_of_int n /. float_of_int total;
+              so_k = k; so_n = n })
+          strata
+      in
+      let combined = Obs.Stats.stratified obs in
+      let uniform = float_of_int sdc /. float_of_int total in
+      Float.abs (combined.Obs.Stats.ci_estimate -. uniform) < 1e-9)
+
+(* The early-stopping lemma: masses summing to <= 1 and every per-stratum
+   Wilson half width at or under tau bound the combined (quadrature) half
+   width by tau — so stopping each stratum at the target can never leave
+   the whole-program interval wider than the target. *)
+let prop_early_stop_never_widens =
+  QCheck.Test.make
+    ~name:"per-stratum convergence bounds the combined width" ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 1 8)
+        (triple (int_range 1 20) (int_range 1 400) (int_range 0 400)))
+    (fun raw ->
+      let weight_total =
+        float_of_int
+          (max 1 (List.fold_left (fun acc (w, _, _) -> acc + w) 0 raw))
+      in
+      let obs =
+        List.map
+          (fun (w, n, k) ->
+            { Obs.Stats.so_mass = float_of_int w /. weight_total;
+              so_k = min k n; so_n = n })
+          raw
+      in
+      let tau =
+        List.fold_left
+          (fun acc (o : Obs.Stats.stratum_obs) ->
+            let iv = Obs.Stats.wilson ~k:o.so_k ~n:o.so_n () in
+            Float.max acc (Obs.Stats.width iv /. 2.0))
+          0.0 obs
+      in
+      let combined = Obs.Stats.stratified obs in
+      Obs.Stats.width combined /. 2.0 <= tau +. 1e-9)
+
+(* Random ring-occupancy curves: [cum.(g).(t)] non-decreasing from 0,
+   per-step increments across groups summing to at most 1. *)
+let random_cum rng ~ngroups ~t_max =
+  let cum = Array.make_matrix ngroups (t_max + 1) 0.0 in
+  for t = 1 to t_max do
+    for g = 0 to ngroups - 1 do
+      (* Raw increment in [0, 1/ngroups]: group shares of one step's ring
+         can never exceed the step's whole weight.  Zeroes are common, so
+         empty bands and wholly absent groups get exercised. *)
+      let inc =
+        float_of_int (Rng.int rng 10) /. (9.0 *. float_of_int ngroups)
+      in
+      cum.(g).(t) <- cum.(g).(t - 1) +. inc
+    done
+  done;
+  cum
+
+let prop_build_strata_masses_partition =
+  QCheck.Test.make
+    ~name:"strata masses and the empty share partition the space"
+    ~count:300
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 5))
+    (fun (seed, bands) ->
+      let rng = Rng.create seed in
+      let ngroups = 1 + Rng.int rng 3 in
+      let t_max = 1 + Rng.int rng 40 in
+      let cum = random_cum rng ~ngroups ~t_max in
+      let plan =
+        Faults.Campaign.build_strata ~groups:(Array.make 8 0)
+          ~group_names:(Array.init ngroups string_of_int)
+          ~priors:(Array.make ngroups 0.5) ~bands ~window:t_max cum
+      in
+      let mass_sum =
+        Array.fold_left
+          (fun acc (s : Faults.Campaign.stratum) -> acc +. s.st_mass)
+          plan.Faults.Campaign.sp_mass_empty plan.sp_strata
+      in
+      Float.abs (mass_sum -. 1.0) < 1e-9
+      && Array.for_all
+           (fun (s : Faults.Campaign.stratum) ->
+             s.st_mass > 0.0 && s.st_lo >= 1 && s.st_lo < s.st_hi
+             && s.st_hi <= t_max + 1)
+           plan.sp_strata)
+
+let prop_sample_at_step_stays_in_stratum =
+  QCheck.Test.make
+    ~name:"stratified step draws land inside the stratum, on occupied steps"
+    ~count:300
+    QCheck.(pair (int_range 0 1_000_000) (float_range 0.0 0.9999))
+    (fun (seed, u) ->
+      let rng = Rng.create seed in
+      let ngroups = 1 + Rng.int rng 3 in
+      let t_max = 1 + Rng.int rng 40 in
+      let cum = random_cum rng ~ngroups ~t_max in
+      let plan =
+        Faults.Campaign.build_strata ~groups:(Array.make 8 0)
+          ~group_names:(Array.init ngroups string_of_int)
+          ~priors:(Array.make ngroups 0.5) ~bands:(1 + Rng.int rng 4)
+          ~window:t_max cum
+      in
+      Array.for_all
+        (fun (s : Faults.Campaign.stratum) ->
+          let t = Faults.Campaign.sample_at_step plan s ~u in
+          t >= s.st_lo && t < s.st_hi
+          (* The chosen step carries ring weight for the group: a stratum
+             never injects into a step where its group is absent. *)
+          && cum.(s.st_group).(t) > cum.(s.st_group).(t - 1))
+        plan.Faults.Campaign.sp_strata)
+
 let tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_generated_programs_verify;
@@ -205,4 +333,8 @@ let tests =
       prop_parser_roundtrip;
       prop_flip_bit_changes_exactly_one_bit;
       prop_fork_preserves_campaign;
+      prop_stratified_census_matches_uniform;
+      prop_early_stop_never_widens;
+      prop_build_strata_masses_partition;
+      prop_sample_at_step_stays_in_stratum;
     ]

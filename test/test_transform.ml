@@ -145,7 +145,7 @@ let test_dup_detects_state_corruption () =
     let config =
       { Interp.Machine.default_config with
         fuel = 1_000_000;
-        fault = Some (Interp.Machine.register_fault ~at_step ~fault_rng:rng) }
+        fault = Some (Interp.Machine.register_fault ~at_step ~fault_rng:rng ()) }
     in
     let r = run_main ~config prog crc_args in
     match r.stop with
