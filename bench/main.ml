@@ -18,13 +18,28 @@
                                      (verifies outcomes are bit-identical)
       options: --trials N  --seed N  --benchmarks a,b,c  --domains N  --quick
                --trace-timeline FILE  (campaign-perf: flight-recorder
-                                       Chrome-trace timeline) *)
+                                       Chrome-trace timeline)
+               --warehouse DIR  (also file BENCH_campaign.json into the
+                                 campaign warehouse, for
+                                 `bench-diff latest:DIR`) *)
 
 let default_trials = ref 120
 let seed = ref 0xC0FFEE
 let selected_benchmarks : string list option ref = ref None
 let domains = ref (Faults.Pool.recommended_domains ())
 let trace_timeline : string option ref = ref None
+let warehouse_dir : string option ref = ref None
+
+(* With --warehouse, every BENCH_campaign.json this harness writes is also
+   filed as a warehouse bench snapshot, so bench-diff's baseline can be
+   named latest:<dir> instead of a copied file. *)
+let file_bench path =
+  match !warehouse_dir with
+  | None -> ()
+  | Some dir ->
+    (match Warehouse.Store.ingest_bench ~dir path with
+     | `Ingested rel -> Printf.printf "warehouse: filed %s\n" rel
+     | `Duplicate rel -> Printf.printf "warehouse: duplicate %s\n" rel)
 
 let log =
   lazy (Obs.Log.make ~sinks:[ Obs.Log.stderr_sink () ] "bench")
@@ -360,6 +375,7 @@ let run_campaign_perf () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "\nwrote %s\n" path;
+  file_bench path;
   (* One extra (untimed) campaign per workload with the flight recorder
      attached — kept out of the timed repetitions above so the published
      throughputs never carry the recorder's (tiny) cost. *)
@@ -482,7 +498,8 @@ let run_adaptive_bench () =
   output_string oc (Obs.Json.to_string json);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nwrote %s (adaptive section)\n" path
+  Printf.printf "\nwrote %s (adaptive section)\n" path;
+  file_bench path
 
 (* Tracing-overhead bench: the same campaign with the propagation tracer
    off and on.  Verifies the observation-only contract (identical outcomes,
@@ -558,6 +575,9 @@ let () =
       parse rest
     | "--trace-timeline" :: path :: rest ->
       trace_timeline := Some path;
+      parse rest
+    | "--warehouse" :: dir :: rest ->
+      warehouse_dir := Some dir;
       parse rest
     | "--quick" :: rest ->
       default_trials := 40;

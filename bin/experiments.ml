@@ -291,8 +291,8 @@ let one_cmd =
    Neyman allocation, per-stratum early stopping, mass-reweighted
    whole-program rates. *)
 let run_campaign name technique_name adaptive ci trials max_trials bands
-    seed domains checkpoint progress progress_jsonl journal timeline quiet
-    log_json =
+    seed domains checkpoint progress progress_jsonl journal warehouse
+    timeline quiet log_json =
   let log = logger_of quiet log_json in
   let w = Workloads.Registry.find name in
   let technique = technique_of_string technique_name in
@@ -311,6 +311,38 @@ let run_campaign name technique_name adaptive ci trials max_trials bands
        | None -> [])
   in
   let trace = Option.map (fun _ -> Obs.Trace.recorder ()) timeline in
+  (* The warehouse sink rebuilds the same manifest the --journal block
+     writes — the run key hashes it, so a run filed as it finishes and the
+     same journal ingested later land on the same key. *)
+  let file_in dir ?adaptive (summary : Faults.Campaign.summary) results
+      run_stats =
+    let manifest =
+      Faults.Journal.manifest_record
+        ~technique:(Softft.technique_name technique)
+        ?stats:run_stats ~counts:summary.Faults.Campaign.counts ?adaptive
+        ~label:(Printf.sprintf "%s/%s/test" w.name
+                  (Softft.technique_name technique))
+        ~trials:summary.Faults.Campaign.trials ~seed ~domains
+        ~checkpoint_interval:checkpoint
+        ~hw_window:Faults.Classify.default_hw_window
+        ~fault_kind:"register_bit"
+        ~golden:summary.Faults.Campaign.golden_info ()
+    in
+    let verdict, (entry : Warehouse.Store.entry) =
+      match
+        Warehouse.Store.file_run
+          ~prog_digest:(Warehouse.Store.prog_digest p.Softft.prog) ~dir
+          ~manifest ~trials:results ()
+      with
+      | `Ingested e -> ("filed", e)
+      | `Duplicate e -> ("already filed (duplicate)", e)
+    in
+    Obs.Log.info log
+      ~fields:
+        [ ("dir", Obs.Json.Str dir);
+          ("key", Obs.Json.Str entry.Warehouse.Store.e_key) ]
+      ("warehouse: run " ^ verdict)
+  in
   let summary, results, adaptive_out =
     if not adaptive then begin
       let pg =
@@ -321,6 +353,11 @@ let run_campaign name technique_name adaptive ci trials max_trials bands
       let summary, results =
         Softft.campaign p ~role:Workloads.Workload.Test ~trials ~seed
           ~domains ~checkpoint_interval:checkpoint ~stats_out:stats
+          ?warehouse:
+            (Option.map
+               (fun dir summary results run_stats ->
+                 file_in dir summary results run_stats)
+               warehouse)
           ?progress:pg ?trace
       in
       (summary, results, None)
@@ -340,8 +377,13 @@ let run_campaign name technique_name adaptive ci trials max_trials bands
       in
       let summary, results, ad =
         Faults.Campaign.run_adaptive ~seed ~domains
-          ~checkpoint_interval:checkpoint ~stats_out:stats ?progress_for
-          ?trace ~bands ~max_trials ~groups
+          ~checkpoint_interval:checkpoint ~stats_out:stats
+          ?warehouse:
+            (Option.map
+               (fun dir summary results run_stats ad ->
+                 file_in dir ~adaptive:ad summary results run_stats)
+               warehouse)
+          ?progress_for ?trace ~bands ~max_trials ~groups
           ~group_names:Analysis.Strata.group_names ~priors ~ci subj
       in
       (summary, results, Some ad)
@@ -439,6 +481,15 @@ let bands_arg =
   let doc = "Residency bands per protection group (adaptive strata)." in
   Arg.(value & opt int 3 & info [ "bands" ] ~docv:"N" ~doc)
 
+let warehouse_sink_arg =
+  let doc =
+    "File the finished run into the campaign warehouse at $(docv) \
+     (content-addressed by program, technique, fault model, configuration \
+     and seed; re-running an identical campaign is a no-op).  Query it \
+     later with `history', `diff-runs', `regress' and `heatmap'."
+  in
+  Arg.(value & opt (some string) None & info [ "warehouse" ] ~docv:"DIR" ~doc)
+
 let campaign_cmd =
   let doc =
     "Run a fault campaign: uniform sampling by default, or --adaptive \
@@ -450,7 +501,7 @@ let campaign_cmd =
       const run_campaign $ name_arg $ technique_arg $ adaptive_arg $ ci_arg
       $ trials_arg $ max_trials_arg $ bands_arg $ seed_arg $ domains_arg
       $ checkpoint_arg $ progress_arg $ progress_jsonl_arg $ journal_arg
-      $ timeline_arg $ quiet_arg $ log_json_arg)
+      $ warehouse_sink_arg $ timeline_arg $ quiet_arg $ log_json_arg)
 
 let run_coverage name technique_name dynamic csv regs_csv journal =
   let w = Workloads.Registry.find name in
@@ -581,7 +632,11 @@ let lint_cmd =
    manifest's label ("workload/technique/role") and pretty technique name —
    the --strata join needs the per-register protection statuses, which the
    journal itself does not carry. *)
-let coverage_of_manifest manifest =
+(* Rebuild the protected program a journal manifest describes, when its
+   label and technique name a registered workload.  Protection pipelines
+   are deterministic, so the rebuilt program — and hence its warehouse
+   digest and coverage map — matches the one the campaign ran. *)
+let protected_of_manifest manifest =
   let pretty_technique =
     List.find_opt
       (fun t ->
@@ -598,39 +653,119 @@ let coverage_of_manifest manifest =
   in
   match workload, pretty_technique with
   | Some name, Some technique ->
-    (try
-       let w = Workloads.Registry.find name in
-       let p = Softft.protect w technique in
-       Some (Analysis.Coverage.analyze p.Softft.prog)
+    (try Some (Softft.protect (Workloads.Registry.find name) technique)
      with _ -> None)
   | _, _ -> None
 
-let run_report path strata csv =
-  match Faults.Journal.load path with
-  | exception Faults.Journal.Malformed msg ->
-    (* A journal without a manifest (or with broken lines) is an error the
-       caller should see, not an empty report. *)
-    prerr_endline ("experiments report: " ^ msg);
+let coverage_of_manifest manifest =
+  Option.map
+    (fun p -> Analysis.Coverage.analyze p.Softft.prog)
+    (protected_of_manifest manifest)
+
+let report_one ~manifest ~views strata =
+  Softft.Experiments.print_journal_report ~manifest views;
+  if strata then
+    match coverage_of_manifest manifest with
+    | Some cov -> Softft.Experiments.print_journal_strata cov views
+    | None ->
+      prerr_endline
+        "experiments report: --strata needs a manifest whose label and \
+         technique match a registered workload; skipping strata table"
+
+(* A directory of journals is reported one section per *run* — journals
+   are grouped by their warehouse run key (program config, seed, trials),
+   never silently merged: pooling trials from different configurations
+   under one outcome table would manufacture rates no campaign measured. *)
+let run_report_dir dir strata =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  in
+  if files = [] then begin
+    prerr_endline ("experiments report: no .jsonl journals in " ^ dir);
     exit 1
-  | manifest, views ->
-    Softft.Experiments.print_journal_report ~manifest views;
-    (if strata then
-       match coverage_of_manifest manifest with
-       | Some cov -> Softft.Experiments.print_journal_strata cov views
-       | None ->
-         prerr_endline
-           "experiments report: --strata needs a manifest whose label and \
-            technique match a registered workload; skipping strata table");
+  end;
+  let loaded =
+    List.map
+      (fun f ->
+        match Faults.Journal.load f with
+        | exception Faults.Journal.Malformed msg ->
+          prerr_endline ("experiments report: " ^ f ^ ": " ^ msg);
+          exit 1
+        | manifest, views ->
+          let prog_digest =
+            Option.map
+              (fun p -> Warehouse.Store.prog_digest p.Softft.prog)
+              (protected_of_manifest manifest)
+          in
+          (f, Warehouse.Store.run_key ?prog_digest manifest, manifest, views))
+      files
+  in
+  let keys_in_order =
+    List.fold_left
+      (fun acc (_, key, _, _) -> if List.mem key acc then acc else key :: acc)
+      [] loaded
+    |> List.rev
+  in
+  Printf.printf "%d journal(s), %d distinct run(s)\n" (List.length loaded)
+    (List.length keys_in_order);
+  List.iter
+    (fun key ->
+      let group = List.filter (fun (_, k, _, _) -> k = key) loaded in
+      let file, _, manifest, views = List.hd group in
+      let label =
+        match Option.bind (Obs.Json.member "label" manifest) Obs.Json.to_str
+        with
+        | Some l -> l
+        | None -> "?"
+      in
+      Printf.printf "\n== run %s  %s  (%s) ==\n"
+        (String.sub key 0 12)
+        label file;
+      report_one ~manifest ~views strata;
+      match List.tl group with
+      | [] -> ()
+      | dups ->
+        Printf.printf "(+%d duplicate journal(s) of this run: %s)\n"
+          (List.length dups)
+          (String.concat ", " (List.map (fun (f, _, _, _) -> f) dups)))
+    keys_in_order
+
+let run_report path strata csv =
+  if Sys.file_exists path && Sys.is_directory path then begin
     (match csv with
-     | Some out ->
-       let oc = open_out out in
-       output_string oc (Softft.Experiments.journal_check_csv views);
-       close_out oc;
-       Printf.printf "\nper-check CSV written to %s\n" out
-     | None -> ())
+     | Some _ ->
+       prerr_endline
+         "experiments report: --csv wants a single journal, not a directory";
+       exit 1
+     | None -> ());
+    run_report_dir path strata
+  end
+  else
+    match Faults.Journal.load path with
+    | exception Faults.Journal.Malformed msg ->
+      (* A journal without a manifest (or with broken lines) is an error the
+         caller should see, not an empty report. *)
+      prerr_endline ("experiments report: " ^ msg);
+      exit 1
+    | manifest, views ->
+      report_one ~manifest ~views strata;
+      (match csv with
+       | Some out ->
+         let oc = open_out out in
+         output_string oc (Softft.Experiments.journal_check_csv views);
+         close_out oc;
+         Printf.printf "\nper-check CSV written to %s\n" out
+       | None -> ())
 
 let journal_path_arg =
-  let doc = "Trial journal produced by `one --journal'." in
+  let doc =
+    "Trial journal produced by `one --journal', or a directory of such \
+     journals (reported one section per distinct run, grouped by \
+     warehouse run key — never merged)."
+  in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"JOURNAL" ~doc)
 
 let csv_arg =
@@ -656,6 +791,23 @@ let report_cmd =
     Term.(const run_report $ journal_path_arg $ strata_arg $ csv_arg)
 
 let run_bench_diff old_path new_path tolerance require_same_host =
+  (* "latest:<warehouse-dir>" names the most recently ingested bench
+     snapshot — CI points the baseline at its warehouse instead of
+     shuffling BENCH_campaign.json copies around. *)
+  let resolve path =
+    match String.length path > 7 && String.sub path 0 7 = "latest:" with
+    | false -> path
+    | true ->
+      let dir = String.sub path 7 (String.length path - 7) in
+      (match Warehouse.Store.latest_bench ~dir with
+       | Some p -> p
+       | None ->
+         prerr_endline
+           (Printf.sprintf
+              "experiments bench-diff: no bench snapshot ingested in %s" dir);
+         exit 1)
+  in
+  let old_path = resolve old_path and new_path = resolve new_path in
   let load path =
     match Obs.Json.parse (In_channel.with_open_text path In_channel.input_all)
     with
@@ -690,7 +842,10 @@ let run_bench_diff old_path new_path tolerance require_same_host =
   if Softft.Experiments.bench_diff_regressions d <> [] then exit 1
 
 let bench_old_arg =
-  let doc = "Baseline BENCH_campaign.json (e.g. the committed one)." in
+  let doc =
+    "Baseline BENCH_campaign.json — a file, or latest:$(i,DIR) for the \
+     most recent bench snapshot ingested into the warehouse at $(i,DIR)."
+  in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD" ~doc)
 
 let bench_new_arg =
@@ -724,6 +879,442 @@ let bench_diff_cmd =
     Term.(
       const run_bench_diff $ bench_old_arg $ bench_new_arg $ tolerance_arg
       $ require_same_host_arg)
+
+(* ------------------------------------------------------------------ *)
+(* The campaign warehouse: ingest, history, diff-runs, regress, heatmap *)
+
+let warehouse_dir_arg =
+  let doc = "The campaign warehouse directory." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "warehouse"; "w" ] ~docv:"DIR" ~doc)
+
+let warehouse_opt_arg =
+  let doc =
+    "Campaign warehouse directory, for resolving run keys and locating \
+     journals."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "warehouse"; "w" ] ~docv:"DIR" ~doc)
+
+let run_ingest dir files =
+  let ingest_journal path =
+    let manifest, _views = Faults.Journal.load path in
+    let prog_digest =
+      Option.map
+        (fun p -> Warehouse.Store.prog_digest p.Softft.prog)
+        (protected_of_manifest manifest)
+    in
+    match Warehouse.Store.ingest ?prog_digest ~dir path with
+    | `Ingested e ->
+      Printf.printf "filed      %s  %s\n" e.Warehouse.Store.e_key path
+    | `Duplicate e ->
+      Printf.printf "duplicate  %s  %s\n" e.Warehouse.Store.e_key path
+  in
+  let ingest_bench path =
+    match
+      Obs.Json.parse (In_channel.with_open_text path In_channel.input_all)
+    with
+    | j when Obs.Json.member "workloads" j <> None ->
+      (match Warehouse.Store.ingest_bench ~dir path with
+       | `Ingested rel -> Printf.printf "filed      %s  %s\n" rel path
+       | `Duplicate rel -> Printf.printf "duplicate  %s  %s\n" rel path)
+    | _ | (exception Obs.Json.Parse_error _) ->
+      prerr_endline
+        (Printf.sprintf
+           "experiments ingest: %s is neither a campaign journal nor a \
+            BENCH_campaign.json snapshot"
+           path);
+      exit 1
+  in
+  List.iter
+    (fun path ->
+      match ingest_journal path with
+      | () -> ()
+      | exception Faults.Journal.Malformed _ -> ingest_bench path
+      | exception Sys_error msg ->
+        prerr_endline ("experiments ingest: " ^ msg);
+        exit 1)
+    files
+
+let ingest_files_arg =
+  let doc =
+    "Campaign journals (.jsonl) and/or BENCH_campaign.json snapshots to \
+     file (auto-detected by content)."
+  in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc)
+
+let ingest_cmd =
+  let doc =
+    "File journals and bench snapshots into the campaign warehouse: \
+     content-addressed by run key, so re-ingesting anything already filed \
+     is a no-op."
+  in
+  Cmd.v
+    (Cmd.info "ingest" ~doc)
+    Term.(const run_ingest $ warehouse_dir_arg $ ingest_files_arg)
+
+let label_matches_bench bench label =
+  label = bench
+  || (String.length label > String.length bench
+      && String.sub label 0 (String.length bench + 1) = bench ^ "/")
+
+let outcome_count (e : Warehouse.Store.entry) name =
+  match List.assoc_opt name e.e_counts with Some n -> n | None -> 0
+
+let outcome_rate e names =
+  let k = List.fold_left (fun acc n -> acc + outcome_count e n) 0 names in
+  100.0
+  *. float_of_int k
+  /. float_of_int (max 1 e.Warehouse.Store.e_trials)
+
+let run_history dir bench tech =
+  let want_tech =
+    Option.map (fun t -> Softft.technique_name (technique_of_string t)) tech
+  in
+  let rows =
+    List.filter
+      (fun (e : Warehouse.Store.entry) ->
+        label_matches_bench bench e.e_label
+        && match want_tech with
+           | None -> true
+           | Some t -> e.e_technique = Some t)
+      (Warehouse.Store.entries ~dir)
+  in
+  match rows with
+  | [] ->
+    Printf.printf "no runs for %s%s in %s\n" bench
+      (match want_tech with Some t -> "/" ^ t | None -> "")
+      dir
+  | rows ->
+    Softft.Report.print
+      ~title:
+        (Printf.sprintf "%s%s: %d run(s)" bench
+           (match want_tech with Some t -> "/" ^ t | None -> "")
+           (List.length rows))
+      ~header:
+        [ "#"; "key"; "technique"; "schema"; "trials"; "seed"; "ckpt";
+          "SDC"; "detected"; "recovered"; "trials/s"; "git" ]
+      ~rows:
+        (List.map
+           (fun (e : Warehouse.Store.entry) ->
+             [ string_of_int e.e_seq;
+               String.sub e.e_key 0 12;
+               (match e.e_technique with Some t -> t | None -> "-");
+               e.e_journal_schema;
+               string_of_int e.e_trials;
+               string_of_int e.e_seed;
+               string_of_int e.e_checkpoint_interval;
+               Obs.Stats.pp_pct e.e_sdc;
+               Printf.sprintf "%.1f%%"
+                 (outcome_rate e
+                    [ "SWDetect"; "HWDetect"; "Recovered"; "Unrecoverable" ]);
+               Printf.sprintf "%.1f%%" (outcome_rate e [ "Recovered" ]);
+               (match e.e_trials_per_sec with
+                | Some tps -> Printf.sprintf "%.0f" tps
+                | None -> "-");
+               (if String.length e.e_git > 8 then String.sub e.e_git 0 8
+                else e.e_git) ])
+           rows)
+
+let history_bench_arg =
+  let doc = "Benchmark whose run timeline to print." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+
+let history_tech_arg =
+  let doc = "Restrict to one technique (default: all)." in
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"TECHNIQUE" ~doc)
+
+let history_cmd =
+  let doc =
+    "Print a benchmark's run timeline from the warehouse: outcome rates \
+     with Wilson 95% intervals, throughput and configuration provenance, \
+     one row per ingested run."
+  in
+  Cmd.v
+    (Cmd.info "history" ~doc)
+    Term.(
+      const run_history $ warehouse_dir_arg $ history_bench_arg
+      $ history_tech_arg)
+
+let diff_row_cells (r : Warehouse.Store.diff_row) =
+  [ r.dr_name;
+    Printf.sprintf "%d/%d" r.dr_old_k r.dr_old_n;
+    Obs.Stats.pp_pct r.dr_old;
+    Printf.sprintf "%d/%d" r.dr_new_k r.dr_new_n;
+    Obs.Stats.pp_pct r.dr_new;
+    Printf.sprintf "%+.1f"
+      (100.0 *. (r.dr_new.Obs.Stats.ci_estimate -. r.dr_old.ci_estimate));
+    (if r.dr_significant then "SIGNIFICANT" else "") ]
+
+let diff_header = [ "outcome"; "old k/n"; "old"; "new k/n"; "new"; "Δpts"; "" ]
+
+let run_diff_runs dir old_arg new_arg =
+  let resolve a =
+    match Warehouse.Store.resolve ?dir a with
+    | p -> p
+    | exception Failure msg ->
+      prerr_endline ("experiments diff-runs: " ^ msg);
+      exit 1
+  in
+  match
+    Warehouse.Store.diff_runs ~old_path:(resolve old_arg)
+      ~new_path:(resolve new_arg)
+  with
+  | exception Faults.Journal.Malformed msg ->
+    prerr_endline ("experiments diff-runs: " ^ msg);
+    exit 1
+  | d ->
+    Printf.printf "old: %s\nnew: %s\n" d.Warehouse.Store.df_old d.df_new;
+    Softft.Report.print ~title:"outcome rates" ~header:diff_header
+      ~rows:(List.map diff_row_cells (d.df_outcomes @ [ d.df_sdc ]));
+    if d.df_strata <> [] then
+      Softft.Report.print ~title:"per-stratum SDC" ~header:diff_header
+        ~rows:(List.map diff_row_cells d.df_strata);
+    let significant =
+      List.filter
+        (fun (r : Warehouse.Store.diff_row) -> r.dr_significant)
+        ((d.df_sdc :: d.df_outcomes) @ d.df_strata)
+    in
+    Printf.printf
+      "\n%d significant delta(s) (disjoint Wilson 95%% intervals)\n"
+      (List.length significant)
+
+let diff_old_arg =
+  let doc = "Old run: a journal path, or a run key (prefix) resolved in \
+             the warehouse."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD" ~doc)
+
+let diff_new_arg =
+  let doc = "New run: a journal path or warehouse run key (prefix)." in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW" ~doc)
+
+let diff_runs_cmd =
+  let doc =
+    "Diff two campaign runs outcome by outcome (plus per-stratum SDC on \
+     adaptive journals).  A delta is significant only when the two Wilson \
+     95% intervals are disjoint — a run diffed against itself reports \
+     zero."
+  in
+  Cmd.v
+    (Cmd.info "diff-runs" ~doc)
+    Term.(const run_diff_runs $ warehouse_opt_arg $ diff_old_arg $ diff_new_arg)
+
+let load_index path =
+  match
+    if Sys.file_exists path && Sys.is_directory path then
+      Warehouse.Store.entries ~dir:path
+    else Warehouse.Store.entries_of_file path
+  with
+  | entries -> entries
+  | exception Failure msg ->
+    prerr_endline ("experiments regress: " ^ msg);
+    exit 1
+
+let run_regress baseline current tolerance =
+  let g =
+    Warehouse.Store.regress ?tolerance_pct:tolerance
+      ~baseline:(load_index baseline) ~current:(load_index current) ()
+  in
+  (match g.Warehouse.Store.rx_rows with
+   | [] -> print_endline "no configuration present in both indexes"
+   | rows ->
+     Softft.Report.print ~title:"coverage gate"
+       ~header:[ "configuration"; "old SDC"; "new SDC"; "Δpts"; "verdict" ]
+       ~rows:
+         (List.map
+            (fun (r : Warehouse.Store.regress_row) ->
+              [ r.rg_identity;
+                Obs.Stats.pp_pct r.rg_sdc.Warehouse.Store.dr_old;
+                Obs.Stats.pp_pct r.rg_sdc.dr_new;
+                Printf.sprintf "%+.1f"
+                  (100.0
+                   *. (r.rg_sdc.dr_new.Obs.Stats.ci_estimate
+                       -. r.rg_sdc.dr_old.ci_estimate));
+                (if r.rg_regressed then "REGRESSED"
+                 else if r.rg_improved then "improved"
+                 else "ok")
+                ^ (match r.rg_throughput_ratio with
+                   | Some ratio -> Printf.sprintf "  (%.2fx trials/s)" ratio
+                   | None -> "") ])
+            rows));
+  let list_only what entries =
+    if entries <> [] then
+      Printf.printf "%s only: %s\n" what
+        (String.concat ", "
+           (List.map
+              (fun (e : Warehouse.Store.entry) -> e.e_label)
+              entries))
+  in
+  list_only "baseline" g.rx_only_old;
+  list_only "current" g.rx_only_new;
+  match g.rx_failures with
+  | [] -> print_endline "regress: gate green"
+  | failures ->
+    List.iter (fun m -> prerr_endline ("experiments regress: " ^ m)) failures;
+    exit 1
+
+let baseline_arg =
+  let doc =
+    "Baseline warehouse index: a directory, or an index.jsonl snapshot \
+     (e.g. the committed WAREHOUSE_baseline.jsonl)."
+  in
+  Arg.(
+    required & opt (some string) None & info [ "baseline" ] ~docv:"PATH" ~doc)
+
+let current_arg =
+  let doc = "Current warehouse index: a directory or an index.jsonl file." in
+  Arg.(
+    required & opt (some string) None & info [ "current" ] ~docv:"PATH" ~doc)
+
+let regress_tolerance_arg =
+  let doc =
+    "Also gate throughput: fail when trials/s drops more than $(docv) \
+     percent between runs on the same host_cores (default: coverage gate \
+     only)."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "tolerance" ] ~docv:"PCT" ~doc)
+
+let regress_cmd =
+  let doc =
+    "The cross-run regression gate: match baseline and current runs by \
+     configuration identity and fail (exit 1) when any SDC rate rose with \
+     disjoint Wilson 95% intervals — bench-diff generalised to coverage."
+  in
+  Cmd.v
+    (Cmd.info "regress" ~doc)
+    Term.(
+      const run_regress $ baseline_arg $ current_arg $ regress_tolerance_arg)
+
+let run_heatmap name technique_name journal warehouse csv html =
+  let w = Workloads.Registry.find name in
+  let technique = technique_of_string technique_name in
+  let pretty = Softft.technique_name technique in
+  let journal_path =
+    match journal, warehouse with
+    | Some path, _ -> path
+    | None, Some dir ->
+      let matching =
+        List.filter
+          (fun (e : Warehouse.Store.entry) ->
+            label_matches_bench w.Workloads.Workload.name e.e_label
+            && e.e_technique = Some pretty)
+          (Warehouse.Store.entries ~dir)
+      in
+      (match List.rev matching with
+       | e :: _ -> Filename.concat dir e.Warehouse.Store.e_path
+       | [] ->
+         prerr_endline
+           (Printf.sprintf
+              "experiments heatmap: no %s/%s run in warehouse %s" w.name
+              pretty dir);
+         exit 1)
+    | None, None ->
+      prerr_endline
+        "experiments heatmap: pass --journal FILE, or --warehouse DIR to \
+         use the latest filed run";
+      exit 1
+  in
+  match Faults.Journal.load journal_path with
+  | exception Faults.Journal.Malformed msg ->
+    prerr_endline ("experiments heatmap: " ^ msg);
+    exit 1
+  | manifest, views ->
+    let expected = Printf.sprintf "%s/%s" w.name pretty in
+    let label =
+      match Option.bind (Obs.Json.member "label" manifest) Obs.Json.to_str
+      with
+      | Some l -> l
+      | None -> expected
+    in
+    (* Injection attribution joins the journal's register numbers against
+       this program's defining sites; a journal from a different program
+       or technique would misbind silently, so refuse it. *)
+    if not (label_matches_bench expected label) then begin
+      prerr_endline
+        (Printf.sprintf
+           "experiments heatmap: journal %s records run %s, not %s"
+           journal_path label expected);
+      exit 1
+    end;
+    let p = Softft.protect w technique in
+    let cov = Analysis.Coverage.analyze p.Softft.prog in
+    let hm =
+      Warehouse.Heatmap.build ~prog:p.Softft.prog ~cov ~label
+        ~technique:pretty views
+    in
+    Printf.printf "%s  (%d trials, %d injected)\n"
+      hm.Warehouse.Heatmap.hm_label hm.hm_trials hm.hm_injected;
+    Printf.printf "static SDC-prone fraction %5.1f%%   measured SDC %s\n"
+      (100.0 *. hm.hm_static_fraction)
+      (Obs.Stats.pp_pct hm.hm_measured_sdc);
+    let hot =
+      List.filter (fun (s : Warehouse.Heatmap.site) -> s.s_total > 0)
+        hm.hm_sites
+      |> List.stable_sort
+           (fun (a : Warehouse.Heatmap.site) (b : Warehouse.Heatmap.site) ->
+             compare b.s_total a.s_total)
+    in
+    let shown = List.filteri (fun i _ -> i < 20) hot in
+    Softft.Report.print
+      ~title:
+        (Printf.sprintf "hottest injection sites (%d of %d with hits)"
+           (List.length shown) (List.length hot))
+      ~header:
+        [ "func"; "block"; "site"; "status"; "inj"; "SDC"; "det"; "mask";
+          "other" ]
+      ~rows:
+        (List.map
+           (fun (s : Warehouse.Heatmap.site) ->
+             [ s.s_func; s.s_block; s.s_desc; s.s_status;
+               string_of_int s.s_total; string_of_int s.s_sdc;
+               string_of_int s.s_detected; string_of_int s.s_masked;
+               string_of_int s.s_other ])
+           shown);
+    let write_file path contents =
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Printf.printf "written: %s\n" path
+    in
+    (match csv with
+     | Some out -> write_file out (Warehouse.Heatmap.to_csv hm)
+     | None -> ());
+    (match html with
+     | Some out -> write_file out (Warehouse.Heatmap.to_html hm)
+     | None -> ())
+
+let heatmap_journal_arg =
+  let doc =
+    "Join this journal (instead of the latest matching warehouse run)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let heatmap_csv_arg =
+  let doc = "Write the full per-site table to $(docv) as CSV." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let heatmap_html_arg =
+  let doc =
+    "Render the annotated listing to $(docv) as a standalone HTML page."
+  in
+  Arg.(value & opt (some string) None & info [ "html" ] ~docv:"FILE" ~doc)
+
+let heatmap_cmd =
+  let doc =
+    "Per-instruction SDC heatmap: join a campaign journal with the static \
+     coverage map and show, for every defining site, how many injections \
+     landed there and how they resolved (SDC / detected / masked) next to \
+     the static protection status."
+  in
+  Cmd.v
+    (Cmd.info "heatmap" ~doc)
+    Term.(
+      const run_heatmap $ name_arg $ technique_arg $ heatmap_journal_arg
+      $ warehouse_opt_arg $ heatmap_csv_arg $ heatmap_html_arg)
 
 let run_table1 () = Softft.Experiments.print_table1 ()
 
@@ -836,7 +1427,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "experiments" ~version:"1.0.0" ~doc)
     [ all_cmd; crossval_cmd; one_cmd; campaign_cmd; coverage_cmd; lint_cmd;
-      report_cmd; bench_diff_cmd; table1_cmd; dump_cmd; trace_cmd;
+      report_cmd; bench_diff_cmd; ingest_cmd; history_cmd; diff_runs_cmd;
+      regress_cmd; heatmap_cmd; table1_cmd; dump_cmd; trace_cmd;
       trace_fault_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

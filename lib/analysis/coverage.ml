@@ -337,3 +337,15 @@ let instr_fraction t statuses =
         0 t.by_status
     in
     float_of_int n /. float_of_int t.total_instrs
+
+(* First classification wins: [regs] lists a slot once per function it is
+   live in, and the program-wide numbering means later duplicates are the
+   same physical slot seen from another frame. *)
+let reg_status t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      if not (Hashtbl.mem tbl r.r_reg) then
+        Hashtbl.replace tbl r.r_reg r.r_status)
+    t.regs;
+  fun reg -> Hashtbl.find_opt tbl reg

@@ -99,10 +99,10 @@ let overhead ?baseline (p : protected) ~role =
     campaign flight recorder (phase/worker/chunk duration spans, rendered
     with {!Obs.Trace.to_chrome}). *)
 let campaign ?hw_window ?seed ?(trials = 1000) ?domains ?checkpoint_interval
-    ?taint_trace ?profile ?on_trial ?stats_out ?progress ?trace
+    ?taint_trace ?profile ?on_trial ?stats_out ?warehouse ?progress ?trace
     (p : protected) ~role =
   Faults.Campaign.run ?hw_window ?seed ?domains ?checkpoint_interval
-    ?taint_trace ?profile ?on_trial ?stats_out ?progress ?trace
+    ?taint_trace ?profile ?on_trial ?stats_out ?warehouse ?progress ?trace
     (subject p ~role) ~trials
 
 (** 95 %-confidence margin of error for a proportion observed over [n]

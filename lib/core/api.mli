@@ -84,7 +84,8 @@ val overhead :
     to every trial (DESIGN.md §10): outcomes stay bit-identical, trials
     gain propagation summaries.  [profile], [on_trial], [stats_out],
     [progress] and [trace] (the campaign flight recorder) are
-    {!Faults.Campaign.run}'s observation-only telemetry hooks. *)
+    {!Faults.Campaign.run}'s observation-only telemetry hooks, and
+    [warehouse] is its run-filing sink. *)
 val campaign :
   ?hw_window:int ->
   ?seed:int ->
@@ -95,6 +96,11 @@ val campaign :
   ?profile:Interp.Profile.t ->
   ?on_trial:(int -> Faults.Campaign.trial -> unit) ->
   ?stats_out:Faults.Campaign.run_stats option ref ->
+  ?warehouse:
+    (Faults.Campaign.summary ->
+    Faults.Campaign.trial list ->
+    Faults.Campaign.run_stats option ->
+    unit) ->
   ?progress:Faults.Progress.t ->
   ?trace:Obs.Trace.recorder ->
   protected ->

@@ -1407,16 +1407,11 @@ let outcome_is_detected = function
     than checked ones. *)
 let coverage_vs_journal_rows (cov : Analysis.Coverage.t)
     (views : Faults.Journal.view list) =
-  let status_of_reg = Hashtbl.create 64 in
-  List.iter
-    (fun (r : Analysis.Coverage.reg_row) ->
-      if not (Hashtbl.mem status_of_reg r.r_reg) then
-        Hashtbl.replace status_of_reg r.r_reg r.r_status)
-    cov.regs;
+  let status_of_reg = Analysis.Coverage.reg_status cov in
   let bucket_of (v : Faults.Journal.view) =
     Option.map
       (fun reg ->
-        match Hashtbl.find_opt status_of_reg reg with
+        match status_of_reg reg with
         | Some st -> Analysis.Coverage.status_name st
         | None -> "(unmapped)")
       v.v_inj_reg
@@ -1484,16 +1479,11 @@ let print_coverage_vs_journal (cov : Analysis.Coverage.t)
 
 let journal_strata_rows (cov : Analysis.Coverage.t)
     (views : Faults.Journal.view list) =
-  let status_of_reg = Hashtbl.create 64 in
-  List.iter
-    (fun (r : Analysis.Coverage.reg_row) ->
-      if not (Hashtbl.mem status_of_reg r.r_reg) then
-        Hashtbl.replace status_of_reg r.r_reg r.r_status)
-    cov.regs;
+  let status_of_reg = Analysis.Coverage.reg_status cov in
   let bucket_of (v : Faults.Journal.view) =
     Option.map
       (fun reg ->
-        match Hashtbl.find_opt status_of_reg reg with
+        match status_of_reg reg with
         | Some st -> Analysis.Coverage.status_name st
         | None -> "(unmapped)")
       v.v_inj_reg

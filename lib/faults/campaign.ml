@@ -426,7 +426,7 @@ let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
     ?(fault_kind = Interp.Machine.Register_bit) ?(domains = 1)
     ?(checkpoint_interval = 0) ?(taint_trace = false) ?(fork = true)
     ?(fork_snapshots = 32) ?fork_stride ?profile ?on_trial ?stats_out
-    ?progress ?trace subject ~trials =
+    ?warehouse ?progress ?trace subject ~trials =
   let t_start = Unix.gettimeofday () in
   (* The golden also runs with checkpointing so its cycle count carries the
      fault-free overhead of the recovery configuration; its output and step
@@ -487,25 +487,28 @@ let run ?(hw_window = Classify.default_hw_window) ?(seed = 0xC0FFEE)
   (match on_trial with
    | Some emit -> List.iteri emit results
    | None -> ());
-  (match stats_out with
-   | Some r ->
-     r :=
-       Some
-         { golden_sec = t_golden -. t_start;
-           setup_sec = t_trials -. t_golden;
-           trials_sec = t_end -. t_trials;
-           wall_sec = t_end -. t_start;
-           domains = max 1 domains;
-           pool = !pool_stats }
-   | None -> ());
+  let stats =
+    { golden_sec = t_golden -. t_start;
+      setup_sec = t_trials -. t_golden;
+      trials_sec = t_end -. t_trials;
+      wall_sec = t_end -. t_start;
+      domains = max 1 domains;
+      pool = !pool_stats }
+  in
+  (match stats_out with Some r -> r := Some stats | None -> ());
   let counts =
     List.map
       (fun o ->
         (o, List.length (List.filter (fun t -> t.outcome = o) results)))
       Classify.all
   in
-  ({ subject_label = subject.label; trials; counts; golden_info = golden },
-   results)
+  let summary =
+    { subject_label = subject.label; trials; counts; golden_info = golden }
+  in
+  (match warehouse with
+   | Some file -> file summary results (Some stats)
+   | None -> ());
+  (summary, results)
 
 (* ------------------------------------------------------------------ *)
 (* Adaptive stratified campaigns (DESIGN.md §14).                      *)
@@ -711,9 +714,9 @@ let shift_interval (iv : Obs.Stats.interval) extra =
 let run_adaptive ?(hw_window = Classify.default_hw_window)
     ?(seed = 0xC0FFEE) ?(domains = 1) ?(checkpoint_interval = 0)
     ?(taint_trace = false) ?(fork = true) ?(fork_snapshots = 32)
-    ?fork_stride ?on_trial ?stats_out ?progress_for ?trace ?(bands = 3)
-    ?(max_trials = 100_000) ?(round0 = 32) ~groups ~group_names ~priors
-    ~ci subject =
+    ?fork_stride ?on_trial ?stats_out ?warehouse ?progress_for ?trace
+    ?(bands = 3) ?(max_trials = 100_000) ?(round0 = 32) ~groups
+    ~group_names ~priors ~ci subject =
   let t_start = Unix.gettimeofday () in
   let ci = Float.max 1e-4 ci in
   let golden =
@@ -921,17 +924,15 @@ let run_adaptive ?(hw_window = Classify.default_hw_window)
   (match on_trial with
    | Some emit -> List.iteri emit results
    | None -> ());
-  (match stats_out with
-   | Some r ->
-     r :=
-       Some
-         { golden_sec = t_golden -. t_start;
-           setup_sec = t_trials -. t_golden;
-           trials_sec = t_end -. t_trials;
-           wall_sec = t_end -. t_start;
-           domains = max 1 domains;
-           pool = !pool_stats }
-   | None -> ());
+  let stats =
+    { golden_sec = t_golden -. t_start;
+      setup_sec = t_trials -. t_golden;
+      trials_sec = t_end -. t_trials;
+      wall_sec = t_end -. t_start;
+      domains = max 1 domains;
+      pool = !pool_stats }
+  in
+  (match stats_out with Some r -> r := Some stats | None -> ());
   let sum_counts =
     List.map
       (fun o ->
@@ -984,10 +985,14 @@ let run_adaptive ?(hw_window = Classify.default_hw_window)
         Obs.Stats.equivalent_uniform_trials ~p:sdc.ci_estimate
           ~half_width:achieved_half () }
   in
-  ( { subject_label = subject.label; trials = !total; counts = sum_counts;
-      golden_info = golden },
-    results,
-    adaptive )
+  let summary =
+    { subject_label = subject.label; trials = !total; counts = sum_counts;
+      golden_info = golden }
+  in
+  (match warehouse with
+   | Some file -> file summary results (Some stats) adaptive
+   | None -> ());
+  (summary, results, adaptive)
 
 (** Mean of per-subject percentages, the paper's cross-benchmark average. *)
 let mean_percent summaries outcomes =

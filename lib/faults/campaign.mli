@@ -144,7 +144,12 @@ type run_stats = {
     profile (merged in trial order); [on_trial] is called with
     [(index, trial)] for each trial in deterministic seed order after the
     parallel phase — the journal emission point; [stats_out] receives the
-    campaign's {!run_stats}; [progress] receives every trial's outcome as
+    campaign's {!run_stats}; [warehouse] is a filing sink invoked once,
+    after every other hook, with the finished summary, the full trial
+    list and the run's stats — the attachment point for a content-
+    addressed run store ([Warehouse.Store.campaign_sink]), so sweeps file
+    each subject's results the moment that subject completes; [progress]
+    receives every trial's outcome as
     it completes, from whichever worker domain ran it (the {!Progress}
     heartbeat — its final snapshot fires before [run] returns); [trace]
     attaches a flight recorder ({!Obs.Trace.recorder}) that records one
@@ -183,6 +188,7 @@ val run :
   ?profile:Interp.Profile.t ->
   ?on_trial:(int -> trial -> unit) ->
   ?stats_out:run_stats option ref ->
+  ?warehouse:(summary -> trial list -> run_stats option -> unit) ->
   ?progress:Progress.t ->
   ?trace:Obs.Trace.recorder ->
   subject ->
@@ -294,7 +300,8 @@ type adaptive = {
     pilot trials per stratum.  [progress_for] builds the heartbeat once
     the stratum count is known (create it with [~strata:nstrata] to get
     per-stratum counters); other hooks are as in {!run}, all
-    observation-only. *)
+    observation-only — the [warehouse] filing sink additionally receives
+    the {!adaptive} result so a v5 run files with its strata intact. *)
 val run_adaptive :
   ?hw_window:int ->
   ?seed:int ->
@@ -306,6 +313,7 @@ val run_adaptive :
   ?fork_stride:int ->
   ?on_trial:(int -> trial -> unit) ->
   ?stats_out:run_stats option ref ->
+  ?warehouse:(summary -> trial list -> run_stats option -> adaptive -> unit) ->
   ?progress_for:(nstrata:int -> total:int -> Progress.t) ->
   ?trace:Obs.Trace.recorder ->
   ?bands:int ->

@@ -38,6 +38,12 @@ let wilson ?(z = z95) ~k ~n () =
 
 let width iv = iv.ci_high -. iv.ci_low
 
+(* Two intervals are "significantly different" for warehouse diffing only
+   when they share no point at all — the most conservative pairwise test
+   expressible on the marginals, immune to the correlated-seed structure
+   of repo campaigns (same seed stream => same injection sites). *)
+let disjoint a b = a.ci_high < b.ci_low || b.ci_high < a.ci_low
+
 let converged ?z ~k ~n ~half_width () =
   n > 0 && width (wilson ?z ~k ~n ()) <= 2.0 *. half_width
 

@@ -33,6 +33,11 @@ val wilson : ?z:float -> k:int -> n:int -> unit -> interval
 (** [ci_high - ci_low]. *)
 val width : interval -> float
 
+(** [disjoint a b] is true when the two intervals share no point — the
+    conservative significance test warehouse run diffs flag deltas with:
+    overlapping intervals are never reported as a real change. *)
+val disjoint : interval -> interval -> bool
+
 (** [converged ~k ~n ~half_width ()] is true when the interval's half
     width has shrunk to [half_width] or below — the per-stratum stopping
     rule of adaptive sampling. *)

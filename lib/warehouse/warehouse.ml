@@ -1,0 +1,6 @@
+(** Campaign warehouse: the content-addressed run store ({!Store}) and
+    the cross-run analytics that read it ({!Heatmap}; diffing and the
+    regression gate live in {!Store}).  DESIGN.md §15. *)
+
+module Store = Store
+module Heatmap = Heatmap

@@ -1,0 +1,86 @@
+(** Help-surface snapshot: every `experiments' subcommand answers --help
+    with exit 0 and documents its flags — the CLI contract CI and the
+    README walkthrough rely on.  Runs the real binary (a test dep). *)
+
+let exe = Filename.concat (Filename.concat ".." "bin") "experiments.exe"
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let help_of sub =
+  let out = Filename.temp_file "softft_help" ".txt" in
+  let rc =
+    Sys.command
+      (Printf.sprintf "%s %s --help=plain > %s 2>&1" exe
+         (match sub with "" -> "" | s -> Filename.quote s)
+         (Filename.quote out))
+  in
+  let text = In_channel.with_open_text out In_channel.input_all in
+  Sys.remove out;
+  (rc, text)
+
+(* Every subcommand, with the flags its help must document.  A flag
+   silently dropped from the CLI breaks scripts; this list is the
+   snapshot that catches it. *)
+let surface =
+  [ ("all", [ "--trials"; "--seed"; "--benchmarks"; "--domains"; "--quiet" ]);
+    ("crossval", [ "--trials"; "--seed"; "--domains" ]);
+    ("one",
+     [ "--trials"; "--seed"; "--domains"; "--checkpoint"; "--journal";
+       "--progress"; "--trace-timeline" ]);
+    ("campaign",
+     [ "--adaptive"; "--ci"; "--max-trials"; "--bands"; "--journal";
+       "--warehouse"; "--progress"; "--trace-timeline" ]);
+    ("coverage", [ "--dynamic"; "--csv"; "--regs-csv"; "--journal" ]);
+    ("lint", [ "--benchmarks" ]);
+    ("report", [ "--strata"; "--csv" ]);
+    ("bench-diff", [ "--tolerance"; "--require-same-host" ]);
+    ("ingest", [ "--warehouse" ]);
+    ("history", [ "--warehouse" ]);
+    ("diff-runs", [ "--warehouse" ]);
+    ("regress", [ "--baseline"; "--current"; "--tolerance" ]);
+    ("heatmap", [ "--warehouse"; "--journal"; "--csv"; "--html" ]);
+    ("table1", []);
+    ("dump", []);
+    ("trace", [ "--limit" ]);
+    ("trace-fault", [ "--trial" ]) ]
+
+let test_subcommand_help () =
+  List.iter
+    (fun (sub, flags) ->
+      let rc, text = help_of sub in
+      Alcotest.(check int) (sub ^ " --help exits 0") 0 rc;
+      List.iter
+        (fun flag ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s --help documents %s" sub flag)
+            true (contains text flag))
+        flags)
+    surface
+
+let test_toplevel_lists_subcommands () =
+  let rc, text = help_of "" in
+  Alcotest.(check int) "experiments --help exits 0" 0 rc;
+  List.iter
+    (fun (sub, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "top-level help lists %s" sub)
+        true (contains text sub))
+    surface
+
+let test_unknown_subcommand_fails () =
+  (* Without --help: cmdliner must reject the command, not fall back. *)
+  let rc =
+    Sys.command (Printf.sprintf "%s no-such-subcommand > /dev/null 2>&1" exe)
+  in
+  Alcotest.(check bool) "unknown subcommand exits nonzero" true (rc <> 0)
+
+let tests =
+  [ Alcotest.test_case "every subcommand's --help" `Quick
+      test_subcommand_help;
+    Alcotest.test_case "top-level help lists all subcommands" `Quick
+      test_toplevel_lists_subcommands;
+    Alcotest.test_case "unknown subcommand" `Quick
+      test_unknown_subcommand_fails ]

@@ -21,5 +21,7 @@ let () =
       ("api", Test_api.tests);
       ("report", Test_report.tests);
       ("obs", Test_obs.tests);
+      ("warehouse", Test_warehouse.tests);
+      ("cli", Test_cli.tests);
       ("properties", Test_properties.tests);
     ]
