@@ -501,6 +501,123 @@ let run_adaptive_bench () =
   Printf.printf "\nwrote %s (adaptive section)\n" path;
   file_bench path
 
+(* ----- Plan-optimizer bench: predicted vs measured at the knee -----
+
+   Per workload, one Pareto search over the protection-plan space
+   (DESIGN.md §16) under a 15% overhead budget, then adaptive validation
+   of the frontier's knee points — the static predictor's SDC ranking
+   against the measured stratified estimates, the §11 cross-check run at
+   bench cadence.  Results merge into BENCH_campaign.json under an
+   "optimize" key, next to campaign-perf's and adaptive's sections. *)
+let run_optimize_bench () =
+  let ci = if !default_trials <= 40 then 0.08 else 0.05 in
+  let budget = 0.15 in
+  let names =
+    match !selected_benchmarks with
+    | Some names -> names
+    | None -> [ "kmeans"; "jpegdec" ]
+  in
+  Printf.printf
+    "\n== Plan optimizer: predicted vs measured at the knee (budget \
+     %.0f%%, half-width %.2f) ==\n"
+    (100.0 *. budget) ci;
+  Printf.printf "%-10s %-24s %9s %9s %9s %9s %7s\n" "workload" "plan"
+    "pred.SDC" "meas.SDC" "pred.ovh" "meas.ovh" "trials";
+  Printf.printf "%s\n" (String.make 82 '-');
+  let rows =
+    List.map
+      (fun name ->
+        let w = Workloads.Registry.find name in
+        let prog = w.build () in
+        let vp = Workloads.Workload.profile ~prog w in
+        let profile uid = Profiling.Value_profile.check_kind vp uid in
+        let exec_counts =
+          let prof = Interp.Profile.create () in
+          let orig = Softft.protect w Softft.Original in
+          let (_ : Faults.Campaign.golden) =
+            Softft.golden ~profile:prof orig ~role:Workloads.Workload.Train
+          in
+          Interp.Profile.func_block_counts prof
+        in
+        let fr =
+          Softft.Optimize.search ~beam:2 ~budget ~exec_counts ~profile prog
+        in
+        let knees = Softft.Optimize.knee_points ~n:2 fr.fr_points in
+        let vals =
+          Softft.Optimize.validate ~seed:!seed ~domains:!domains ~ci w knees
+        in
+        List.iter
+          (fun (v : Softft.Optimize.validation) ->
+            Printf.printf "%-10s %-24s %9.4f %9.4f %8.1f%% %8.1f%% %7d\n"
+              w.name v.vl_point.op_label
+              (Softft.Optimize.sdc v.vl_point)
+              v.vl_measured_sdc.Obs.Stats.ci_estimate
+              (100.0 *. Softft.Optimize.overhead v.vl_point)
+              (100.0 *. v.vl_measured_overhead)
+              v.vl_trials)
+          vals;
+        let concordant = Softft.Optimize.rank_order_agrees vals in
+        Printf.printf "%-10s rank order %s, %d plans explored, %d \
+                       dominated fixed pipeline(s)\n"
+          w.name
+          (if concordant then "concordant" else "DISCORDANT")
+          fr.Softft.Optimize.fr_explored
+          (List.length fr.Softft.Optimize.fr_dominated_fixed);
+        (name, fr, vals, concordant))
+      names
+  in
+  let optimize_json =
+    Obs.Json.Obj
+      [ ("budget", Obs.Json.Float budget);
+        ("ci_target", Obs.Json.Float ci);
+        ("seed", Obs.Json.Int !seed);
+        ("workloads",
+         Obs.Json.List
+           (List.map
+              (fun (name, (fr : Softft.Optimize.frontier), vals, concordant) ->
+                Obs.Json.Obj
+                  [ ("name", Obs.Json.Str name);
+                    ("explored", Obs.Json.Int fr.fr_explored);
+                    ("frontier_size",
+                     Obs.Json.Int (List.length fr.fr_points));
+                    ("dominated_fixed",
+                     Obs.Json.List
+                       (List.map
+                          (fun (f, by) ->
+                            Obs.Json.Obj
+                              [ ("fixed", Obs.Json.Str f);
+                                ("by", Obs.Json.Str by) ])
+                          fr.fr_dominated_fixed));
+                    ("rank_order_concordant", Obs.Json.Bool concordant);
+                    ("knees",
+                     Obs.Json.List
+                       (List.map Softft.Optimize.validation_json vals)) ])
+              rows)) ]
+  in
+  let path = "BENCH_campaign.json" in
+  (* Merge, don't clobber: campaign-perf owns the file's top-level perf
+     fields; the optimize section rides along under its own key. *)
+  let base =
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      match Obs.Json.parse s with
+      | Obs.Json.Obj fields ->
+        List.filter (fun (k, _) -> k <> "optimize") fields
+      | _ | (exception Obs.Json.Parse_error _) -> []
+    end
+    else []
+  in
+  let json = Obs.Json.Obj (base @ [ ("optimize", optimize_json) ]) in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s (optimize section)\n" path;
+  file_bench path
+
 (* Tracing-overhead bench: the same campaign with the propagation tracer
    off and on.  Verifies the observation-only contract (identical outcomes,
    steps and cycles) and reports what the shadow state costs — the tracer
@@ -603,6 +720,7 @@ let () =
     | "crossval" -> run_crossval ()
     | "campaign-perf" -> run_campaign_perf ()
     | "adaptive" -> run_adaptive_bench ()
+    | "optimize" -> run_optimize_bench ()
     | "taint" -> run_taint_bench ()
     | "ablation" ->
       List.iter
@@ -658,7 +776,7 @@ let () =
       Printf.eprintf
         "unknown command %S (try: micro all fig2 fig10 fig11 fig12 fig13 \
          table1 table2 falsepos headline crossval campaign-perf adaptive \
-         taint ablation latency recovery branchfault sources csv)\n"
+         optimize taint ablation latency recovery branchfault sources csv)\n"
         cmd;
       exit 1
   in

@@ -580,6 +580,189 @@ let coverage_cmd =
       const run_coverage $ name_arg $ technique_arg $ dynamic_arg
       $ coverage_csv_arg $ regs_csv_arg $ coverage_journal_arg)
 
+let optimize_point_row (p : Softft.Optimize.point) =
+  Printf.printf "  %-34s %9.4f %8.1f%%  c%-3d t%-3d v%-3d\n" p.op_label
+    (Softft.Optimize.sdc p)
+    (100.0 *. Softft.Optimize.overhead p)
+    (List.length p.op_plan.Analysis.Plan.chains)
+    (List.length p.op_plan.Analysis.Plan.terminators)
+    (List.length p.op_plan.Analysis.Plan.checks)
+
+let optimize_frontier_csv (fr : Softft.Optimize.frontier) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "label,fixed,predicted_sdc,predicted_overhead,chains,terminators,\
+     checks,checkpoint\n";
+  List.iter
+    (fun (p : Softft.Optimize.point) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%b,%.6f,%.6f,%d,%d,%d,%d\n" p.op_label p.op_fixed
+           (Softft.Optimize.sdc p)
+           (Softft.Optimize.overhead p)
+           (List.length p.op_plan.Analysis.Plan.chains)
+           (List.length p.op_plan.Analysis.Plan.terminators)
+           (List.length p.op_plan.Analysis.Plan.checks)
+           p.op_plan.Analysis.Plan.checkpoint))
+    (fr.fr_points @ fr.fr_fixed);
+  Buffer.contents buf
+
+let run_optimize name budget beam checkpoint validate_n seed domains ci
+    max_trials warehouse csv plan_out quiet log_json =
+  let log = logger_of quiet log_json in
+  let w = Workloads.Registry.find name in
+  let prog = w.build () in
+  (* The paper's offline step: value-profile on the training input so the
+     search knows which sites are check-amenable. *)
+  let vp = Workloads.Workload.profile ~prog w in
+  let profile uid = Profiling.Value_profile.check_kind vp uid in
+  (* Block weights from a fault-free run of the original program on the
+     same (training) input — the predictor's AVF residency weights. *)
+  let exec_counts =
+    let prof = Interp.Profile.create () in
+    let orig = Softft.protect w Softft.Original in
+    let (_ : Faults.Campaign.golden) =
+      Softft.golden ~profile:prof orig ~role:Workloads.Workload.Train
+    in
+    Interp.Profile.func_block_counts prof
+  in
+  let fr =
+    Softft.Optimize.search ~beam
+      ?budget:(Option.map (fun pct -> pct /. 100.0) budget)
+      ~exec_counts ~profile ~checkpoint prog
+  in
+  Printf.printf "%s: explored %d plans%s\n" w.name fr.fr_explored
+    (match budget with
+     | Some pct -> Printf.sprintf " under a %.1f%% overhead budget" pct
+     | None -> "");
+  Printf.printf "  %-34s %9s %9s  %s\n" "plan" "pred.SDC" "pred.ovh"
+    "size";
+  List.iter optimize_point_row fr.fr_points;
+  print_endline "  fixed pipelines (same predictor):";
+  List.iter optimize_point_row fr.fr_fixed;
+  List.iter
+    (fun (fixed, by) ->
+      Printf.printf "  note: %s strictly dominates fixed pipeline %s\n" by
+        fixed)
+    fr.fr_dominated_fixed;
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "written: %s\n" path
+  in
+  (match csv with
+   | Some out -> write_file out (optimize_frontier_csv fr)
+   | None -> ());
+  (match plan_out with
+   | Some out ->
+     write_file out
+       (Obs.Json.to_string (Softft.Optimize.frontier_json fr) ^ "\n")
+   | None -> ());
+  if validate_n > 0 then begin
+    let knees = Softft.Optimize.knee_points ~n:validate_n fr.fr_points in
+    Printf.printf
+      "validating %d knee point(s) by adaptive injection (target \
+       half-width %.4f):\n"
+      (List.length knees) ci;
+    let file_in dir (v : Softft.Optimize.validation)
+        (p : Softft.protected) (summary : Faults.Campaign.summary) results
+        run_stats ad ~golden:(_ : Faults.Campaign.golden) =
+      let pt = v.Softft.Optimize.vl_point in
+      let manifest =
+        Faults.Journal.manifest_record ~technique:"Planned"
+          ~plan:(Analysis.Plan.to_json pt.Softft.Optimize.op_plan)
+          ?stats:run_stats ~counts:summary.Faults.Campaign.counts
+          ~adaptive:ad
+          ~label:(Printf.sprintf "%s/%s/test" w.name
+                    (Analysis.Plan.slug pt.Softft.Optimize.op_plan))
+          ~trials:summary.Faults.Campaign.trials ~seed ~domains
+          ~checkpoint_interval:pt.Softft.Optimize.op_plan.Analysis.Plan.checkpoint
+          ~hw_window:Faults.Classify.default_hw_window
+          ~fault_kind:"register_bit"
+          ~golden:summary.Faults.Campaign.golden_info ()
+      in
+      let verdict, (entry : Warehouse.Store.entry) =
+        match
+          Warehouse.Store.file_run
+            ~prog_digest:(Warehouse.Store.prog_digest p.Softft.prog) ~dir
+            ~manifest ~trials:results ()
+        with
+        | `Ingested e -> ("filed", e)
+        | `Duplicate e -> ("already filed (duplicate)", e)
+      in
+      Obs.Log.info log
+        ~fields:
+          [ ("dir", Obs.Json.Str dir);
+            ("key", Obs.Json.Str entry.Warehouse.Store.e_key) ]
+        ("warehouse: run " ^ verdict)
+    in
+    let vals =
+      Softft.Optimize.validate ~seed ~domains ~ci ~max_trials
+        ?on_run:(Option.map file_in warehouse) w knees
+    in
+    Printf.printf "  %-34s %9s %9s %19s %9s %7s\n" "plan" "pred.SDC"
+      "meas.SDC" "95% CI" "meas.ovh" "trials";
+    List.iter
+      (fun (v : Softft.Optimize.validation) ->
+        Printf.printf
+          "  %-34s %9.4f %9.4f [%7.4f,%7.4f] %8.1f%% %7d\n"
+          v.vl_point.op_label
+          (Softft.Optimize.sdc v.vl_point)
+          v.vl_measured_sdc.Obs.Stats.ci_estimate
+          v.vl_measured_sdc.Obs.Stats.ci_low
+          v.vl_measured_sdc.Obs.Stats.ci_high
+          (100.0 *. v.vl_measured_overhead)
+          v.vl_trials)
+      vals;
+    Printf.printf "  predicted-vs-measured SDC rank order: %s\n"
+      (if Softft.Optimize.rank_order_agrees vals then "concordant"
+       else "DISCORDANT")
+  end
+
+let budget_arg =
+  let doc =
+    "Overhead budget as a percentage (e.g. 15 caps the frontier at 15% \
+     predicted runtime overhead).  Default: unbounded."
+  in
+  Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"PCT" ~doc)
+
+let beam_arg =
+  let doc = "Beam width over chain subsets during the search." in
+  Arg.(value & opt int 4 & info [ "beam" ] ~docv:"N" ~doc)
+
+let validate_arg =
+  let doc =
+    "Validate the $(docv) knee points of the frontier by targeted \
+     adaptive fault campaigns and report predicted-vs-measured deltas \
+     (0 = skip validation)."
+  in
+  Arg.(value & opt int 0 & info [ "validate" ] ~docv:"N" ~doc)
+
+let plan_out_arg =
+  let doc =
+    "Write the frontier (plans included) to $(docv) as JSON; any plan in \
+     the file can be re-executed through `Pipeline.of_plan'."
+  in
+  Arg.(value & opt (some string) None & info [ "plan-out" ] ~docv:"FILE" ~doc)
+
+let optimize_csv_arg =
+  let doc = "Export the frontier and fixed-pipeline points to $(docv) as CSV." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let optimize_cmd =
+  let doc =
+    "Search the protection-plan space with the static AVF/cost predictor \
+     and emit the Pareto frontier (SDC-prone fraction vs predicted \
+     overhead); optionally validate knee points by adaptive injection."
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc)
+    Term.(
+      const run_optimize $ name_arg $ budget_arg $ beam_arg
+      $ checkpoint_arg $ validate_arg $ seed_arg $ domains_arg $ ci_arg
+      $ max_trials_arg $ warehouse_sink_arg $ optimize_csv_arg
+      $ plan_out_arg $ quiet_arg $ log_json_arg)
+
 (* Every pipeline configuration the lint must hold for; mirrors the
    property suite in test/test_lint.ml. *)
 let lint_configurations =
@@ -1426,7 +1609,8 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "experiments" ~version:"1.0.0" ~doc)
-    [ all_cmd; crossval_cmd; one_cmd; campaign_cmd; coverage_cmd; lint_cmd;
+    [ all_cmd; crossval_cmd; one_cmd; campaign_cmd; coverage_cmd;
+      optimize_cmd; lint_cmd;
       report_cmd; bench_diff_cmd; ingest_cmd; history_cmd; diff_runs_cmd;
       regress_cmd; heatmap_cmd; table1_cmd; dump_cmd; trace_cmd;
       trace_fault_cmd ]

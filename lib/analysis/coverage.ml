@@ -283,8 +283,10 @@ let analyze ?exec_counts (p : Ir.Prog.t) =
             Hashtbl.replace exposure r (prev +. weights.(i)))
           live.Liveness.live_in.(i)
       done;
+      (* Registers are unique keys, so sorting by id alone is a total
+         order; never let hashtable iteration order leak into [regs]. *)
       Hashtbl.fold (fun r e acc -> (r, e) :: acc) exposure []
-      |> List.sort compare
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
       |> List.iter (fun (r, e) ->
              let s = reg_status st r in
              exposure_total := !exposure_total +. e;
@@ -311,15 +313,21 @@ let analyze ?exec_counts (p : Ir.Prog.t) =
        else 0.0);
     dynamic_weights = !dynamic }
 
+(* Total order: unprotected classes first, exposure descending, then
+   (function, register) ascending — every tie is broken explicitly, so
+   the ranking (and the CSV built from it) is bit-stable across runs. *)
 let ranked_regs ?limit t =
   let unprot = function Unprotected | Dup_unchecked -> 0 | _ -> 1 in
   let ranked =
     List.sort
       (fun a b ->
-        match compare (unprot a.r_status) (unprot b.r_status) with
+        match Int.compare (unprot a.r_status) (unprot b.r_status) with
         | 0 ->
-          (match compare b.r_exposure a.r_exposure with
-           | 0 -> compare (a.r_func, a.r_reg) (b.r_func, b.r_reg)
+          (match Float.compare b.r_exposure a.r_exposure with
+           | 0 ->
+             (match String.compare a.r_func b.r_func with
+              | 0 -> Int.compare a.r_reg b.r_reg
+              | c -> c)
            | c -> c)
         | c -> c)
       t.regs

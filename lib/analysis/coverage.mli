@@ -73,7 +73,9 @@ type t = {
 val analyze : ?exec_counts:(string -> int array option) -> Ir.Prog.t -> t
 
 (** Register slots ranked most-vulnerable first: unprotected exposure
-    before protected, higher exposure first. *)
+    before protected, higher exposure first.  The order is total —
+    exposure ties break by (function, register) ascending — so the
+    ranking is deterministic run-to-run. *)
 val ranked_regs : ?limit:int -> t -> reg_row list
 
 (** Fraction of instructions whose status is in [statuses]. *)

@@ -7,7 +7,7 @@ type rule =
   | Chain_coverage
   | Check_shape
 
-type expectation = Any | Selective | Full
+type expectation = Any | Selective | Full | Plan of Plan.t
 
 type issue = {
   rule : rule;
@@ -222,7 +222,7 @@ let check_func ~expect ~profile (f : Ir.Func.t) ~emit =
   (* ----- Chain coverage ----- *)
   (match expect with
    | Any -> ()
-   | Selective ->
+   | Selective | Plan _ ->
      (* Backward closure from every Dup_check over duplicate defs: a shadow
         register is covered when its value (or a value computed from it)
         is eventually compared against an original. *)
@@ -295,15 +295,48 @@ let check_func ~expect ~profile (f : Ir.Func.t) ~emit =
          b.body
      done;
      (* Every duplicated state variable is compared in the latch before the
-        back edge: mirrors {!Transform.Duplicate.protect_state_var}. *)
+        back edge: mirrors {!Transform.Duplicate.protect_state_var}.  Under
+        a plan the rule inverts for chains the plan leaves out: a latch
+        comparison there means the pipeline protected more than it was
+        asked to. *)
+     let plan = match expect with Plan p -> Some p | _ -> None in
      let loops = Loops.compute cfg in
+     (* Back-edge registers of planned chains, so a shared back-edge
+        register checked on behalf of a planned phi is not misread as an
+        unplanned comparison for a second phi carrying the same value. *)
+     let planned_latch_regs : (int * Ir.Instr.reg, unit) Hashtbl.t =
+       Hashtbl.create 16
+     in
+     (match plan with
+      | None -> ()
+      | Some p ->
+        List.iter
+          (fun (l : Loops.loop) ->
+            let header = Cfg.block cfg l.header in
+            List.iter
+              (fun (phi : Ir.Instr.phi) ->
+                if Plan.mem_chain p ~phi_uid:phi.phi_uid then
+                  List.iter
+                    (fun latch ->
+                      let lb = Cfg.block cfg latch in
+                      match List.assoc_opt lb.Ir.Block.label phi.incoming with
+                      | Some (Ir.Instr.Reg r) ->
+                        Hashtbl.replace planned_latch_regs (latch, r) ()
+                      | None | Some (Ir.Instr.Imm _) -> ())
+                    l.latches)
+              header.phis)
+          loops.loops);
      List.iter
        (fun (l : Loops.loop) ->
          let header = Cfg.block cfg l.header in
          List.iter
            (fun (phi : Ir.Instr.phi) ->
-             if (not (is_duplicated phi.phi_origin))
-                && Hashtbl.mem clone_of_uid phi.phi_uid then
+             if not (is_duplicated phi.phi_origin) then begin
+               let required =
+                 match plan with
+                 | None -> Hashtbl.mem clone_of_uid phi.phi_uid
+                 | Some p -> Plan.mem_chain p ~phi_uid:phi.phi_uid
+               in
                List.iter
                  (fun latch ->
                    let lb = Cfg.block cfg latch in
@@ -325,15 +358,72 @@ let check_func ~expect ~profile (f : Ir.Func.t) ~emit =
                               | _ -> false)
                             lb.body
                         in
-                        if not has_check then
+                        if required && not has_check then
                           issue ~rule:Chain_coverage
                             ~block:lb.Ir.Block.label
                             "back edge to %s carries state variable %%r%d \
                              (shadow %%r%d) without a dup_check in the latch"
-                            header.Ir.Block.label r s))
-                 l.latches)
+                            header.Ir.Block.label r s;
+                        if
+                          (not required) && plan <> None && has_check
+                          && not (Hashtbl.mem planned_latch_regs (latch, r))
+                        then
+                          issue ~rule:Chain_coverage
+                            ~block:lb.Ir.Block.label
+                            "latch dup_check compares %%r%d (shadow %%r%d) \
+                             but its chain is not in the plan"
+                            r s))
+                 l.latches
+             end)
            header.phis)
-       loops.loops
+       loops.loops;
+     (* Plan-only value-check placement: every check sits on a planned
+        site, and every amenable planned stand-alone site has its check. *)
+     (match plan with
+      | None -> ()
+      | Some p ->
+        let dest_of_uid : (int, Ir.Instr.reg) Hashtbl.t = Hashtbl.create 64 in
+        Hashtbl.iter (fun r u -> Hashtbl.replace dest_of_uid u r) def_uid;
+        let value_checked : (Ir.Instr.reg, unit) Hashtbl.t =
+          Hashtbl.create 16
+        in
+        for i = 0 to n - 1 do
+          let b = Cfg.block cfg i in
+          Array.iter
+            (fun (ins : Ir.Instr.t) ->
+              match ins.kind with
+              | Ir.Instr.Value_check (_, Ir.Instr.Reg r) ->
+                Hashtbl.replace value_checked r ();
+                (match Hashtbl.find_opt def_uid r with
+                 | None -> ()
+                 | Some u ->
+                   if not (Plan.mem_terminator p u || Plan.mem_check p u) then
+                     issue ~rule:Chain_coverage ~block:b.Ir.Block.label
+                       "value check #%d guards site #%d, which the plan does \
+                        not name"
+                       ins.uid u)
+              | _ -> ())
+            b.body
+        done;
+        match profile with
+        | None -> ()
+        | Some pf ->
+          List.iter
+            (fun (s : Plan.site) ->
+              if s.Plan.vs_func = f.name && pf s.Plan.vs_uid <> None then
+                match Hashtbl.find_opt dest_of_uid s.Plan.vs_uid with
+                | None ->
+                  issue ~rule:Chain_coverage ~block:f.entry
+                    "plan names check site #%d but the function defines no \
+                     such instruction"
+                    s.Plan.vs_uid
+                | Some d ->
+                  if not (Hashtbl.mem value_checked d) then
+                    issue ~rule:Chain_coverage ~block:f.entry
+                      "plan names check site #%d but no value check guards \
+                       %%r%d"
+                      s.Plan.vs_uid d)
+            p.Plan.checks)
    | Full ->
      (* Every escape of a value that has a shadow is guarded: stores and
         calls by a preceding in-block dup_check, branch/return operands by

@@ -21,6 +21,13 @@
       compared in the latch block before the loop's back edge.  Under
       [Full] every store/call operand and branch/return operand that has a
       shadow must be guarded by a [Dup_check] before the value escapes.
+      Under [Plan p] the [Selective] shadow-closure rule applies, but the
+      latch rule is derived from the plan's chain set: planned chains must
+      be compared in their latches, unplanned loop-header phis must {e not}
+      carry a latch comparison, every [Value_check] must sit on a site the
+      plan names (terminator or stand-alone), and — when a profile is
+      supplied — every amenable planned stand-alone site must actually
+      carry its check.
     - {b Check shape}: every [Value_check] constant is internally
       consistent (ordered, kind-homogeneous ranges; distinct doubles) and,
       when a value profile is supplied, matches the recorded shape for the
@@ -36,10 +43,11 @@ type rule =
 (** What duplication discipline the program under lint claims to follow:
     [Selective] for state-variable producer-chain duplication
     ({!Transform.Duplicate}), [Full] for the SWIFT-style baseline
-    ({!Transform.Full_dup}), [Any] when unknown — [Any] still runs every
-    provenance-independent rule, but skips the coverage placement rules
-    that differ between the two disciplines. *)
-type expectation = Any | Selective | Full
+    ({!Transform.Full_dup}), [Plan p] for a plan-driven pipeline
+    ([Transform.Pipeline.of_plan]), [Any] when unknown — [Any] still runs
+    every provenance-independent rule, but skips the coverage placement
+    rules that differ between the disciplines. *)
+type expectation = Any | Selective | Full | Plan of Plan.t
 
 type issue = {
   rule : rule;

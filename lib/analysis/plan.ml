@@ -1,0 +1,160 @@
+type chain = {
+  ch_func : string;
+  ch_phi_uid : int;
+}
+
+type site = {
+  vs_func : string;
+  vs_uid : int;
+}
+
+type t = {
+  chains : chain list;
+  terminators : site list;
+  checks : site list;
+  checkpoint : int;
+}
+
+let empty = { chains = []; terminators = []; checks = []; checkpoint = 0 }
+
+let chain_key c = (c.ch_func, c.ch_phi_uid)
+let site_key s = (s.vs_func, s.vs_uid)
+
+let dedup_sorted key l =
+  let sorted = List.sort (fun a b -> compare (key a) (key b)) l in
+  let rec go = function
+    | a :: b :: rest when key a = key b -> go (a :: rest)
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go sorted
+
+let normalize p =
+  {
+    chains = dedup_sorted chain_key p.chains;
+    terminators = dedup_sorted site_key p.terminators;
+    checks = dedup_sorted site_key p.checks;
+    checkpoint = max 0 p.checkpoint;
+  }
+
+let equal a b = normalize a = normalize b
+
+(* Uids are unique program-wide, so membership ignores the function
+   component: a plan can only ever be applied to the program whose uids
+   it names. *)
+let mem_chain p ~phi_uid =
+  List.exists (fun c -> c.ch_phi_uid = phi_uid) p.chains
+
+let mem_terminator p uid = List.exists (fun s -> s.vs_uid = uid) p.terminators
+let mem_check p uid = List.exists (fun s -> s.vs_uid = uid) p.checks
+
+let add_chain p c = normalize { p with chains = c :: p.chains }
+let add_terminator p s = normalize { p with terminators = s :: p.terminators }
+let add_check p s = normalize { p with checks = s :: p.checks }
+
+(* A chain candidate is a loop-header phi with at least one register
+   operand arriving over a back edge — the same gathering rule as
+   [Transform.State_vars.of_func], restated here because the analysis
+   layer sits below the transforms. *)
+let candidate_chains prog =
+  List.concat_map
+    (fun (f : Ir.Func.t) ->
+      let cfg = Cfg.of_func f in
+      let loops = Loops.compute cfg in
+      Loops.header_phis loops
+      |> List.filter_map (fun ((loop : Loops.loop), _header, (phi : Ir.Instr.phi)) ->
+             let latch_labels =
+               List.map (fun i -> (Cfg.block cfg i).Ir.Block.label) loop.Loops.latches
+             in
+             let has_back_edge =
+               List.exists
+                 (fun (lbl, _) -> List.mem lbl latch_labels)
+                 phi.Ir.Instr.incoming
+             in
+             if has_back_edge then
+               Some { ch_func = f.Ir.Func.name; ch_phi_uid = phi.Ir.Instr.phi_uid }
+             else None))
+    prog.Ir.Prog.funcs
+  |> dedup_sorted chain_key
+
+let candidate_sites ~profile prog =
+  List.concat_map
+    (fun (f : Ir.Func.t) ->
+      List.concat_map
+        (fun (b : Ir.Block.t) ->
+          Array.to_list b.Ir.Block.body
+          |> List.filter_map (fun (ins : Ir.Instr.t) ->
+                 if
+                   Ir.Instr.produces_value ins
+                   && ins.Ir.Instr.origin = Ir.Instr.From_source
+                   && profile ins.Ir.Instr.uid <> None
+                 then Some { vs_func = f.Ir.Func.name; vs_uid = ins.Ir.Instr.uid }
+                 else None))
+        f.Ir.Func.blocks)
+    prog.Ir.Prog.funcs
+  |> dedup_sorted site_key
+
+let describe p =
+  let p = normalize p in
+  Printf.sprintf "plan[c%d t%d v%d K%d]" (List.length p.chains)
+    (List.length p.terminators) (List.length p.checks) p.checkpoint
+
+let schema = "softft.plan.v1"
+
+let to_json p =
+  let p = normalize p in
+  let chain_json c =
+    Obs.Json.Obj
+      [ ("func", Obs.Json.Str c.ch_func); ("phi_uid", Obs.Json.Int c.ch_phi_uid) ]
+  in
+  let site_json s =
+    Obs.Json.Obj
+      [ ("func", Obs.Json.Str s.vs_func); ("uid", Obs.Json.Int s.vs_uid) ]
+  in
+  Obs.Json.Obj
+    [ ("schema", Obs.Json.Str schema);
+      ("checkpoint", Obs.Json.Int p.checkpoint);
+      ("chains", Obs.Json.List (List.map chain_json p.chains));
+      ("terminators", Obs.Json.List (List.map site_json p.terminators));
+      ("checks", Obs.Json.List (List.map site_json p.checks)) ]
+
+let of_json j =
+  let str k o =
+    match Option.bind (Obs.Json.member k o) Obs.Json.to_str with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "plan: missing string field %S" k)
+  in
+  (match Option.bind (Obs.Json.member "schema" j) Obs.Json.to_str with
+  | Some s when s = schema -> ()
+  | Some s -> failwith (Printf.sprintf "plan: unknown schema %S" s)
+  | None -> failwith "plan: missing schema field");
+  let int_field k o =
+    match Option.bind (Obs.Json.member k o) Obs.Json.to_int with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "plan: missing int field %S" k)
+  in
+  let list_field k =
+    match Obs.Json.member k j with
+    | Some (Obs.Json.List l) -> l
+    | Some _ -> failwith (Printf.sprintf "plan: field %S is not a list" k)
+    | None -> failwith (Printf.sprintf "plan: missing field %S" k)
+  in
+  let chain_of o = { ch_func = str "func" o; ch_phi_uid = int_field "phi_uid" o } in
+  let site_of o = { vs_func = str "func" o; vs_uid = int_field "uid" o } in
+  normalize
+    {
+      chains = List.map chain_of (list_field "chains");
+      terminators = List.map site_of (list_field "terminators");
+      checks = List.map site_of (list_field "checks");
+      checkpoint = int_field "checkpoint" j;
+    }
+
+let to_string p = Obs.Json.to_string (to_json p)
+let of_string s = of_json (Obs.Json.parse s)
+
+let slug p =
+  let p = normalize p in
+  let digest = Digest.to_hex (Digest.string (to_string p)) in
+  Printf.sprintf "c%dt%dv%dk%d-%s" (List.length p.chains)
+    (List.length p.terminators) (List.length p.checks) p.checkpoint
+    (String.sub digest 0 6)

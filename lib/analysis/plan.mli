@@ -1,0 +1,90 @@
+(** First-class protection plans (ROADMAP item 3, DESIGN.md §16).
+
+    The paper ships three fixed protection pipelines; a {e plan} makes the
+    configuration space between them a value: which state-variable
+    producer chains to duplicate, where a chain should terminate early in
+    an expected-value check (the paper's Optimization 2 as an explicit
+    per-site decision), which stand-alone expected-value checks to place
+    (Optimization 1's outcome as an explicit site list), and the
+    checkpoint interval.  [Transform.Pipeline.of_plan] executes a plan;
+    {!Predict} prices one without running anything.
+
+    Plans reference the {e original} program: chains by the uid of their
+    loop-header phi, check sites by instruction uid.  Uids are minted per
+    program and stable across the deterministic workload builds, so a plan
+    serialized against one build applies to any other build of the same
+    workload. *)
+
+(** One state-variable producer chain, named by its loop-header phi. *)
+type chain = {
+  ch_func : string;
+  ch_phi_uid : int;
+}
+
+(** One instruction site receiving an expected-value check. *)
+type site = {
+  vs_func : string;
+  vs_uid : int;
+}
+
+type t = {
+  chains : chain list;       (** producer chains to duplicate *)
+  terminators : site list;   (** chain-walk stops: clone replaced by a
+                                 value check at this site (Opt. 2) *)
+  checks : site list;        (** stand-alone value-check sites *)
+  checkpoint : int;          (** checkpoint interval K; 0 = off *)
+}
+
+val empty : t
+
+(** Normalize: sort and dedupe each component (by (func, uid)).  All
+    constructors below return normalized plans; [equal] compares
+    normalized forms. *)
+val normalize : t -> t
+
+val equal : t -> t -> bool
+
+(** Membership; sites and chains are keyed by uid (uids are unique
+    program-wide). *)
+val mem_chain : t -> phi_uid:int -> bool
+
+val mem_terminator : t -> int -> bool
+val mem_check : t -> int -> bool
+
+(** Functional extension; result is normalized. *)
+val add_chain : t -> chain -> t
+
+val add_terminator : t -> site -> t
+val add_check : t -> site -> t
+
+(** Every state-variable chain of the program: loop-header phis with at
+    least one back-edge operand, in (function, phi uid) order. *)
+val candidate_chains : Ir.Prog.t -> chain list
+
+(** Every stand-alone check candidate: original value-producing
+    instructions whose [profile] knows a check shape, in (function, uid)
+    order — the same gathering rule as [Transform.Value_checks]. *)
+val candidate_sites :
+  profile:(int -> Ir.Instr.check_kind option) -> Ir.Prog.t -> site list
+
+(** Short human label, e.g. ["plan[c3 t1 v4 K0]"]. *)
+val describe : t -> string
+
+(** Compact stable identity for campaign labels and warehouse filing:
+    component counts plus a digest prefix of the canonical JSON. *)
+val slug : t -> string
+
+(** {2 JSON round-trip} *)
+
+val schema : string
+
+val to_json : t -> Obs.Json.t
+
+(** Raises [Failure] on malformed or wrong-schema input. *)
+val of_json : Obs.Json.t -> t
+
+val to_string : t -> string
+
+(** Parse a JSON plan document; raises [Failure] (or
+    [Obs.Json.Parse_error]) on malformed input. *)
+val of_string : string -> t

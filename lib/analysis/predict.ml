@@ -1,0 +1,272 @@
+type cost_model = {
+  cm_instr : Ir.Instr.t -> int;
+  cm_phi : int;
+  cm_jmp : int;
+  cm_br : int;
+  cm_ret : int;
+  cm_dup_check : int;
+  cm_value_check : Ir.Instr.check_kind -> int;
+  cm_shadow_slot : int;
+  cm_slack_gain : int;
+  cm_slack_cost : int;
+  cm_checkpoint_cycles : int;
+}
+
+type estimate = {
+  pe_sdc_fraction : float;
+  pe_exposure_total : float;
+  pe_exposure_unprotected : float;
+  pe_baseline_cycles : float;
+  pe_added_cycles : float;
+  pe_overhead : float;
+  pe_cloned_instrs : int;
+  pe_cloned_phis : int;
+  pe_dup_checks : int;
+  pe_value_checks : int;
+}
+
+let term_cost cost (t : Ir.Instr.terminator) =
+  match t with
+  | Ir.Instr.Ret _ -> cost.cm_ret
+  | Ir.Instr.Jmp _ -> cost.cm_jmp
+  | Ir.Instr.Br _ -> cost.cm_br
+
+(* Mirrors [Transform.Duplicate.shadow_reg]'s decision tree symbolically:
+   returns whether [r] would receive a non-trivial shadow (a clone).
+   Planned terminators with an amenable profile become mid-chain value
+   checks and stop the walk, exactly like the Opt-2 hook. *)
+let simulate ~(plan : Plan.t) ~profile ~(ud : Usedef.t) ~on_clone_instr
+    ~on_clone_phi ~on_opt2_check =
+  let memo : (Ir.Instr.reg, bool) Hashtbl.t = Hashtbl.create 64 in
+  let opt2_sites : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec sim r =
+    match Hashtbl.find_opt memo r with
+    | Some b -> b
+    | None -> (
+      match Usedef.def_of ud r with
+      | None | Some Usedef.Param ->
+        Hashtbl.replace memo r false;
+        false
+      | Some (Usedef.Phi_def (_, phi)) ->
+        (* Pre-register before recursing, as clone_phi does, so
+           loop-carried references see the clone. *)
+        Hashtbl.replace memo r true;
+        on_clone_phi phi;
+        List.iter
+          (fun (_, op) ->
+            match op with Ir.Instr.Reg r' -> ignore (sim r') | Ir.Instr.Imm _ -> ())
+          phi.Ir.Instr.incoming;
+        true
+      | Some (Usedef.Instr_def (_, ins)) ->
+        if Usedef.chain_terminator ins then (
+          Hashtbl.replace memo r false;
+          false)
+        else
+          let opt2 =
+            Plan.mem_terminator plan ins.Ir.Instr.uid
+            && ins.Ir.Instr.dest <> None
+            &&
+            match profile ins.Ir.Instr.uid with Some _ -> true | None -> false
+          in
+          if opt2 then (
+            Hashtbl.replace memo r false;
+            (if not (Hashtbl.mem opt2_sites ins.Ir.Instr.uid) then (
+               Hashtbl.replace opt2_sites ins.Ir.Instr.uid ();
+               match profile ins.Ir.Instr.uid with
+               | Some ck -> on_opt2_check ins ck
+               | None -> ()));
+            false)
+          else (
+            Hashtbl.replace memo r true;
+            on_clone_instr ins;
+            List.iter (fun r' -> ignore (sim r')) (Ir.Instr.uses ins);
+            true)
+      )
+  in
+  (sim, memo, opt2_sites)
+
+let estimate ?exec_counts ?profile ~cost (prog : Ir.Prog.t) (plan : Plan.t) =
+  let plan = Plan.normalize plan in
+  let profile = match profile with Some f -> f | None -> fun _ -> None in
+  let exposure_total = ref 0.0 and exposure_unprot = ref 0.0 in
+  let baseline = ref 0.0 and added = ref 0.0 and steps = ref 0.0 in
+  let cloned_instrs = ref 0 and cloned_phis = ref 0 in
+  let dup_checks = ref 0 and value_checks = ref 0 in
+  Ir.Prog.iter_funcs
+    (fun f ->
+      let ud = Usedef.compute f in
+      let cfg = Cfg.of_func f in
+      let live = Liveness.compute cfg in
+      let loops = Loops.compute cfg in
+      let n = Cfg.n_blocks cfg in
+      let weights =
+        match Option.bind exec_counts (fun g -> g f.Ir.Func.name) with
+        | Some c when Array.length c = n -> Array.map float_of_int c
+        | Some _ | None -> Array.make n 1.0
+      in
+      let block_of_uid : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      for i = 0 to n - 1 do
+        let b = Cfg.block cfg i in
+        List.iter
+          (fun (phi : Ir.Instr.phi) ->
+            Hashtbl.replace block_of_uid phi.phi_uid i)
+          b.Ir.Block.phis;
+        Array.iter
+          (fun (ins : Ir.Instr.t) -> Hashtbl.replace block_of_uid ins.uid i)
+          b.Ir.Block.body;
+        (* Priced baseline and dynamic step count of the original. *)
+        let body_cost =
+          Array.fold_left (fun a ins -> a + cost.cm_instr ins) 0 b.Ir.Block.body
+        in
+        let phi_cost = cost.cm_phi * List.length b.Ir.Block.phis in
+        baseline :=
+          !baseline
+          +. (weights.(i) *. float_of_int (body_cost + phi_cost + term_cost cost b.Ir.Block.term));
+        steps :=
+          !steps
+          +. (weights.(i)
+              *. float_of_int (Array.length b.Ir.Block.body + List.length b.Ir.Block.phis + 1))
+      done;
+      let weight_of_uid uid =
+        match Hashtbl.find_opt block_of_uid uid with
+        | Some i -> weights.(i)
+        | None -> 1.0
+      in
+      (* Shadow ops per block, for the slack approximation. *)
+      let shadows_per_block = Array.make n 0 in
+      let value_checked : (Ir.Instr.reg, unit) Hashtbl.t = Hashtbl.create 16 in
+      let on_clone_instr (ins : Ir.Instr.t) =
+        incr cloned_instrs;
+        match Hashtbl.find_opt block_of_uid ins.uid with
+        | Some i -> shadows_per_block.(i) <- shadows_per_block.(i) + 1
+        | None -> ()
+      in
+      let on_clone_phi (phi : Ir.Instr.phi) =
+        incr cloned_phis;
+        added := !added +. (weight_of_uid phi.phi_uid *. float_of_int cost.cm_phi)
+      in
+      let on_opt2_check (ins : Ir.Instr.t) ck =
+        incr value_checks;
+        added :=
+          !added +. (weight_of_uid ins.uid *. float_of_int (cost.cm_value_check ck));
+        match ins.dest with
+        | Some d -> Hashtbl.replace value_checked d ()
+        | None -> ()
+      in
+      let sim, covered, opt2_sites =
+        simulate ~plan ~profile ~ud ~on_clone_instr ~on_clone_phi ~on_opt2_check
+      in
+      (* Walk every planned chain from its back-edge operands, placing a
+         latch dup-check whenever the shadow is non-trivial — the same
+         rule as [Duplicate.protect_state_var]. *)
+      List.iter
+        (fun ((loop : Loops.loop), _header, (phi : Ir.Instr.phi)) ->
+          if Plan.mem_chain plan ~phi_uid:phi.Ir.Instr.phi_uid then
+            List.iter
+              (fun latch_idx ->
+                let latch_lbl = Cfg.label cfg latch_idx in
+                List.iter
+                  (fun (lbl, op) ->
+                    if lbl = latch_lbl then
+                      match op with
+                      | Ir.Instr.Reg r ->
+                        if sim r then (
+                          incr dup_checks;
+                          added :=
+                            !added
+                            +. (weights.(latch_idx) *. float_of_int cost.cm_dup_check))
+                      | Ir.Instr.Imm _ -> ())
+                  phi.Ir.Instr.incoming)
+              loop.Loops.latches)
+        (Loops.header_phis loops);
+      (* Stand-alone planned check sites (skipping sites the chain walk
+         already converted into Opt-2 checks, as the transform does via
+         [already_checked]). *)
+      for i = 0 to n - 1 do
+        let b = Cfg.block cfg i in
+        Array.iter
+          (fun (ins : Ir.Instr.t) ->
+            if
+              Plan.mem_check plan ins.Ir.Instr.uid
+              && ins.Ir.Instr.origin = Ir.Instr.From_source
+              && Ir.Instr.produces_value ins
+              && not (Hashtbl.mem opt2_sites ins.Ir.Instr.uid)
+            then
+              match (profile ins.Ir.Instr.uid, ins.Ir.Instr.dest) with
+              | Some ck, Some d ->
+                incr value_checks;
+                added :=
+                  !added +. (weights.(i) *. float_of_int (cost.cm_value_check ck));
+                Hashtbl.replace value_checked d ()
+              | _ -> ())
+          b.Ir.Block.body
+      done;
+      (* Slack-discounted shadow cost: each source instruction earns
+         cm_slack_gain credits and a free shadow costs cm_slack_cost, so
+         per block roughly n_src·gain/cost shadows ride for free. *)
+      for i = 0 to n - 1 do
+        let n_sh = float_of_int shadows_per_block.(i) in
+        if n_sh > 0.0 then begin
+          let n_src = float_of_int (Array.length (Cfg.block cfg i).Ir.Block.body) in
+          let free =
+            if cost.cm_slack_cost <= 0 then n_sh
+            else
+              min n_sh
+                (n_src *. float_of_int cost.cm_slack_gain
+                 /. float_of_int cost.cm_slack_cost)
+          in
+          added :=
+            !added +. (weights.(i) *. (n_sh -. free) *. float_of_int cost.cm_shadow_slot)
+        end
+      done;
+      (* Exposure of unprotected original registers, as Coverage.analyze
+         computes it: live-in residency weighted by block frequency, with
+         every defined register seeded so intra-block values get a row. *)
+      let exposure : (Ir.Instr.reg, float) Hashtbl.t = Hashtbl.create 64 in
+      List.iter (fun r -> Hashtbl.replace exposure r 0.0) f.Ir.Func.params;
+      for i = 0 to n - 1 do
+        let b = Cfg.block cfg i in
+        List.iter
+          (fun (phi : Ir.Instr.phi) -> if not (Hashtbl.mem exposure phi.phi_dest) then Hashtbl.replace exposure phi.phi_dest 0.0)
+          b.Ir.Block.phis;
+        Array.iter
+          (fun (ins : Ir.Instr.t) ->
+            match ins.dest with
+            | Some r -> if not (Hashtbl.mem exposure r) then Hashtbl.replace exposure r 0.0
+            | None -> ())
+          b.Ir.Block.body
+      done;
+      for i = 0 to n - 1 do
+        Hashtbl.iter
+          (fun r () ->
+            let prev = try Hashtbl.find exposure r with Not_found -> 0.0 in
+            Hashtbl.replace exposure r (prev +. weights.(i)))
+          live.Liveness.live_in.(i)
+      done;
+      Hashtbl.iter
+        (fun r e ->
+          exposure_total := !exposure_total +. e;
+          let protected_ =
+            (match Hashtbl.find_opt covered r with Some b -> b | None -> false)
+            || Hashtbl.mem value_checked r
+          in
+          if not protected_ then exposure_unprot := !exposure_unprot +. e)
+        exposure)
+    prog;
+  (* Checkpoint overhead: one lump cost every K dynamic steps. *)
+  (if plan.Plan.checkpoint > 0 then
+     let k = float_of_int plan.Plan.checkpoint in
+     added := !added +. (!steps /. k *. float_of_int cost.cm_checkpoint_cycles));
+  {
+    pe_sdc_fraction =
+      (if !exposure_total > 0.0 then !exposure_unprot /. !exposure_total else 0.0);
+    pe_exposure_total = !exposure_total;
+    pe_exposure_unprotected = !exposure_unprot;
+    pe_baseline_cycles = !baseline;
+    pe_added_cycles = !added;
+    pe_overhead = (if !baseline > 0.0 then !added /. !baseline else 0.0);
+    pe_cloned_instrs = !cloned_instrs;
+    pe_cloned_phis = !cloned_phis;
+    pe_dup_checks = !dup_checks;
+    pe_value_checks = !value_checks;
+  }

@@ -18,6 +18,7 @@ type technique = Transform.Pipeline.technique =
   | Full_dup
   | Cfc_only
   | Dup_valchk_cfc
+  | Planned
 
 let all_techniques = Transform.Pipeline.all_techniques
 let extended_techniques = Transform.Pipeline.extended_techniques
@@ -48,12 +49,31 @@ let protect ?params ?opt1 ?opt2 ?lint
     | Dup_valchk | Dup_valchk_cfc ->
       let p = Workloads.Workload.profile ?params ~role:profile_role ~prog w in
       Some (fun uid -> Profiling.Value_profile.check_kind ?params p uid)
-    | Original | Dup_only | Full_dup | Cfc_only -> None
+    | Original | Dup_only | Full_dup | Cfc_only | Planned -> None
   in
   let static_stats =
     Transform.Pipeline.protect ?profile ?opt1 ?opt2 ?lint prog technique
   in
   { workload = w; technique; prog; static_stats;
+    profile_false_positive_info = None }
+
+(** Build a fresh program for [w] and execute [plan] on it
+    ({!Transform.Pipeline.of_plan}).  The profiling run only happens when
+    the plan names terminator or check sites, mirroring [protect]'s
+    treatment of the check-inserting techniques. *)
+let protect_plan ?params ?lint ?(profile_role = Workloads.Workload.Train)
+    (w : Workloads.Workload.t) (plan : Analysis.Plan.t) =
+  let plan = Analysis.Plan.normalize plan in
+  let prog = w.build () in
+  let profile =
+    if plan.Analysis.Plan.terminators <> [] || plan.Analysis.Plan.checks <> []
+    then
+      let p = Workloads.Workload.profile ?params ~role:profile_role ~prog w in
+      Some (fun uid -> Profiling.Value_profile.check_kind ?params p uid)
+    else None
+  in
+  let static_stats = Transform.Pipeline.of_plan ?profile ?lint prog plan in
+  { workload = w; technique = Planned; prog; static_stats;
     profile_false_positive_info = None }
 
 let subject ?label (p : protected) ~role =

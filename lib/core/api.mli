@@ -11,6 +11,8 @@ type technique = Transform.Pipeline.technique =
   | Cfc_only       (** signature-based control-flow checking only *)
   | Dup_valchk_cfc (** the paper's scheme plus the complementary
                        signature scheme for branch-target faults (§IV-C) *)
+  | Planned        (** an explicit protection plan ({!Analysis.Plan});
+                       built by {!protect_plan}, not {!protect} *)
 
 (** The four techniques of the paper's evaluation. *)
 val all_techniques : technique list
@@ -46,6 +48,20 @@ val protect :
   ?profile_role:Workloads.Workload.input_role ->
   Workloads.Workload.t ->
   technique ->
+  protected
+
+(** Build a fresh program for the workload and execute a protection plan
+    on it ({!Transform.Pipeline.of_plan}).  The workload is value-profiled
+    on [profile_role] only when the plan names terminator or check sites.
+    [lint] (default false) lints every stage against the plan-derived
+    expectation ({!Analysis.Lint.Plan}).  The plan's checkpoint interval
+    is a runtime knob: pass it to {!golden}/{!campaign} yourself. *)
+val protect_plan :
+  ?params:Profiling.Value_profile.params ->
+  ?lint:bool ->
+  ?profile_role:Workloads.Workload.input_role ->
+  Workloads.Workload.t ->
+  Analysis.Plan.t ->
   protected
 
 (** Wrap as a fault-campaign subject on the given input role. *)

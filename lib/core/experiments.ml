@@ -54,7 +54,7 @@ let evaluate ?(trials = 200) ?(seed = 0xC0FFEE) ?(role = Workloads.Workload.Test
             (match technique with
              | Api.Original -> baseline := Some golden
              | Api.Dup_only | Api.Dup_valchk | Api.Full_dup | Api.Cfc_only
-             | Api.Dup_valchk_cfc -> ());
+             | Api.Dup_valchk_cfc | Api.Planned -> ());
             let overhead =
               match !baseline with
               | Some base ->

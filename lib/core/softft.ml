@@ -3,4 +3,5 @@
 
 include Api
 module Experiments = Experiments
+module Optimize = Optimize
 module Report = Report

@@ -205,7 +205,7 @@ let adaptive_json (a : Campaign.adaptive) =
        Json.List (Array.to_list (Array.map stratum_json a.Campaign.ad_strata)))
     ]
 
-let manifest_record ?git ?technique ?stats ?counts ?adaptive
+let manifest_record ?git ?technique ?plan ?stats ?counts ?adaptive
     ?(checkpoint_interval = 0) ?(taint_trace = false) ~label ~trials ~seed
     ~domains ~hw_window ~fault_kind ~(golden : Campaign.golden) () =
   let git = match git with Some g -> g | None -> git_describe () in
@@ -231,6 +231,7 @@ let manifest_record ?git ?technique ?stats ?counts ?adaptive
        ("checkpoint_interval", Json.Int checkpoint_interval) ]
      @ (if taint_trace then [ ("taint_trace", Json.Bool true) ] else [])
      @ opt_field "technique" (fun t -> Json.Str t) technique
+     @ opt_field "plan" (fun j -> j) plan
      @ [ ("golden",
           Json.Obj
             [ ("steps", Json.Int golden.steps);

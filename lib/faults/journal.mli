@@ -67,10 +67,14 @@ val stats_json : Campaign.run_stats -> Obs.Json.t
     recovery configuration; [taint_trace] (default false) stamps the
     manifest {!schema_v3} and records that trials carry propagation
     summaries; [adaptive] (a {!Campaign.adaptive} result) adds the
-    ["adaptive"] section and stamps {!schema_v5}. *)
+    ["adaptive"] section and stamps {!schema_v5}; [plan] (an
+    [Analysis.Plan.to_json] document) records the protection plan a
+    plan-driven campaign executed, so warehouse run keys distinguish
+    distinct plans. *)
 val manifest_record :
   ?git:string ->
   ?technique:string ->
+  ?plan:Obs.Json.t ->
   ?stats:Campaign.run_stats ->
   ?counts:(Classify.outcome * int) list ->
   ?adaptive:Campaign.adaptive ->

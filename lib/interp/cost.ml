@@ -61,6 +61,11 @@ let rollback_flush = 64
 let checkpoint ~words = checkpoint_base + (words / checkpoint_bandwidth)
 let rollback ~words = rollback_flush + (words / checkpoint_bandwidth)
 
+(* Named so the static plan predictor (Analysis.Predict via
+   Softft.Optimize.cost_model) prices comparisons identically to the
+   interpreter. *)
+let dup_check = 1
+
 let instr (ins : Instr.t) =
   match ins.kind with
   | Binop (op, _, _) -> binop op
@@ -72,7 +77,7 @@ let instr (ins : Instr.t) =
   | Store _ -> 2
   | Alloc _ -> 8
   | Call _ -> 4
-  | Dup_check _ -> 1
+  | Dup_check _ -> dup_check
   | Value_check (ck, _) -> check_kind ck
 
 (* Phi nodes are SSA bookkeeping (register renaming); they produce no

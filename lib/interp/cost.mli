@@ -11,6 +11,10 @@ val binop : Ir.Opcode.binop -> int
 val unop : Ir.Opcode.unop -> int
 val check_kind : Ir.Instr.check_kind -> int
 
+(** Cycles a duplicate-comparison check pays; named so the static plan
+    predictor prices comparisons identically to the interpreter. *)
+val dup_check : int
+
 (** Latency of a source instruction.  The machine applies the slack model
     on top of this for [Duplicated] instructions. *)
 val instr : Ir.Instr.t -> int

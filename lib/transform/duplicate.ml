@@ -144,14 +144,19 @@ let protect_state_var ctx (sv : State_vars.state_var) =
     sv.back_edges
 
 (** Run selective duplication over the whole program.  [profile], when
-    given, enables Optimization 2.  Returns statistics and the set of uids
-    that received a value check during duplication. *)
-let run ?profile (prog : Prog.t) =
+    given, enables Optimization 2.  [select], when given, restricts the
+    pass to the state variables it accepts — protection plans use it to
+    duplicate an arbitrary chain subset.  Returns statistics and the set
+    of uids that received a value check during duplication. *)
+let run ?profile ?select (prog : Prog.t) =
   let stats = empty_stats () in
   let opt2_checked = Hashtbl.create 16 in
   List.iter
     (fun func ->
       let svs = State_vars.of_func func in
+      let svs =
+        match select with None -> svs | Some keep -> List.filter keep svs
+      in
       if svs <> [] then begin
         let ctx =
           { prog; usedef = Analysis.Usedef.compute func;

@@ -12,6 +12,8 @@ type technique =
   | Dup_valchk_cfc (** the paper's scheme combined with the complementary
                        signature scheme it points to for branch-target
                        faults (Â§IV-C) *)
+  | Planned        (** an explicit protection plan executed by {!of_plan};
+                       generalizes the fixed configurations above *)
 
 let all_techniques = [ Original; Dup_only; Dup_valchk; Full_dup ]
 let extended_techniques = all_techniques @ [ Cfc_only; Dup_valchk_cfc ]
@@ -23,6 +25,7 @@ let technique_name = function
   | Full_dup -> "Full duplication"
   | Cfc_only -> "CFC only"
   | Dup_valchk_cfc -> "Dup + val chks + CFC"
+  | Planned -> "Planned"
 
 (** Static statistics in the vocabulary of Figure 10: everything is reported
     against the *original* static instruction count. *)
@@ -126,9 +129,65 @@ let protect ?profile ?(opt1 = true) ?(opt2 = true) ?(lint = false)
         dup_checks = d.dup_checks;
         value_checks = v.inserted + d.opt2_value_checks + c.signature_checks;
         suppressed_by_opt1 = v.suppressed_by_opt1 }
+    | Planned ->
+      invalid_arg "Pipeline.protect: Planned is built by Pipeline.of_plan"
   in
   Verifier.verify prog;
   stats
+
+(** Execute a protection plan on [prog] in place: duplicate exactly the
+    planned producer chains (with planned terminators applied through the
+    Opt-2 hook, restricted to their uids), then place the planned
+    stand-alone value checks — no Opt-1 second-guessing, the plan is the
+    decision.  [profile] is required as soon as the plan names terminator
+    or check sites.  The plan's checkpoint interval is a runtime knob:
+    callers pass it to golden runs and campaigns themselves.  With [lint]
+    on, {!Analysis.Lint} runs after every stage with the plan-derived
+    expectation ({!Analysis.Lint.Plan}). *)
+let of_plan ?profile ?(lint = false) (prog : Prog.t) (plan : Analysis.Plan.t) =
+  let plan = Analysis.Plan.normalize plan in
+  let original_instrs = Prog.instr_count prog in
+  let stage expect_plan =
+    if lint then
+      Analysis.Lint.run ~expect:(Analysis.Lint.Plan expect_plan) ?profile prog
+  in
+  let places_checks =
+    plan.Analysis.Plan.terminators <> [] || plan.Analysis.Plan.checks <> []
+  in
+  (match profile with
+   | None when places_checks ->
+     invalid_arg "Pipeline.of_plan: plan places value checks but no profile was given"
+   | _ -> ());
+  let term_profile =
+    match profile with
+    | Some p when plan.Analysis.Plan.terminators <> [] ->
+      Some
+        (fun uid ->
+          if Analysis.Plan.mem_terminator plan uid then p uid else None)
+    | _ -> None
+  in
+  let select (sv : State_vars.state_var) =
+    Analysis.Plan.mem_chain plan ~phi_uid:sv.State_vars.phi.Instr.phi_uid
+  in
+  let d, opt2_checked = Duplicate.run ?profile:term_profile ~select prog in
+  (* Stand-alone checks are not placed yet, so stage 1 lints against the
+     plan with its check list emptied. *)
+  stage { plan with Analysis.Plan.checks = [] };
+  let v =
+    if plan.Analysis.Plan.checks = [] then Value_checks.empty_stats ()
+    else
+      let p = Option.get profile in
+      Value_checks.run ~use_opt1:false
+        ~only:(fun uid -> Analysis.Plan.mem_check plan uid)
+        prog ~profile:p ~already_checked:opt2_checked
+  in
+  stage plan;
+  Verifier.verify prog;
+  { technique = Planned; original_instrs; state_vars = d.state_vars;
+    duplicated_instrs = d.cloned_instrs + d.cloned_phis;
+    dup_checks = d.dup_checks;
+    value_checks = v.inserted + d.opt2_value_checks;
+    suppressed_by_opt1 = v.suppressed_by_opt1 }
 
 (** The lint expectation matching each technique's duplication discipline,
     for callers that lint a finished program on their own. *)
@@ -136,3 +195,6 @@ let lint_expectation = function
   | Original | Cfc_only -> Analysis.Lint.Any
   | Dup_only | Dup_valchk | Dup_valchk_cfc -> Analysis.Lint.Selective
   | Full_dup -> Analysis.Lint.Full
+  | Planned -> Analysis.Lint.Any
+  (* Without the plan value the latch rule cannot be derived; callers that
+     hold the plan lint with [Analysis.Lint.Plan] directly. *)

@@ -14,7 +14,8 @@ type stats = {
 
 let empty_stats () = { candidates = 0; suppressed_by_opt1 = 0; inserted = 0 }
 
-let run_func prog (func : Func.t) ~use_opt1 ~profile ~already_checked ~stats =
+let run_func prog (func : Func.t) ~use_opt1 ~only ~profile ~already_checked
+    ~stats =
   let usedef = Analysis.Usedef.compute func in
   (* Gather candidates: original value-producing instructions whose profile
      is amenable and that Optimization 2 did not already cover. *)
@@ -25,6 +26,7 @@ let run_func prog (func : Func.t) ~use_opt1 ~profile ~already_checked ~stats =
         (fun (ins : Instr.t) ->
           if Instr.produces_value ins
              && ins.origin = Instr.From_source
+             && only ins.uid
              && not (Hashtbl.mem already_checked ins.uid) then begin
             match profile ins.uid with
             | Some ck -> candidates := (b, ins, ck) :: !candidates
@@ -71,10 +73,14 @@ let run_func prog (func : Func.t) ~use_opt1 ~profile ~already_checked ~stats =
 
 (** Insert value checks across the program.  [profile] maps an instruction
     uid to its derived check shape; [already_checked] holds uids covered by
-    Optimization 2 during duplication. *)
-let run ?(use_opt1 = true) (prog : Prog.t) ~profile ~already_checked =
+    Optimization 2 during duplication.  [only], when given, restricts
+    candidates to the uids it accepts — protection plans use it to place
+    checks at an explicit site list. *)
+let run ?(use_opt1 = true) ?only (prog : Prog.t) ~profile ~already_checked =
   let stats = empty_stats () in
+  let only = match only with None -> fun _ -> true | Some f -> f in
   List.iter
-    (fun func -> run_func prog func ~use_opt1 ~profile ~already_checked ~stats)
+    (fun func ->
+      run_func prog func ~use_opt1 ~only ~profile ~already_checked ~stats)
     prog.funcs;
   stats

@@ -38,9 +38,16 @@ let run_key ?prog_digest manifest =
        | Some (Obs.Json.Int i) -> string_of_int i
        | _ -> "?")
   in
+  (* The protection plan (when the run executed one) is part of the run's
+     identity: two plans with the same label shape must not collide. *)
+  let plan_tag =
+    match Obs.Json.member "plan" manifest with
+    | None -> "-"
+    | Some p -> Digest.to_hex (Digest.string (Obs.Json.to_string p))
+  in
   let identity =
     String.concat "|"
-      [ "softft.runkey.v1";
+      [ "softft.runkey.v2";
         "prog=" ^ Option.value ~default:"-" prog_digest;
         "label=" ^ mstr "label" manifest;
         "tech=" ^ mstr "technique" manifest;
@@ -50,7 +57,8 @@ let run_key ?prog_digest manifest =
         "taint=" ^ string_of_bool (mbool "taint_trace" manifest);
         "seed=" ^ string_of_int (mint "seed" manifest);
         "trials=" ^ string_of_int (mint "trials" manifest);
-        "adaptive=" ^ adaptive_tag ]
+        "adaptive=" ^ adaptive_tag;
+        "plan=" ^ plan_tag ]
   in
   Digest.to_hex (Digest.string identity)
 

@@ -32,9 +32,10 @@ val prog_digest : Ir.Prog.t -> string
 (** [run_key ?prog_digest manifest] derives the run key from a journal
     manifest.  Includes label, technique, fault kind, hardware window,
     checkpoint interval, taint tracing, seed, trial count, the adaptive
-    CI target when present, and the program digest when given; excludes
-    domains, git, timings and host, so the key is bit-identical across
-    [--domains 1/2/4] and across machines. *)
+    CI target and the protection-plan document when present, and the
+    program digest when given; excludes domains, git, timings and host,
+    so the key is bit-identical across [--domains 1/2/4] and across
+    machines. *)
 val run_key : ?prog_digest:string -> Obs.Json.t -> string
 
 (** One ingested run as recorded in the index. *)

@@ -34,6 +34,9 @@ let surface =
      [ "--adaptive"; "--ci"; "--max-trials"; "--bands"; "--journal";
        "--warehouse"; "--progress"; "--trace-timeline" ]);
     ("coverage", [ "--dynamic"; "--csv"; "--regs-csv"; "--journal" ]);
+    ("optimize",
+     [ "--budget"; "--beam"; "--checkpoint"; "--validate"; "--ci";
+       "--max-trials"; "--warehouse"; "--csv"; "--plan-out" ]);
     ("lint", [ "--benchmarks" ]);
     ("report", [ "--strata"; "--csv" ]);
     ("bench-diff", [ "--tolerance"; "--require-same-host" ]);

@@ -9,6 +9,7 @@ let () =
       ("analysis", Test_analysis.tests);
       ("lint", Test_lint.tests);
       ("coverage", Test_coverage.tests);
+      ("plan", Test_plan.tests);
       ("interp", Test_interp.tests);
       ("fidelity", Test_fidelity.tests);
       ("profiling", Test_profiling.tests);

@@ -1,0 +1,340 @@
+(** Tests for the protection-plan optimizer stack (DESIGN.md §16): the
+    plan type ({!Analysis.Plan}), the static predictor
+    ({!Analysis.Predict}), the plan-driven pipeline
+    ({!Transform.Pipeline.of_plan} via {!Softft.protect_plan}) and the
+    Pareto search with injection validation ({!Softft.Optimize}). *)
+
+module Plan = Analysis.Plan
+module Predict = Analysis.Predict
+module Optimize = Softft.Optimize
+
+let cost = Optimize.cost_model ()
+let workload name = Workloads.Registry.find name
+
+(* Value profile + dynamic block weights of [w]'s original program — the
+   same inputs `experiments optimize` feeds the search. *)
+let search_inputs (w : Workloads.Workload.t) =
+  let prog = w.build () in
+  let vp = Workloads.Workload.profile ~prog w in
+  let profile uid = Profiling.Value_profile.check_kind vp uid in
+  let exec_counts =
+    let prof = Interp.Profile.create () in
+    let orig = Softft.protect w Softft.Original in
+    let (_ : Faults.Campaign.golden) =
+      Softft.golden ~profile:prof orig ~role:Workloads.Workload.Train
+    in
+    Interp.Profile.func_block_counts prof
+  in
+  (prog, profile, exec_counts)
+
+(* A nontrivial plan touching every field: two chains, the first chain's
+   Opt-2 terminator sites, one stand-alone check, a checkpoint interval. *)
+let sample_plan (w : Workloads.Workload.t) =
+  let prog, profile, _ = search_inputs w in
+  let chains = Plan.candidate_chains prog in
+  let sites = Plan.candidate_sites ~profile prog in
+  let plan =
+    match chains with
+    | c0 :: c1 :: _ ->
+      let p = Plan.add_chain (Plan.add_chain Plan.empty c0) c1 in
+      let p =
+        match Optimize.chain_opt2_sites ~profile prog c0 with
+        | t :: _ -> Plan.add_terminator p t
+        | [] -> p
+      in
+      (match
+         List.find_opt
+           (fun (s : Plan.site) -> not (Plan.mem_terminator p s.Plan.vs_uid))
+           sites
+       with
+       | Some s -> Plan.add_check p s
+       | None -> p)
+    | _ -> Alcotest.fail "expected at least two candidate chains"
+  in
+  Plan.normalize { plan with Plan.checkpoint = 500 }
+
+(* ----- plan JSON round-trip ----- *)
+
+let test_json_roundtrip () =
+  let plan = sample_plan (workload "kmeans") in
+  let back = Plan.of_string (Plan.to_string plan) in
+  Alcotest.(check bool) "round-trips" true (Plan.equal plan back);
+  Alcotest.(check string) "slug stable" (Plan.slug plan) (Plan.slug back);
+  (match Plan.of_string "{}" with
+   | exception Failure _ -> ()
+   | (_ : Plan.t) -> Alcotest.fail "of_string accepted a schema-less plan")
+
+(* A plan serialized, parsed back and executed through the pipeline must
+   produce the same transform — the CLI's --plan-out files feed of_plan. *)
+let test_json_roundtrip_through_of_plan () =
+  let w = workload "kmeans" in
+  let plan = sample_plan w in
+  let back = Plan.of_string (Plan.to_string plan) in
+  let a = Softft.protect_plan ~lint:true w plan in
+  let b = Softft.protect_plan ~lint:true w back in
+  Alcotest.(check bool) "same static stats" true
+    (a.Softft.static_stats = b.Softft.static_stats);
+  Alcotest.(check bool) "plan stats are Planned" true
+    (a.Softft.static_stats.Transform.Pipeline.technique
+     = Transform.Pipeline.Planned)
+
+(* ----- of_plan generalizes the fixed pipelines ----- *)
+
+let test_all_chains_equals_dup_only () =
+  List.iter
+    (fun name ->
+      let w = workload name in
+      let prog = w.build () in
+      let plan =
+        Plan.normalize
+          { Plan.empty with Plan.chains = Plan.candidate_chains prog }
+      in
+      let planned = Softft.protect_plan ~lint:true w plan in
+      let fixed = Softft.protect ~lint:true w Softft.Dup_only in
+      let ps = planned.Softft.static_stats
+      and fs = fixed.Softft.static_stats in
+      Alcotest.(check int)
+        (name ^ ": duplicated instrs match Dup_only")
+        fs.Transform.Pipeline.duplicated_instrs
+        ps.Transform.Pipeline.duplicated_instrs;
+      Alcotest.(check int)
+        (name ^ ": dup checks match Dup_only")
+        fs.Transform.Pipeline.dup_checks ps.Transform.Pipeline.dup_checks;
+      Alcotest.(check int)
+        (name ^ ": state vars match Dup_only")
+        fs.Transform.Pipeline.state_vars ps.Transform.Pipeline.state_vars)
+    [ "kmeans"; "g721enc" ]
+
+(* Plans with check placements survive the plan-derived lint and the
+   protected program still computes the right answer. *)
+let test_planned_program_lints_and_runs () =
+  let w = workload "kmeans" in
+  let plan = sample_plan w in
+  let p = Softft.protect_plan ~lint:true w plan in
+  let orig = Softft.protect w Softft.Original in
+  let g = Softft.golden p ~role:Workloads.Workload.Test in
+  let g0 = Softft.golden orig ~role:Workloads.Workload.Test in
+  Alcotest.(check bool) "output unchanged" true
+    (g0.Faults.Campaign.output = g.Faults.Campaign.output);
+  Alcotest.(check int) "no false positives" 0
+    g.Faults.Campaign.false_positives
+
+(* ----- predictor: SDC estimate is monotone in the chain set ----- *)
+
+let test_sdc_monotone_in_chains () =
+  List.iter
+    (fun name ->
+      let w = workload name in
+      let prog, profile, exec_counts = search_inputs w in
+      let chains = Plan.candidate_chains prog in
+      let last = ref 1.0 in
+      let (_ : Plan.t) =
+        List.fold_left
+          (fun acc c ->
+            let acc = Plan.add_chain acc c in
+            let est =
+              Predict.estimate ~exec_counts ~profile ~cost prog acc
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: SDC non-increasing at %d chains (%.4f <= %.4f)"
+                 name
+                 (List.length acc.Plan.chains)
+                 est.Predict.pe_sdc_fraction !last)
+              true
+              (est.Predict.pe_sdc_fraction <= !last +. 1e-12);
+            last := est.Predict.pe_sdc_fraction;
+            acc)
+          Plan.empty chains
+      in
+      ())
+    [ "kmeans"; "g721enc" ]
+
+(* qcheck flavor: for a random subset S and random extra chains E,
+   predicted SDC of S ∪ E never exceeds that of S. *)
+let prop_sdc_monotone_random_subsets =
+  let w = workload "kmeans" in
+  let prog, profile, exec_counts = search_inputs w in
+  let chains = Array.of_list (Plan.candidate_chains prog) in
+  let n = Array.length chains in
+  QCheck.Test.make ~name:"plan SDC monotone on random chain subsets"
+    ~count:40
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 1_000_000))
+    (fun (seed_s, seed_e) ->
+      let subset seed =
+        let rng = Rng.create seed in
+        Array.to_list chains
+        |> List.filter (fun _ -> Int64.rem (Rng.bits rng) 2L = 0L)
+      in
+      let s = subset seed_s in
+      let e = subset seed_e in
+      let plan_of cs = Plan.normalize { Plan.empty with Plan.chains = cs } in
+      let est cs =
+        (Predict.estimate ~exec_counts ~profile ~cost prog (plan_of cs))
+          .Predict.pe_sdc_fraction
+      in
+      n = 0 || est (s @ e) <= est s +. 1e-12)
+
+(* ----- predictor agrees with the coverage analyzer's denominator ----- *)
+
+let test_empty_plan_predicts_original () =
+  let w = workload "kmeans" in
+  let prog, profile, exec_counts = search_inputs w in
+  let est = Predict.estimate ~exec_counts ~profile ~cost prog Plan.empty in
+  Alcotest.(check (float 1e-9)) "empty plan: all exposure SDC-prone" 1.0
+    est.Predict.pe_sdc_fraction;
+  Alcotest.(check (float 1e-9)) "empty plan: no added cycles" 0.0
+    est.Predict.pe_added_cycles
+
+(* ----- manifest: distinct plans hash to distinct warehouse keys ----- *)
+
+let test_plan_in_manifest_changes_run_key () =
+  let w = workload "kmeans" in
+  let prog = w.build () in
+  let chains = Plan.candidate_chains prog in
+  let manifest_for plan =
+    Faults.Journal.manifest_record ~technique:"Planned"
+      ~plan:(Plan.to_json plan) ~label:"kmeans/plan/test" ~trials:0 ~seed:1
+      ~domains:1 ~hw_window:Faults.Classify.default_hw_window
+      ~fault_kind:"register_bit"
+      ~golden:
+        { Faults.Campaign.output = [||]; steps = 0; cycles = 0;
+          false_positives = 0; failing_checks = [] }
+      ()
+  in
+  let plan_a = Plan.normalize { Plan.empty with Plan.chains } in
+  let plan_b =
+    Plan.normalize
+      { Plan.empty with Plan.chains = [ List.hd chains ] }
+  in
+  let key p = Warehouse.Store.run_key (manifest_for p) in
+  Alcotest.(check bool) "same plan, same key" true
+    (key plan_a = key plan_a);
+  Alcotest.(check bool) "distinct plans, distinct keys" true
+    (key plan_a <> key plan_b)
+
+(* ----- coverage ranking determinism (ISSUE 10 satellite) ----- *)
+
+let test_ranked_regs_deterministic () =
+  let w = workload "kmeans" in
+  let analyze () =
+    let p = Softft.protect w Softft.Dup_valchk in
+    Analysis.Coverage.analyze p.Softft.prog
+  in
+  let a = Analysis.Coverage.ranked_regs (analyze ()) in
+  let b = Analysis.Coverage.ranked_regs (analyze ()) in
+  Alcotest.(check bool) "two analyses rank identically" true (a = b);
+  Alcotest.(check string) "register CSV is bit-stable"
+    (Softft.Experiments.coverage_reg_csv (analyze ()))
+    (Softft.Experiments.coverage_reg_csv (analyze ()));
+  (* The documented total order: unprotected class first, exposure
+     descending, ties by (function, register) ascending. *)
+  let unprot (r : Analysis.Coverage.reg_row) =
+    match r.Analysis.Coverage.r_status with
+    | Analysis.Coverage.Unprotected | Analysis.Coverage.Dup_unchecked -> 0
+    | _ -> 1
+  in
+  let rec pairwise = function
+    | x :: (y :: _ as rest) ->
+      let ordered =
+        unprot x < unprot y
+        || (unprot x = unprot y
+            && (x.Analysis.Coverage.r_exposure > y.Analysis.Coverage.r_exposure
+               || (x.Analysis.Coverage.r_exposure
+                   = y.Analysis.Coverage.r_exposure
+                  && (x.Analysis.Coverage.r_func, x.Analysis.Coverage.r_reg)
+                     < (y.Analysis.Coverage.r_func, y.Analysis.Coverage.r_reg)
+                  )))
+      in
+      Alcotest.(check bool) "total order respected" true ordered;
+      pairwise rest
+    | _ -> ()
+  in
+  pairwise a
+
+(* ----- Pareto search ----- *)
+
+let run_search ?(budget = 0.15) name =
+  let w = workload name in
+  let prog, profile, exec_counts = search_inputs w in
+  (w, Optimize.search ~beam:2 ~budget ~exec_counts ~profile prog)
+
+let test_frontier_properties () =
+  let _, fr = run_search "kmeans" in
+  Alcotest.(check bool) "frontier non-empty" true (fr.Optimize.fr_points <> []);
+  (* Overhead ascending, SDC strictly decreasing along the frontier. *)
+  let rec sweep = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "overhead ascending" true
+        (Optimize.overhead a <= Optimize.overhead b);
+      Alcotest.(check bool) "SDC strictly decreasing" true
+        (Optimize.sdc b < Optimize.sdc a);
+      sweep rest
+    | _ -> ()
+  in
+  sweep fr.Optimize.fr_points;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "frontier within budget" true
+        (Optimize.overhead p <= fr.Optimize.fr_budget))
+    fr.Optimize.fr_points;
+  (* Fixed pipelines sit on or below the frontier: none strictly
+     dominates a frontier point. *)
+  List.iter
+    (fun fixed ->
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s does not dominate %s"
+               fixed.Optimize.op_label p.Optimize.op_label)
+            false
+            (Optimize.strictly_dominates fixed p))
+        fr.Optimize.fr_points)
+    fr.Optimize.fr_fixed;
+  (* ISSUE 10 acceptance: at 15%% budget the searched frontier strictly
+     dominates at least one fixed pipeline. *)
+  Alcotest.(check bool) "some fixed pipeline is dominated" true
+    (fr.Optimize.fr_dominated_fixed <> [])
+
+(* ----- static-vs-measured rank agreement on knee points (§11/§16) ----- *)
+
+let test_rank_agreement name =
+  let w, fr = run_search name in
+  let knees = Optimize.knee_points ~n:2 fr.Optimize.fr_points in
+  Alcotest.(check bool) "has knee points" true (knees <> []);
+  let vals =
+    Optimize.validate ~seed:7 ~ci:0.08 ~max_trials:1500 w knees
+  in
+  List.iter
+    (fun (v : Optimize.validation) ->
+      Alcotest.(check bool) "spent trials" true (v.Optimize.vl_trials > 0))
+    vals;
+  Alcotest.(check bool)
+    (name ^ ": predicted vs measured SDC rank order concordant") true
+    (Optimize.rank_order_agrees vals)
+
+let test_rank_agreement_kmeans () = test_rank_agreement "kmeans"
+let test_rank_agreement_jpegdec () = test_rank_agreement "jpegdec"
+
+let tests =
+  [ Alcotest.test_case "plan JSON round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "plan JSON executes identically" `Quick
+      test_json_roundtrip_through_of_plan;
+    Alcotest.test_case "all-chains plan = Dup_only" `Quick
+      test_all_chains_equals_dup_only;
+    Alcotest.test_case "planned program lints and runs" `Quick
+      test_planned_program_lints_and_runs;
+    Alcotest.test_case "predicted SDC monotone in chains" `Quick
+      test_sdc_monotone_in_chains;
+    QCheck_alcotest.to_alcotest prop_sdc_monotone_random_subsets;
+    Alcotest.test_case "empty plan predicts the original" `Quick
+      test_empty_plan_predicts_original;
+    Alcotest.test_case "plan in manifest changes run key" `Quick
+      test_plan_in_manifest_changes_run_key;
+    Alcotest.test_case "coverage ranking deterministic" `Quick
+      test_ranked_regs_deterministic;
+    Alcotest.test_case "Pareto frontier properties (kmeans)" `Quick
+      test_frontier_properties;
+    Alcotest.test_case "knee-point rank agreement (kmeans)" `Slow
+      test_rank_agreement_kmeans;
+    Alcotest.test_case "knee-point rank agreement (jpegdec)" `Slow
+      test_rank_agreement_jpegdec ]
